@@ -1,0 +1,67 @@
+// Design-choice ablation: sensitivity to the balance-factor bounds
+// (paper §IV-A3 leaves the upper/lower bounds unspecified; DESIGN.md fixes
+// them at 0.85/0.95).
+//
+// Expected shape: a too-low lower bound never flags reduce-heavy (terasort
+// over-climbs); a band pushed up to ~1.0 flaps between increments and
+// decrements; the default band is at or near the best cell for both a
+// map-heavy and a reduce-heavy benchmark.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Ablation: SMapReduce total time (s) vs balance bounds [lower,upper]");
+  return t;
+}
+
+struct Bounds {
+  double lower;
+  double upper;
+  const char* label;
+};
+
+constexpr Bounds kBounds[] = {
+    {0.50, 0.60, "[.50,.60]"},
+    {0.70, 0.80, "[.70,.80]"},
+    {0.85, 0.95, "[.85,.95]"},  // the default
+    {0.93, 0.99, "[.93,.99]"},
+};
+
+void BM_Bounds(benchmark::State& state, workload::Puma bench_id, Bounds bounds) {
+  metrics::JobResult job;
+  for (auto _ : state) {
+    auto config = bench::paper_config(driver::EngineKind::kSMapReduce);
+    config.slot_manager.balance_lower = bounds.lower;
+    config.slot_manager.balance_upper = bounds.upper;
+    job = bench::run_job(config, workload::make_puma_job(bench_id, 30 * kGiB));
+  }
+  state.counters["total_time_s"] = job.total_time();
+  table().set(std::string(workload::puma_name(bench_id)) + " " + bounds.label,
+              "total_s", job.total_time());
+}
+
+void register_all() {
+  for (workload::Puma bench_id :
+       {workload::Puma::kHistogramRatings, workload::Puma::kTerasort}) {
+    for (const Bounds& bounds : kBounds) {
+      benchmark::RegisterBenchmark(
+          (std::string("BalanceBounds/") + workload::puma_name(bench_id) + "/" +
+              bounds.label).c_str(),
+          [bench_id, bounds](benchmark::State& state) {
+            BM_Bounds(state, bench_id, bounds);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

@@ -1,0 +1,72 @@
+// Future-work extension (paper §VII): heterogeneous clusters.
+//
+// "Currently, SMapReduce only considers the case where the cluster is
+// homogeneous ... We are working to extend SMapReduce to the heterogeneous
+// environment."
+//
+// Cluster: 8 full-speed nodes + 8 nodes at half CPU speed with half the
+// memory.  Compared: HadoopV1 (static 3+2 everywhere), SMapReduce with one
+// uniform cluster-wide target (the paper's system), and the extension with
+// per-node targets scaled by node speed.  Expected shape: per-node targets
+// beat the uniform target (slow nodes thrash at counts the fast nodes
+// tolerate), and both beat static slots.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Extension: heterogeneous cluster (8 fast + 8 half-speed), total time (s)");
+  return t;
+}
+
+enum class Variant { kHadoopV1, kUniform, kPerNode };
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kHadoopV1: return "HadoopV1";
+    case Variant::kUniform: return "SMR-uniform";
+    case Variant::kPerNode: return "SMR-pernode";
+  }
+  return "?";
+}
+
+void BM_Hetero(benchmark::State& state, workload::Puma bench_id, Variant variant) {
+  metrics::JobResult job;
+  for (auto _ : state) {
+    auto config = bench::paper_config(variant == Variant::kHadoopV1
+                                          ? driver::EngineKind::kHadoopV1
+                                          : driver::EngineKind::kSMapReduce);
+    config.runtime.cluster = cluster::ClusterSpec::heterogeneous(8, 8, 0.5);
+    config.slot_manager.per_node_targets = (variant == Variant::kPerNode);
+    job = bench::run_job(config, workload::make_puma_job(bench_id, 30 * kGiB));
+  }
+  state.counters["total_time_s"] = job.total_time();
+  table().set(workload::puma_name(bench_id), variant_name(variant), job.total_time());
+}
+
+void register_all() {
+  for (workload::Puma bench_id :
+       {workload::Puma::kHistogramRatings, workload::Puma::kTermVector,
+        workload::Puma::kTerasort}) {
+    for (Variant variant :
+         {Variant::kHadoopV1, Variant::kUniform, Variant::kPerNode}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Hetero/") + workload::puma_name(bench_id) + "/" +
+              variant_name(variant)).c_str(),
+          [bench_id, variant](benchmark::State& state) {
+            BM_Hetero(state, bench_id, variant);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

@@ -1,0 +1,67 @@
+// Design-choice ablation: the lazy slot changer (paper §III-D) vs an eager
+// kill-and-reschedule changer.
+//
+// "If the task launcher shuts down one slot immediately, the running task
+// ... must be terminated and rescheduled ... If the slot changing action is
+// frequent, the rescheduling cost can be substantial."
+//
+// Expected shape: identical behaviour on map-heavy jobs (the manager mostly
+// climbs, so no shrink happens), and a visible penalty plus a nonzero kill
+// count on reduce-heavy jobs where the balance controller pulls map slots
+// back down mid-flight.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Ablation: lazy vs eager slot shrinking, SMapReduce total time (s)");
+  return t;
+}
+bench::FigureTable& kills_table() {
+  static bench::FigureTable t("Ablation: map tasks killed by eager shrinking");
+  return t;
+}
+
+void BM_Lazy(benchmark::State& state, workload::Puma bench_id, bool eager) {
+  metrics::JobResult job;
+  double killed = 0.0;
+  for (auto _ : state) {
+    auto config = bench::paper_config(driver::EngineKind::kSMapReduce, /*trials=*/1);
+    config.runtime.eager_slot_shrink = eager;
+    mapreduce::Runtime runtime(config.runtime, driver::make_policy(config));
+    runtime.submit(workload::make_puma_job(bench_id, 30 * kGiB), 0.0);
+    job = runtime.run().jobs[0];
+    killed = runtime.killed_map_tasks();
+  }
+  state.counters["total_time_s"] = job.total_time();
+  state.counters["killed_maps"] = killed;
+  const char* column = eager ? "eager" : "lazy";
+  table().set(workload::puma_name(bench_id), column, job.total_time());
+  kills_table().set(workload::puma_name(bench_id), column, killed);
+}
+
+void register_all() {
+  for (workload::Puma bench_id :
+       {workload::Puma::kHistogramRatings, workload::Puma::kInvertedIndex,
+        workload::Puma::kAdjacencyList, workload::Puma::kTerasort}) {
+    for (bool eager : {false, true}) {
+      benchmark::RegisterBenchmark(
+          (std::string("LazySlots/") + workload::puma_name(bench_id) + "/" +
+              (eager ? "eager" : "lazy")).c_str(),
+          [bench_id, eager](benchmark::State& state) {
+            BM_Lazy(state, bench_id, eager);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print(); kills_table().print("%12.0f"))

@@ -1,0 +1,68 @@
+// Substrate ablation: speculative execution under straggler-heavy
+// workloads, and its interaction with slot management.
+//
+// Hadoop's backup tasks occupy working slots, so they compete with the
+// slot manager's allocation decisions.  Expected shape: with high per-task
+// variance, speculation shortens the map tail on every engine; SMapReduce
+// still wins overall, and speculation's benefit is largest on the static
+// engine (whose final waves otherwise idle most slots waiting for
+// stragglers).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Speculation ablation: total time (s), straggler-heavy grep (cv=0.6)");
+  return t;
+}
+
+enum class Mode { kPlain, kMapOnly, kMapAndReduce };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kPlain: return "plain";
+    case Mode::kMapOnly: return "map-spec";
+    case Mode::kMapAndReduce: return "map+red-spec";
+  }
+  return "?";
+}
+
+void BM_Speculation(benchmark::State& state, driver::EngineKind engine, Mode mode) {
+  metrics::JobResult job;
+  for (auto _ : state) {
+    auto config = bench::paper_config(engine, /*trials=*/3);
+    config.runtime.speculative_execution = mode != Mode::kPlain;
+    config.runtime.speculative_reduce_execution = mode == Mode::kMapAndReduce;
+    auto spec = workload::make_puma_job(workload::Puma::kGrep, 30 * kGiB);
+    spec.duration_cv = 0.6;  // heavy straggling
+    job = bench::run_job(config, spec);
+  }
+  state.counters["map_time_s"] = job.map_time();
+  state.counters["total_time_s"] = job.total_time();
+  table().set(driver::engine_name(engine), mode_name(mode), job.total_time());
+}
+
+void register_all() {
+  for (driver::EngineKind engine : driver::all_engines()) {
+    for (Mode mode : {Mode::kPlain, Mode::kMapOnly, Mode::kMapAndReduce}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Speculation/") + driver::engine_name(engine) + "/" +
+           mode_name(mode))
+              .c_str(),
+          [engine, mode](benchmark::State& state) {
+            BM_Speculation(state, engine, mode);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

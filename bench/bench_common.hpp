@@ -1,0 +1,102 @@
+// Shared infrastructure for the figure benches.
+//
+// Each bench binary reproduces one figure of the paper: every
+// google-benchmark entry runs the corresponding simulation(s) and exports
+// the figure's y-values as counters; the collected values are additionally
+// printed as a figure-shaped table after the benchmark run, which is the
+// output EXPERIMENTS.md quotes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "smr/driver/experiment.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::bench {
+
+/// Collects (row, column) -> value cells while benchmarks run and prints
+/// them as a fixed-width table afterwards.
+class FigureTable {
+ public:
+  explicit FigureTable(std::string title) : title_(std::move(title)) {}
+
+  void set(const std::string& row, const std::string& column, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cells_[row].emplace(column, value).second) {
+      if (std::find(rows_.begin(), rows_.end(), row) == rows_.end()) {
+        rows_.push_back(row);
+      }
+      if (std::find(columns_.begin(), columns_.end(), column) == columns_.end()) {
+        columns_.push_back(column);
+      }
+    } else {
+      cells_[row][column] = value;
+    }
+  }
+
+  void print(const char* value_format = "%12.1f") const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%-28s", "");
+    for (const auto& column : columns_) std::printf("%12s", column.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%-28s", row.c_str());
+      const auto& row_cells = cells_.at(row);
+      for (const auto& column : columns_) {
+        const auto it = row_cells.find(column);
+        if (it == row_cells.end()) {
+          std::printf("%12s", "-");
+        } else {
+          std::printf(value_format, it->second);
+        }
+      }
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> rows_;
+  std::vector<std::string> columns_;
+  std::map<std::string, std::map<std::string, double>> cells_;
+};
+
+/// The paper's standard experiment for `engine` with `trials` averaged
+/// trials (2, like the evaluation).
+inline driver::ExperimentConfig paper_config(driver::EngineKind engine, int trials = 2) {
+  driver::ExperimentConfig config = driver::ExperimentConfig::paper_default(engine);
+  config.trials = trials;
+  return config;
+}
+
+/// Run one single-job experiment and return the averaged job result.
+inline metrics::JobResult run_job(const driver::ExperimentConfig& config,
+                                  const mapreduce::JobSpec& spec) {
+  return driver::run_single_job(config, spec).jobs[0];
+}
+
+/// A standard custom main: run benchmarks, then print the tables that the
+/// binary registered via `tables()`.
+#define SMR_BENCH_MAIN(...)                                            \
+  int main(int argc, char** argv) {                                   \
+    ::benchmark::Initialize(&argc, argv);                             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {       \
+      return 1;                                                       \
+    }                                                                 \
+    ::benchmark::RunSpecifiedBenchmarks();                            \
+    ::benchmark::Shutdown();                                          \
+    __VA_ARGS__;                                                      \
+    return 0;                                                         \
+  }
+
+}  // namespace smr::bench

@@ -1,0 +1,78 @@
+// Calibration check: the analytic contention model vs the end-to-end
+// simulation.
+//
+// The Fig. 1 thrashing curves can be computed two ways: (a) directly from
+// ComputeModel::solve for n identical map tasks on one node (no control
+// plane, no waves, no shuffle), and (b) by actually running the full
+// HadoopV1 engine at a static n and measuring input/map-time.  If the
+// stack is wired correctly, (b) tracks (a) up to wave-quantisation and
+// shuffle interference — this bench prints both so drift is visible.
+//
+// Expected shape: end-to-end sits at or below the analytic curve (waves
+// round up, heartbeats idle slots, reducers steal resources), with the
+// same hump position ±1 slot.
+#include "bench_common.hpp"
+
+#include "smr/cluster/compute_model.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Calibration: analytic vs end-to-end map throughput (MiB/s), terasort");
+  return t;
+}
+
+double analytic_rate(const cluster::NodeSpec& node, const mapreduce::JobSpec& spec,
+                     int n) {
+  cluster::Occupancy occ;
+  occ.threads = n;
+  occ.io_streams = n;
+  occ.memory_demand = spec.map_task_memory * n;
+  std::vector<cluster::PhaseLoad> loads(
+      static_cast<std::size_t>(n),
+      cluster::PhaseLoad{spec.map_cpu_per_mib / static_cast<double>(kMiB),
+                         1.0 + spec.map_selectivity * spec.spill_disk_factor,
+                         cluster::kNoCap, 1.0});
+  double total = 0.0;
+  for (double r : cluster::ComputeModel::solve(node, occ, {}, loads)) total += r;
+  return total;
+}
+
+void BM_Calibration(benchmark::State& state, workload::Puma bench_id) {
+  const int slots = static_cast<int>(state.range(0));
+  const auto spec = workload::make_puma_job(bench_id, 30 * kGiB);
+  double measured = 0.0;
+  for (auto _ : state) {
+    auto config = bench::paper_config(driver::EngineKind::kHadoopV1);
+    config.runtime.initial_map_slots = slots;
+    measured = bench::run_job(config, spec).map_throughput() /
+               static_cast<double>(kMiB) / 16.0;  // per node
+  }
+  const double analytic =
+      analytic_rate(cluster::NodeSpec{}, spec, slots) / static_cast<double>(kMiB);
+  state.counters["analytic_MiB_s"] = analytic;
+  state.counters["measured_MiB_s"] = measured;
+  char row[32];
+  std::snprintf(row, sizeof(row), "map_slots=%d", slots);
+  const std::string prefix = workload::puma_name(bench_id);
+  table().set(row, prefix + "/model", analytic);
+  table().set(row, prefix + "/sim", measured);
+}
+
+void register_all() {
+  for (workload::Puma bench_id : {workload::Puma::kTerasort, workload::Puma::kGrep}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Calibration/") + workload::puma_name(bench_id)).c_str(),
+        [bench_id](benchmark::State& state) { BM_Calibration(state, bench_id); });
+    b->DenseRange(1, 10, 1)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print("%12.1f"))

@@ -1,0 +1,51 @@
+// Figure 1: the thrashing phenomenon.
+//
+// "In the Terasort, TermVector, and Grep benchmarks, the curves of the
+// throughput of the map slots versus the number of map slots in each node
+// begins to fall when the number of map slots reaches the thrashing point."
+//
+// Each (benchmark, slots) point runs HadoopV1 with a static configuration
+// of `slots` map slots per node and reports the aggregate map throughput
+// (input bytes / map time).  Expected shape: throughput rises roughly
+// proportionally, then stalls/falls past a per-workload thrashing point,
+// ordered Grep > TermVector > Terasort.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Fig 1: map throughput (MiB/s) vs map slots per node");
+  return t;
+}
+
+void BM_Fig1(benchmark::State& state, workload::Puma bench_id) {
+  const int slots = static_cast<int>(state.range(0));
+  metrics::JobResult job;
+  for (auto _ : state) {
+    auto config = bench::paper_config(driver::EngineKind::kHadoopV1);
+    config.runtime.initial_map_slots = slots;
+    job = bench::run_job(config, workload::make_puma_job(bench_id, 30 * kGiB));
+  }
+  const double throughput_mib = job.map_throughput() / static_cast<double>(kMiB);
+  state.counters["map_throughput_MiB_s"] = throughput_mib;
+  state.counters["map_time_s"] = job.map_time();
+  table().set(std::string("map_slots=") + std::to_string(slots),
+              workload::puma_name(bench_id), throughput_mib);
+}
+
+void register_all() {
+  for (workload::Puma bench_id : workload::fig1_benchmarks()) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig1/") + workload::puma_name(bench_id)).c_str(),
+        [bench_id](benchmark::State& state) { BM_Fig1(state, bench_id); });
+    b->DenseRange(1, 14, 1)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

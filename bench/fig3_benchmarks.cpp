@@ -1,0 +1,65 @@
+// Figure 3: execution time of each benchmark on HadoopV1, YARN and
+// SMapReduce (stacked map time + reduce time, 30 GB inputs, 3 map + 2
+// reduce initial slots, 30 reduce tasks).
+//
+// Expected shape: SMapReduce shortest on (almost) every benchmark, with the
+// largest wins on map-heavy jobs (HistogramRatings ≈ +140% throughput vs
+// HadoopV1, +72% vs YARN); YARN between the two; Terasort the lone
+// exception where SMapReduce is slightly slower than both.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& map_table() {
+  static bench::FigureTable t("Fig 3a: map time (s)");
+  return t;
+}
+bench::FigureTable& reduce_table() {
+  static bench::FigureTable t("Fig 3b: reduce time (s)");
+  return t;
+}
+bench::FigureTable& total_table() {
+  static bench::FigureTable t("Fig 3c: total execution time (s)");
+  return t;
+}
+
+void BM_Fig3(benchmark::State& state, driver::EngineKind engine,
+             workload::Puma bench_id) {
+  metrics::JobResult job;
+  for (auto _ : state) {
+    job = bench::run_job(bench::paper_config(engine),
+                         workload::make_puma_job(bench_id, 30 * kGiB));
+  }
+  state.counters["map_time_s"] = job.map_time();
+  state.counters["reduce_time_s"] = job.reduce_time();
+  state.counters["total_time_s"] = job.total_time();
+  state.counters["throughput_MiB_s"] = job.throughput() / static_cast<double>(kMiB);
+  const std::string row = workload::puma_name(bench_id);
+  const std::string column = driver::engine_name(engine);
+  map_table().set(row, column, job.map_time());
+  reduce_table().set(row, column, job.reduce_time());
+  total_table().set(row, column, job.total_time());
+}
+
+void register_all() {
+  for (workload::Puma bench_id : workload::fig3_benchmarks()) {
+    for (driver::EngineKind engine : driver::all_engines()) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig3/") + workload::puma_name(bench_id) + "/" +
+              driver::engine_name(engine)).c_str(),
+          [engine, bench_id](benchmark::State& state) {
+            BM_Fig3(state, engine, bench_id);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(map_table().print(); reduce_table().print(); total_table().print())

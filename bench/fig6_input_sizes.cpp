@@ -1,0 +1,51 @@
+// Figure 6: HistogramRatings job throughput with different input sizes
+// (the paper sweeps up to 250 GB).
+//
+// Expected shape: HadoopV1 and YARN stay flat as the input grows;
+// SMapReduce's throughput climbs with input size because a longer job gives
+// the slot manager more time at the optimal configuration (paper: ~2.0x
+// HadoopV1 and ~1.3x YARN at 250 GB).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Fig 6: HistogramRatings job throughput (MiB/s) vs input size");
+  return t;
+}
+
+void BM_Fig6(benchmark::State& state, driver::EngineKind engine) {
+  const auto input = static_cast<Bytes>(state.range(0)) * kGiB;
+  metrics::JobResult job;
+  for (auto _ : state) {
+    job = bench::run_job(
+        bench::paper_config(engine),
+        workload::make_puma_job(workload::Puma::kHistogramRatings, input));
+  }
+  const double throughput_mib = job.throughput() / static_cast<double>(kMiB);
+  state.counters["throughput_MiB_s"] = throughput_mib;
+  state.counters["total_time_s"] = job.total_time();
+  char row[32];
+  std::snprintf(row, sizeof(row), "input=%3lld GiB",
+                static_cast<long long>(state.range(0)));
+  table().set(row, driver::engine_name(engine), throughput_mib);
+}
+
+void register_all() {
+  for (driver::EngineKind engine : driver::all_engines()) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig6/histogram-ratings/") + driver::engine_name(engine)).c_str(),
+        [engine](benchmark::State& state) { BM_Fig6(state, engine); });
+    for (long long gib : {50, 100, 150, 200, 250}) b->Arg(gib);
+    b->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

@@ -1,0 +1,25 @@
+// Figure 8: mean and last-finished execution time of a multiple concurrent
+// job workload of 4 Grep jobs (5 s submission stagger).
+//
+// Expected shape (paper §V-F): SMapReduce's mean execution time and
+// last-finish time are both ≈60% of HadoopV1's and ≈70% of YARN's — later
+// jobs inherit the already-adapted slot configuration, so the whole batch
+// runs near the optimum.
+#include "multijob_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Fig 8: 4 concurrent Grep jobs (s)");
+  return t;
+}
+
+const bool registered =
+    (bench::register_multi_job_bench(workload::Puma::kGrep, 30 * kGiB, table()),
+     true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

@@ -1,0 +1,24 @@
+// Figure 9: mean and last-finished execution time of a multiple concurrent
+// job workload of 4 InvertedIndex jobs (5 s submission stagger).
+//
+// Expected shape (paper §V-F): like Fig. 8 with a medium-shuffle workload —
+// SMapReduce clearly ahead of both HadoopV1 (FIFO) and YARN (capacity
+// scheduler) on both metrics.
+#include "multijob_common.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Fig 9: 4 concurrent InvertedIndex jobs (s)");
+  return t;
+}
+
+const bool registered = (bench::register_multi_job_bench(
+                             workload::Puma::kInvertedIndex, 30 * kGiB, table()),
+                         true);
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print())

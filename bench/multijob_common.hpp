@@ -1,0 +1,51 @@
+// Shared driver for the multi-job figures (Figs. 8 and 9): 4 jobs of the
+// same benchmark, each submitted 5 s after the previous one; FIFO scheduler
+// on HadoopV1/SMapReduce, capacity scheduler on YARN (the defaults).
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace smr::bench {
+
+struct MultiJobResult {
+  double mean_execution_s = 0.0;
+  double last_finish_s = 0.0;
+};
+
+inline MultiJobResult run_multi_job(driver::EngineKind engine, workload::Puma bench_id,
+                                    Bytes input_per_job, int jobs = 4,
+                                    SimTime stagger = 5.0, int trials = 2) {
+  auto config = paper_config(engine, trials);
+  std::vector<driver::JobSubmission> submissions;
+  for (int i = 0; i < jobs; ++i) {
+    submissions.push_back(
+        {workload::make_puma_job(bench_id, input_per_job), stagger * i});
+  }
+  const auto result = driver::run_experiment(config, submissions);
+  return {result.mean_execution_time(), result.last_finish_time()};
+}
+
+inline void register_multi_job_bench(workload::Puma bench_id, Bytes input_per_job,
+                                     FigureTable& table) {
+  for (driver::EngineKind engine : driver::all_engines()) {
+    benchmark::RegisterBenchmark(
+        (std::string("MultiJob/") + workload::puma_name(bench_id) + "/" +
+            driver::engine_name(engine)).c_str(),
+        [engine, bench_id, input_per_job, &table](benchmark::State& state) {
+          MultiJobResult result;
+          for (auto _ : state) {
+            result = run_multi_job(engine, bench_id, input_per_job);
+          }
+          state.counters["mean_execution_s"] = result.mean_execution_s;
+          state.counters["last_finish_s"] = result.last_finish_s;
+          table.set("mean execution time", driver::engine_name(engine),
+                    result.mean_execution_s);
+          table.set("last job finish time", driver::engine_name(engine),
+                    result.last_finish_s);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace smr::bench

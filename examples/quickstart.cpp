@@ -1,0 +1,55 @@
+// Quickstart: run one MapReduce job on the simulated 16-node cluster under
+// all three engines (HadoopV1, YARN, SMapReduce) and print the paper-style
+// metrics.
+//
+//   ./quickstart [benchmark] [input-GiB]
+//   ./quickstart terasort 30
+//
+// Benchmarks: grep, word-count, terasort, histogram-ratings, ... (see
+// smr::workload::all_puma_benchmarks).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "smr/driver/experiment.hpp"
+#include "smr/workload/puma.hpp"
+
+using namespace smr;
+
+int main(int argc, char** argv) {
+  const std::string bench_name = argc > 1 ? argv[1] : "histogram-ratings";
+  const auto bench = workload::puma_from_name(bench_name);
+  if (!bench) {
+    std::fprintf(stderr, "unknown benchmark '%s'; available:\n", bench_name.c_str());
+    for (auto b : workload::all_puma_benchmarks()) {
+      std::fprintf(stderr, "  %s\n", workload::puma_name(b));
+    }
+    return 1;
+  }
+  const Bytes input = (argc > 2 ? std::atoll(argv[2]) : 30) * kGiB;
+
+  const auto spec = workload::make_puma_job(*bench, input);
+  std::printf("Benchmark: %s\n", spec.name.c_str());
+  std::printf("  input            %s (%d map tasks, %d reduce tasks)\n",
+              format_bytes(spec.input_size).c_str(), spec.map_task_count(),
+              spec.reduce_tasks);
+  std::printf("  shuffle volume   %s (%s)\n",
+              format_bytes(spec.map_output_total()).c_str(),
+              spec.map_heavy() ? "map-heavy" : "shuffle-intensive");
+  std::printf("  cluster          16 workers, 3 map + 2 reduce initial slots\n\n");
+
+  std::printf("%-12s %10s %10s %10s %14s\n", "engine", "map(s)", "reduce(s)",
+              "total(s)", "throughput");
+  for (driver::EngineKind engine : driver::all_engines()) {
+    auto config = driver::ExperimentConfig::paper_default(engine);
+    const auto result = driver::run_single_job(config, spec);
+    const auto& job = result.jobs[0];
+    std::printf("%-12s %10.1f %10.1f %10.1f %14s\n", driver::engine_name(engine),
+                job.map_time(), job.reduce_time(), job.total_time(),
+                format_rate(job.throughput()).c_str());
+  }
+  std::printf(
+      "\n(Averaged over 2 simulated trials; see DESIGN.md for the cluster "
+      "and workload models.)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "smr/cluster/compute_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "smr/common/error.hpp"
+
+namespace smr::cluster {
+
+namespace {
+// Foreground work never fully starves even under extreme background load.
+constexpr double kMinCpuRemnant = 0.05;                                   // cores
+constexpr double kMinDiskRemnant = 1.0 * static_cast<double>(kMiB);       // bytes/s
+}  // namespace
+
+double ComputeModel::thread_efficiency(const NodeSpec& node, int threads) {
+  SMR_CHECK(threads >= 0);
+  if (threads <= 1) return 1.0;
+  const double extra = static_cast<double>(threads - 1);
+  const double beyond_cores = static_cast<double>(std::max(0, threads - node.cores));
+  return 1.0 / (1.0 + node.thread_overhead * extra + node.sched_overhead * beyond_cores);
+}
+
+double ComputeModel::paging_factor(const NodeSpec& node, Bytes memory_demand) {
+  SMR_CHECK(memory_demand >= 0);
+  const double available = static_cast<double>(node.available_memory());
+  const double demand = static_cast<double>(memory_demand);
+  if (demand <= available) return 1.0;
+  const double over = demand / available - 1.0;
+  return 1.0 / (1.0 + node.paging_penalty * over * over);
+}
+
+double ComputeModel::disk_efficiency(const NodeSpec& node, int streams) {
+  SMR_CHECK(streams >= 0);
+  if (streams <= 1) return 1.0;
+  return 1.0 / (1.0 + node.seek_overhead * static_cast<double>(streams - 1));
+}
+
+double ComputeModel::effective_cpu(const NodeSpec& node, const Occupancy& occ) {
+  return static_cast<double>(node.cores) * node.cpu_speed *
+         thread_efficiency(node, occ.threads) * paging_factor(node, occ.memory_demand);
+}
+
+double ComputeModel::effective_disk(const NodeSpec& node, const Occupancy& occ) {
+  return node.disk_bandwidth * disk_efficiency(node, occ.io_streams) *
+         paging_factor(node, occ.memory_demand);
+}
+
+std::vector<double> ComputeModel::solve(const NodeSpec& node, const Occupancy& occ,
+                                        const BackgroundLoad& background,
+                                        std::span<const PhaseLoad> loads) {
+  if (loads.empty()) return {};
+
+  const double cpu_capacity =
+      std::max(kMinCpuRemnant, effective_cpu(node, occ) - background.cpu_cores);
+  const double disk_capacity =
+      std::max(kMinDiskRemnant, effective_disk(node, occ) - background.disk_rate);
+
+  enum : int { kCpu = 0, kDisk = 1 };
+  const std::array<double, 2> capacities{cpu_capacity, disk_capacity};
+
+  std::vector<FlowDemand> flows;
+  flows.reserve(loads.size());
+  for (const auto& load : loads) {
+    FlowDemand flow;
+    // A single thread can use at most `max_cores` cores; that caps the rate
+    // of CPU-bearing phases regardless of idle capacity elsewhere.
+    double cap = load.rate_cap;
+    if (load.cpu_per_byte > 0.0) {
+      const double single_thread =
+          load.max_cores * node.cpu_speed / load.cpu_per_byte;
+      cap = (cap == kNoCap) ? single_thread : std::min(cap, single_thread);
+      flow.uses.push_back({kCpu, load.cpu_per_byte});
+    }
+    if (load.disk_per_byte > 0.0) {
+      flow.uses.push_back({kDisk, load.disk_per_byte});
+    }
+    SMR_CHECK_MSG(cap != kNoCap || !flow.uses.empty(),
+                  "phase with no resource use and no cap would be unbounded");
+    flow.rate_cap = cap;
+    flows.push_back(std::move(flow));
+  }
+
+  return max_min_allocate(capacities, flows);
+}
+
+}  // namespace smr::cluster

@@ -1,0 +1,87 @@
+// Per-node contention model: how fast each running task sub-phase
+// progresses given everything else on the node.
+//
+// This is the substrate for the paper's central empirical fact (Section II-B,
+// Fig. 1): aggregate task throughput rises with the number of working slots,
+// then falls past a *thrashing point*, and the thrashing point differs per
+// workload.  Three mechanisms produce the hump:
+//
+//   1. Core sharing + scheduling overhead: effective CPU capacity is
+//      cores * thread_efficiency(threads), which declines slowly per thread
+//      and faster once runnable threads exceed the core count.
+//   2. Disk contention: concurrent streams share disk bandwidth and pay a
+//      seek penalty per extra stream (spinning disks).
+//   3. Memory paging: once the summed working sets exceed available memory,
+//      a quadratic paging penalty hits both CPU and disk capacity — this is
+//      the cliff that makes throughput *fall*, not just flatten.
+//
+// Workloads with heavy spill traffic and big working sets (reduce-heavy,
+// e.g. Terasort) hit mechanisms 2 and 3 at low slot counts; lean map-heavy
+// workloads (e.g. Grep) climb much further before thrashing — exactly the
+// ordering in the paper's Fig. 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "smr/cluster/maxmin.hpp"
+#include "smr/cluster/node.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::cluster {
+
+/// One running task sub-phase on a node, expressed as demands per byte of
+/// its own progress.
+struct PhaseLoad {
+  /// CPU-seconds (of a speed-1.0 core) per byte of progress.
+  double cpu_per_byte = 0.0;
+  /// Disk bytes (read + write combined) per byte of progress.
+  double disk_per_byte = 0.0;
+  /// External rate cap in bytes/s (e.g. a network grant for remote reads or
+  /// shuffle); kNoCap if none.
+  double rate_cap = kNoCap;
+  /// Maximum cores a single thread can use (1.0 for ordinary tasks).
+  double max_cores = 1.0;
+};
+
+/// Aggregated background load on a node that is not part of the flows being
+/// solved (shuffle merge CPU, shuffle spill disk writes).
+struct BackgroundLoad {
+  double cpu_cores = 0.0;    // cores consumed
+  double disk_rate = 0.0;    // bytes/s of disk bandwidth consumed
+};
+
+/// Node-level occupancy used for the efficiency factors.
+struct Occupancy {
+  int threads = 0;        // runnable threads (all resident task threads)
+  int io_streams = 0;     // concurrent disk streams
+  Bytes memory_demand = 0;  // summed working sets of resident tasks
+};
+
+class ComputeModel {
+ public:
+  /// Multiplicative CPU efficiency for `threads` runnable threads.
+  static double thread_efficiency(const NodeSpec& node, int threads);
+
+  /// Multiplicative slowdown once memory is oversubscribed (1.0 when the
+  /// demand fits; < 1 beyond).
+  static double paging_factor(const NodeSpec& node, Bytes memory_demand);
+
+  /// Disk efficiency for `streams` concurrent I/O streams.
+  static double disk_efficiency(const NodeSpec& node, int streams);
+
+  /// Effective CPU capacity in speed-1.0 core-equivalents.
+  static double effective_cpu(const NodeSpec& node, const Occupancy& occ);
+
+  /// Effective disk bandwidth in bytes/s.
+  static double effective_disk(const NodeSpec& node, const Occupancy& occ);
+
+  /// Solve for the progress rate (bytes/s) of every sub-phase on one node.
+  /// `background` is subtracted from capacity first (floored at a small
+  /// positive remnant so foreground work always creeps forward).
+  static std::vector<double> solve(const NodeSpec& node, const Occupancy& occ,
+                                   const BackgroundLoad& background,
+                                   std::span<const PhaseLoad> loads);
+};
+
+}  // namespace smr::cluster

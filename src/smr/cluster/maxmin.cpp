@@ -1,0 +1,114 @@
+#include "smr/cluster/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "smr/common/error.hpp"
+
+namespace smr::cluster {
+
+std::vector<double> max_min_allocate(std::span<const double> capacities,
+                                     std::span<const FlowDemand> flows) {
+  const std::size_t nr = capacities.size();
+  const std::size_t nf = flows.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kEps = 1e-9;
+
+  std::vector<double> remaining(capacities.begin(), capacities.end());
+  // Saturation must be judged relative to the resource's scale: capacities
+  // are bytes/s (~1e8), so absolute epsilons never trigger.
+  std::vector<double> saturated_below(nr);
+  for (std::size_t r = 0; r < nr; ++r) {
+    SMR_CHECK_MSG(remaining[r] >= 0.0, "negative capacity for resource " << r);
+    saturated_below[r] = kEps * (remaining[r] + 1.0);
+  }
+  for (const auto& flow : flows) {
+    for (const auto& use : flow.uses) {
+      SMR_CHECK_MSG(use.resource >= 0 && static_cast<std::size_t>(use.resource) < nr,
+                    "flow uses unknown resource " << use.resource);
+      SMR_CHECK(use.weight >= 0.0);
+    }
+  }
+
+  std::vector<double> rates(nf, 0.0);
+  std::vector<bool> frozen(nf, false);
+
+  // A flow with a zero cap, or touching an (effectively) empty resource with
+  // positive weight, can never move; freeze it up front.
+  auto resource_empty = [&](int r) {
+    const auto idx = static_cast<std::size_t>(r);
+    return remaining[idx] <= saturated_below[idx];
+  };
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < nf; ++i) {
+    const auto& flow = flows[i];
+    bool dead = (flow.rate_cap != kNoCap && flow.rate_cap <= 0.0);
+    for (const auto& use : flow.uses) {
+      if (use.weight > 0.0 && resource_empty(use.resource)) dead = true;
+    }
+    frozen[i] = dead;
+    if (!dead) ++active;
+  }
+
+  while (active > 0) {
+    // Per-resource total weight over active flows.
+    std::vector<double> sumw(nr, 0.0);
+    double delta = kInf;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (frozen[i]) continue;
+      const auto& flow = flows[i];
+      if (flow.rate_cap != kNoCap) {
+        delta = std::min(delta, flow.rate_cap - rates[i]);
+      }
+      for (const auto& use : flow.uses) {
+        sumw[static_cast<std::size_t>(use.resource)] += use.weight;
+      }
+    }
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (sumw[r] > 0.0) delta = std::min(delta, remaining[r] / sumw[r]);
+    }
+    SMR_CHECK_MSG(std::isfinite(delta),
+                  "max_min_allocate: unbounded flow (no cap and no finite resource)");
+    delta = std::max(delta, 0.0);
+
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!frozen[i]) rates[i] += delta;
+    }
+    for (std::size_t r = 0; r < nr; ++r) {
+      remaining[r] -= delta * sumw[r];
+      if (remaining[r] < 0.0) remaining[r] = 0.0;  // numerical guard
+    }
+
+    // Freeze flows that hit their cap or a saturated resource.
+    std::size_t still_active = 0;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (frozen[i]) continue;
+      const auto& flow = flows[i];
+      bool freeze = false;
+      if (flow.rate_cap != kNoCap && rates[i] >= flow.rate_cap - kEps * (1.0 + flow.rate_cap)) {
+        rates[i] = flow.rate_cap;
+        freeze = true;
+      }
+      for (const auto& use : flow.uses) {
+        if (use.weight > 0.0 && resource_empty(use.resource)) freeze = true;
+      }
+      frozen[i] = freeze;
+      if (!freeze) ++still_active;
+    }
+    // Progress guarantee: if nothing froze this round, every active flow
+    // must have been capless and untouched by any saturated resource, which
+    // contradicts delta being finite unless delta saturated something.
+    SMR_CHECK_MSG(still_active < active || delta == 0.0,
+                  "max_min_allocate failed to make progress");
+    if (still_active == active && delta == 0.0) {
+      // Degenerate: all remaining flows blocked at zero headroom.
+      for (std::size_t i = 0; i < nf; ++i) frozen[i] = true;
+      still_active = 0;
+    }
+    active = still_active;
+  }
+  return rates;
+}
+
+}  // namespace smr::cluster

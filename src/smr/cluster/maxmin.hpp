@@ -1,0 +1,43 @@
+// Generic max-min fair allocation with multi-resource demands
+// ("progressive filling" / water-filling).
+//
+// Each flow i consumes weight w_{i,r} units of resource r per unit of its
+// own rate, and may additionally carry a per-flow rate cap.  The allocator
+// raises all uncapped, unfrozen flow rates at the same pace; whenever a
+// resource saturates, every flow using it freezes at the current level.
+// This is the standard fluid model for fair CPU scheduling, disk sharing
+// and per-port network sharing, and is used by both the per-node compute
+// solver and the cluster-wide shuffle solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "smr/common/types.hpp"
+
+namespace smr::cluster {
+
+struct ResourceUse {
+  /// Index into the capacities array.
+  int resource = 0;
+  /// Units of that resource consumed per unit of flow rate.
+  double weight = 1.0;
+};
+
+struct FlowDemand {
+  /// Upper bound on this flow's rate (use kNoCap for none).
+  double rate_cap = 0.0;
+  /// Resources this flow consumes, with weights.  Empty means the flow is
+  /// only limited by its cap.
+  std::vector<ResourceUse> uses;
+};
+
+inline constexpr double kNoCap = -1.0;
+
+/// Compute the max-min fair rates.  `capacities[r]` is the total capacity of
+/// resource r (>= 0).  Returns one rate per flow (>= 0).  Weights must be
+/// >= 0; zero-capacity resources freeze their users at rate 0.
+std::vector<double> max_min_allocate(std::span<const double> capacities,
+                                     std::span<const FlowDemand> flows);
+
+}  // namespace smr::cluster

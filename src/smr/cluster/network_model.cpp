@@ -1,0 +1,50 @@
+#include "smr/cluster/network_model.hpp"
+
+#include "smr/common/error.hpp"
+
+namespace smr::cluster {
+
+std::vector<double> NetworkModel::allocate(
+    std::span<const NetFlow> flows, std::span<const int> fetch_streams_per_node) const {
+  if (flows.empty()) return {};
+  const auto& spec = *spec_;
+  const int n = spec.worker_count();
+  SMR_CHECK(fetch_streams_per_node.empty() ||
+            fetch_streams_per_node.size() == static_cast<std::size_t>(n));
+
+  // Resource layout: [0, n) receive ports, [n, 2n) transmit ports, 2n fabric.
+  std::vector<double> capacities(static_cast<std::size_t>(2 * n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto& node = spec.workers[static_cast<std::size_t>(i)];
+    double rx = node.nic_bandwidth;
+    if (!fetch_streams_per_node.empty()) {
+      rx *= spec.network.incast_efficiency(fetch_streams_per_node[static_cast<std::size_t>(i)]);
+    }
+    capacities[static_cast<std::size_t>(i)] = rx;
+    capacities[static_cast<std::size_t>(n + i)] = node.nic_bandwidth;
+  }
+  capacities[static_cast<std::size_t>(2 * n)] = spec.network.fabric_bandwidth;
+
+  std::vector<FlowDemand> demands;
+  demands.reserve(flows.size());
+  const double diffuse_weight = 1.0 / static_cast<double>(n);
+  for (const auto& flow : flows) {
+    SMR_CHECK_MSG(flow.dst >= 0 && flow.dst < n, "flow with invalid dst " << flow.dst);
+    FlowDemand d;
+    d.rate_cap = flow.rate_cap;
+    d.uses.push_back({flow.dst, 1.0});                       // receive port
+    d.uses.push_back({2 * n, 1.0});                          // fabric
+    if (flow.src == kInvalidNode) {
+      // Diffuse: spread across every transmit port.
+      for (int s = 0; s < n; ++s) d.uses.push_back({n + s, diffuse_weight});
+    } else {
+      SMR_CHECK_MSG(flow.src >= 0 && flow.src < n, "flow with invalid src " << flow.src);
+      d.uses.push_back({n + flow.src, 1.0});
+    }
+    demands.push_back(std::move(d));
+  }
+
+  return max_min_allocate(capacities, demands);
+}
+
+}  // namespace smr::cluster

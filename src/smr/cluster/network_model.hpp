@@ -1,0 +1,51 @@
+// Cluster-wide network allocation for shuffle traffic and remote map-input
+// reads.
+//
+// Resources: one receive port and one transmit port per node plus the
+// switch fabric.  Shuffle fetches are "diffuse" flows — a reduce task pulls
+// its partition from every node that holds finished map output — so a
+// shuffle flow loads its receiver's port with weight 1 and every transmit
+// port with weight 1/N.  Remote reads are point-to-point.
+//
+// Per-receiver incast: when a node hosts many concurrent fetch streams
+// (reducers × parallel copier threads) its receive goodput degrades per
+// NetworkSpec::incast_efficiency.  This is the mechanism behind the paper's
+// repeated caution that "a large number of reduce slots can cause network
+// jam" (Sections III-B3, IV-A2, V-C).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "smr/cluster/maxmin.hpp"
+#include "smr/cluster/node.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::cluster {
+
+struct NetFlow {
+  /// Receiving node (must be valid).
+  NodeId dst = kInvalidNode;
+  /// Sending node, or kInvalidNode for a diffuse flow (pulls uniformly from
+  /// all nodes — the shuffle case).
+  NodeId src = kInvalidNode;
+  /// Per-flow cap in bytes/s (e.g. the receiver's CPU-side ingest bound),
+  /// or kNoCap.
+  double rate_cap = kNoCap;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const ClusterSpec& spec) : spec_(&spec) {}
+
+  /// Allocate rates for `flows`.  `fetch_streams_per_node[d]` is the number
+  /// of concurrent TCP fetch streams terminating at node d (drives the
+  /// incast penalty on d's receive port); pass an empty span to disable.
+  std::vector<double> allocate(std::span<const NetFlow> flows,
+                               std::span<const int> fetch_streams_per_node) const;
+
+ private:
+  const ClusterSpec* spec_;
+};
+
+}  // namespace smr::cluster

@@ -1,0 +1,130 @@
+// Hardware description of worker nodes and of the whole cluster.
+//
+// Defaults mirror the paper's testbed (Section V): 16 worker nodes, each
+// with 4 quad-core 2.53 GHz CPUs (16 cores) and 32 GB RAM, connected by a
+// 16-port GbE switch, HDFS on local disks.  The contention coefficients
+// (scheduling overhead, seek penalty, paging penalty, incast behaviour) are
+// the simulator's calibration knobs; tests in tests/cluster assert the
+// qualitative behaviours the paper relies on (the thrashing hump and its
+// per-workload ordering).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smr/common/error.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::cluster {
+
+struct NodeSpec {
+  /// Physical cores available to tasks.
+  int cores = 16;
+
+  /// Total RAM.
+  Bytes memory = 32 * kGiB;
+
+  /// RAM reserved for the OS, HDFS datanode and tracker daemons; tasks can
+  /// use memory - os_reserved before paging sets in.
+  Bytes os_reserved = 4 * kGiB;
+
+  /// Aggregate sequential disk bandwidth of the node's local disk array.
+  Rate disk_bandwidth = 160.0 * static_cast<double>(kMiB);
+
+  /// NIC bandwidth, each direction (GbE payload after protocol overhead).
+  Rate nic_bandwidth = 117.0 * static_cast<double>(kMiB);
+
+  /// Per-runnable-thread efficiency loss (JVM, GC, context switching).
+  /// Effective cores = cores / (1 + thread_overhead * (threads - 1)).
+  double thread_overhead = 0.010;
+
+  /// Extra penalty per runnable thread beyond the core count.
+  double sched_overhead = 0.030;
+
+  /// Disk efficiency loss per extra concurrent I/O stream (seek overhead on
+  /// spinning disks): disk_eff = 1 / (1 + seek_overhead * (streams - 1)).
+  double seek_overhead = 0.035;
+
+  /// Severity of the paging penalty once task working sets exceed available
+  /// memory: factor = 1 / (1 + paging_penalty * over^2) where
+  /// over = demand/available - 1.
+  double paging_penalty = 14.0;
+
+  /// Relative CPU speed (1.0 = the paper's 2.53 GHz core).  Used by the
+  /// heterogeneous-cluster extension.
+  double cpu_speed = 1.0;
+
+  Bytes available_memory() const { return memory - os_reserved; }
+
+  void validate() const {
+    SMR_CHECK(cores > 0);
+    SMR_CHECK(memory > 0 && os_reserved >= 0 && os_reserved < memory);
+    SMR_CHECK(disk_bandwidth > 0 && nic_bandwidth > 0);
+    SMR_CHECK(thread_overhead >= 0 && sched_overhead >= 0);
+    SMR_CHECK(seek_overhead >= 0 && paging_penalty >= 0);
+    SMR_CHECK(cpu_speed > 0);
+  }
+};
+
+struct NetworkSpec {
+  /// Bisection bandwidth of the switching fabric.  The paper's single
+  /// 16-port GbE switch is non-blocking, so this defaults to
+  /// workers * nic_bandwidth; oversubscribed fabrics lower it.
+  Rate fabric_bandwidth = 16.0 * 117.0 * static_cast<double>(kMiB);
+
+  /// Concurrent fetch streams per receiving node above which TCP incast
+  /// starts to reduce goodput.  The paper tunes RTO_min from 200 ms to 1 ms
+  /// to soften incast; the default knee/decay model that regime.
+  int incast_knee_streams = 12;
+
+  /// Goodput efficiency loss per stream beyond the knee:
+  /// eff = 1 / (1 + incast_overhead * max(0, streams - knee)).
+  double incast_overhead = 0.08;
+
+  void validate() const {
+    SMR_CHECK(fabric_bandwidth > 0);
+    SMR_CHECK(incast_knee_streams >= 1);
+    SMR_CHECK(incast_overhead >= 0);
+  }
+
+  /// Goodput efficiency for a receiver with `streams` concurrent fetches.
+  double incast_efficiency(int streams) const {
+    if (streams <= incast_knee_streams) return 1.0;
+    return 1.0 / (1.0 + incast_overhead * static_cast<double>(streams - incast_knee_streams));
+  }
+};
+
+struct ClusterSpec {
+  /// Worker (task tracker / node manager) nodes.  The job tracker and HDFS
+  /// name node run on dedicated machines and are not modelled as resources.
+  std::vector<NodeSpec> workers;
+
+  NetworkSpec network;
+
+  /// HDFS block replication factor.
+  int dfs_replication = 3;
+
+  /// HDFS block size; the paper sets 128 MB.
+  Bytes dfs_block_size = 128 * kMiB;
+
+  int worker_count() const { return static_cast<int>(workers.size()); }
+
+  void validate() const {
+    SMR_CHECK(!workers.empty());
+    for (const auto& w : workers) w.validate();
+    network.validate();
+    SMR_CHECK(dfs_replication >= 1);
+    SMR_CHECK(dfs_block_size > 0);
+  }
+
+  /// The paper's testbed: 16 homogeneous workers on a non-blocking GbE
+  /// switch, 128 MB blocks, 3-way replication.
+  static ClusterSpec paper_testbed(int worker_nodes = 16);
+
+  /// Heterogeneous variant for the future-work extension: `fast` nodes at
+  /// full speed and `slow` nodes at `slow_factor` CPU speed with half the
+  /// memory.
+  static ClusterSpec heterogeneous(int fast, int slow, double slow_factor = 0.5);
+};
+
+}  // namespace smr::cluster

@@ -1,0 +1,49 @@
+// Error handling: a library exception type plus lightweight invariant-check
+// macros.  Invariant violations indicate programming errors inside the
+// simulator (never user input errors), so they throw SmrError with source
+// location, which the test suite can assert on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smr {
+
+/// Exception thrown on violated invariants and invalid configuration.
+class SmrError : public std::runtime_error {
+ public:
+  explicit SmrError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw SmrError(os.str());
+}
+
+}  // namespace detail
+}  // namespace smr
+
+/// Always-on invariant check (simulation correctness depends on these and
+/// they are never on hot enough paths to matter).
+#define SMR_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::smr::detail::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Invariant check with a streamed message:
+///   SMR_CHECK_MSG(a < b, "a=" << a << " b=" << b)
+#define SMR_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream smr_check_os_;                                   \
+      smr_check_os_ << stream_expr;                                       \
+      ::smr::detail::fail_check(#expr, __FILE__, __LINE__,                \
+                                smr_check_os_.str());                     \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,231 @@
+#include "smr/common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "smr/common/error.hpp"
+
+namespace smr {
+
+namespace {
+
+const char* type_name(int type) {
+  switch (type) {
+    case 0: return "string";
+    case 1: return "int";
+    case 2: return "double";
+    case 3: return "bool";
+  }
+  return "?";
+}
+
+bool parse_int(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool& out) {
+  if (text == "true" || text == "1" || text == "yes") {
+    out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::define_string(const std::string& name, std::string default_value,
+                            std::string help) {
+  SMR_CHECK_MSG(flags_.emplace(name, Flag{Type::kString, std::move(help),
+                                          std::move(default_value), false})
+                    .second,
+                "duplicate flag --" << name);
+  order_.push_back(name);
+}
+
+void FlagSet::define_int(const std::string& name, std::int64_t default_value,
+                         std::string help) {
+  SMR_CHECK(flags_
+                .emplace(name, Flag{Type::kInt, std::move(help),
+                                    std::to_string(default_value), false})
+                .second);
+  order_.push_back(name);
+}
+
+void FlagSet::define_double(const std::string& name, double default_value,
+                            std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  SMR_CHECK(flags_.emplace(name, Flag{Type::kDouble, std::move(help), os.str(), false})
+                .second);
+  order_.push_back(name);
+}
+
+void FlagSet::define_bool(const std::string& name, bool default_value,
+                          std::string help) {
+  SMR_CHECK(flags_
+                .emplace(name, Flag{Type::kBool, std::move(help),
+                                    default_value ? "true" : "false", false})
+                .second);
+  order_.push_back(name);
+}
+
+bool FlagSet::assign(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    error_ = "unknown flag --" + name;
+    return false;
+  }
+  Flag& flag = it->second;
+  // Validate by type.
+  switch (flag.type) {
+    case Type::kString:
+      break;
+    case Type::kInt: {
+      std::int64_t v;
+      if (!parse_int(value, v)) {
+        error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kDouble: {
+      double v;
+      if (!parse_double(value, v)) {
+        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kBool: {
+      bool v;
+      if (!parse_bool(value, v)) {
+        error_ = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+  }
+  flag.value = value;
+  flag.set = true;
+  return true;
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool FlagSet::parse(const std::vector<std::string>& args) {
+  error_.clear();
+  positional_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!assign(body.substr(0, eq), body.substr(eq + 1))) return false;
+      continue;
+    }
+    // --no-name for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      const std::string name = body.substr(3);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        if (!assign(name, "false")) return false;
+        continue;
+      }
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + body;
+      return false;
+    }
+    if (it->second.type == Type::kBool) {
+      if (!assign(body, "true")) return false;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      error_ = "flag --" + body + " is missing its value";
+      return false;
+    }
+    if (!assign(body, args[++i])) return false;
+  }
+  return true;
+}
+
+const FlagSet::Flag& FlagSet::flag_of(const std::string& name, Type type) const {
+  const auto it = flags_.find(name);
+  SMR_CHECK_MSG(it != flags_.end(), "undefined flag --" << name);
+  SMR_CHECK_MSG(it->second.type == type, "flag --" << name << " is not a "
+                                                   << type_name(static_cast<int>(type)));
+  return it->second;
+}
+
+std::string FlagSet::get_string(const std::string& name) const {
+  return flag_of(name, Type::kString).value;
+}
+
+std::int64_t FlagSet::get_int(const std::string& name) const {
+  std::int64_t v = 0;
+  SMR_CHECK(parse_int(flag_of(name, Type::kInt).value, v));
+  return v;
+}
+
+double FlagSet::get_double(const std::string& name) const {
+  double v = 0.0;
+  SMR_CHECK(parse_double(flag_of(name, Type::kDouble).value, v));
+  return v;
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  bool v = false;
+  SMR_CHECK(parse_bool(flag_of(name, Type::kBool).value, v));
+  return v;
+}
+
+bool FlagSet::is_set(const std::string& name) const {
+  const auto it = flags_.find(name);
+  SMR_CHECK_MSG(it != flags_.end(), "undefined flag --" << name);
+  return it->second.set;
+}
+
+std::string FlagSet::usage(const std::string& program_name) const {
+  std::ostringstream os;
+  os << "usage: " << program_name << " [flags]\n";
+  if (!description_.empty()) os << description_ << "\n";
+  os << "\nflags:\n";
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  --" << name << " (default: " << flag.value << ")\n      " << flag.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace smr

@@ -1,0 +1,67 @@
+// Minimal command-line flag parsing for the CLI tool and examples.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` /
+// `--no-name`.  Unknown flags are errors; positional arguments are
+// collected.  No global state: each binary builds its own FlagSet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smr {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  /// Define flags (must precede parse()).  `help` appears in usage().
+  void define_string(const std::string& name, std::string default_value,
+                     std::string help);
+  void define_int(const std::string& name, std::int64_t default_value,
+                  std::string help);
+  void define_double(const std::string& name, double default_value, std::string help);
+  void define_bool(const std::string& name, bool default_value, std::string help);
+
+  /// Parse argv (excluding argv[0]).  Returns false and sets error() on
+  /// unknown flags, missing values or malformed numbers.
+  bool parse(int argc, const char* const* argv);
+  bool parse(const std::vector<std::string>& args);
+
+  const std::string& error() const { return error_; }
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool is_set(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every flag with its default and help string.
+  std::string usage(const std::string& program_name) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical string form
+    bool set = false;
+  };
+
+  const Flag& flag_of(const std::string& name, Type type) const;
+  bool assign(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace smr

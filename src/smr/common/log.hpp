@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, but benches
+// run many simulations in parallel on a thread pool, so emission is
+// serialised with a mutex.  Logging defaults to Warn so tests and benches
+// stay quiet; examples turn it up to show the control plane at work.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace smr {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace smr
+
+#define SMR_LOG(level, stream_expr)                                   \
+  do {                                                                \
+    if (::smr::Logger::instance().enabled(level)) {                   \
+      std::ostringstream smr_log_os_;                                 \
+      smr_log_os_ << stream_expr;                                     \
+      ::smr::Logger::instance().write(level, smr_log_os_.str());      \
+    }                                                                 \
+  } while (false)
+
+#define SMR_TRACE(stream_expr) SMR_LOG(::smr::LogLevel::kTrace, stream_expr)
+#define SMR_DEBUG(stream_expr) SMR_LOG(::smr::LogLevel::kDebug, stream_expr)
+#define SMR_INFO(stream_expr) SMR_LOG(::smr::LogLevel::kInfo, stream_expr)
+#define SMR_WARN(stream_expr) SMR_LOG(::smr::LogLevel::kWarn, stream_expr)
+#define SMR_ERROR(stream_expr) SMR_LOG(::smr::LogLevel::kError, stream_expr)

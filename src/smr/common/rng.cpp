@@ -1,0 +1,92 @@
+#include "smr/common/rng.hpp"
+
+#include <cmath>
+
+namespace smr {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SMR_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SMR_CHECK(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % range;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::normal() {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::normal(double mean, double stddev) {
+  SMR_CHECK(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  double z = normal();
+  if (z > 3.0) z = 3.0;
+  if (z < -3.0) z = -3.0;
+  return mean + stddev * z;
+}
+
+double Rng::jitter(double cv) {
+  SMR_CHECK(cv >= 0.0);
+  if (cv == 0.0) return 1.0;
+  // Lognormal with E[X] = 1: sigma^2 = ln(1 + cv^2), mu = -sigma^2 / 2.
+  const double sigma2 = std::log1p(cv * cv);
+  const double sigma = std::sqrt(sigma2);
+  return std::exp(normal() * sigma - sigma2 / 2.0);
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  // Seed the child from two draws of the parent so that forking advances the
+  // parent (two forks from the same state would otherwise be identical).
+  SplitMix64 sm(next() ^ rotl(next(), 32));
+  for (auto& word : child.s_) word = sm.next();
+  return child;
+}
+
+}  // namespace smr

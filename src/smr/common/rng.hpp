@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-for-bit reproducible across platforms, so we
+// avoid std::mt19937/std::*_distribution (whose algorithms are unspecified
+// for distributions) and implement SplitMix64 (for seeding) and
+// xoshiro256** (for the stream), plus the handful of distributions the
+// workload models need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "smr/common/error.hpp"
+
+namespace smr {
+
+/// SplitMix64: tiny, high-quality 64-bit generator; used to expand a single
+/// user seed into the xoshiro256** state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the simulator's workhorse generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double normal();
+
+  /// Normal with the given mean/stddev, truncated to [mean - 3*sd, mean + 3*sd]
+  /// so task-duration perturbations can never go negative or explode.
+  double normal(double mean, double stddev);
+
+  /// Lognormal-ish multiplicative jitter: returns a factor with the given
+  /// coefficient of variation, mean 1.  cv == 0 returns exactly 1.
+  double jitter(double cv);
+
+  /// Derive an independent child stream (for per-node / per-task streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace smr

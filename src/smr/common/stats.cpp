@@ -1,0 +1,120 @@
+#include "smr/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smr/common/error.hpp"
+
+namespace smr {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  SMR_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::add(double x) {
+  if (!has_value_) {
+    value_ = x;
+    has_value_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  has_value_ = false;
+}
+
+WindowedRate::WindowedRate(SimTime window) : window_(window) {
+  SMR_CHECK(window > 0.0);
+}
+
+void WindowedRate::observe(SimTime now, double cumulative) {
+  if (!samples_.empty()) {
+    SMR_CHECK_MSG(now >= samples_.back().t,
+                  "observations out of order: " << now << " < " << samples_.back().t);
+  }
+  samples_.push_back({now, cumulative});
+  // Keep one sample older than the window so rate() can span the full window.
+  while (samples_.size() >= 2 && samples_[1].t <= now - window_) {
+    samples_.pop_front();
+  }
+}
+
+Rate WindowedRate::rate() const {
+  if (samples_.size() < 2) return 0.0;
+  const Sample& oldest = samples_.front();
+  const Sample& newest = samples_.back();
+  const SimTime dt = newest.t - oldest.t;
+  if (dt <= 0.0) return 0.0;
+  return (newest.v - oldest.v) / dt;
+}
+
+Rate WindowedRate::instantaneous() const {
+  if (samples_.size() < 2) return 0.0;
+  const Sample& a = samples_[samples_.size() - 2];
+  const Sample& b = samples_.back();
+  const SimTime dt = b.t - a.t;
+  if (dt <= 0.0) return 0.0;
+  return (b.v - a.v) / dt;
+}
+
+void WindowedRate::reset() { samples_.clear(); }
+
+TrailingMean::TrailingMean(std::size_t capacity) : capacity_(capacity) {
+  SMR_CHECK(capacity > 0);
+}
+
+void TrailingMean::add(double x) {
+  samples_.push_back(x);
+  if (samples_.size() > capacity_) samples_.pop_front();
+}
+
+void TrailingMean::reset() { samples_.clear(); }
+
+double TrailingMean::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double percentile(std::vector<double> samples, double p) {
+  SMR_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace smr

@@ -1,0 +1,109 @@
+// Streaming statistics used by the control plane (slot manager, heartbeat
+// statistics) and by the reporters.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "smr/common/types.hpp"
+
+namespace smr {
+
+/// Welford online mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially-weighted moving average of a sampled value.
+class Ewma {
+ public:
+  /// `alpha` is the weight of the newest sample, in (0, 1].
+  explicit Ewma(double alpha = 0.3);
+
+  void add(double x);
+  void reset();
+  bool has_value() const { return has_value_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// Windowed rate estimator over simulated time.
+///
+/// The control plane feeds it (time, cumulative-bytes) observations from
+/// heartbeats; `rate()` returns bytes/second over a sliding window.  This is
+/// what the paper's slot manager consumes as "the shuffle rate" / "the map
+/// output rate": an average over the last few heartbeat periods, robust to
+/// the burstiness of discrete map completions.
+class WindowedRate {
+ public:
+  /// `window` is the averaging horizon in simulated seconds.
+  explicit WindowedRate(SimTime window = 15.0);
+
+  /// Record that the cumulative counter had value `cumulative` at `now`.
+  /// Observations must be fed in nondecreasing time order.
+  void observe(SimTime now, double cumulative);
+
+  /// Average rate over (approximately) the last `window` seconds.
+  /// Returns 0 until two observations spanning positive time exist.
+  Rate rate() const;
+
+  /// Rate between the two most recent observations (instantaneous view).
+  Rate instantaneous() const;
+
+  void reset();
+  SimTime window() const { return window_; }
+
+ private:
+  struct Sample {
+    SimTime t;
+    double v;
+  };
+  SimTime window_;
+  std::deque<Sample> samples_;
+};
+
+/// Simple fixed-capacity trailing mean of the last N samples.
+class TrailingMean {
+ public:
+  explicit TrailingMean(std::size_t capacity = 8);
+
+  void add(double x);
+  void reset();
+  std::size_t count() const { return samples_.size(); }
+  bool full() const { return samples_.size() == capacity_; }
+  double mean() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> samples_;
+};
+
+/// Percentile over a snapshot of samples (copies + sorts; reporting only).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace smr

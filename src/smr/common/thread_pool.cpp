@@ -1,0 +1,106 @@
+#include "smr/common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "smr/common/error.hpp"
+
+namespace smr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SMR_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SMR_CHECK(!stop_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = pool.thread_count();
+  const std::size_t chunks = std::min(n, threads * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  std::size_t launched = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    ++launched;
+    remaining.fetch_add(1, std::memory_order_relaxed);
+    pool.submit([lo, hi, &fn, &remaining, &done_mutex, &done_cv] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  (void)launched;
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(default_thread_pool(), begin, end, fn);
+}
+
+ThreadPool& default_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace smr

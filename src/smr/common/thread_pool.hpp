@@ -1,0 +1,63 @@
+// A small work-stealing-free thread pool plus parallel_for.
+//
+// The simulator itself is single-threaded and deterministic; the pool exists
+// so that benches and sweeps can run *independent* simulations concurrently
+// (one simulation per task).  parallel_for partitions an index range into
+// contiguous chunks, which keeps per-simulation memory locality and gives
+// deterministic results regardless of thread count because the tasks do not
+// share mutable state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace smr {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task.  Tasks must not throw; exceptions escaping a task
+  /// terminate the process (same policy as std::thread).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for every i in [begin, end) using `pool`, blocking until all
+/// iterations complete.  Iterations must be independent.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: run with a process-wide default pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// The process-wide default pool (lazily constructed).
+ThreadPool& default_thread_pool();
+
+}  // namespace smr

@@ -1,0 +1,82 @@
+// Configuration of the SMapReduce slot manager (the paper's Sections III-IV).
+#pragma once
+
+#include <limits>
+
+#include "smr/common/error.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::core {
+
+struct SlotManagerConfig {
+  // --- Slow start (paper §IV-A1) ---------------------------------------
+  /// The slot manager only acts once this fraction of the front job's map
+  /// tasks have finished and reported statistics; 10% by default, exactly
+  /// as in the paper.
+  double slow_start_fraction = 0.10;
+  /// Ablation flag for Fig. 7: disable to let the manager act on the thin
+  /// early statistics.
+  bool slow_start = true;
+
+  // --- Balance control (paper §III-B1, §IV-A3) --------------------------
+  /// f = R_s / R_m.  f above the upper bound ⇒ shuffle keeps up ⇒
+  /// map-heavy ⇒ +1 map slot; below the lower bound ⇒ shuffle lags ⇒
+  /// reduce-heavy ⇒ −1 map slot; in between ⇒ balanced state, hold.
+  double balance_upper = 0.95;
+  double balance_lower = 0.85;
+
+  /// Slot bounds the manager may move within.
+  int min_map_slots = 1;
+  int max_map_slots = 24;
+  int min_reduce_slots = 1;
+  int max_reduce_slots = 8;
+
+  // --- Thrashing detection (paper §III-B2, §IV-A2) -----------------------
+  bool detect_thrashing = true;  // ablation flag for Fig. 7
+  /// After a slot change the processing rate dips, then recovers into a
+  /// stable range; only observations after this long count.  Keep it below
+  /// the policy period so a judgement lands between consecutive decisions.
+  SimTime stabilize_time = 4.0;
+  /// Consecutive "suspected thrashing" observations needed before the
+  /// manager announces thrashing (two-strike rule in the paper).
+  int suspect_threshold = 2;
+  /// Relative rate drop that raises a suspicion; smaller dips are noise.
+  double thrash_tolerance = 0.06;
+
+  // --- Tail stretch (paper §III-B3) ---------------------------------------
+  bool tail_switching = true;
+  /// Extra reduce slots granted in the tail stretch, but only when the job's
+  /// shuffle volume is small (a large shuffle would jam the network).
+  int tail_reduce_boost = 2;
+  Bytes small_shuffle_threshold = 4 * kGiB;
+
+  // --- Extension: heterogeneous clusters (paper §VII future work) --------
+  /// Scale per-node targets by each node's CPU speed instead of issuing one
+  /// uniform target.
+  bool per_node_targets = false;
+
+  /// Statistics window for the bursty counters (map output, shuffle): long
+  /// enough to smooth over discrete map completions.
+  SimTime rate_window = 18.0;
+
+  /// Statistics window for the map *input* rate, which is fluid: one policy
+  /// period, so each thrashing observation reflects the slot count that was
+  /// actually in force during the window.
+  SimTime input_rate_window = 6.0;
+
+  void validate() const {
+    SMR_CHECK(slow_start_fraction >= 0.0 && slow_start_fraction <= 1.0);
+    SMR_CHECK(balance_lower > 0.0 && balance_lower < balance_upper);
+    SMR_CHECK(min_map_slots >= 0 && min_map_slots <= max_map_slots);
+    SMR_CHECK(min_reduce_slots >= 0 && min_reduce_slots <= max_reduce_slots);
+    SMR_CHECK(stabilize_time >= 0.0);
+    SMR_CHECK(suspect_threshold >= 1);
+    SMR_CHECK(thrash_tolerance >= 0.0);
+    SMR_CHECK(tail_reduce_boost >= 0);
+    SMR_CHECK(small_shuffle_threshold >= 0);
+    SMR_CHECK(rate_window > 0.0);
+    SMR_CHECK(input_rate_window > 0.0);
+  }
+};
+
+}  // namespace smr::core

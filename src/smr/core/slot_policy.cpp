@@ -1,0 +1,254 @@
+#include "smr/core/slot_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smr/common/log.hpp"
+
+namespace smr::core {
+
+namespace {
+constexpr double kRateEps = 1.0;  // bytes/s below which a rate counts as zero
+}
+
+SmrSlotPolicy::SmrSlotPolicy(SlotManagerConfig config)
+    : SmrSlotPolicy(std::move(config), {}) {}
+
+SmrSlotPolicy::SmrSlotPolicy(SlotManagerConfig config, std::vector<double> node_speeds)
+    : config_(config),
+      node_speeds_(std::move(node_speeds)),
+      input_rate_(config.input_rate_window),
+      output_rate_(config.rate_window),
+      shuffle_rate_(config.rate_window),
+      detector_(config) {
+  config_.validate();
+}
+
+void SmrSlotPolicy::on_start(std::span<mapreduce::TaskTracker> trackers) {
+  SMR_CHECK(!trackers.empty());
+  // Start from the user's HadoopV1-style configuration (paper §IV-A3:
+  // "Initially, the slot manager has a specific number of map slots and
+  // reduce slots as configured by the user").
+  initial_map_slots_ = trackers.front().map_target();
+  initial_reduce_slots_ = trackers.front().reduce_target();
+  map_slots_ = initial_map_slots_;
+  reduce_slots_ = initial_reduce_slots_;
+  if (!node_speeds_.empty()) {
+    SMR_CHECK(node_speeds_.size() == trackers.size());
+  }
+}
+
+void SmrSlotPolicy::reset_statistics() {
+  input_rate_.reset();
+  output_rate_.reset();
+  shuffle_rate_.reset();
+  detector_.reset();
+  started_ = false;
+  last_f_.reset();
+  first_reduce_running_time_ = kTimeNever;
+  node_input_rates_.clear();
+  node_running_maps_.clear();
+}
+
+void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
+                              const mapreduce::ClusterStats& stats) {
+  if (!stats.has_active_job) {
+    if (front_job_ != kInvalidJob) {
+      // Idle cluster: keep the adapted slot counts for the next job but
+      // forget job-specific statistics.
+      front_job_ = kInvalidJob;
+      reset_statistics();
+      apply_targets(trackers, stats);
+    }
+    return;
+  }
+
+  if (stats.active_jobs.front() != front_job_) {
+    // New front job: its workload may differ, so statistics and the thrash
+    // ceiling restart; the slot counts themselves carry over (they are a
+    // good prior when consecutive jobs resemble each other).
+    front_job_ = stats.active_jobs.front();
+    reset_statistics();
+  }
+
+  // Feed the heartbeat-aggregated counters into the windowed rates.
+  input_rate_.observe(stats.now, stats.cum_map_input);
+  output_rate_.observe(stats.now, stats.cum_map_output);
+  shuffle_rate_.observe(stats.now, stats.cum_shuffled);
+  if (config_.per_node_targets && !stats.per_node.empty()) {
+    if (node_input_rates_.empty()) {
+      node_input_rates_.assign(stats.per_node.size(),
+                               WindowedRate(config_.rate_window));
+      node_running_maps_.assign(stats.per_node.size(), TrailingMean(4));
+    }
+    for (const auto& node : stats.per_node) {
+      const auto i = static_cast<std::size_t>(node.node);
+      node_input_rates_[i].observe(stats.now, node.cum_map_input);
+      node_running_maps_[i].add(node.running_maps);
+    }
+  }
+
+  // --- Slow start (§IV-A1) ---------------------------------------------
+  if (first_reduce_running_time_ == kTimeNever && stats.running_reduces > 0) {
+    first_reduce_running_time_ = stats.now;
+  }
+  if (!started_) {
+    // The paper's 10%-of-maps gate; we additionally require the shuffle
+    // statistics to cover a full window once reduce tasks exist (fresh
+    // reducers start with a catch-up backlog whose drain rate says nothing
+    // about the balance of map and shuffle throughput).
+    const bool maps_gate = stats.front_job_map_fraction >= config_.slow_start_fraction;
+    const bool shuffle_gate =
+        stats.total_reduces == 0 ||
+        (first_reduce_running_time_ != kTimeNever &&
+         stats.now >= first_reduce_running_time_ + config_.rate_window);
+    if (!config_.slow_start || (maps_gate && shuffle_gate)) {
+      started_ = true;
+    } else {
+      apply_targets(trackers, stats);
+      return;
+    }
+  }
+
+  const int remaining_maps = stats.pending_maps + stats.running_maps;
+
+  // --- Tail stretch (§III-B3) --------------------------------------------
+  if (remaining_maps == 0) {
+    if (config_.tail_switching) {
+      // Only reduce tasks remain: release map slots; grant extra reduce
+      // slots only when the shuffle volume is small enough not to jam the
+      // network.
+      if (stats.front_job_shuffle_volume <= config_.small_shuffle_threshold) {
+        reduce_slots_ = std::min(config_.max_reduce_slots,
+                                 initial_reduce_slots_ + config_.tail_reduce_boost);
+      }
+      ++decisions_;
+    }
+    apply_targets(trackers, stats);
+    return;
+  }
+  // Out of the tail: restore the front-stretch reduce allocation (kept
+  // small to avoid too many concurrent copiers, §IV-A2).
+  reduce_slots_ = initial_reduce_slots_;
+
+  // --- Thrashing detection (§IV-A2) ---------------------------------------
+  bool climb_held = false;
+  if (config_.detect_thrashing) {
+    const ThrashVerdict verdict =
+        detector_.observe(stats.now, map_slots_, input_rate_.rate());
+    if (verdict == ThrashVerdict::kConfirmed) {
+      const int old = map_slots_;
+      map_slots_ = std::clamp(detector_.revert_slots(), config_.min_map_slots,
+                              config_.max_map_slots);
+      detector_.on_slots_changed(old, map_slots_, stats.now);
+      SMR_INFO("slot manager: thrashing confirmed at " << old
+               << " map slots; reverting to " << map_slots_);
+      ++decisions_;
+      apply_targets(trackers, stats);
+      return;
+    }
+    // A pending suspicion freezes climbing (the paper "gives the system
+    // another chance" before judging); decrements stay allowed.
+    climb_held = (verdict == ThrashVerdict::kSuspected);
+  }
+
+  // --- Balance between map and shuffle throughput (§III-B1, §IV-A3) -------
+  const double rt = output_rate_.rate();
+  const double rs = shuffle_rate_.rate();
+  const double n = static_cast<double>(stats.running_reduces);
+  const double total_reduces = static_cast<double>(stats.total_reduces);
+
+  bool map_heavy;
+  bool reduce_heavy = false;
+  if (total_reduces <= 0.0 || n <= 0.0) {
+    // Nothing is shuffling (map-only job, or reduces not yet launched):
+    // the shuffle side trivially keeps up.
+    map_heavy = true;
+    last_f_.reset();
+  } else if (rt <= kRateEps) {
+    // No map output landed inside the statistics window (e.g. a straggling
+    // wave): no basis for a decision — hold everything.
+    apply_targets(trackers, stats);
+    return;
+  } else {
+    const double rm = (n / total_reduces) * rt;  // §IV-A3
+    const double f = rs / std::max(rm, kRateEps);
+    last_f_ = f;
+    map_heavy = f > config_.balance_upper;
+    reduce_heavy = f < config_.balance_lower;
+  }
+
+  if (map_heavy) {
+    const int proposed = map_slots_ + 1;
+    if (!climb_held && proposed <= config_.max_map_slots &&
+        proposed <= detector_.ceiling()) {
+      detector_.on_slots_changed(map_slots_, proposed, stats.now);
+      map_slots_ = proposed;
+      ++decisions_;
+      SMR_DEBUG("slot manager: map-heavy (f="
+                << (last_f_ ? *last_f_ : -1.0) << "); map slots -> " << map_slots_);
+    }
+  } else if (reduce_heavy) {
+    const int proposed = map_slots_ - 1;
+    if (proposed >= config_.min_map_slots) {
+      detector_.on_slots_changed(map_slots_, proposed, stats.now);
+      map_slots_ = proposed;
+      ++decisions_;
+      SMR_DEBUG("slot manager: reduce-heavy (f=" << *last_f_ << "); map slots -> "
+                                                 << map_slots_);
+    }
+  }
+  // Balanced state: hold (§IV-A3).
+
+  apply_targets(trackers, stats);
+}
+
+double SmrSlotPolicy::node_relative_speed(NodeId node) const {
+  const auto i = static_cast<std::size_t>(node);
+  const double prior = i < node_speeds_.size() ? node_speeds_[i] : 1.0;
+  if (node_input_rates_.empty()) return prior;
+  // Per-slot throughput of this node vs the fastest node's; both need a
+  // full measurement window with maps actually running.
+  const double occupancy = node_running_maps_[i].mean();
+  const double rate = node_input_rates_[i].rate();
+  if (occupancy < 0.5 || rate <= 0.0) return prior;
+  double best = 0.0;
+  for (std::size_t j = 0; j < node_input_rates_.size(); ++j) {
+    const double occ_j = node_running_maps_[j].mean();
+    const double rate_j = node_input_rates_[j].rate();
+    if (occ_j >= 0.5 && rate_j > 0.0) best = std::max(best, rate_j / occ_j);
+  }
+  if (best <= 0.0) return prior;
+  const double measured = std::clamp((rate / occupancy) / best, 0.1, 1.0);
+  // Measurements are confounded while a node thrashes (its per-slot rate
+  // collapses for reasons the slot count itself caused), so they refine the
+  // configured prior rather than replace it.
+  return std::clamp(measured, 0.6 * prior, std::min(1.0, 1.4 * prior));
+}
+
+void SmrSlotPolicy::apply_targets(std::span<mapreduce::TaskTracker> trackers,
+                                  const mapreduce::ClusterStats& stats) const {
+  const int nodes = static_cast<int>(trackers.size());
+  const int remaining_maps = stats.pending_maps + stats.running_maps;
+  // Never keep more map slots open than there is map work to fill; this is
+  // the "few map tasks" half of the tail-stretch rule and costs nothing in
+  // the front stretch (remaining >> capacity there).
+  const int needed_per_node =
+      (remaining_maps + nodes - 1) / std::max(1, nodes);
+
+  for (auto& tracker : trackers) {
+    int map_target = map_slots_;
+    if (config_.per_node_targets) {
+      const double speed = node_relative_speed(tracker.node());
+      map_target = std::max(config_.min_map_slots,
+                            static_cast<int>(std::lround(map_slots_ * speed)));
+    }
+    if (config_.tail_switching) {
+      map_target = std::min(map_target, std::max(needed_per_node, 0));
+    }
+    tracker.set_map_target(map_target);
+    tracker.set_reduce_target(reduce_slots_);
+  }
+}
+
+}  // namespace smr::core

@@ -1,0 +1,96 @@
+// SMapReduce's slot manager as an allocation policy (the paper's core
+// contribution, Sections III and IV).
+//
+// Every policy period the manager:
+//   1. Aggregates the heartbeat statistics into windowed rates: the map
+//      input processing rate, the map output rate R_t and the shuffle rate
+//      R_s (Section III-C).
+//   2. Applies the slow-start gate: no decisions until 10% of the front
+//      job's map tasks have finished (Section IV-A1; ablation flag).
+//   3. Detects thrashing through the stabilisation window + two-strike
+//      state machine and, on confirmation, reverts to the previous slot
+//      count which becomes a ceiling (Sections III-B2, IV-A2).
+//   4. Otherwise balances map and shuffle throughput: with n of N reduce
+//      tasks running, the first-wave map output rate is R_m = (n/N)·R_t and
+//      the balance factor f = R_s / R_m decides map-heavy (+1 map slot),
+//      reduce-heavy (−1) or balanced (hold) (Sections III-B1, IV-A3).
+//   5. In the tail stretch (few or no unfinished maps) it releases map
+//      slots and, when the job's shuffle volume is small enough not to jam
+//      the network, grants extra reduce slots (Section III-B3).
+//
+// Decisions are issued as tracker slot targets; the task trackers apply
+// them through the lazy slot changer (Section III-D), so no running task is
+// ever terminated.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "smr/common/stats.hpp"
+#include "smr/common/types.hpp"
+#include "smr/core/slot_manager_config.hpp"
+#include "smr/core/thrash_detector.hpp"
+#include "smr/mapreduce/policy.hpp"
+
+namespace smr::core {
+
+class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
+ public:
+  explicit SmrSlotPolicy(SlotManagerConfig config = {});
+  /// Heterogeneous extension: per-node CPU speeds scale per-node targets
+  /// when config.per_node_targets is set.
+  SmrSlotPolicy(SlotManagerConfig config, std::vector<double> node_speeds);
+
+  std::string name() const override { return "SMapReduce"; }
+
+  void on_start(std::span<mapreduce::TaskTracker> trackers) override;
+  void on_period(std::span<mapreduce::TaskTracker> trackers,
+                 const mapreduce::ClusterStats& stats) override;
+
+  // --- Introspection (tests, benches, the slot timeline) ----------------
+  const SlotManagerConfig& config() const { return config_; }
+  int map_slots() const { return map_slots_; }
+  int reduce_slots() const { return reduce_slots_; }
+  const ThrashingDetector& detector() const { return detector_; }
+  bool slow_start_passed() const { return started_; }
+  /// Last balance factor computed (nullopt before any computation or when
+  /// f was taken as infinite because nothing was shuffling).
+  std::optional<double> last_balance_factor() const { return last_f_; }
+  int decisions_made() const { return decisions_; }
+  /// Heterogeneous extension: the relative speed currently assumed for a
+  /// node (measured per-slot throughput ratio, or the configured prior).
+  double node_relative_speed(NodeId node) const;
+
+ private:
+  void apply_targets(std::span<mapreduce::TaskTracker> trackers,
+                     const mapreduce::ClusterStats& stats) const;
+  void reset_statistics();
+
+  SlotManagerConfig config_;
+  std::vector<double> node_speeds_;
+
+  int initial_map_slots_ = 3;
+  int initial_reduce_slots_ = 2;
+  int map_slots_ = 3;
+  int reduce_slots_ = 2;
+
+  WindowedRate input_rate_;
+  WindowedRate output_rate_;
+  WindowedRate shuffle_rate_;
+  ThrashingDetector detector_;
+
+  // Heterogeneous extension: per-node measured input rates and occupancy,
+  // from the per-tracker heartbeat statistics.  The per-slot throughput
+  // ratio between nodes scales their targets; the configured node_speeds_
+  // act as the prior until measurements accumulate.
+  std::vector<WindowedRate> node_input_rates_;
+  std::vector<TrailingMean> node_running_maps_;
+
+  JobId front_job_ = kInvalidJob;
+  bool started_ = false;
+  SimTime first_reduce_running_time_ = kTimeNever;
+  std::optional<double> last_f_;
+  int decisions_ = 0;
+};
+
+}  // namespace smr::core

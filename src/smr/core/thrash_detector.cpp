@@ -1,0 +1,67 @@
+#include "smr/core/thrash_detector.hpp"
+
+#include "smr/common/error.hpp"
+
+namespace smr::core {
+
+ThrashingDetector::ThrashingDetector(const SlotManagerConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+void ThrashingDetector::on_slots_changed(int old_slots, int new_slots, SimTime now) {
+  SMR_CHECK(old_slots >= 0 && new_slots >= 0);
+  if (new_slots == old_slots) return;
+  // The processing rate right after any change is untrustworthy (§IV-A2);
+  // discard observations until the system settles into its stable range.
+  stable_at_ = now + config_.stabilize_time;
+  if (new_slots < old_slots) {
+    // Moving down needs no thrash judgement; pending strikes are void.
+    suspicions_ = 0;
+  }
+}
+
+ThrashVerdict ThrashingDetector::observe(SimTime now, int slots, double map_rate) {
+  SMR_CHECK(slots >= 0);
+  if (now < stable_at_) return ThrashVerdict::kStabilizing;
+
+  if (!has_good_ || slots <= good_slots_) {
+    // First stable reading, a revisit, or a configuration below the last
+    // known-good one: (re)record the baseline for this configuration.
+    has_good_ = true;
+    good_slots_ = slots;
+    good_rate_ = map_rate;
+    suspicions_ = 0;
+    return ThrashVerdict::kOk;
+  }
+
+  // The slot count climbed since the last good record: judge it.
+  if (map_rate < good_rate_ * (1.0 - config_.thrash_tolerance)) {
+    ++suspicions_;
+    if (suspicions_ >= config_.suspect_threshold) {
+      ceiling_ = good_slots_;
+      suspicions_ = 0;
+      return ThrashVerdict::kConfirmed;
+    }
+    return ThrashVerdict::kSuspected;
+  }
+
+  // The higher slot count sustained at least the known-good rate: it
+  // becomes the new known-good configuration.
+  has_good_ = true;
+  good_slots_ = slots;
+  good_rate_ = map_rate;
+  suspicions_ = 0;
+  return ThrashVerdict::kOk;
+}
+
+void ThrashingDetector::reset() {
+  has_good_ = false;
+  good_slots_ = 0;
+  good_rate_ = 0.0;
+  stable_at_ = 0.0;
+  suspicions_ = 0;
+  ceiling_ = std::numeric_limits<int>::max();
+}
+
+}  // namespace smr::core

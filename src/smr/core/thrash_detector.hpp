@@ -1,0 +1,75 @@
+// Thrashing detection (paper §III-B2 and §IV-A2).
+//
+// The slot manager records the cluster's average map processing rate for
+// each map-slot configuration it visits.  When the slot count has grown and
+// the (stabilised) rate is *lower* than the rate recorded for the last
+// known-good configuration, the system is only marked "suspected of
+// thrashing" — distributed measurements are noisy, so the paper gives it
+// another chance.  After `suspect_threshold` consecutive suspicions the
+// detector announces thrashing: the last known-good slot count becomes a
+// ceiling the balance controller may not climb past, and the manager
+// reverts to it.
+//
+// Two measurement realities are modelled after the paper:
+//   * Right after any slot change the processing rate dips while new JVMs
+//     warm up, so observations within `stabilize_time` of a change are
+//     discarded (§IV-A2 "will grow gradually to a stable range").
+//   * A drop must exceed `thrash_tolerance` to count as a suspicion.
+#pragma once
+
+#include <limits>
+
+#include "smr/common/types.hpp"
+#include "smr/core/slot_manager_config.hpp"
+
+namespace smr::core {
+
+enum class ThrashVerdict {
+  kStabilizing,   // too soon after a slot change; observation discarded
+  kOk,            // rate recorded for the current configuration
+  kSuspected,     // rate dropped after a climb; strike recorded
+  kConfirmed,     // thrashing announced; revert to revert_slots()
+};
+
+class ThrashingDetector {
+ public:
+  explicit ThrashingDetector(const SlotManagerConfig& config);
+
+  /// Report that the cluster map-slot target changed at `now`.
+  void on_slots_changed(int old_slots, int new_slots, SimTime now);
+
+  /// Feed one periodic observation: the slot count currently in force and
+  /// the windowed aggregate map processing rate.
+  ThrashVerdict observe(SimTime now, int slots, double map_rate);
+
+  /// Max map slots the controller may use (INT_MAX until confirmed).
+  int ceiling() const { return ceiling_; }
+  bool confirmed() const { return ceiling_ != std::numeric_limits<int>::max(); }
+  bool at_ceiling(int slots) const { return slots >= ceiling_; }
+
+  /// Slot count to revert to after a kConfirmed verdict.
+  int revert_slots() const { return good_slots_; }
+
+  /// Suspicion is pending (hold further climbs until it resolves)?
+  bool suspicious() const { return suspicions_ > 0; }
+
+  /// Last known-good configuration, if any (tests).
+  bool has_baseline() const { return has_good_; }
+  int baseline_slots() const { return good_slots_; }
+  double baseline_rate() const { return good_rate_; }
+
+  /// Forget everything (workload change / new front job).
+  void reset();
+
+ private:
+  SlotManagerConfig config_;
+
+  bool has_good_ = false;
+  int good_slots_ = 0;      // last configuration with a recorded stable rate
+  double good_rate_ = 0.0;  // its rate
+  SimTime stable_at_ = 0.0;  // observations before this are discarded
+  int suspicions_ = 0;
+  int ceiling_ = std::numeric_limits<int>::max();
+};
+
+}  // namespace smr::core

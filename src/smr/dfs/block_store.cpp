@@ -1,0 +1,54 @@
+#include "smr/dfs/block_store.hpp"
+
+#include <algorithm>
+
+#include "smr/common/error.hpp"
+
+namespace smr::dfs {
+
+BlockStore::BlockStore(int nodes, int replication, Rng rng)
+    : nodes_(nodes), replication_(std::min(replication, nodes)), rng_(rng) {
+  SMR_CHECK(nodes >= 1);
+  SMR_CHECK(replication >= 1);
+}
+
+FileId BlockStore::add_file(Bytes size, Bytes block_size) {
+  SMR_CHECK(size > 0);
+  SMR_CHECK(block_size > 0);
+  FileInfo info;
+  info.size = size;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    Block block;
+    block.size = std::min(remaining, block_size);
+    remaining -= block.size;
+    // Sample `replication_` distinct nodes uniformly (single-rack policy).
+    block.replicas.reserve(static_cast<std::size_t>(replication_));
+    while (static_cast<int>(block.replicas.size()) < replication_) {
+      const NodeId candidate =
+          static_cast<NodeId>(rng_.uniform_int(0, nodes_ - 1));
+      if (!block.has_replica_on(candidate)) block.replicas.push_back(candidate);
+    }
+    info.blocks.push_back(std::move(block));
+  }
+  files_.push_back(std::move(info));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+const FileInfo& BlockStore::file(FileId id) const {
+  SMR_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < files_.size(),
+                "unknown file id " << id);
+  return files_[static_cast<std::size_t>(id)];
+}
+
+std::vector<Bytes> BlockStore::bytes_per_node() const {
+  std::vector<Bytes> usage(static_cast<std::size_t>(nodes_), 0);
+  for (const auto& f : files_) {
+    for (const auto& b : f.blocks) {
+      for (NodeId r : b.replicas) usage[static_cast<std::size_t>(r)] += b.size;
+    }
+  }
+  return usage;
+}
+
+}  // namespace smr::dfs

@@ -1,0 +1,127 @@
+#include "smr/driver/experiment.hpp"
+
+#include <cctype>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/yarn/capacity_policy.hpp"
+
+namespace smr::driver {
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHadoopV1: return "HadoopV1";
+    case EngineKind::kYarn: return "YARN";
+    case EngineKind::kSMapReduce: return "SMapReduce";
+  }
+  return "unknown";
+}
+
+std::vector<EngineKind> all_engines() {
+  return {EngineKind::kHadoopV1, EngineKind::kYarn, EngineKind::kSMapReduce};
+}
+
+namespace {
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+std::optional<EngineKind> engine_from_name(const std::string& name) {
+  const std::string lower = to_lower(name);
+  for (EngineKind kind : all_engines()) {
+    if (lower == to_lower(engine_name(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kFair: return "fair";
+  }
+  return "unknown";
+}
+
+std::optional<SchedulerKind> scheduler_from_name(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "fifo") return SchedulerKind::kFifo;
+  if (lower == "fair") return SchedulerKind::kFair;
+  return std::nullopt;
+}
+
+std::unique_ptr<mapreduce::JobScheduler> make_scheduler(const ExperimentConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::kFifo: return std::make_unique<mapreduce::FifoScheduler>();
+    case SchedulerKind::kFair: return std::make_unique<mapreduce::FairScheduler>();
+  }
+  SMR_CHECK_MSG(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+ExperimentConfig ExperimentConfig::paper_default(EngineKind engine) {
+  ExperimentConfig config;
+  config.engine = engine;
+  config.runtime.cluster = cluster::ClusterSpec::paper_testbed(16);
+  config.runtime.initial_map_slots = 3;
+  config.runtime.initial_reduce_slots = 2;
+  return config;
+}
+
+std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig& config) {
+  switch (config.engine) {
+    case EngineKind::kHadoopV1:
+      return std::make_unique<mapreduce::StaticSlotPolicy>();
+    case EngineKind::kYarn: {
+      const yarn::YarnConfig yarn_config =
+          config.yarn.value_or(yarn::YarnConfig::equivalent_slots(
+              config.runtime.initial_map_slots, config.runtime.initial_reduce_slots));
+      return std::make_unique<yarn::CapacityPolicy>(yarn_config);
+    }
+    case EngineKind::kSMapReduce: {
+      if (config.slot_manager.per_node_targets) {
+        std::vector<double> speeds;
+        speeds.reserve(config.runtime.cluster.workers.size());
+        for (const auto& node : config.runtime.cluster.workers) {
+          speeds.push_back(node.cpu_speed);
+        }
+        return std::make_unique<core::SmrSlotPolicy>(config.slot_manager,
+                                                     std::move(speeds));
+      }
+      return std::make_unique<core::SmrSlotPolicy>(config.slot_manager);
+    }
+  }
+  SMR_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;
+}
+
+metrics::RunResult run_trial(const ExperimentConfig& config,
+                             const std::vector<JobSubmission>& jobs,
+                             std::uint64_t seed) {
+  SMR_CHECK(!jobs.empty());
+  mapreduce::RuntimeConfig runtime_config = config.runtime;
+  runtime_config.seed = seed;
+  mapreduce::Runtime runtime(runtime_config, make_policy(config), make_scheduler(config));
+  for (const auto& submission : jobs) {
+    runtime.submit(submission.spec, submission.submit_at);
+  }
+  return runtime.run();
+}
+
+metrics::RunResult run_experiment(const ExperimentConfig& config,
+                                  const std::vector<JobSubmission>& jobs) {
+  SMR_CHECK(config.trials >= 1);
+  std::vector<metrics::RunResult> trials;
+  trials.reserve(static_cast<std::size_t>(config.trials));
+  for (int t = 0; t < config.trials; ++t) {
+    trials.push_back(run_trial(config, jobs, config.runtime.seed + static_cast<std::uint64_t>(t)));
+  }
+  return metrics::average_trials(trials);
+}
+
+metrics::RunResult run_single_job(const ExperimentConfig& config,
+                                  const mapreduce::JobSpec& spec) {
+  return run_experiment(config, {JobSubmission{spec, 0.0}});
+}
+
+}  // namespace smr::driver

@@ -1,0 +1,80 @@
+// Experiment harness: builds a cluster + engine + workload, runs it (over
+// several trials, as the paper averages two), and returns the metrics.
+// Every bench binary and example goes through this interface.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/core/slot_manager_config.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/job_metrics.hpp"
+#include "smr/yarn/resources.hpp"
+
+namespace smr::driver {
+
+/// The three systems under comparison.
+enum class EngineKind { kHadoopV1, kYarn, kSMapReduce };
+
+const char* engine_name(EngineKind kind);
+std::vector<EngineKind> all_engines();
+/// Parse an engine name ("hadoopv1"/"yarn"/"smapreduce", case-insensitive).
+std::optional<EngineKind> engine_from_name(const std::string& name);
+
+/// Job ordering for slot assignment (Section V-F uses FIFO / capacity).
+enum class SchedulerKind { kFifo, kFair };
+
+const char* scheduler_name(SchedulerKind kind);
+std::optional<SchedulerKind> scheduler_from_name(const std::string& name);
+
+struct JobSubmission {
+  mapreduce::JobSpec spec;
+  SimTime submit_at = 0.0;
+};
+
+struct ExperimentConfig {
+  EngineKind engine = EngineKind::kHadoopV1;
+  mapreduce::RuntimeConfig runtime;
+
+  /// SMapReduce slot-manager configuration (engine == kSMapReduce).
+  core::SlotManagerConfig slot_manager;
+
+  /// YARN configuration (engine == kYarn).  When unset, derived from the
+  /// runtime's initial slot counts via YarnConfig::equivalent_slots, which
+  /// is the paper's "equivalent containers" setup.
+  std::optional<yarn::YarnConfig> yarn;
+
+  /// Job scheduler for multi-job workloads (FIFO is the paper's default on
+  /// HadoopV1/SMapReduce; YARN's capacity behaviour comes from its policy).
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+
+  /// Trials to average (the paper reports the average of two).
+  int trials = 2;
+
+  /// The paper's standard single-job setup: `engine` on the 16-node
+  /// testbed with 3 map + 2 reduce initial slots.
+  static ExperimentConfig paper_default(EngineKind engine);
+};
+
+/// Build the allocation policy for `config`.
+std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig& config);
+
+/// Build the job scheduler for `config`.
+std::unique_ptr<mapreduce::JobScheduler> make_scheduler(const ExperimentConfig& config);
+
+/// Run one trial with the given seed.
+metrics::RunResult run_trial(const ExperimentConfig& config,
+                             const std::vector<JobSubmission>& jobs,
+                             std::uint64_t seed);
+
+/// Run `config.trials` trials (seeds seed, seed+1, ...) and average.
+metrics::RunResult run_experiment(const ExperimentConfig& config,
+                                  const std::vector<JobSubmission>& jobs);
+
+/// Convenience: run a single job submitted at t = 0.
+metrics::RunResult run_single_job(const ExperimentConfig& config,
+                                  const mapreduce::JobSpec& spec);
+
+}  // namespace smr::driver

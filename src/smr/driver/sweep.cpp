@@ -1,0 +1,113 @@
+#include "smr/driver/sweep.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "smr/common/thread_pool.hpp"
+
+namespace smr::driver {
+
+const char* sweep_dimension_name(SweepDimension dimension) {
+  switch (dimension) {
+    case SweepDimension::kMapSlots: return "map-slots";
+    case SweepDimension::kInputGib: return "input-gib";
+    case SweepDimension::kNodes: return "nodes";
+    case SweepDimension::kSeed: return "seed";
+  }
+  return "unknown";
+}
+
+std::optional<SweepDimension> sweep_dimension_from_name(const std::string& name) {
+  for (SweepDimension dimension :
+       {SweepDimension::kMapSlots, SweepDimension::kInputGib, SweepDimension::kNodes,
+        SweepDimension::kSeed}) {
+    if (name == sweep_dimension_name(dimension)) return dimension;
+  }
+  return std::nullopt;
+}
+
+void SweepConfig::validate() const {
+  spec.validate();
+  SMR_CHECK_MSG(!values.empty(), "sweep needs at least one value");
+  SMR_CHECK_MSG(!engines.empty(), "sweep needs at least one engine");
+  for (double value : values) {
+    switch (dimension) {
+      case SweepDimension::kMapSlots:
+      case SweepDimension::kNodes:
+        SMR_CHECK_MSG(value >= 1.0 && value == std::floor(value),
+                      sweep_dimension_name(dimension)
+                          << " values must be positive integers");
+        break;
+      case SweepDimension::kInputGib:
+        SMR_CHECK_MSG(value > 0.0, "input-gib values must be positive");
+        break;
+      case SweepDimension::kSeed:
+        SMR_CHECK_MSG(value >= 0.0 && value == std::floor(value),
+                      "seed values must be non-negative integers");
+        break;
+    }
+  }
+}
+
+namespace {
+
+SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine) {
+  ExperimentConfig experiment = config.base;
+  experiment.engine = engine;
+  mapreduce::JobSpec spec = config.spec;
+  switch (config.dimension) {
+    case SweepDimension::kMapSlots:
+      experiment.runtime.initial_map_slots = static_cast<int>(value);
+      // YARN capacity derives from the slot counts unless explicitly set.
+      experiment.yarn.reset();
+      break;
+    case SweepDimension::kInputGib:
+      spec.input_size = static_cast<Bytes>(value * static_cast<double>(kGiB));
+      break;
+    case SweepDimension::kNodes:
+      experiment.runtime.cluster =
+          cluster::ClusterSpec::paper_testbed(static_cast<int>(value));
+      break;
+    case SweepDimension::kSeed:
+      experiment.runtime.seed = static_cast<std::uint64_t>(value);
+      break;
+  }
+  SweepCell cell;
+  cell.value = value;
+  cell.engine = engine;
+  cell.job = run_single_job(experiment, spec).jobs[0];
+  return cell;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepConfig& config) {
+  config.validate();
+  SweepResult result;
+  result.dimension = config.dimension;
+  const std::size_t engines = config.engines.size();
+  result.cells.resize(config.values.size() * engines);
+  parallel_for(0, result.cells.size(), [&](std::size_t i) {
+    const double value = config.values[i / engines];
+    const EngineKind engine = config.engines[i % engines];
+    result.cells[i] = run_cell(config, value, engine);
+  });
+  return result;
+}
+
+void SweepResult::write_csv(std::ostream& out) const {
+  out << sweep_dimension_name(dimension)
+      << ",engine,map_time_s,reduce_time_s,total_time_s,throughput_bytes_s\n";
+  for (const auto& cell : cells) {
+    out << cell.value << ',' << engine_name(cell.engine) << ',';
+    if (cell.job.finished()) {
+      out << cell.job.map_time() << ',' << cell.job.reduce_time() << ','
+          << cell.job.total_time() << ',' << cell.job.throughput();
+    } else {
+      out << ",,,";
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace smr::driver

@@ -1,0 +1,56 @@
+// Parallel parameter sweeps over independent simulations.
+//
+// A sweep varies one dimension (initial map slots, input size, worker
+// count, or the seed) across a list of values and runs every (value,
+// engine) cell — each cell deterministic, all cells concurrently on the
+// process thread pool.  Used by the smr_sweep CLI and the capacity-planning
+// example; the figure benches keep their own loops so each cell shows up as
+// a google-benchmark entry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/driver/experiment.hpp"
+
+namespace smr::driver {
+
+enum class SweepDimension { kMapSlots, kInputGib, kNodes, kSeed };
+
+const char* sweep_dimension_name(SweepDimension dimension);
+std::optional<SweepDimension> sweep_dimension_from_name(const std::string& name);
+
+struct SweepConfig {
+  /// Template experiment; the swept dimension overrides its field per cell.
+  ExperimentConfig base;
+  /// Template job (input size overridden when sweeping kInputGib).
+  mapreduce::JobSpec spec;
+
+  SweepDimension dimension = SweepDimension::kMapSlots;
+  std::vector<double> values;
+  std::vector<EngineKind> engines = all_engines();
+
+  void validate() const;
+};
+
+struct SweepCell {
+  double value = 0.0;
+  EngineKind engine = EngineKind::kHadoopV1;
+  metrics::JobResult job;
+};
+
+struct SweepResult {
+  SweepDimension dimension = SweepDimension::kMapSlots;
+  /// Row-major: one cell per (value, engine), values outer, engines inner.
+  std::vector<SweepCell> cells;
+
+  /// CSV: value,engine,map_time_s,reduce_time_s,total_time_s,throughput.
+  void write_csv(std::ostream& out) const;
+};
+
+/// Run the sweep; cells execute concurrently and results are returned in
+/// deterministic (value-major) order regardless of thread count.
+SweepResult run_sweep(const SweepConfig& config);
+
+}  // namespace smr::driver

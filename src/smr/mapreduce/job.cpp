@@ -1,0 +1,19 @@
+#include "smr/mapreduce/job.hpp"
+
+namespace smr::mapreduce {
+
+double Job::map_progress() const {
+  if (maps.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& task : maps) sum += task.progress();
+  return sum / static_cast<double>(maps.size());
+}
+
+double Job::reduce_progress() const {
+  if (reduces.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& task : reduces) sum += task.progress();
+  return sum / static_cast<double>(reduces.size());
+}
+
+}  // namespace smr::mapreduce

@@ -1,0 +1,64 @@
+// A submitted MapReduce job and its runtime bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/dfs/block_store.hpp"
+#include "smr/mapreduce/job_spec.hpp"
+#include "smr/mapreduce/task.hpp"
+
+namespace smr::mapreduce {
+
+struct Job {
+  JobId id = kInvalidJob;
+  JobSpec spec;
+  dfs::FileId input_file = dfs::kInvalidFile;
+
+  std::vector<MapTask> maps;
+  std::vector<ReduceTask> reduces;
+
+  SimTime submit_time = kTimeNever;
+  SimTime start_time = kTimeNever;      // first task launch
+  SimTime maps_done_time = kTimeNever;  // the synchronisation barrier
+  SimTime finish_time = kTimeNever;
+
+  int maps_assigned = 0;
+  int maps_finished = 0;
+  int reduces_assigned = 0;
+  int reduces_finished = 0;
+
+  /// Delay-scheduling state: consecutive slot offers this job declined
+  /// because the offering node held none of its pending splits.
+  int locality_skips = 0;
+
+  // Cumulative data counters feeding the heartbeat statistics (Section III-C:
+  // map input processing rate, map output rate, shuffle rate).
+  double map_input_processed = 0.0;  // fluid: advances while maps run
+  double map_output_produced = 0.0;  // jumps when a map task completes
+  double bytes_shuffled = 0.0;       // fluid
+
+  bool started() const { return start_time != kTimeNever; }
+  bool maps_all_finished() const {
+    return maps_finished == static_cast<int>(maps.size());
+  }
+  bool finished() const { return finish_time != kTimeNever; }
+  int maps_pending() const {
+    return static_cast<int>(maps.size()) - maps_assigned;
+  }
+  int reduces_pending() const {
+    return static_cast<int>(reduces.size()) - reduces_assigned;
+  }
+  double map_completion_fraction() const {
+    return maps.empty() ? 1.0
+                        : static_cast<double>(maps_finished) /
+                              static_cast<double>(maps.size());
+  }
+
+  /// Map progress 0..1 (mean task progress, Hadoop-style).
+  double map_progress() const;
+  /// Reduce progress 0..1.
+  double reduce_progress() const;
+};
+
+}  // namespace smr::mapreduce

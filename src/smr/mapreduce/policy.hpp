@@ -1,0 +1,98 @@
+// Slot/container allocation policies.
+//
+// The three systems the paper compares differ only in how many concurrent
+// map/reduce tasks each node may run at a given moment:
+//   * HadoopV1    — static, user-configured slot counts (StaticSlotPolicy).
+//   * YARN        — container accounting with map priority and reduce
+//                   ramp-up (smr::yarn::CapacityPolicy).
+//   * SMapReduce  — the paper's slot manager (smr::core::SmrSlotPolicy).
+// Policies receive heartbeat callbacks (per tracker, every heartbeat
+// period) and periodic callbacks (cluster-wide, every policy period) and
+// express decisions by setting tracker slot *targets*; the task tracker's
+// lazy slot changer turns targets into actual slots.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/mapreduce/tracker.hpp"
+
+namespace smr::mapreduce {
+
+/// Per-tracker statistics carried by heartbeats (Section III-C: "the task
+/// trackers also supply statistics of the running tasks to the job
+/// tracker"): cumulative byte counters per node, from which the slot
+/// manager can window per-node rates.
+struct NodeStats {
+  NodeId node = kInvalidNode;
+  bool alive = true;
+  int running_maps = 0;
+  int running_reduces = 0;
+  double cum_map_input = 0.0;    // map input bytes processed on this node
+  double cum_map_output = 0.0;   // map output bytes completed on this node
+  double cum_shuffled_in = 0.0;  // bytes fetched by reducers on this node
+};
+
+/// Cluster-wide statistics snapshot offered to policies.  Rates are *not*
+/// pre-computed: policies that need rates (the slot manager) window the
+/// cumulative counters themselves, exactly as the paper's job tracker
+/// aggregates heartbeat statistics (Section III-C).
+struct ClusterStats {
+  SimTime now = 0.0;
+  int nodes = 0;
+
+  // Task census over active (submitted, unfinished) jobs.
+  int pending_maps = 0;
+  int running_maps = 0;
+  int finished_maps = 0;
+  int total_maps = 0;
+  int pending_reduces = 0;
+  int running_reduces = 0;
+  int total_reduces = 0;
+
+  // Cumulative byte counters (all jobs, since simulation start).
+  double cum_map_input = 0.0;    // map input bytes processed
+  double cum_map_output = 0.0;   // map output bytes of *completed* maps
+  double cum_shuffled = 0.0;     // bytes fetched by reduce tasks
+
+  // Front job (earliest active) information for slow start and the
+  // tail-stretch shuffle-size gate.
+  double front_job_map_fraction = 1.0;  // fraction of its maps finished
+  Bytes front_job_shuffle_volume = 0;   // its total map output volume
+  bool has_active_job = false;
+
+  /// Ids of active jobs, in submission order (YARN uses these to account
+  /// for ApplicationMaster containers).
+  std::vector<JobId> active_jobs;
+
+  /// One entry per worker node, indexed by NodeId.
+  std::vector<NodeStats> per_node;
+};
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the simulation starts; trackers carry the
+  /// user-configured initial targets at this point.
+  virtual void on_start(std::span<TaskTracker> /*trackers*/) {}
+
+  /// Called when `tracker` heartbeats.  May adjust that tracker's targets.
+  virtual void on_heartbeat(TaskTracker& /*tracker*/, const ClusterStats& /*stats*/) {}
+
+  /// Called every policy period with all trackers (the slot manager thread
+  /// in the paper's job tracker, Section IV-A).
+  virtual void on_period(std::span<TaskTracker> /*trackers*/, const ClusterStats& /*stats*/) {}
+};
+
+/// HadoopV1: the initial slot configuration, never changed at runtime.
+class StaticSlotPolicy final : public AllocationPolicy {
+ public:
+  std::string name() const override { return "HadoopV1"; }
+};
+
+}  // namespace smr::mapreduce

@@ -1,0 +1,1206 @@
+#include "smr/mapreduce/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smr/common/log.hpp"
+
+namespace smr::mapreduce {
+
+namespace {
+constexpr double kByteEps = 1.0;  // one byte of slack on fluid comparisons
+
+double per_mib_to_per_byte(double per_mib) {
+  return per_mib / static_cast<double>(kMiB);
+}
+}  // namespace
+
+void RuntimeConfig::validate() const {
+  cluster.validate();
+  SMR_CHECK(initial_map_slots >= 0 && initial_reduce_slots >= 0);
+  SMR_CHECK(initial_map_slots + initial_reduce_slots >= 1);
+  SMR_CHECK(tick > 0.0);
+  SMR_CHECK(heartbeat_period > 0.0 && policy_period > 0.0 && sample_period > 0.0);
+  SMR_CHECK(reduce_slowstart >= 0.0 && reduce_slowstart <= 1.0);
+  SMR_CHECK(shuffle_disk_share > 0.0 && shuffle_disk_share <= 1.0);
+  SMR_CHECK(parallel_copies >= 1);
+  SMR_CHECK(time_limit > 0.0);
+  SMR_CHECK(locality_wait_offers >= 0);
+  for (const auto& failure : failures) {
+    SMR_CHECK_MSG(failure.node >= 0 && failure.node < cluster.worker_count(),
+                  "failure on unknown node " << failure.node);
+    SMR_CHECK(failure.at >= 0.0);
+  }
+}
+
+Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
+                 std::unique_ptr<JobScheduler> scheduler)
+    : config_(std::move(config)),
+      policy_(std::move(policy)),
+      scheduler_(scheduler ? std::move(scheduler)
+                           : std::make_unique<FifoScheduler>()),
+      dfs_(config_.cluster.worker_count(), config_.cluster.dfs_replication,
+           Rng(config_.seed ^ 0x9e3779b97f4a7c15ULL)),
+      network_(config_.cluster),
+      rng_(config_.seed) {
+  config_.validate();
+  SMR_CHECK(policy_ != nullptr);
+  trackers_.reserve(static_cast<std::size_t>(config_.cluster.worker_count()));
+  for (NodeId n = 0; n < config_.cluster.worker_count(); ++n) {
+    trackers_.emplace_back(n, config_.initial_map_slots, config_.initial_reduce_slots);
+  }
+  node_alive_.assign(static_cast<std::size_t>(config_.cluster.worker_count()), true);
+  node_map_input_.assign(node_alive_.size(), 0.0);
+  node_map_output_.assign(node_alive_.size(), 0.0);
+  node_shuffled_in_.assign(node_alive_.size(), 0.0);
+}
+
+JobId Runtime::submit(const JobSpec& spec, SimTime at) {
+  SMR_CHECK_MSG(!ran_, "submit() after run()");
+  SMR_CHECK(at >= 0.0);
+  spec.validate();
+
+  Job job;
+  job.id = static_cast<JobId>(jobs_.size());
+  job.spec = spec;
+  job.submit_time = at;
+  job.input_file = dfs_.add_file(spec.input_size, spec.split_size);
+
+  Rng task_rng = rng_.fork();
+  const auto& file = dfs_.file(job.input_file);
+  job.maps.reserve(file.blocks.size());
+  for (std::size_t b = 0; b < file.blocks.size(); ++b) {
+    MapTask task;
+    task.id = next_task_id_++;
+    task.job = job.id;
+    task.split_index = static_cast<int>(b);
+    task.input_size = file.blocks[b].size;
+    task.cost_factor = task_rng.jitter(spec.duration_cv);
+    task.output_size = static_cast<Bytes>(
+        std::llround(static_cast<double>(task.input_size) * spec.map_selectivity));
+    if (spec.has_combiner) {
+      task.combine_total = static_cast<Bytes>(std::llround(
+          static_cast<double>(task.output_size) / spec.combiner_reduction));
+    }
+    task_refs_[task.id] = TaskRef{job.id, static_cast<int>(b), true};
+    job.maps.push_back(task);
+  }
+  // Map output is partitioned uniformly over the reduce tasks (Section
+  // IV-A3's estimation assumption); partition sizes derive from the actual
+  // per-task outputs so bytes are conserved exactly.
+  Bytes total_output = 0;
+  for (const auto& m : job.maps) total_output += m.output_size;
+  job.reduces.reserve(static_cast<std::size_t>(spec.reduce_tasks));
+  for (int r = 0; r < spec.reduce_tasks; ++r) {
+    ReduceTask task;
+    task.id = next_task_id_++;
+    task.job = job.id;
+    task.partition = r;
+    // Distribute the remainder over the first partitions.
+    const Bytes base = total_output / spec.reduce_tasks;
+    const Bytes extra = (r < static_cast<int>(total_output % spec.reduce_tasks)) ? 1 : 0;
+    task.partition_size = base + extra;
+    task.cost_factor = task_rng.jitter(spec.duration_cv);
+    task_refs_[task.id] = TaskRef{job.id, r, false};
+    job.reduces.push_back(task);
+  }
+
+  jobs_.push_back(std::move(job));
+  ++unfinished_jobs_;
+  ++jobs_not_yet_submitted_;
+  return jobs_.back().id;
+}
+
+metrics::RunResult Runtime::run() {
+  SMR_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+  SMR_CHECK_MSG(!jobs_.empty(), "no jobs submitted");
+
+  policy_->on_start(trackers());
+
+  periodic_events_.push_back(
+      engine_.schedule_periodic(config_.tick, config_.tick, [this] { on_tick(); }));
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    const SimTime offset = config_.heartbeat_period * static_cast<double>(i + 1) /
+                           static_cast<double>(trackers_.size());
+    periodic_events_.push_back(engine_.schedule_periodic(
+        offset, config_.heartbeat_period, [this, i] { on_heartbeat(i); }));
+  }
+  periodic_events_.push_back(engine_.schedule_periodic(
+      config_.policy_period, config_.policy_period, [this] { on_policy_period(); }));
+  periodic_events_.push_back(engine_.schedule_periodic(
+      config_.sample_period, config_.sample_period, [this] { on_sample(); }));
+
+  // Job arrivals only need an event so that a heartbeat is forced promptly;
+  // assignment itself filters on submit_time.
+  for (const auto& job : jobs_) {
+    const JobId id = job.id;
+    engine_.schedule_at(job.submit_time, [this, id] {
+      --jobs_not_yet_submitted_;
+      trace_event(metrics::TraceEventKind::kJobSubmitted, id, kInvalidTask,
+                  kInvalidNode, true);
+    });
+  }
+
+  for (const auto& failure : config_.failures) {
+    const NodeId node = failure.node;
+    engine_.schedule_at(failure.at, [this, node] { fail_node(node); });
+  }
+
+  result_.progress.assign(jobs_.size(), {});
+  engine_.run(config_.time_limit);
+
+  result_.jobs.clear();
+  result_.jobs.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    metrics::JobResult jr;
+    jr.id = job.id;
+    jr.name = job.spec.name;
+    jr.input_size = job.spec.input_size;
+    jr.shuffle_volume = job.spec.map_output_total();
+    jr.submit_time = job.submit_time;
+    jr.start_time = job.start_time;
+    jr.maps_done_time = job.maps_done_time;
+    jr.finish_time = job.finish_time;
+    result_.jobs.push_back(jr);
+  }
+  result_.completed = (unfinished_jobs_ == 0);
+  if (result_.completed) {
+    // The clock sits at the run limit after engine_.run(); the makespan is
+    // when the last job actually finished.
+    result_.makespan = 0.0;
+    for (const auto& job : result_.jobs) {
+      result_.makespan = std::max(result_.makespan, job.finish_time);
+    }
+  } else {
+    result_.makespan = config_.time_limit;
+  }
+  return result_;
+}
+
+ClusterStats Runtime::snapshot() const {
+  ClusterStats stats;
+  stats.now = engine_.now();
+  stats.nodes = config_.cluster.worker_count();
+  stats.cum_map_input = cum_map_input_;
+  stats.cum_map_output = cum_map_output_;
+  stats.cum_shuffled = cum_shuffled_;
+
+  const Job* front = nullptr;
+  for (const auto& job : jobs_) {
+    if (job.submit_time > stats.now || job.finished()) continue;
+    if (front == nullptr) front = &job;
+    stats.has_active_job = true;
+    stats.active_jobs.push_back(job.id);
+    stats.pending_maps += job.maps_pending();
+    stats.finished_maps += job.maps_finished;
+    stats.total_maps += static_cast<int>(job.maps.size());
+    stats.running_maps +=
+        job.maps_assigned - job.maps_finished;
+    stats.pending_reduces += job.reduces_pending();
+    stats.total_reduces += static_cast<int>(job.reduces.size());
+    stats.running_reduces += job.reduces_assigned - job.reduces_finished;
+  }
+  if (front != nullptr) {
+    stats.front_job_map_fraction = front->map_completion_fraction();
+    stats.front_job_shuffle_volume = front->spec.map_output_total();
+  }
+  stats.per_node.reserve(trackers_.size());
+  for (std::size_t n = 0; n < trackers_.size(); ++n) {
+    NodeStats node;
+    node.node = static_cast<NodeId>(n);
+    node.alive = node_alive_[n];
+    node.running_maps = trackers_[n].running_maps();
+    node.running_reduces = trackers_[n].running_reduces();
+    node.cum_map_input = node_map_input_[n];
+    node.cum_map_output = node_map_output_[n];
+    node.cum_shuffled_in = node_shuffled_in_[n];
+    stats.per_node.push_back(node);
+  }
+  return stats;
+}
+
+Job& Runtime::job_of(JobId id) {
+  SMR_CHECK(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+MapTask& Runtime::map_task(TaskId id) {
+  const auto it = task_refs_.find(id);
+  SMR_CHECK_MSG(it != task_refs_.end() && it->second.is_map, "unknown map task " << id);
+  if (it->second.speculative) {
+    const auto shadow = shadow_attempts_.find(id);
+    SMR_CHECK_MSG(shadow != shadow_attempts_.end(), "dangling shadow " << id);
+    return shadow->second;
+  }
+  return job_of(it->second.job).maps[static_cast<std::size_t>(it->second.index)];
+}
+
+ReduceTask& Runtime::reduce_task(TaskId id) {
+  const auto it = task_refs_.find(id);
+  SMR_CHECK_MSG(it != task_refs_.end() && !it->second.is_map, "unknown reduce task " << id);
+  if (it->second.speculative) {
+    const auto shadow = reduce_shadow_attempts_.find(id);
+    SMR_CHECK_MSG(shadow != reduce_shadow_attempts_.end(), "dangling reduce shadow " << id);
+    return shadow->second;
+  }
+  return job_of(it->second.job).reduces[static_cast<std::size_t>(it->second.index)];
+}
+
+// ---------------------------------------------------------------------------
+// The fluid tick.
+// ---------------------------------------------------------------------------
+
+void Runtime::on_tick() {
+  if (stopping_) return;
+  const double dt = config_.tick;
+  const int n = config_.cluster.worker_count();
+
+  // --- 1. Census -------------------------------------------------------
+  std::vector<cluster::Occupancy> occ(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    auto& tracker = trackers_[static_cast<std::size_t>(d)];
+    auto& o = occ[static_cast<std::size_t>(d)];
+    for (TaskId id : tracker.running_map_tasks()) {
+      const MapTask& task = map_task(id);
+      const JobSpec& spec = job_of(task.job).spec;
+      o.threads += 1;
+      o.io_streams += (task.phase == MapPhase::kMapping && !task.local) ? 0 : 1;
+      o.memory_demand += spec.map_task_memory;
+    }
+    for (TaskId id : tracker.running_reduce_tasks()) {
+      const ReduceTask& task = reduce_task(id);
+      const JobSpec& spec = job_of(task.job).spec;
+      o.threads += (task.phase == ReducePhase::kShuffling) ? 2 : 1;
+      o.io_streams += 1;
+      o.memory_demand += spec.reduce_task_memory;
+    }
+  }
+
+  // --- 2. Network allocation -------------------------------------------
+  std::vector<cluster::NetFlow> flows;
+  std::vector<TaskId> flow_task;      // parallel to flows
+  std::vector<bool> flow_is_shuffle;  // parallel to flows
+  std::vector<int> fetch_streams(static_cast<std::size_t>(n), 0);
+
+  for (auto& tracker : trackers_) {
+    for (TaskId id : tracker.running_reduce_tasks()) {
+      const ReduceTask& task = reduce_task(id);
+      if (task.phase != ReducePhase::kShuffling) continue;
+      if (task.backlog() <= kByteEps) continue;
+      fetch_streams[static_cast<std::size_t>(tracker.node())] +=
+          std::min(config_.parallel_copies, n);
+      const JobSpec& spec = job_of(task.job).spec;
+      cluster::NetFlow flow;
+      flow.dst = tracker.node();
+      flow.src = kInvalidNode;  // diffuse pull from every node
+      flow.rate_cap = std::min(task.backlog() / dt, spec.shuffle_fetch_cap);
+      flows.push_back(flow);
+      flow_task.push_back(id);
+      flow_is_shuffle.push_back(true);
+    }
+    for (TaskId id : tracker.running_map_tasks()) {
+      const MapTask& task = map_task(id);
+      if (task.phase != MapPhase::kMapping || task.local) continue;
+      const JobSpec& spec = job_of(task.job).spec;
+      const auto& node_spec =
+          config_.cluster.workers[static_cast<std::size_t>(tracker.node())];
+      const double cpu_per_byte =
+          per_mib_to_per_byte(spec.map_cpu_per_mib) * task.cost_factor;
+      const double cpu_rate = node_spec.cpu_speed / cpu_per_byte;
+      cluster::NetFlow flow;
+      flow.dst = tracker.node();
+      flow.src = task.src_node;
+      flow.rate_cap = std::min(task.phase_remaining() / dt, cpu_rate);
+      flows.push_back(flow);
+      flow_task.push_back(id);
+      flow_is_shuffle.push_back(false);
+    }
+  }
+  std::vector<double> net_rates = network_.allocate(flows, fetch_streams);
+
+  // --- 3. Cap shuffle ingest by each receiver's disk share --------------
+  std::vector<double> shuffle_disk_demand(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!flow_is_shuffle[f]) continue;
+    const ReduceTask& task = reduce_task(flow_task[f]);
+    const JobSpec& spec = job_of(task.job).spec;
+    shuffle_disk_demand[static_cast<std::size_t>(flows[f].dst)] +=
+        net_rates[f] * spec.shuffle_disk_factor;
+  }
+  std::vector<double> shuffle_scale(static_cast<std::size_t>(n), 1.0);
+  for (int d = 0; d < n; ++d) {
+    const auto& node_spec = config_.cluster.workers[static_cast<std::size_t>(d)];
+    const double allowed =
+        config_.shuffle_disk_share *
+        cluster::ComputeModel::effective_disk(node_spec, occ[static_cast<std::size_t>(d)]);
+    const double demand = shuffle_disk_demand[static_cast<std::size_t>(d)];
+    if (demand > allowed && demand > 0.0) {
+      shuffle_scale[static_cast<std::size_t>(d)] = allowed / demand;
+    }
+  }
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (flow_is_shuffle[f]) {
+      net_rates[f] *= shuffle_scale[static_cast<std::size_t>(flows[f].dst)];
+    }
+  }
+
+  // --- 4. Background load from shuffle ingest ---------------------------
+  std::vector<cluster::BackgroundLoad> background(static_cast<std::size_t>(n));
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!flow_is_shuffle[f]) continue;
+    const ReduceTask& task = reduce_task(flow_task[f]);
+    const JobSpec& spec = job_of(task.job).spec;
+    auto& bg = background[static_cast<std::size_t>(flows[f].dst)];
+    bg.cpu_cores += net_rates[f] * per_mib_to_per_byte(spec.shuffle_cpu_per_mib);
+    bg.disk_rate += net_rates[f] * spec.shuffle_disk_factor;
+  }
+
+  // --- 5. Per-node compute solve ----------------------------------------
+  // Remote-read map grants, keyed by task, feed the compute caps.
+  std::unordered_map<TaskId, double> net_grant;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!flow_is_shuffle[f]) net_grant[flow_task[f]] = net_rates[f];
+  }
+
+  std::vector<TaskId> compute_ids;
+  std::vector<cluster::PhaseLoad> loads;
+  // Node-ordered (task, rate) pairs: iteration order below is deterministic,
+  // which keeps floating-point accumulation bit-for-bit reproducible.
+  std::vector<std::pair<TaskId, double>> compute_rate;
+  for (int d = 0; d < n; ++d) {
+    auto& tracker = trackers_[static_cast<std::size_t>(d)];
+    const auto& node_spec = config_.cluster.workers[static_cast<std::size_t>(d)];
+    compute_ids.clear();
+    loads.clear();
+    for (TaskId id : tracker.running_map_tasks()) {
+      const MapTask& task = map_task(id);
+      const JobSpec& spec = job_of(task.job).spec;
+      cluster::PhaseLoad load;
+      if (task.phase == MapPhase::kMapping) {
+        load.cpu_per_byte = per_mib_to_per_byte(spec.map_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = task.local ? 1.0 : 0.0;
+        if (!task.local) {
+          const auto it = net_grant.find(id);
+          load.rate_cap = (it != net_grant.end()) ? it->second : 0.0;
+        }
+      } else if (task.phase == MapPhase::kCombining) {
+        // In-memory aggregation over the pre-combine output: CPU-bound with
+        // light buffer churn on disk.
+        load.cpu_per_byte =
+            per_mib_to_per_byte(spec.combine_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = 0.3;
+      } else {  // kSpilling: progress in output bytes
+        load.cpu_per_byte = per_mib_to_per_byte(spec.spill_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = spec.spill_disk_factor;
+      }
+      compute_ids.push_back(id);
+      loads.push_back(load);
+    }
+    for (TaskId id : tracker.running_reduce_tasks()) {
+      const ReduceTask& task = reduce_task(id);
+      const JobSpec& spec = job_of(task.job).spec;
+      if (task.phase == ReducePhase::kShuffling) continue;  // network-driven
+      cluster::PhaseLoad load;
+      if (task.phase == ReducePhase::kSorting) {
+        load.cpu_per_byte = per_mib_to_per_byte(spec.sort_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = spec.sort_disk_factor;
+      } else {  // kReducing
+        load.cpu_per_byte = per_mib_to_per_byte(spec.reduce_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = 1.0 + spec.reduce_selectivity * spec.output_disk_factor;
+      }
+      compute_ids.push_back(id);
+      loads.push_back(load);
+    }
+    if (loads.empty()) continue;
+    const std::vector<double> rates = cluster::ComputeModel::solve(
+        node_spec, occ[static_cast<std::size_t>(d)], background[static_cast<std::size_t>(d)],
+        loads);
+    for (std::size_t i = 0; i < compute_ids.size(); ++i) {
+      compute_rate.emplace_back(compute_ids[i], rates[i]);
+    }
+  }
+
+  // --- 6. Integrate progress and fire transitions ------------------------
+  // Shuffle progress first (jumps in `available` only happen via map
+  // completions below, so ordering within the tick is consistent).
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!flow_is_shuffle[f]) continue;
+    ReduceTask& task = reduce_task(flow_task[f]);
+    Job& job = job_of(task.job);
+    const double delta = std::min(net_rates[f] * dt, task.backlog());
+    if (delta <= 0.0) continue;
+    task.fetched += delta;
+    job.bytes_shuffled += delta;
+    cum_shuffled_ += delta;
+    node_shuffled_in_[static_cast<std::size_t>(flows[f].dst)] += delta;
+  }
+
+  // Compute-phase progress, with completions collected and applied after
+  // the sweep (map completions mutate reduce backlogs; reduce completions
+  // mutate tracker lists we are not iterating here).
+  std::vector<TaskId> finished_maps;
+  std::vector<TaskId> finished_reduces;
+  for (const auto& [id, rate] : compute_rate) {
+    const TaskRef& ref = task_refs_.at(id);
+    if (ref.is_map) {
+      MapTask& task = map_task(id);
+      Job& job = job_of(task.job);
+      double advance = std::min(rate * dt, task.phase_remaining());
+      if (task.phase == MapPhase::kMapping) {
+        task.phase_done += advance;
+        job.map_input_processed += advance;
+        cum_map_input_ += advance;
+        node_map_input_[static_cast<std::size_t>(task.node)] += advance;
+        if (task.phase_remaining() <= kByteEps) {
+          task.phase_done = task.phase_total();
+          if (task.combine_total > 0) {
+            task.phase = MapPhase::kCombining;
+            task.phase_done = 0.0;
+            trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
+                        task.id, task.node, true, "COMBINE");
+          } else if (task.output_size > 0) {
+            task.phase = MapPhase::kSpilling;
+            task.phase_done = 0.0;
+            trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
+                        task.id, task.node, true, "SPILL");
+          } else {
+            finished_maps.push_back(id);
+          }
+        }
+      } else if (task.phase == MapPhase::kCombining) {
+        task.phase_done += advance;
+        if (task.phase_remaining() <= kByteEps) {
+          if (task.output_size > 0) {
+            task.phase = MapPhase::kSpilling;
+            task.phase_done = 0.0;
+            trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
+                        task.id, task.node, true, "SPILL");
+          } else {
+            finished_maps.push_back(id);
+          }
+        }
+      } else if (task.phase == MapPhase::kSpilling) {
+        task.phase_done += advance;
+        if (task.phase_remaining() <= kByteEps) {
+          finished_maps.push_back(id);
+        }
+      }
+    } else {
+      ReduceTask& task = reduce_task(id);
+      double advance = rate * dt;
+      const double total = static_cast<double>(task.partition_size);
+      if (task.phase == ReducePhase::kSorting) {
+        task.phase_done = std::min(task.phase_done + advance, total);
+        if (total - task.phase_done <= kByteEps) {
+          task.phase = ReducePhase::kReducing;
+          task.phase_done = 0.0;
+          trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
+                      task.id, task.node, false, "REDUCE");
+        }
+      } else if (task.phase == ReducePhase::kReducing) {
+        task.phase_done = std::min(task.phase_done + advance, total);
+        if (total - task.phase_done <= kByteEps) {
+          finished_reduces.push_back(id);
+        }
+      }
+    }
+  }
+  // Deterministic completion order (compute_rate is an unordered_map).
+  std::sort(finished_maps.begin(), finished_maps.end());
+  std::sort(finished_reduces.begin(), finished_reduces.end());
+  for (TaskId id : finished_maps) {
+    const auto ref_it = task_refs_.find(id);
+    if (ref_it == task_refs_.end()) continue;  // shadow retired this tick
+    const TaskRef& ref = ref_it->second;
+    if (ref.speculative) {
+      win_speculative(id);
+      continue;
+    }
+    MapTask& task = map_task(id);
+    if (task.phase == MapPhase::kDone) continue;  // shadow won this tick
+    complete_map(job_of(task.job), task, id);
+  }
+  for (TaskId id : finished_reduces) {
+    const auto ref_it = task_refs_.find(id);
+    if (ref_it == task_refs_.end()) continue;  // shadow retired this tick
+    if (ref_it->second.speculative) {
+      win_speculative_reduce(id);
+      continue;
+    }
+    ReduceTask& task = reduce_task(id);
+    if (task.phase == ReducePhase::kDone) continue;  // shadow won this tick
+    complete_reduce(job_of(task.job), task, id);
+  }
+
+  // Settle shuffle completions and zero-size phases (must run after map
+  // completions so the barrier state is current).
+  for (auto& job : jobs_) {
+    if (job.finished()) continue;
+    for (auto& task : job.reduces) {
+      if (task.running() && task.phase == ReducePhase::kShuffling) {
+        settle_reduce(job, task);
+      }
+    }
+  }
+  if (!reduce_shadow_attempts_.empty()) {
+    std::vector<TaskId> shadow_ids;
+    shadow_ids.reserve(reduce_shadow_attempts_.size());
+    for (const auto& [id, shadow] : reduce_shadow_attempts_) {
+      if (shadow.phase == ReducePhase::kShuffling) shadow_ids.push_back(id);
+    }
+    std::sort(shadow_ids.begin(), shadow_ids.end());
+    for (TaskId id : shadow_ids) {
+      // The shadow may have been retired by a primary completing above.
+      const auto it = reduce_shadow_attempts_.find(id);
+      if (it == reduce_shadow_attempts_.end()) continue;
+      settle_reduce(job_of(it->second.job), it->second);
+    }
+  }
+
+  check_all_done();
+}
+
+void Runtime::complete_map(Job& job, MapTask& task, TaskId attempt_id) {
+  SMR_CHECK(task.phase != MapPhase::kDone);
+  // A surviving shadow loses the race the moment the primary completes.
+  if (has_shadow(task.id)) kill_shadow(task);
+  task.phase = MapPhase::kDone;
+  task.finish_time = engine_.now();
+  trace_event(metrics::TraceEventKind::kTaskFinished, job.id, task.id,
+              task.node, true);
+  trackers_[static_cast<std::size_t>(task.node)].finish_map(attempt_id);
+  ++job.maps_finished;
+  job.map_output_produced += static_cast<double>(task.output_size);
+  cum_map_output_ += static_cast<double>(task.output_size);
+  node_map_output_[static_cast<std::size_t>(task.node)] +=
+      static_cast<double>(task.output_size);
+
+  // Feed this map's output into every reduce partition of the job.  Uniform
+  // partitioning; the last reduce absorbs rounding so bytes are conserved.
+  if (!job.reduces.empty() && task.output_size > 0) {
+    const double share = static_cast<double>(task.output_size) /
+                         static_cast<double>(job.reduces.size());
+    for (auto& reduce : job.reduces) reduce.available += share;
+  }
+
+  if (job.maps_all_finished()) {
+    job.maps_done_time = engine_.now();
+    // Kill accumulated floating-point drift: every partition is now fully
+    // available by definition.
+    for (auto& reduce : job.reduces) {
+      reduce.available = static_cast<double>(reduce.partition_size);
+      reduce.fetched = std::min(reduce.fetched, reduce.available);
+    }
+    trace_event(metrics::TraceEventKind::kBarrierCrossed, job.id, kInvalidTask,
+                kInvalidNode, true);
+    SMR_DEBUG("job " << job.spec.name << " crossed the barrier at "
+                     << format_duration(engine_.now()));
+  }
+}
+
+void Runtime::settle_reduce(Job& job, ReduceTask& task) {
+  SMR_CHECK(task.phase == ReducePhase::kShuffling);
+  const double total = static_cast<double>(task.partition_size);
+  if (!job.maps_all_finished()) return;
+  if (total - task.fetched > kByteEps) return;
+  // Shuffle complete: account any sub-byte residue, then cross into the
+  // compute phases; zero-size partitions fall straight through.
+  task.fetched = total;
+  task.shuffle_end_time = engine_.now();
+  task.phase = ReducePhase::kSorting;
+  task.phase_done = 0.0;
+  trace_event(metrics::TraceEventKind::kPhaseStarted, task.job, task.id,
+              task.node, false, "SORT");
+  if (task.partition_size == 0) {
+    // Nothing to sort or reduce; the task completes immediately (zero-size
+    // partitions never have speculative shadows).
+    complete_reduce(job, task, task.id);
+  }
+}
+
+void Runtime::complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id) {
+  SMR_CHECK(task.phase != ReducePhase::kDone);
+  if (has_reduce_shadow(task.id)) kill_reduce_shadow(task);
+  task.phase = ReducePhase::kDone;
+  task.finish_time = engine_.now();
+  trace_event(metrics::TraceEventKind::kTaskFinished, job.id, task.id,
+              task.node, false);
+  trackers_[static_cast<std::size_t>(task.node)].finish_reduce(attempt_id);
+  ++job.reduces_finished;
+  if (job.reduces_finished == static_cast<int>(job.reduces.size()) &&
+      job.maps_all_finished()) {
+    job.finish_time = engine_.now();
+    --unfinished_jobs_;
+    trace_event(metrics::TraceEventKind::kJobFinished, job.id, kInvalidTask,
+                kInvalidNode, true);
+    SMR_INFO("job " << job.spec.name << " finished at "
+                    << format_duration(engine_.now()));
+  }
+}
+
+void Runtime::check_all_done() {
+  if (stopping_) return;
+  if (unfinished_jobs_ == 0 && jobs_not_yet_submitted_ == 0) {
+    stopping_ = true;
+    for (sim::EventId id : periodic_events_) engine_.cancel(id);
+    periodic_events_.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane.
+// ---------------------------------------------------------------------------
+
+void Runtime::on_heartbeat(std::size_t tracker_index) {
+  if (stopping_) return;
+  if (!node_alive_[tracker_index]) return;
+  TaskTracker& tracker = trackers_[tracker_index];
+  const ClusterStats stats = snapshot();
+  policy_->on_heartbeat(tracker, stats);
+  if (config_.eager_slot_shrink) eager_shrink(tracker);
+  assign_tasks(tracker);
+}
+
+void Runtime::eager_shrink(TaskTracker& tracker) {
+  while (tracker.running_maps() > tracker.map_target()) {
+    // Kill the most recently started map: the least sunk progress.
+    // Speculative shadows go first — they are pure duplicates.
+    TaskId victim = kInvalidTask;
+    SimTime latest = -1.0;
+    bool victim_is_shadow = false;
+    for (TaskId id : tracker.running_map_tasks()) {
+      const bool is_shadow = task_refs_.at(id).speculative;
+      const MapTask& task = map_task(id);
+      if ((is_shadow && !victim_is_shadow) ||
+          (is_shadow == victim_is_shadow && task.start_time > latest)) {
+        latest = task.start_time;
+        victim = id;
+        victim_is_shadow = is_shadow;
+      }
+    }
+    SMR_CHECK(victim != kInvalidTask);
+    if (victim_is_shadow) {
+      const TaskRef ref = task_refs_.at(victim);
+      kill_shadow(job_of(ref.job).maps[static_cast<std::size_t>(ref.index)]);
+    } else {
+      requeue_running_map(map_task(victim));
+    }
+    ++killed_map_tasks_;
+  }
+}
+
+void Runtime::rollback_map_progress(const MapTask& task) {
+  Job& job = job_of(task.job);
+  const double processed = task.phase == MapPhase::kMapping
+                               ? task.phase_done
+                               : static_cast<double>(task.input_size);
+  job.map_input_processed -= processed;
+  cum_map_input_ -= processed;
+  node_map_input_[static_cast<std::size_t>(task.node)] -= processed;
+}
+
+void Runtime::requeue_running_map(MapTask& task) {
+  SMR_CHECK(task.running());
+  // A requeued primary cannot race its own shadow: retire the shadow too.
+  if (has_shadow(task.id)) kill_shadow(task);
+  Job& job = job_of(task.job);
+  // Roll the fluid accounting back: its partial input no longer counts.
+  rollback_map_progress(task);
+  trace_event(metrics::TraceEventKind::kTaskKilled, task.job, task.id,
+              task.node, true);
+  trackers_[static_cast<std::size_t>(task.node)].finish_map(task.id);
+  task.node = kInvalidNode;
+  task.src_node = kInvalidNode;
+  task.local = true;
+  task.phase = MapPhase::kMapping;
+  task.phase_done = 0.0;
+  task.start_time = kTimeNever;
+  --job.maps_assigned;
+}
+
+void Runtime::requeue_running_reduce(ReduceTask& task) {
+  SMR_CHECK(task.running());
+  if (has_reduce_shadow(task.id)) kill_reduce_shadow(task);
+  Job& job = job_of(task.job);
+  // Whatever the task fetched sat on the failed node's disk; the work has
+  // to be redone by the fresh attempt.
+  job.bytes_shuffled -= task.fetched;
+  cum_shuffled_ -= task.fetched;
+  node_shuffled_in_[static_cast<std::size_t>(task.node)] -= task.fetched;
+  trace_event(metrics::TraceEventKind::kTaskKilled, task.job, task.id,
+              task.node, false);
+  trackers_[static_cast<std::size_t>(task.node)].finish_reduce(task.id);
+  task.node = kInvalidNode;
+  task.phase = ReducePhase::kShuffling;
+  task.fetched = 0.0;
+  task.phase_done = 0.0;
+  task.start_time = kTimeNever;
+  task.shuffle_end_time = kTimeNever;
+  --job.reduces_assigned;
+}
+
+void Runtime::requeue_completed_map(Job& job, MapTask& task) {
+  SMR_CHECK(task.phase == MapPhase::kDone);
+  trace_event(metrics::TraceEventKind::kTaskKilled, task.job, task.id,
+              task.node, true);
+  --job.maps_finished;
+  --job.maps_assigned;
+  job.map_input_processed -= static_cast<double>(task.input_size);
+  cum_map_input_ -= static_cast<double>(task.input_size);
+  node_map_input_[static_cast<std::size_t>(task.node)] -=
+      static_cast<double>(task.input_size);
+  job.map_output_produced -= static_cast<double>(task.output_size);
+  cum_map_output_ -= static_cast<double>(task.output_size);
+  node_map_output_[static_cast<std::size_t>(task.node)] -=
+      static_cast<double>(task.output_size);
+  // Take this map's share back out of every reduce backlog.  The fluid
+  // partition model cannot attribute already-fetched bytes to individual
+  // maps, so the claw-back is clamped at what each reducer still holds:
+  // reducers keep everything they fetched and re-fetch only the remainder.
+  if (!job.reduces.empty() && task.output_size > 0) {
+    const double share = static_cast<double>(task.output_size) /
+                         static_cast<double>(job.reduces.size());
+    for (auto& reduce : job.reduces) {
+      reduce.available = std::max(reduce.fetched, reduce.available - share);
+    }
+  }
+  // If the job had crossed the barrier, the barrier re-opens.
+  job.maps_done_time = kTimeNever;
+  task.node = kInvalidNode;
+  task.src_node = kInvalidNode;
+  task.local = true;
+  task.phase = MapPhase::kMapping;
+  task.phase_done = 0.0;
+  task.start_time = kTimeNever;
+  task.finish_time = kTimeNever;
+}
+
+void Runtime::fail_node(NodeId node) {
+  SMR_CHECK(node >= 0 && static_cast<std::size_t>(node) < node_alive_.size());
+  SMR_CHECK_MSG(node_alive_[static_cast<std::size_t>(node)],
+                "node " << node << " failed twice");
+  node_alive_[static_cast<std::size_t>(node)] = false;
+  trace_event(metrics::TraceEventKind::kNodeFailed, kInvalidJob, kInvalidTask,
+              node, true);
+  TaskTracker& tracker = trackers_[static_cast<std::size_t>(node)];
+  SMR_WARN("node " << node << " failed at " << format_duration(engine_.now()));
+
+  // Kill everything running there (copies: requeue mutates the lists).
+  const std::vector<TaskId> running_maps = tracker.running_map_tasks();
+  for (TaskId id : running_maps) {
+    const TaskRef ref = task_refs_.at(id);
+    if (ref.speculative) {
+      kill_shadow(job_of(ref.job).maps[static_cast<std::size_t>(ref.index)]);
+    } else {
+      requeue_running_map(map_task(id));
+    }
+    ++tasks_lost_to_failures_;
+  }
+  const std::vector<TaskId> running_reduces = tracker.running_reduce_tasks();
+  for (TaskId id : running_reduces) {
+    const TaskRef ref = task_refs_.at(id);
+    if (ref.speculative) {
+      kill_reduce_shadow(
+          job_of(ref.job).reduces[static_cast<std::size_t>(ref.index)]);
+    } else {
+      requeue_running_reduce(reduce_task(id));
+    }
+    ++tasks_lost_to_failures_;
+  }
+
+  // Completed map outputs on this node are gone; re-execute them for any
+  // job whose shuffle still needs them (Hadoop's map re-execution on
+  // tracker loss).
+  for (auto& job : jobs_) {
+    if (job.finished() || job.submit_time > engine_.now()) continue;
+    bool shuffle_outstanding = false;
+    for (const auto& reduce : job.reduces) {
+      if (reduce.phase == ReducePhase::kShuffling) {
+        shuffle_outstanding = true;
+        break;
+      }
+    }
+    if (!shuffle_outstanding && job.reduces_assigned == static_cast<int>(job.reduces.size())) {
+      continue;  // every reducer already holds its full partition
+    }
+    for (auto& task : job.maps) {
+      if (task.phase == MapPhase::kDone && task.node == node) {
+        requeue_completed_map(job, task);
+        ++tasks_lost_to_failures_;
+      }
+    }
+  }
+}
+
+void Runtime::on_policy_period() {
+  if (stopping_) return;
+  policy_->on_period(trackers(), snapshot());
+}
+
+void Runtime::assign_tasks(TaskTracker& tracker) {
+  while (tracker.free_map_slots() > 0 && assign_one_map(tracker)) {
+  }
+  while (tracker.free_reduce_slots() > 0 && assign_one_reduce(tracker)) {
+  }
+}
+
+bool Runtime::assign_one_map(TaskTracker& tracker) {
+  const SimTime now = engine_.now();
+  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/true)) {
+    Job& job = jobs_[job_index];
+    if (job.maps_pending() == 0) continue;
+    const auto& file = dfs_.file(job.input_file);
+    MapTask* chosen = nullptr;
+    // Node-local preference (the FIFO scheduler's locality pass).
+    for (auto& task : job.maps) {
+      if (task.node != kInvalidNode) continue;
+      if (file.blocks[static_cast<std::size_t>(task.split_index)].has_replica_on(
+              tracker.node())) {
+        chosen = &task;
+        break;
+      }
+    }
+    bool local = chosen != nullptr;
+    if (chosen == nullptr) {
+      // Delay scheduling: decline this (non-local) offer a bounded number
+      // of times in the hope that a node holding one of our splits frees a
+      // slot first.
+      if (job.locality_skips < config_.locality_wait_offers) {
+        ++job.locality_skips;
+        continue;
+      }
+      for (auto& task : job.maps) {
+        if (task.node == kInvalidNode) {
+          chosen = &task;
+          break;
+        }
+      }
+    } else {
+      job.locality_skips = 0;
+    }
+    SMR_CHECK(chosen != nullptr);  // maps_pending() > 0 guarantees one
+    chosen->node = tracker.node();
+    chosen->local = local;
+    if (!local) {
+      const auto& replicas =
+          file.blocks[static_cast<std::size_t>(chosen->split_index)].replicas;
+      std::vector<NodeId> alive;
+      for (NodeId r : replicas) {
+        if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
+      }
+      if (alive.empty()) {
+        // Every replica died: HDFS would have re-replicated long before the
+        // split is read; model that by reading from a random live node.
+        for (NodeId r = 0; r < static_cast<NodeId>(node_alive_.size()); ++r) {
+          if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
+        }
+        SMR_CHECK_MSG(!alive.empty(), "all worker nodes have failed");
+      }
+      chosen->src_node = alive[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(alive.size()) - 1))];
+      ++remote_map_launches_;
+    } else {
+      ++local_map_launches_;
+    }
+    chosen->start_time = now;
+    tracker.launch_map(chosen->id);
+    ++job.maps_assigned;
+    if (!job.started()) job.start_time = now;
+    trace_event(metrics::TraceEventKind::kTaskLaunched, job.id, chosen->id,
+                tracker.node(), true);
+    trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, chosen->id,
+                tracker.node(), true, "MAP");
+    return true;
+  }
+  if (config_.speculative_execution && launch_speculative(tracker)) return true;
+  return false;
+}
+
+bool Runtime::launch_speculative(TaskTracker& tracker) {
+  const SimTime now = engine_.now();
+  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/true)) {
+    Job& job = jobs_[job_index];
+    // Hadoop speculates only once a job has no pending maps left.
+    if (job.maps_pending() != 0 || job.maps_all_finished()) continue;
+    // Mean progress over the whole map phase (finished tasks count 1.0),
+    // as in Hadoop's speculation heuristic; comparing only against other
+    // *running* tasks would blind the detector in the final wave, where
+    // everyone still running is a straggler.
+    double mean_progress = 0.0;
+    bool any_running = false;
+    for (const auto& task : job.maps) {
+      mean_progress += task.progress();
+      any_running = any_running || task.running();
+    }
+    if (!any_running) continue;
+    mean_progress /= static_cast<double>(job.maps.size());
+
+    MapTask* straggler = nullptr;
+    for (auto& task : job.maps) {
+      if (!task.running() || has_shadow(task.id)) continue;
+      if (task.node == tracker.node()) continue;  // duplicate elsewhere
+      if (now - task.start_time < config_.speculative_min_age) continue;
+      const double progress = task.progress();
+      if (progress > 0.9) continue;
+      if (progress < mean_progress - config_.speculative_progress_gap &&
+          (straggler == nullptr || progress < straggler->progress())) {
+        straggler = &task;
+      }
+    }
+    if (straggler == nullptr) continue;
+
+    MapTask shadow = *straggler;
+    shadow.id = next_task_id_++;
+    shadow.node = tracker.node();
+    shadow.phase = MapPhase::kMapping;
+    shadow.phase_done = 0.0;
+    shadow.start_time = now;
+    // A fresh attempt redraws its cost (the straggle is attempt-specific).
+    shadow.cost_factor = rng_.jitter(job.spec.duration_cv);
+    const auto& file = dfs_.file(job.input_file);
+    const auto& block = file.blocks[static_cast<std::size_t>(shadow.split_index)];
+    shadow.local = block.has_replica_on(tracker.node());
+    if (!shadow.local) {
+      std::vector<NodeId> alive;
+      for (NodeId r : block.replicas) {
+        if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
+      }
+      SMR_CHECK(!alive.empty());
+      shadow.src_node = alive[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1))];
+    }
+    task_refs_[shadow.id] =
+        TaskRef{job.id, straggler->split_index, true, /*speculative=*/true};
+    shadow_of_[straggler->id] = shadow.id;
+    const TaskId shadow_id = shadow.id;
+    shadow_attempts_.emplace(shadow_id, std::move(shadow));
+    tracker.launch_map(shadow_id);
+    ++speculative_launches_;
+    trace_event(metrics::TraceEventKind::kTaskLaunched, job.id, shadow_id,
+                tracker.node(), true, "speculative");
+    trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, shadow_id,
+                tracker.node(), true, "MAP");
+    return true;
+  }
+  return false;
+}
+
+void Runtime::kill_shadow(MapTask& primary) {
+  const auto it = shadow_of_.find(primary.id);
+  SMR_CHECK(it != shadow_of_.end());
+  const TaskId shadow_id = it->second;
+  MapTask& shadow = shadow_attempts_.at(shadow_id);
+  rollback_map_progress(shadow);
+  trace_event(metrics::TraceEventKind::kTaskKilled, shadow.job, shadow_id,
+              shadow.node, true, "speculative");
+  trackers_[static_cast<std::size_t>(shadow.node)].finish_map(shadow_id);
+  shadow_of_.erase(it);
+  shadow_attempts_.erase(shadow_id);
+  task_refs_.erase(shadow_id);
+}
+
+void Runtime::win_speculative(TaskId shadow_id) {
+  const TaskRef ref = task_refs_.at(shadow_id);
+  SMR_CHECK(ref.speculative);
+  Job& job = job_of(ref.job);
+  MapTask& primary = job.maps[static_cast<std::size_t>(ref.index)];
+  MapTask shadow = shadow_attempts_.at(shadow_id);
+  SMR_CHECK(primary.phase != MapPhase::kDone);
+
+  // The original attempt loses: discard its partial work.
+  rollback_map_progress(primary);
+  trace_event(metrics::TraceEventKind::kTaskKilled, job.id, primary.id,
+              primary.node, true, "lost-race");
+  trackers_[static_cast<std::size_t>(primary.node)].finish_map(primary.id);
+
+  // The task completes where the shadow ran.
+  primary.node = shadow.node;
+  primary.local = shadow.local;
+  primary.src_node = shadow.src_node;
+  primary.phase = shadow.phase == MapPhase::kDone ? MapPhase::kSpilling
+                                                  : shadow.phase;
+  primary.phase_done = shadow.phase_done;
+  shadow_of_.erase(primary.id);
+  shadow_attempts_.erase(shadow_id);
+  task_refs_.erase(shadow_id);
+  ++speculative_wins_;
+  complete_map(job, primary, shadow_id);
+}
+
+bool Runtime::assign_one_reduce(TaskTracker& tracker) {
+  const SimTime now = engine_.now();
+  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/false)) {
+    Job& job = jobs_[job_index];
+    if (job.reduces_pending() == 0) continue;
+    if (!job.maps.empty() &&
+        job.map_completion_fraction() < config_.reduce_slowstart) {
+      continue;
+    }
+    for (auto& task : job.reduces) {
+      if (task.node != kInvalidNode) continue;
+      task.node = tracker.node();
+      task.start_time = now;
+      tracker.launch_reduce(task.id);
+      ++job.reduces_assigned;
+      if (!job.started()) job.start_time = now;
+      trace_event(metrics::TraceEventKind::kTaskLaunched, job.id, task.id,
+                  tracker.node(), false);
+      trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, task.id,
+                  tracker.node(), false, "SHUFFLE");
+      return true;
+    }
+  }
+  if (config_.speculative_execution && config_.speculative_reduce_execution &&
+      launch_speculative_reduce(tracker)) {
+    return true;
+  }
+  return false;
+}
+
+bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
+  const SimTime now = engine_.now();
+  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/false)) {
+    Job& job = jobs_[job_index];
+    // Only past the barrier with every reduce assigned: the partition is
+    // fully available, so a backup can re-fetch independently.
+    if (!job.maps_all_finished() || job.reduces_pending() != 0) continue;
+    if (job.reduces_finished == static_cast<int>(job.reduces.size())) continue;
+    double mean_progress = 0.0;
+    bool any_running = false;
+    for (const auto& task : job.reduces) {
+      mean_progress += task.progress();
+      any_running = any_running || task.running();
+    }
+    if (!any_running) continue;
+    mean_progress /= static_cast<double>(job.reduces.size());
+
+    ReduceTask* straggler = nullptr;
+    for (auto& task : job.reduces) {
+      if (!task.running() || has_reduce_shadow(task.id)) continue;
+      if (task.node == tracker.node()) continue;
+      if (now - task.start_time < config_.speculative_min_age) continue;
+      const double progress = task.progress();
+      if (progress > 0.9) continue;
+      if (progress < mean_progress - config_.speculative_progress_gap &&
+          (straggler == nullptr || progress < straggler->progress())) {
+        straggler = &task;
+      }
+    }
+    if (straggler == nullptr) continue;
+
+    ReduceTask shadow = *straggler;
+    shadow.id = next_task_id_++;
+    shadow.node = tracker.node();
+    shadow.phase = ReducePhase::kShuffling;
+    shadow.available = static_cast<double>(shadow.partition_size);  // post-barrier
+    shadow.fetched = 0.0;
+    shadow.phase_done = 0.0;
+    shadow.start_time = now;
+    shadow.shuffle_end_time = kTimeNever;
+    shadow.cost_factor = rng_.jitter(job.spec.duration_cv);
+    task_refs_[shadow.id] =
+        TaskRef{job.id, straggler->partition, false, /*speculative=*/true};
+    reduce_shadow_of_[straggler->id] = shadow.id;
+    const TaskId shadow_id = shadow.id;
+    reduce_shadow_attempts_.emplace(shadow_id, std::move(shadow));
+    tracker.launch_reduce(shadow_id);
+    ++speculative_reduce_launches_;
+    trace_event(metrics::TraceEventKind::kTaskLaunched, job.id, shadow_id,
+                tracker.node(), false, "speculative");
+    trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, shadow_id,
+                tracker.node(), false, "SHUFFLE");
+    return true;
+  }
+  return false;
+}
+
+void Runtime::kill_reduce_shadow(ReduceTask& primary) {
+  const auto it = reduce_shadow_of_.find(primary.id);
+  SMR_CHECK(it != reduce_shadow_of_.end());
+  const TaskId shadow_id = it->second;
+  ReduceTask& shadow = reduce_shadow_attempts_.at(shadow_id);
+  Job& job = job_of(shadow.job);
+  // The shadow's fetched bytes were duplicate work: back them out.
+  job.bytes_shuffled -= shadow.fetched;
+  cum_shuffled_ -= shadow.fetched;
+  node_shuffled_in_[static_cast<std::size_t>(shadow.node)] -= shadow.fetched;
+  trace_event(metrics::TraceEventKind::kTaskKilled, shadow.job, shadow_id,
+              shadow.node, false, "speculative");
+  trackers_[static_cast<std::size_t>(shadow.node)].finish_reduce(shadow_id);
+  reduce_shadow_of_.erase(it);
+  reduce_shadow_attempts_.erase(shadow_id);
+  task_refs_.erase(shadow_id);
+}
+
+void Runtime::win_speculative_reduce(TaskId shadow_id) {
+  const TaskRef ref = task_refs_.at(shadow_id);
+  SMR_CHECK(ref.speculative && !ref.is_map);
+  Job& job = job_of(ref.job);
+  ReduceTask& primary = job.reduces[static_cast<std::size_t>(ref.index)];
+  ReduceTask shadow = reduce_shadow_attempts_.at(shadow_id);
+  SMR_CHECK(primary.phase != ReducePhase::kDone);
+
+  // The original attempt loses: back its fetched bytes out and free it.
+  job.bytes_shuffled -= primary.fetched;
+  cum_shuffled_ -= primary.fetched;
+  node_shuffled_in_[static_cast<std::size_t>(primary.node)] -= primary.fetched;
+  trace_event(metrics::TraceEventKind::kTaskKilled, job.id, primary.id,
+              primary.node, false, "lost-race");
+  trackers_[static_cast<std::size_t>(primary.node)].finish_reduce(primary.id);
+
+  primary.node = shadow.node;
+  primary.fetched = shadow.fetched;
+  primary.phase_done = shadow.phase_done;
+  primary.shuffle_end_time = shadow.shuffle_end_time;
+  primary.phase = ReducePhase::kReducing;  // completing momentarily
+  reduce_shadow_of_.erase(primary.id);
+  reduce_shadow_attempts_.erase(shadow_id);
+  task_refs_.erase(shadow_id);
+  ++speculative_reduce_wins_;
+  complete_reduce(job, primary, shadow_id);
+}
+
+void Runtime::on_sample() {
+  if (stopping_) return;
+  const SimTime now = engine_.now();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const Job& job = jobs_[j];
+    if (job.submit_time > now || job.finished()) continue;
+    metrics::ProgressSample sample;
+    sample.time = now;
+    sample.map_pct = 100.0 * job.map_progress();
+    sample.reduce_pct = 100.0 * job.reduce_progress();
+    result_.progress[j].push_back(sample);
+  }
+  metrics::SlotSample slot_sample;
+  slot_sample.time = now;
+  for (const auto& tracker : trackers_) {
+    slot_sample.map_target += tracker.map_target();
+    slot_sample.reduce_target += tracker.reduce_target();
+    slot_sample.running_maps += tracker.running_maps();
+    slot_sample.running_reduces += tracker.running_reduces();
+  }
+  const double nt = static_cast<double>(trackers_.size());
+  slot_sample.map_target /= nt;
+  slot_sample.reduce_target /= nt;
+  slot_sample.running_maps /= nt;
+  slot_sample.running_reduces /= nt;
+  result_.slots.push_back(slot_sample);
+}
+
+void Runtime::trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
+                          NodeId node, bool is_map, const char* detail) {
+  if (trace_ == nullptr) return;
+  metrics::TraceEvent event;
+  event.time = engine_.now();
+  event.kind = kind;
+  event.job = job;
+  event.task = task;
+  event.node = node;
+  event.is_map = is_map;
+  event.detail = detail;
+  trace_->record(event);
+}
+
+}  // namespace smr::mapreduce

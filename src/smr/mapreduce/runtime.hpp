@@ -1,0 +1,262 @@
+// ClusterRuntime: executes MapReduce jobs on the simulated cluster.
+//
+// The runtime advances a fluid task model on a fixed tick: each tick it
+// (1) takes a census of every node's resident tasks (threads, I/O streams,
+// memory working sets), (2) allocates the network between shuffle fetches
+// and remote map-input reads, (3) caps shuffle ingest by each receiver's
+// disk, (4) solves per-node CPU/disk contention for every compute-bearing
+// sub-phase, and (5) integrates progress and fires phase transitions, map
+// completions (which feed reduce-task backlogs), the map/reduce barrier and
+// job completions.
+//
+// The control plane runs on events: per-tracker heartbeats (staggered,
+// every heartbeat_period) on which the allocation policy may adjust slot
+// targets and the job tracker assigns tasks (FIFO with node-local
+// preference), and a policy period on which cluster-wide policies (the
+// paper's slot manager) make decisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "smr/cluster/compute_model.hpp"
+#include "smr/cluster/network_model.hpp"
+#include "smr/cluster/node.hpp"
+#include "smr/common/rng.hpp"
+#include "smr/common/types.hpp"
+#include "smr/dfs/block_store.hpp"
+#include "smr/mapreduce/job.hpp"
+#include "smr/mapreduce/policy.hpp"
+#include "smr/mapreduce/scheduler.hpp"
+#include "smr/mapreduce/tracker.hpp"
+#include "smr/metrics/job_metrics.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/sim/engine.hpp"
+
+namespace smr::mapreduce {
+
+struct RuntimeConfig {
+  cluster::ClusterSpec cluster = cluster::ClusterSpec::paper_testbed();
+
+  /// Initial (HadoopV1-style) slot configuration per task tracker.
+  int initial_map_slots = 3;
+  int initial_reduce_slots = 2;
+
+  /// Fluid integration step.
+  SimTime tick = 0.25;
+  /// Task tracker heartbeat period (Hadoop default 3 s), staggered across
+  /// trackers.
+  SimTime heartbeat_period = 3.0;
+  /// Period of AllocationPolicy::on_period (the slot manager thread).
+  SimTime policy_period = 6.0;
+  /// Progress/slot sampling period for the recorders.
+  SimTime sample_period = 2.0;
+
+  /// Fraction of a job's maps that must finish before its reduce tasks may
+  /// launch (mapred.reduce.slowstart.completed.maps; default 0.05).
+  double reduce_slowstart = 0.05;
+
+  /// Max fraction of a node's effective disk bandwidth the shuffle ingest
+  /// may consume (merge segments written behind the fetchers).
+  double shuffle_disk_share = 0.6;
+
+  /// Concurrent fetch streams per shuffling reduce task (parallel copies).
+  int parallel_copies = 5;
+
+  std::uint64_t seed = 1;
+
+  /// Counterfactual to the paper's lazy slot changer (§III-D): when true,
+  /// a tracker whose map target drops below its running count *kills* its
+  /// most recently started excess map tasks and requeues them from scratch
+  /// (the rescheduling cost the lazy policy exists to avoid).
+  bool eager_slot_shrink = false;
+
+  /// Delay scheduling (Zaharia et al., the paper's reference [13]): a job
+  /// offered a slot on a node holding none of its pending splits may pass
+  /// up to this many times, waiting for a node-local slot, before accepting
+  /// a remote assignment.  0 disables (greedy Hadoop FIFO behaviour).
+  int locality_wait_offers = 0;
+
+  /// Speculative execution of straggling map tasks (Hadoop's backup
+  /// tasks).  When a job has no pending maps and a tracker has idle map
+  /// slots, a second attempt of the slowest running map may be launched on
+  /// it; the first attempt to finish wins and the other is killed.
+  /// Speculation competes with other jobs for slots, which is why it
+  /// interacts with slot management.
+  bool speculative_execution = false;
+  /// Speculative execution of straggling *reduce* tasks: a backup attempt
+  /// may launch once the job is past the barrier (its partition is fully
+  /// available, so the backup can re-fetch independently).  Requires
+  /// speculative_execution as well.
+  bool speculative_reduce_execution = false;
+  /// A task is a straggler if its progress trails the mean progress of its
+  /// job's running maps by more than this gap (Hadoop's 0.2 rule).
+  double speculative_progress_gap = 0.2;
+  /// Never speculate on tasks younger than this (they may just have
+  /// started) or further along than 90% (not worth the duplicate work).
+  SimTime speculative_min_age = 30.0;
+
+  /// Fault injection: permanently fail a worker node at a given time.
+  /// Running tasks on it are requeued; completed map tasks whose output is
+  /// still needed by an unfinished shuffle are re-executed (map outputs
+  /// live on the failed node's local disk, exactly as in Hadoop).
+  struct NodeFailure {
+    NodeId node = kInvalidNode;
+    SimTime at = 0.0;
+  };
+  std::vector<NodeFailure> failures;
+
+  /// Hard stop; a run hitting it reports completed == false.
+  SimTime time_limit = 48.0 * 3600.0;
+
+  void validate() const;
+};
+
+class Runtime {
+ public:
+  /// `scheduler` orders jobs for slot assignment; nullptr means FIFO (the
+  /// Hadoop default the paper evaluates with).
+  Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
+          std::unique_ptr<JobScheduler> scheduler = nullptr);
+
+  /// Submit a job for execution at absolute time `at`.  Must be called
+  /// before run().
+  JobId submit(const JobSpec& spec, SimTime at = 0.0);
+
+  /// Execute the simulation to completion (or the time limit); single use.
+  metrics::RunResult run();
+
+  /// Attach a trace log (optional; must outlive run()).  Records every job
+  /// submission, task launch, phase transition, completion, kill and
+  /// barrier crossing.
+  void set_trace(metrics::TraceLog* trace) { trace_ = trace; }
+
+  // --- Observers (tests and policies) ---------------------------------
+  const RuntimeConfig& config() const { return config_; }
+  ClusterStats snapshot() const;
+  std::span<TaskTracker> trackers() { return trackers_; }
+  std::span<const TaskTracker> trackers() const { return trackers_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  sim::Engine& engine() { return engine_; }
+  AllocationPolicy& policy() { return *policy_; }
+  const JobScheduler& scheduler() const { return *scheduler_; }
+  const dfs::BlockStore& dfs() const { return dfs_; }
+
+  /// Count of map tasks that ran on a node holding a replica of their
+  /// split (locality diagnostics).
+  int local_map_launches() const { return local_map_launches_; }
+  int remote_map_launches() const { return remote_map_launches_; }
+  /// Map tasks killed by eager slot shrinking (0 under the lazy policy).
+  int killed_map_tasks() const { return killed_map_tasks_; }
+  /// Tasks (running or completed-but-needed maps, running reduces) lost to
+  /// injected node failures and requeued.
+  int tasks_lost_to_failures() const { return tasks_lost_to_failures_; }
+  /// Speculative map attempts launched / that finished before the original.
+  int speculative_launches() const { return speculative_launches_; }
+  int speculative_wins() const { return speculative_wins_; }
+  int speculative_reduce_launches() const { return speculative_reduce_launches_; }
+  int speculative_reduce_wins() const { return speculative_reduce_wins_; }
+  bool node_alive(NodeId node) const {
+    return node_alive_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  struct TaskRef {
+    JobId job = kInvalidJob;
+    int index = -1;
+    bool is_map = true;
+    /// True for speculative shadow attempts; `index` then names the
+    /// primary task the shadow duplicates.
+    bool speculative = false;
+  };
+
+  void on_tick();
+  void on_heartbeat(std::size_t tracker_index);
+  void on_policy_period();
+  void on_sample();
+  void assign_tasks(TaskTracker& tracker);
+  void eager_shrink(TaskTracker& tracker);
+  void requeue_running_map(MapTask& task);
+  void requeue_running_reduce(ReduceTask& task);
+  void requeue_completed_map(Job& job, MapTask& task);
+  void fail_node(NodeId node);
+  /// Roll a running attempt's fluid input accounting back out of the job
+  /// and cluster counters.
+  void rollback_map_progress(const MapTask& task);
+  bool launch_speculative(TaskTracker& tracker);
+  void kill_shadow(MapTask& primary);
+  /// The shadow attempt `shadow_id` finished first: kill the primary
+  /// attempt and complete the task on the shadow's node.
+  void win_speculative(TaskId shadow_id);
+  bool has_shadow(TaskId primary) const { return shadow_of_.count(primary) > 0; }
+  bool launch_speculative_reduce(TaskTracker& tracker);
+  void kill_reduce_shadow(ReduceTask& primary);
+  void win_speculative_reduce(TaskId shadow_id);
+  bool has_reduce_shadow(TaskId primary) const {
+    return reduce_shadow_of_.count(primary) > 0;
+  }
+  bool assign_one_map(TaskTracker& tracker);
+  bool assign_one_reduce(TaskTracker& tracker);
+  /// `attempt_id` is the tracker-list entry of the finishing attempt (the
+  /// task's own id, or the shadow's id after a speculative win).
+  void complete_map(Job& job, MapTask& task, TaskId attempt_id);
+  void complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id);
+  void settle_reduce(Job& job, ReduceTask& task);
+  void check_all_done();
+
+  Job& job_of(JobId id);
+  MapTask& map_task(TaskId id);
+  ReduceTask& reduce_task(TaskId id);
+  void trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
+                   NodeId node, bool is_map, const char* detail = "");
+
+  RuntimeConfig config_;
+  std::unique_ptr<AllocationPolicy> policy_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  sim::Engine engine_;
+  dfs::BlockStore dfs_;
+  cluster::NetworkModel network_;
+  Rng rng_;
+
+  std::vector<TaskTracker> trackers_;
+  std::vector<Job> jobs_;
+  std::unordered_map<TaskId, TaskRef> task_refs_;
+  TaskId next_task_id_ = 0;
+  int unfinished_jobs_ = 0;
+  int jobs_not_yet_submitted_ = 0;
+
+  // Cluster-wide cumulative counters (Section III-C heartbeat statistics).
+  double cum_map_input_ = 0.0;
+  double cum_map_output_ = 0.0;
+  double cum_shuffled_ = 0.0;
+
+  int local_map_launches_ = 0;
+  int remote_map_launches_ = 0;
+  int killed_map_tasks_ = 0;
+  int tasks_lost_to_failures_ = 0;
+  int speculative_launches_ = 0;
+  int speculative_wins_ = 0;
+  std::vector<bool> node_alive_;
+  // Per-node cumulative byte counters (the heartbeat statistics of §III-C).
+  std::vector<double> node_map_input_;
+  std::vector<double> node_map_output_;
+  std::vector<double> node_shuffled_in_;
+  /// Shadow attempts by their own TaskId, and primary -> shadow id.
+  std::unordered_map<TaskId, MapTask> shadow_attempts_;
+  std::unordered_map<TaskId, TaskId> shadow_of_;
+  std::unordered_map<TaskId, ReduceTask> reduce_shadow_attempts_;
+  std::unordered_map<TaskId, TaskId> reduce_shadow_of_;
+  int speculative_reduce_launches_ = 0;
+  int speculative_reduce_wins_ = 0;
+
+  metrics::RunResult result_;
+  metrics::TraceLog* trace_ = nullptr;
+  std::vector<sim::EventId> periodic_events_;
+  bool ran_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace smr::mapreduce

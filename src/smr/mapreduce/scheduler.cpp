@@ -1,0 +1,50 @@
+#include "smr/mapreduce/scheduler.hpp"
+
+#include <algorithm>
+
+#include "smr/common/error.hpp"
+
+namespace smr::mapreduce {
+
+namespace {
+
+std::vector<std::size_t> active_jobs(const std::vector<Job>& jobs, SimTime now) {
+  std::vector<std::size_t> order;
+  order.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].submit_time <= now && !jobs[i].finished()) order.push_back(i);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> FifoScheduler::job_order(const std::vector<Job>& jobs,
+                                                  SimTime now, bool /*for_map*/) const {
+  // jobs_ is stored in submission order, so the active filter is the order.
+  return active_jobs(jobs, now);
+}
+
+FairScheduler::FairScheduler(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) SMR_CHECK(w > 0.0);
+}
+
+std::vector<std::size_t> FairScheduler::job_order(const std::vector<Job>& jobs,
+                                                  SimTime now, bool for_map) const {
+  std::vector<std::size_t> order = active_jobs(jobs, now);
+  auto weight = [this](std::size_t i) {
+    return i < weights_.size() ? weights_[i] : 1.0;
+  };
+  auto deficit = [&](std::size_t i) {
+    const Job& job = jobs[i];
+    const int running = for_map ? job.maps_assigned - job.maps_finished
+                                : job.reduces_assigned - job.reduces_finished;
+    return static_cast<double>(running) / weight(i);
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return deficit(a) < deficit(b); });
+  return order;
+}
+
+}  // namespace smr::mapreduce

@@ -1,0 +1,59 @@
+// Job schedulers: the order in which jobs are offered free slots.
+//
+// The paper runs the FIFO scheduler on HadoopV1/SMapReduce and the capacity
+// scheduler on YARN (Section V-F); the capacity scheduler's map-priority
+// half lives in yarn::CapacityPolicy, while job ordering is delegated here.
+// The Fair scheduler (Zaharia et al., the paper's reference [13]) is
+// provided as the natural alternative for shared clusters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/mapreduce/job.hpp"
+
+namespace smr::mapreduce {
+
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Indices into `jobs` in the order they should be offered a free slot of
+  /// the given kind.  Jobs that are unsubmitted (submit_time > now) or
+  /// finished must be omitted; the runtime applies per-kind eligibility
+  /// (pending tasks, reduce slow start) on top.
+  virtual std::vector<std::size_t> job_order(const std::vector<Job>& jobs,
+                                             SimTime now, bool for_map) const = 0;
+};
+
+/// Strict submission order (Hadoop's default).  A later job only receives
+/// slots the earlier jobs cannot use.
+class FifoScheduler final : public JobScheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs, SimTime now,
+                                     bool for_map) const override;
+};
+
+/// Fair sharing: jobs with the smallest number of currently running tasks
+/// of the requested kind (scaled by weight) go first, so every active job
+/// converges to an equal share of the slots.  Ties break by submission
+/// order.
+class FairScheduler final : public JobScheduler {
+ public:
+  /// `weights[i]` scales job i's fair share (default 1.0 for all).
+  explicit FairScheduler(std::vector<double> weights = {});
+
+  std::string name() const override { return "fair"; }
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs, SimTime now,
+                                     bool for_map) const override;
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace smr::mapreduce

@@ -1,0 +1,59 @@
+#include "smr/metrics/job_metrics.hpp"
+
+#include <algorithm>
+
+namespace smr::metrics {
+
+SimTime RunResult::mean_execution_time() const {
+  if (jobs.empty()) return 0.0;
+  SimTime sum = 0.0;
+  for (const auto& job : jobs) {
+    SMR_CHECK_MSG(job.finished(), "job " << job.name << " did not finish");
+    sum += job.execution_time();
+  }
+  return sum / static_cast<double>(jobs.size());
+}
+
+SimTime RunResult::last_finish_time() const {
+  SMR_CHECK(!jobs.empty());
+  SimTime first_submit = kTimeNever;
+  SimTime last_finish = 0.0;
+  for (const auto& job : jobs) {
+    SMR_CHECK(job.finished());
+    first_submit = std::min(first_submit, job.submit_time);
+    last_finish = std::max(last_finish, job.finish_time);
+  }
+  return last_finish - first_submit;
+}
+
+RunResult average_trials(const std::vector<RunResult>& trials) {
+  SMR_CHECK(!trials.empty());
+  RunResult avg = trials.front();
+  const double n = static_cast<double>(trials.size());
+  for (std::size_t t = 1; t < trials.size(); ++t) {
+    const RunResult& trial = trials[t];
+    SMR_CHECK_MSG(trial.jobs.size() == avg.jobs.size(),
+                  "trials have different job counts");
+    for (std::size_t j = 0; j < avg.jobs.size(); ++j) {
+      SMR_CHECK(trial.jobs[j].name == avg.jobs[j].name);
+      avg.jobs[j].submit_time += trial.jobs[j].submit_time;
+      avg.jobs[j].start_time += trial.jobs[j].start_time;
+      avg.jobs[j].maps_done_time += trial.jobs[j].maps_done_time;
+      avg.jobs[j].finish_time += trial.jobs[j].finish_time;
+    }
+    avg.makespan += trial.makespan;
+    avg.completed = avg.completed && trial.completed;
+  }
+  for (auto& job : avg.jobs) {
+    job.submit_time /= n;
+    job.start_time /= n;
+    job.maps_done_time /= n;
+    job.finish_time /= n;
+  }
+  avg.makespan /= n;
+  // Progress/slot series are kept from the first trial (the curves are for
+  // shape plots; averaging unaligned time series would blur transitions).
+  return avg;
+}
+
+}  // namespace smr::metrics

@@ -1,0 +1,111 @@
+#include "smr/metrics/reporter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "smr/common/error.hpp"
+
+namespace smr::metrics {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SMR_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SMR_CHECK_MSG(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::write(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+TextTable job_summary_table(const RunResult& result) {
+  TextTable table({"job", "name", "submit(s)", "start(s)", "map(s)", "reduce(s)",
+                   "total(s)", "throughput"});
+  for (const auto& job : result.jobs) {
+    if (!job.finished()) {
+      table.add_row({std::to_string(job.id), job.name,
+                     format_fixed(job.submit_time), "-", "-", "-", "-",
+                     "(unfinished)"});
+      continue;
+    }
+    table.add_row({std::to_string(job.id), job.name, format_fixed(job.submit_time),
+                   format_fixed(job.start_time), format_fixed(job.map_time()),
+                   format_fixed(job.reduce_time()), format_fixed(job.total_time()),
+                   format_rate(job.throughput())});
+  }
+  return table;
+}
+
+void write_jobs_csv(const RunResult& result, std::ostream& out) {
+  out << "job,name,input_bytes,shuffle_bytes,submit_s,start_s,maps_done_s,"
+         "finish_s,map_time_s,reduce_time_s,total_time_s,throughput_bytes_s\n";
+  for (const auto& job : result.jobs) {
+    out << job.id << ',' << job.name << ',' << job.input_size << ','
+        << job.shuffle_volume << ',' << job.submit_time << ',' << job.start_time
+        << ',' << job.maps_done_time << ',' << job.finish_time << ',';
+    if (job.finished()) {
+      out << job.map_time() << ',' << job.reduce_time() << ',' << job.total_time()
+          << ',' << job.throughput();
+    } else {
+      out << ",,,";
+    }
+    out << '\n';
+  }
+}
+
+void write_progress_csv(const RunResult& result, std::ostream& out) {
+  out << "job,time_s,map_pct,reduce_pct,total_pct\n";
+  for (std::size_t j = 0; j < result.progress.size(); ++j) {
+    for (const auto& sample : result.progress[j]) {
+      out << j << ',' << sample.time << ',' << sample.map_pct << ','
+          << sample.reduce_pct << ',' << sample.total_pct() << '\n';
+    }
+  }
+}
+
+void write_slots_csv(const RunResult& result, std::ostream& out) {
+  out << "time_s,map_target,reduce_target,running_maps,running_reduces\n";
+  for (const auto& sample : result.slots) {
+    out << sample.time << ',' << sample.map_target << ',' << sample.reduce_target
+        << ',' << sample.running_maps << ',' << sample.running_reduces << '\n';
+  }
+}
+
+}  // namespace smr::metrics

@@ -1,0 +1,48 @@
+// Result reporting: fixed-width text tables and CSV exports of run
+// results, shared by the CLI tool and the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/metrics/job_metrics.hpp"
+
+namespace smr::metrics {
+
+/// A simple fixed-width text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with columns padded to the widest cell (+2 spaces gutter).
+  void write(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by the report builders.
+std::string format_fixed(double value, int decimals = 1);
+
+/// Per-job summary table of a run: timings, throughput.
+TextTable job_summary_table(const RunResult& result);
+
+/// CSV of the per-job results (one row per job, header included).
+void write_jobs_csv(const RunResult& result, std::ostream& out);
+
+/// CSV of the progress series: job,time,map_pct,reduce_pct,total_pct.
+void write_progress_csv(const RunResult& result, std::ostream& out);
+
+/// CSV of the slot timeline: time,map_target,reduce_target,running_maps,
+/// running_reduces (cluster averages).
+void write_slots_csv(const RunResult& result, std::ostream& out);
+
+}  // namespace smr::metrics

@@ -1,0 +1,99 @@
+#include "smr/metrics/trace.hpp"
+
+#include <map>
+#include <ostream>
+
+namespace smr::metrics {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kJobSubmitted: return "JOB_SUBMITTED";
+    case TraceEventKind::kTaskLaunched: return "TASK_LAUNCHED";
+    case TraceEventKind::kPhaseStarted: return "PHASE_STARTED";
+    case TraceEventKind::kTaskFinished: return "TASK_FINISHED";
+    case TraceEventKind::kTaskKilled: return "TASK_KILLED";
+    case TraceEventKind::kBarrierCrossed: return "BARRIER_CROSSED";
+    case TraceEventKind::kJobFinished: return "JOB_FINISHED";
+    case TraceEventKind::kSlotTargetChanged: return "SLOT_TARGET_CHANGED";
+    case TraceEventKind::kNodeFailed: return "NODE_FAILED";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<TraceEvent> TraceLog::of_kind(TraceEventKind kind) const {
+  std::vector<TraceEvent> matching;
+  for (const auto& event : events_) {
+    if (event.kind == kind) matching.push_back(event);
+  }
+  return matching;
+}
+
+void TraceLog::write_csv(std::ostream& out) const {
+  out << "time,kind,job,task,node,is_map,detail,value\n";
+  for (const auto& e : events_) {
+    out << e.time << ',' << to_string(e.kind) << ',' << e.job << ',' << e.task
+        << ',' << e.node << ',' << (e.is_map ? 1 : 0) << ',' << e.detail << ','
+        << e.value << '\n';
+  }
+}
+
+void TraceLog::write_chrome_trace(std::ostream& out) const {
+  // Pair each phase start with the start of the next phase of the same
+  // task, or with the task's finish/kill.
+  struct OpenPhase {
+    SimTime start = 0.0;
+    std::string name;
+    NodeId node = kInvalidNode;
+    JobId job = kInvalidJob;
+  };
+  std::map<TaskId, OpenPhase> open;
+
+  out << "[";
+  bool first = true;
+  auto emit = [&](const OpenPhase& phase, TaskId task, SimTime end) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << phase.name << "\",\"ph\":\"X\",\"pid\":"
+        << phase.node << ",\"tid\":" << task << ",\"ts\":"
+        << phase.start * 1e6 << ",\"dur\":" << (end - phase.start) * 1e6
+        << ",\"args\":{\"job\":" << phase.job << "}}";
+  };
+  auto emit_instant = [&](const TraceEvent& e, const char* name) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << name << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+        << "\"tid\":0,\"ts\":" << e.time * 1e6 << ",\"args\":{\"job\":"
+        << e.job << "}}";
+  };
+
+  for (const auto& e : events_) {
+    switch (e.kind) {
+      case TraceEventKind::kPhaseStarted: {
+        if (auto it = open.find(e.task); it != open.end()) {
+          emit(it->second, e.task, e.time);
+        }
+        open[e.task] = OpenPhase{e.time, e.detail, e.node, e.job};
+        break;
+      }
+      case TraceEventKind::kTaskFinished:
+      case TraceEventKind::kTaskKilled: {
+        if (auto it = open.find(e.task); it != open.end()) {
+          emit(it->second, e.task, e.time);
+          open.erase(it);
+        }
+        break;
+      }
+      case TraceEventKind::kBarrierCrossed:
+        emit_instant(e, "barrier");
+        break;
+      case TraceEventKind::kJobFinished:
+        emit_instant(e, "job-finished");
+        break;
+      default:
+        break;
+    }
+  }
+  out << "\n]\n";
+}
+
+}  // namespace smr::metrics

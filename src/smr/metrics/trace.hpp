@@ -1,0 +1,65 @@
+// Task-event tracing: a structured log of everything the cluster did,
+// exportable as CSV or as a Chrome-trace-viewer JSON (load in
+// chrome://tracing or Perfetto, one row per node, one slice per task
+// phase).  Attach a TraceLog to a Runtime before run().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+
+namespace smr::metrics {
+
+enum class TraceEventKind {
+  kJobSubmitted,
+  kTaskLaunched,
+  kPhaseStarted,   // detail = phase name (MAP/SPILL/SHUFFLE/SORT/REDUCE)
+  kTaskFinished,
+  kTaskKilled,     // eager slot shrinking only
+  kBarrierCrossed, // all maps of a job finished
+  kJobFinished,
+  kSlotTargetChanged,  // detail = "map" or "reduce"; value = new target
+  kNodeFailed,         // node = the failed worker
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  SimTime time = 0.0;
+  TraceEventKind kind = TraceEventKind::kTaskLaunched;
+  JobId job = kInvalidJob;
+  TaskId task = kInvalidTask;
+  NodeId node = kInvalidNode;
+  bool is_map = true;
+  std::string detail;
+  double value = 0.0;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in time order (the log itself is time-ordered
+  /// because the simulation is).
+  std::vector<TraceEvent> of_kind(TraceEventKind kind) const;
+
+  /// One CSV row per event: time,kind,job,task,node,is_map,detail,value.
+  void write_csv(std::ostream& out) const;
+
+  /// Chrome trace-viewer JSON: complete events ("ph":"X") per task phase,
+  /// one trace-viewer process per node, instant events for barriers.
+  /// Durations are in microseconds of simulated time.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace smr::metrics

@@ -1,0 +1,85 @@
+#include "smr/metrics/utilization.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "smr/common/error.hpp"
+
+namespace smr::metrics {
+
+ClusterUtilization utilization_from_trace(const TraceLog& trace, int node_count,
+                                          SimTime horizon) {
+  SMR_CHECK(node_count >= 1);
+  SMR_CHECK(horizon > 0.0);
+
+  // Per node: +1/-1 concurrency deltas at event times.
+  std::vector<std::map<SimTime, int>> deltas(static_cast<std::size_t>(node_count));
+  std::unordered_map<TaskId, std::pair<NodeId, SimTime>> open;  // attempt -> (node, start)
+
+  auto close = [&](TaskId task, SimTime at) {
+    const auto it = open.find(task);
+    if (it == open.end()) return;  // e.g. launch before the window
+    const auto [node, start] = it->second;
+    open.erase(it);
+    if (start >= horizon) return;
+    deltas[static_cast<std::size_t>(node)][start] += 1;
+    deltas[static_cast<std::size_t>(node)][std::min(at, horizon)] -= 1;
+  };
+
+  for (const auto& event : trace.events()) {
+    switch (event.kind) {
+      case TraceEventKind::kTaskLaunched:
+        if (event.node >= 0 && event.node < node_count) {
+          open[event.task] = {event.node, event.time};
+        }
+        break;
+      case TraceEventKind::kTaskFinished:
+      case TraceEventKind::kTaskKilled:
+        close(event.task, event.time);
+        break;
+      default:
+        break;
+    }
+  }
+  // Attempts still resident at the end of the trace run to the horizon.
+  for (const auto& [task, where] : open) {
+    const auto [node, start] = where;
+    if (start >= horizon) continue;
+    deltas[static_cast<std::size_t>(node)][start] += 1;
+    deltas[static_cast<std::size_t>(node)][horizon] -= 1;
+  }
+
+  ClusterUtilization result;
+  result.nodes.resize(static_cast<std::size_t>(node_count));
+  for (int n = 0; n < node_count; ++n) {
+    auto& util = result.nodes[static_cast<std::size_t>(n)];
+    util.node = n;
+    int concurrency = 0;
+    SimTime prev = 0.0;
+    double busy_time = 0.0;
+    double concurrency_time = 0.0;
+    for (const auto& [time, delta] : deltas[static_cast<std::size_t>(n)]) {
+      const SimTime clamped = std::clamp(time, 0.0, horizon);
+      const SimTime span = clamped - prev;
+      if (span > 0.0) {
+        concurrency_time += span * concurrency;
+        if (concurrency > 0) busy_time += span;
+      }
+      prev = clamped;
+      concurrency += delta;
+      util.peak_concurrency = std::max(util.peak_concurrency, concurrency);
+    }
+    // Tail after the last event (concurrency is zero there by construction
+    // unless an open attempt ran to the horizon, already closed above).
+    util.average_concurrency = concurrency_time / horizon;
+    util.busy_fraction = busy_time / horizon;
+    result.mean_concurrency += util.average_concurrency;
+    result.mean_busy_fraction += util.busy_fraction;
+  }
+  result.mean_concurrency /= static_cast<double>(node_count);
+  result.mean_busy_fraction /= static_cast<double>(node_count);
+  return result;
+}
+
+}  // namespace smr::metrics

@@ -1,0 +1,41 @@
+// Utilization analysis over a task-event trace.
+//
+// The paper's thesis is that static slots leave resources idle ("resulting
+// easily in underutilisation of available resources", §I); these helpers
+// quantify that from a TraceLog: per-node task-residency over time and
+// cluster-level occupancy summaries.
+#pragma once
+
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/metrics/trace.hpp"
+
+namespace smr::metrics {
+
+struct NodeUtilization {
+  NodeId node = kInvalidNode;
+  /// Time-averaged number of resident task attempts over [0, horizon].
+  double average_concurrency = 0.0;
+  /// Fraction of [0, horizon] with at least one resident task.
+  double busy_fraction = 0.0;
+  /// Peak concurrent task attempts.
+  int peak_concurrency = 0;
+};
+
+struct ClusterUtilization {
+  std::vector<NodeUtilization> nodes;
+  /// Mean of average_concurrency across nodes.
+  double mean_concurrency = 0.0;
+  /// Mean busy fraction across nodes.
+  double mean_busy_fraction = 0.0;
+};
+
+/// Compute per-node utilization from launch/finish/kill events in `trace`,
+/// over the window [0, horizon].  `node_count` sizes the result (nodes with
+/// no events report zeros).  Attempts still resident at `horizon` count up
+/// to the horizon.
+ClusterUtilization utilization_from_trace(const TraceLog& trace, int node_count,
+                                          SimTime horizon);
+
+}  // namespace smr::metrics

@@ -1,0 +1,74 @@
+#include "smr/sim/engine.hpp"
+
+#include <utility>
+
+namespace smr::sim {
+
+void Engine::push(SimTime when, SimTime period, EventId id, std::function<void()> fn) {
+  heap_.push(Entry{when, next_seq_++, id, period, std::move(fn)});
+}
+
+EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  SMR_CHECK_MSG(when >= now_, "schedule_at in the past: " << when << " < " << now_);
+  SMR_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  push(when, 0.0, id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_in(SimTime delay, std::function<void()> fn) {
+  SMR_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_periodic(SimTime first, SimTime period, std::function<void()> fn) {
+  SMR_CHECK_MSG(first >= now_, "periodic first firing in the past");
+  SMR_CHECK_MSG(period > 0.0, "periodic period must be positive");
+  SMR_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  push(first, period, id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  // We cannot remove from the heap; mark the id dead and skip on pop.
+  return cancelled_.insert(id).second;
+}
+
+bool Engine::step(SimTime limit) {
+  for (;;) {
+    if (heap_.empty()) return false;
+    const Entry& top = heap_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > limit) return false;
+    // Copy out what we need before popping invalidates the reference.
+    Entry entry{top.when, top.seq, top.id, top.period, top.fn};
+    heap_.pop();
+    now_ = entry.when;
+    ++dispatched_;
+    if (entry.period > 0.0) {
+      // Reschedule before running so the callback can cancel the series.
+      push(entry.when + entry.period, entry.period, entry.id, entry.fn);
+    }
+    entry.fn();
+    return true;
+  }
+}
+
+SimTime Engine::run(SimTime limit) {
+  while (step(limit)) {
+  }
+  if (limit != kTimeNever) {
+    // A bounded run leaves the clock at the bound, whether events remain
+    // beyond it or the queue drained early.
+    now_ = std::max(now_, limit);
+  }
+  return now_;
+}
+
+}  // namespace smr::sim

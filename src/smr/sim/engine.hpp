@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Events are (time, sequence) ordered: two events at the same simulated time
+// fire in scheduling order, which makes every run bit-for-bit reproducible.
+// Events are cancellable via the EventId returned by schedule_*; periodic
+// events reschedule themselves until cancelled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "smr/common/error.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now).
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Schedule `fn` to run every `period` seconds, first firing at
+  /// `first` (absolute).  Returns an id that cancels the whole series.
+  EventId schedule_periodic(SimTime first, SimTime period, std::function<void()> fn);
+
+  /// Cancel a pending event (or a periodic series).  Cancelling an already
+  /// fired or unknown one-shot event is a no-op and returns false.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty or `limit` is reached, whichever first.
+  /// Returns the final simulated time.
+  SimTime run(SimTime limit = kTimeNever);
+
+  /// Run a single event; returns false if the queue was empty or the next
+  /// event lies beyond `limit` (time does not advance past `limit`).
+  bool step(SimTime limit = kTimeNever);
+
+  /// Number of pending events (cancelled-but-not-popped entries excluded).
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  bool empty() const { return pending() == 0; }
+
+  /// Total events dispatched so far (for tests / instrumentation).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    // Periodic period; 0 means one-shot.
+    SimTime period;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(SimTime when, SimTime period, EventId id, std::function<void()> fn);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace smr::sim

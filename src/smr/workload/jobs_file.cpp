@@ -1,0 +1,97 @@
+#include "smr/workload/jobs_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "smr/common/error.hpp"
+
+namespace smr::workload {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) fields.push_back(trim(field));
+  return fields;
+}
+
+double parse_number(const std::string& text, int line_number, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  SMR_CHECK_MSG(end != nullptr && *end == '\0' && !text.empty(),
+                "jobs csv line " << line_number << ": bad " << what << " '"
+                                 << text << "'");
+  return value;
+}
+
+}  // namespace
+
+std::vector<TimedJob> parse_jobs_csv(std::istream& in) {
+  std::vector<TimedJob> jobs;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = split_csv(trimmed);
+    if (line_number == 1 && !fields.empty() && fields[0] == "benchmark") {
+      continue;  // header row
+    }
+    SMR_CHECK_MSG(fields.size() == 3 || fields.size() == 4,
+                  "jobs csv line " << line_number << ": expected 3-4 fields, got "
+                                   << fields.size());
+    const auto bench = puma_from_name(fields[0]);
+    SMR_CHECK_MSG(bench.has_value(),
+                  "jobs csv line " << line_number << ": unknown benchmark '"
+                                   << fields[0] << "'");
+    const double input_gib = parse_number(fields[1], line_number, "input_gib");
+    SMR_CHECK_MSG(input_gib > 0.0,
+                  "jobs csv line " << line_number << ": input_gib must be > 0");
+    const double submit_at = parse_number(fields[2], line_number, "submit_at");
+    SMR_CHECK_MSG(submit_at >= 0.0,
+                  "jobs csv line " << line_number << ": submit_at must be >= 0");
+
+    TimedJob job;
+    job.spec = make_puma_job(
+        *bench, static_cast<Bytes>(input_gib * static_cast<double>(kGiB)));
+    job.submit_at = submit_at;
+    if (fields.size() == 4) {
+      const double reduce_tasks = parse_number(fields[3], line_number, "reduce_tasks");
+      SMR_CHECK_MSG(reduce_tasks >= 1.0,
+                    "jobs csv line " << line_number << ": reduce_tasks must be >= 1");
+      job.spec.reduce_tasks = static_cast<int>(reduce_tasks);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<TimedJob> load_jobs_csv(const std::string& path) {
+  std::ifstream in(path);
+  SMR_CHECK_MSG(in.good(), "cannot read jobs csv '" << path << "'");
+  return parse_jobs_csv(in);
+}
+
+void write_jobs_csv(const std::vector<TimedJob>& jobs, std::ostream& out) {
+  out << "benchmark,input_gib,submit_at,reduce_tasks\n";
+  for (const auto& job : jobs) {
+    out << job.spec.name << ','
+        << static_cast<double>(job.spec.input_size) / static_cast<double>(kGiB)
+        << ',' << job.submit_at << ',' << job.spec.reduce_tasks << '\n';
+  }
+}
+
+}  // namespace smr::workload

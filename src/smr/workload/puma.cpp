@@ -1,0 +1,200 @@
+#include "smr/workload/puma.hpp"
+
+#include <algorithm>
+
+#include "smr/common/error.hpp"
+
+namespace smr::workload {
+
+std::vector<Puma> all_puma_benchmarks() {
+  return {
+      Puma::kGrep,          Puma::kHistogramMovies, Puma::kHistogramRatings,
+      Puma::kWordCount,     Puma::kClassification,  Puma::kKMeans,
+      Puma::kTermVector,    Puma::kInvertedIndex,   Puma::kSequenceCount,
+      Puma::kSelfJoin,      Puma::kRankedInvertedIndex,
+      Puma::kAdjacencyList, Puma::kTerasort,
+  };
+}
+
+const char* puma_name(Puma benchmark) {
+  switch (benchmark) {
+    case Puma::kGrep: return "grep";
+    case Puma::kHistogramMovies: return "histogram-movies";
+    case Puma::kHistogramRatings: return "histogram-ratings";
+    case Puma::kWordCount: return "word-count";
+    case Puma::kClassification: return "classification";
+    case Puma::kKMeans: return "k-means";
+    case Puma::kTermVector: return "term-vector";
+    case Puma::kInvertedIndex: return "inverted-index";
+    case Puma::kSequenceCount: return "sequence-count";
+    case Puma::kSelfJoin: return "self-join";
+    case Puma::kRankedInvertedIndex: return "ranked-inverted-index";
+    case Puma::kAdjacencyList: return "adjacency-list";
+    case Puma::kTerasort: return "terasort";
+  }
+  return "unknown";
+}
+
+std::optional<Puma> puma_from_name(const std::string& name) {
+  for (Puma b : all_puma_benchmarks()) {
+    if (name == puma_name(b)) return b;
+  }
+  return std::nullopt;
+}
+
+JobSpec make_puma_job(Puma benchmark, Bytes input_size) {
+  JobSpec spec;
+  spec.name = puma_name(benchmark);
+  spec.input_size = input_size;
+
+  switch (benchmark) {
+    // --- Map-heavy: tiny shuffle, light per-task memory -----------------
+    case Puma::kGrep:
+      spec.map_cpu_per_mib = 0.22;       // regex scan
+      spec.map_selectivity = 0.001;      // rare matches
+      spec.reduce_cpu_per_mib = 0.05;
+      spec.reduce_selectivity = 1.0;
+      spec.map_task_memory = static_cast<Bytes>(2.2 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = 1 * kGiB;
+      break;
+    case Puma::kHistogramMovies:
+      spec.map_cpu_per_mib = 0.38;       // parse + bucket per record
+      spec.map_selectivity = 0.0008;
+      spec.reduce_cpu_per_mib = 0.05;
+      spec.reduce_selectivity = 1.0;
+      spec.map_task_memory = static_cast<Bytes>(3.0 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = 1 * kGiB;
+      break;
+    case Puma::kHistogramRatings:
+      spec.map_cpu_per_mib = 0.35;
+      spec.map_selectivity = 0.0008;
+      spec.reduce_cpu_per_mib = 0.05;
+      spec.reduce_selectivity = 1.0;
+      spec.map_task_memory = static_cast<Bytes>(3.0 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = 1 * kGiB;
+      break;
+    case Puma::kWordCount:
+      spec.map_cpu_per_mib = 0.40;       // tokenise
+      spec.map_selectivity = 0.05;       // post-combine ratio
+      spec.has_combiner = true;          // collapses ~10 raw pairs into 1
+      spec.combiner_reduction = 0.1;
+      spec.combine_cpu_per_mib = 0.03;
+      spec.spill_cpu_per_mib = 0.06;
+      spec.reduce_cpu_per_mib = 0.08;
+      spec.reduce_selectivity = 0.4;
+      spec.map_task_memory = static_cast<Bytes>(2.6 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(1.5 * static_cast<double>(kGiB));
+      break;
+    case Puma::kClassification:
+      spec.map_cpu_per_mib = 0.55;       // distance to centroids
+      spec.map_selectivity = 0.008;
+      spec.reduce_cpu_per_mib = 0.06;
+      spec.reduce_selectivity = 1.0;
+      spec.map_task_memory = static_cast<Bytes>(2.4 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = 1 * kGiB;
+      break;
+    case Puma::kKMeans:
+      spec.map_cpu_per_mib = 0.75;       // heaviest map compute in PUMA
+      spec.map_selectivity = 0.01;
+      spec.reduce_cpu_per_mib = 0.10;
+      spec.reduce_selectivity = 1.0;
+      spec.map_task_memory = static_cast<Bytes>(2.6 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(1.5 * static_cast<double>(kGiB));
+      break;
+
+    // --- Medium shuffle ---------------------------------------------------
+    case Puma::kTermVector:
+      spec.map_cpu_per_mib = 0.50;       // per-term frequency vectors
+      spec.map_selectivity = 0.30;
+      spec.spill_cpu_per_mib = 0.05;
+      spec.sort_cpu_per_mib = 0.06;
+      spec.reduce_cpu_per_mib = 0.20;    // heavy reduce: vector merge + sort
+      spec.reduce_selectivity = 0.3;
+      spec.map_task_memory = static_cast<Bytes>(4.0 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(3.0 * static_cast<double>(kGiB));
+      break;
+    case Puma::kInvertedIndex:
+      spec.map_cpu_per_mib = 0.42;
+      spec.map_selectivity = 0.35;
+      spec.spill_cpu_per_mib = 0.05;
+      spec.reduce_cpu_per_mib = 0.12;
+      spec.reduce_selectivity = 0.8;
+      spec.map_task_memory = static_cast<Bytes>(3.6 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(2.5 * static_cast<double>(kGiB));
+      break;
+    case Puma::kSequenceCount:
+      spec.map_cpu_per_mib = 0.48;
+      spec.map_selectivity = 0.55;
+      spec.spill_cpu_per_mib = 0.06;
+      spec.reduce_cpu_per_mib = 0.12;
+      spec.reduce_selectivity = 0.5;
+      spec.map_task_memory = static_cast<Bytes>(4.0 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(2.5 * static_cast<double>(kGiB));
+      break;
+    case Puma::kSelfJoin:
+      spec.map_cpu_per_mib = 0.25;       // light map: key re-emission
+      spec.map_selectivity = 0.28;
+      spec.reduce_cpu_per_mib = 0.15;
+      spec.reduce_selectivity = 0.4;
+      spec.map_task_memory = static_cast<Bytes>(3.2 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(2.5 * static_cast<double>(kGiB));
+      break;
+
+    // --- Reduce-heavy: shuffle ≈ input, fat working sets ------------------
+    case Puma::kRankedInvertedIndex:
+      spec.map_cpu_per_mib = 0.35;
+      spec.map_selectivity = 0.85;
+      spec.spill_cpu_per_mib = 0.06;
+      spec.spill_disk_factor = 1.3;
+      spec.reduce_cpu_per_mib = 0.15;
+      spec.reduce_selectivity = 0.9;
+      spec.map_task_memory = static_cast<Bytes>(5.0 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(3.5 * static_cast<double>(kGiB));
+      break;
+    case Puma::kAdjacencyList:
+      spec.map_cpu_per_mib = 0.40;
+      spec.map_selectivity = 1.10;       // output exceeds input
+      spec.spill_cpu_per_mib = 0.07;
+      spec.spill_disk_factor = 1.3;
+      spec.reduce_cpu_per_mib = 0.18;
+      spec.reduce_selectivity = 0.7;
+      spec.map_task_memory = static_cast<Bytes>(5.5 * static_cast<double>(kGiB));
+      spec.reduce_task_memory = static_cast<Bytes>(3.5 * static_cast<double>(kGiB));
+      break;
+    case Puma::kTerasort:
+      spec.map_cpu_per_mib = 0.18;       // identity map; sort dominated
+      spec.map_selectivity = 1.0;
+      spec.spill_cpu_per_mib = 0.08;
+      spec.spill_disk_factor = 1.3;
+      spec.sort_cpu_per_mib = 0.08;
+      spec.reduce_cpu_per_mib = 0.10;
+      spec.reduce_selectivity = 1.0;
+      spec.map_task_memory = 6 * kGiB;   // io.sort buffers dominate
+      spec.reduce_task_memory = 4 * kGiB;
+      break;
+  }
+
+  spec.validate();
+  return spec;
+}
+
+int recommended_reduce_tasks(int workers, int reduce_slots_per_node) {
+  SMR_CHECK(workers >= 1 && reduce_slots_per_node >= 0);
+  const int slots = workers * reduce_slots_per_node;
+  return std::max(1, static_cast<int>(0.99 * slots));
+}
+
+std::vector<Puma> fig1_benchmarks() {
+  return {Puma::kTerasort, Puma::kTermVector, Puma::kGrep};
+}
+
+std::vector<Puma> fig3_benchmarks() {
+  return {
+      Puma::kGrep,          Puma::kHistogramMovies, Puma::kHistogramRatings,
+      Puma::kWordCount,     Puma::kClassification,  Puma::kTermVector,
+      Puma::kInvertedIndex, Puma::kSequenceCount,   Puma::kSelfJoin,
+      Puma::kTerasort,
+  };
+}
+
+}  // namespace smr::workload

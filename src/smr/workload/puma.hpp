@@ -1,0 +1,71 @@
+// The PUMA benchmark catalogue (Purdue MapReduce Benchmarks Suite), the
+// workload set the paper evaluates with (Section V, [10]).
+//
+// Each benchmark is characterised for the simulator by its data-flow
+// selectivities, compute intensity per byte and per-task memory footprint.
+// The parameters follow the published PUMA characterisation qualitatively:
+//
+//   * map-heavy, tiny shuffle: Grep, HistogramMovies, HistogramRatings,
+//     Classification, KMeans (high map compute, selectivity ≈ 0).
+//     WordCount joins them thanks to its combiner.
+//   * medium shuffle: TermVector, InvertedIndex, SequenceCount, SelfJoin.
+//   * reduce-heavy, shuffle ≈ input: Terasort, RankedInvertedIndex,
+//     AdjacencyList.
+//
+// Memory footprints grow with shuffle intensity (sort buffers, in-memory
+// segment maps), which is what gives reduce-heavy jobs their earlier map
+// thrashing point (paper §II-B, Fig. 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/mapreduce/job_spec.hpp"
+
+namespace smr::workload {
+
+using mapreduce::JobSpec;
+
+/// Benchmark identifiers, mirroring the PUMA suite.
+enum class Puma {
+  kGrep,
+  kHistogramMovies,
+  kHistogramRatings,
+  kWordCount,
+  kClassification,
+  kKMeans,
+  kTermVector,
+  kInvertedIndex,
+  kSequenceCount,
+  kSelfJoin,
+  kRankedInvertedIndex,
+  kAdjacencyList,
+  kTerasort,
+};
+
+/// All benchmarks, in the catalogue's canonical order.
+std::vector<Puma> all_puma_benchmarks();
+
+const char* puma_name(Puma benchmark);
+
+/// Parse a catalogue name ("grep", "terasort", ...); nullopt if unknown.
+std::optional<Puma> puma_from_name(const std::string& name);
+
+/// Build the JobSpec for `benchmark` over `input_size` bytes with the
+/// paper's defaults (128 MB splits, 30 reduce tasks).
+JobSpec make_puma_job(Puma benchmark, Bytes input_size = 30 * kGiB);
+
+/// The paper's sizing rule (Section V): "the recommended reduce task
+/// number is 99% of the number of reduce slots in the cluster" — floor of
+/// 0.99 × workers × reduce_slots_per_node, at least 1.  With the paper's 16
+/// trackers × 2 slots this yields 30, the number used in every benchmark.
+int recommended_reduce_tasks(int workers, int reduce_slots_per_node);
+
+/// The three benchmarks of the paper's Fig. 1 thrashing study.
+std::vector<Puma> fig1_benchmarks();
+
+/// The benchmark set of the paper's Fig. 3 execution-time comparison.
+std::vector<Puma> fig3_benchmarks();
+
+}  // namespace smr::workload

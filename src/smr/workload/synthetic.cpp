@@ -1,0 +1,48 @@
+#include "smr/workload/synthetic.hpp"
+
+#include <cmath>
+
+#include "smr/common/error.hpp"
+
+namespace smr::workload {
+
+void SyntheticMixConfig::validate() const {
+  SMR_CHECK(jobs >= 1);
+  SMR_CHECK(mean_interarrival >= 0.0);
+  SMR_CHECK(min_input > 0 && min_input <= max_input);
+  SMR_CHECK(reduce_tasks >= 1);
+}
+
+std::vector<TimedJob> make_synthetic_mix(const SyntheticMixConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const std::vector<Puma> candidates =
+      config.candidates.empty() ? all_puma_benchmarks() : config.candidates;
+
+  std::vector<TimedJob> mix;
+  mix.reserve(static_cast<std::size_t>(config.jobs));
+  SimTime clock = 0.0;
+  const double log_min = std::log(static_cast<double>(config.min_input));
+  const double log_max = std::log(static_cast<double>(config.max_input));
+  for (int i = 0; i < config.jobs; ++i) {
+    const Puma bench = candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    const auto input = static_cast<Bytes>(
+        std::exp(rng.uniform(log_min, log_max)));
+    JobSpec spec = make_puma_job(bench, input);
+    spec.reduce_tasks = config.reduce_tasks;
+
+    TimedJob job;
+    job.spec = std::move(spec);
+    job.submit_at = clock;
+    mix.push_back(std::move(job));
+
+    if (config.mean_interarrival > 0.0) {
+      // Exponential inter-arrival (Poisson process).
+      clock += -config.mean_interarrival * std::log1p(-rng.uniform());
+    }
+  }
+  return mix;
+}
+
+}  // namespace smr::workload

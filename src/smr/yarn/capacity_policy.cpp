@@ -1,0 +1,132 @@
+#include "smr/yarn/capacity_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smr::yarn {
+
+CapacityPolicy::CapacityPolicy(YarnConfig config) : config_(config) {
+  config_.validate();
+}
+
+void CapacityPolicy::on_start(std::span<mapreduce::TaskTracker> trackers) {
+  rm_.emplace(config_, static_cast<int>(trackers.size()));
+  am_containers_.clear();
+  map_containers_.assign(trackers.size(), {});
+  reduce_containers_.assign(trackers.size(), {});
+  // Before the first job arrives every container is available to maps.
+  for (auto& tracker : trackers) {
+    tracker.set_map_target(config_.containers_per_node());
+    tracker.set_reduce_target(0);
+  }
+}
+
+void CapacityPolicy::reconcile_ledger(const mapreduce::TaskTracker& tracker,
+                                      const mapreduce::ClusterStats& stats) {
+  const NodeId node = tracker.node();
+  const auto n = static_cast<std::size_t>(node);
+
+  // Finished jobs release their ApplicationMaster containers (any heartbeat
+  // may observe this; the ledger is cluster-global).
+  for (auto it = am_containers_.begin(); it != am_containers_.end();) {
+    const bool active = std::find(stats.active_jobs.begin(), stats.active_jobs.end(),
+                                  it->first) != stats.active_jobs.end();
+    if (!active) {
+      rm_->release(it->second);
+      it = am_containers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Task containers mirror this node's running tasks: release before
+  // allocating so turnover within one heartbeat cannot overshoot.
+  auto reconcile_kind = [&](std::vector<ContainerId>& held, int running) {
+    while (static_cast<int>(held.size()) > running) {
+      rm_->release(held.back());
+      held.pop_back();
+    }
+    while (static_cast<int>(held.size()) < running) {
+      const auto id = rm_->allocate(node, config_.container, kInvalidJob,
+                                    /*is_am=*/false);
+      SMR_CHECK_MSG(id.has_value(),
+                    "node " << node << " runs more tasks than its containers");
+      held.push_back(*id);
+    }
+  };
+  reconcile_kind(map_containers_[n], tracker.running_maps());
+  reconcile_kind(reduce_containers_[n], tracker.running_reduces());
+
+  // Newly active jobs park an AM on node (job % nodes); if that node is
+  // momentarily full the allocation retries on a later heartbeat (targets
+  // already reserve the space, so tasks drain first).
+  for (JobId job : stats.active_jobs) {
+    if (job % stats.nodes != node || am_containers_.count(job) > 0) continue;
+    if (const auto id = rm_->allocate(node, config_.am_container, job, true)) {
+      am_containers_.emplace(job, *id);
+    }
+  }
+}
+
+int CapacityPolicy::node_task_capacity(NodeId node,
+                                       const mapreduce::ClusterStats& stats) const {
+  int capacity = config_.containers_per_node();
+  // Each active job parks its ApplicationMaster on node (job_id % nodes).
+  int am_containers = 0;
+  for (JobId job : stats.active_jobs) {
+    if (job % stats.nodes == node) ++am_containers;
+  }
+  if (am_containers > 0) {
+    const int per_am = std::max(1, Resource{config_.am_container}.count_of(config_.container));
+    capacity -= am_containers * per_am;
+  }
+  return std::max(0, capacity);
+}
+
+int CapacityPolicy::admitted_reduces(const mapreduce::ClusterStats& stats) const {
+  if (!stats.has_active_job) return 0;
+  const int total_capacity = config_.containers_per_node() * stats.nodes;
+  const bool map_work_left = stats.pending_maps > 0 || stats.running_maps > 0;
+
+  double fraction;
+  if (!map_work_left) {
+    fraction = 1.0;  // nothing to prioritise; reduces may take the cluster
+  } else if (stats.front_job_map_fraction < config_.reduce_slowstart) {
+    fraction = 0.0;
+  } else {
+    // Linear ramp from the slow-start point to ramp_full_at.
+    const double span = std::max(1e-9, config_.ramp_full_at - config_.reduce_slowstart);
+    const double t = std::clamp(
+        (stats.front_job_map_fraction - config_.reduce_slowstart) / span, 0.0, 1.0);
+    fraction = config_.max_reduce_fraction * t;
+  }
+  const int by_ramp = static_cast<int>(
+      std::ceil(fraction * static_cast<double>(total_capacity)));
+  const int needed = stats.running_reduces + stats.pending_reduces;
+  return std::min(by_ramp, needed);
+}
+
+void CapacityPolicy::on_heartbeat(mapreduce::TaskTracker& tracker,
+                                  const mapreduce::ClusterStats& stats) {
+  if (rm_) reconcile_ledger(tracker, stats);
+  const int capacity = node_task_capacity(tracker.node(), stats);
+  const int admitted = admitted_reduces(stats);
+
+  // Spread admitted reduce containers evenly; low node ids take remainders.
+  const int base = admitted / stats.nodes;
+  const int extra = (tracker.node() < admitted % stats.nodes) ? 1 : 0;
+  int reduce_quota = base + extra;
+  reduce_quota = std::min(reduce_quota, capacity);
+
+  // Containers are hard: reduces may only grow into containers maps do not
+  // currently occupy, and maps get everything reduces do not hold.
+  const int reduce_target =
+      std::max(std::min(reduce_quota, capacity - tracker.running_maps()),
+               std::min(tracker.running_reduces(), capacity));
+  const int map_target = std::max(0, capacity - std::max(reduce_quota, reduce_target));
+
+  tracker.set_reduce_target(std::max(0, reduce_target));
+  tracker.set_map_target(map_target);
+}
+
+}  // namespace smr::yarn

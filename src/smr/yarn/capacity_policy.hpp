@@ -1,0 +1,73 @@
+// YARN capacity-scheduler allocation policy.
+//
+// Models the scheduling behaviour the paper contrasts against (Sections I,
+// II-A, VI):
+//   * A shared, fungible container pool per node (no typed slots): map
+//     tasks may use every container reduce tasks do not hold, so YARN runs
+//     more concurrent maps than HadoopV1 early in a job and more concurrent
+//     reduces in the tail.
+//   * Map priority with a reduce ramp: reduce containers are admitted only
+//     after the front job passes its slow-start fraction, then ramp
+//     linearly up to max_reduce_fraction of cluster capacity while maps
+//     remain, and are uncapped once no map work is left.
+//   * One ApplicationMaster container per active job (hosted on the node
+//     job_id % nodes), shrinking that node's task capacity.
+//   * FIFO across jobs via the underlying task assignment order, matching
+//     the paper's capacity-scheduler setup ("tries to schedule containers
+//     for early submitted jobs first").
+//
+// Decisions surface as slot targets; the hard container capacity is
+// enforced by never letting reduce admissions overlap containers that
+// running maps still occupy (and vice versa), mirroring how a real RM
+// waits for containers to be released.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "smr/mapreduce/policy.hpp"
+#include "smr/yarn/container.hpp"
+#include "smr/yarn/resources.hpp"
+
+namespace smr::yarn {
+
+class CapacityPolicy final : public mapreduce::AllocationPolicy {
+ public:
+  explicit CapacityPolicy(YarnConfig config);
+
+  std::string name() const override { return "YARN"; }
+
+  void on_start(std::span<mapreduce::TaskTracker> trackers) override;
+  void on_heartbeat(mapreduce::TaskTracker& tracker,
+                    const mapreduce::ClusterStats& stats) override;
+
+  const YarnConfig& config() const { return config_; }
+
+  /// Task containers available on `node` after AM reservations.
+  int node_task_capacity(NodeId node, const mapreduce::ClusterStats& stats) const;
+
+  /// Cluster-wide reduce containers currently admitted by the ramp.
+  int admitted_reduces(const mapreduce::ClusterStats& stats) const;
+
+  /// The live container ledger (nullptr before on_start).  Every running
+  /// task and every ApplicationMaster of an active job occupies a Container
+  /// here; NodeContainerPool throws if the capacity is ever exceeded, so a
+  /// completed run proves the policy honoured the hard limits.
+  const ResourceManager* resource_manager() const {
+    return rm_ ? &*rm_ : nullptr;
+  }
+
+ private:
+  void reconcile_ledger(const mapreduce::TaskTracker& tracker,
+                        const mapreduce::ClusterStats& stats);
+
+  YarnConfig config_;
+  std::optional<ResourceManager> rm_;
+  std::unordered_map<JobId, ContainerId> am_containers_;
+  // Mirror of each node's running tasks, as container ids.
+  std::vector<std::vector<ContainerId>> map_containers_;
+  std::vector<std::vector<ContainerId>> reduce_containers_;
+};
+
+}  // namespace smr::yarn

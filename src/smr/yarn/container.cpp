@@ -1,0 +1,88 @@
+#include "smr/yarn/container.hpp"
+
+#include <algorithm>
+
+#include "smr/common/error.hpp"
+
+namespace smr::yarn {
+
+NodeContainerPool::NodeContainerPool(NodeId node, Resource capacity)
+    : node_(node), capacity_(capacity) {
+  SMR_CHECK(node >= 0);
+  SMR_CHECK(capacity.memory > 0 && capacity.vcores > 0);
+}
+
+void NodeContainerPool::add(const Container& container) {
+  SMR_CHECK(container.id != kInvalidContainer);
+  SMR_CHECK_MSG(container.node == node_,
+                "container for node " << container.node << " added to pool " << node_);
+  SMR_CHECK_MSG(can_fit(container.size),
+                "node " << node_ << " capacity exceeded: "
+                        << format_bytes(used_.memory + container.size.memory) << " of "
+                        << format_bytes(capacity_.memory));
+  SMR_CHECK_MSG(containers_.emplace(container.id, container).second,
+                "duplicate container id " << container.id);
+  order_.push_back(container.id);
+  used_ = used_ + container.size;
+}
+
+Container NodeContainerPool::release(ContainerId id) {
+  const auto it = containers_.find(id);
+  SMR_CHECK_MSG(it != containers_.end(), "unknown container " << id);
+  const Container released = it->second;
+  used_ = used_ - released.size;
+  containers_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  return released;
+}
+
+std::vector<Container> NodeContainerPool::containers() const {
+  std::vector<Container> result;
+  result.reserve(order_.size());
+  for (ContainerId id : order_) result.push_back(containers_.at(id));
+  return result;
+}
+
+ResourceManager::ResourceManager(const YarnConfig& config, int nodes)
+    : config_(config) {
+  config_.validate();
+  SMR_CHECK(nodes >= 1);
+  pools_.reserve(static_cast<std::size_t>(nodes));
+  for (NodeId n = 0; n < nodes; ++n) {
+    pools_.emplace_back(n, config_.node_capacity);
+  }
+}
+
+std::optional<ContainerId> ResourceManager::allocate(NodeId node, const Resource& size,
+                                                     JobId owner, bool is_am) {
+  SMR_CHECK(node >= 0 && static_cast<std::size_t>(node) < pools_.size());
+  auto& pool = pools_[static_cast<std::size_t>(node)];
+  if (!pool.can_fit(size)) return std::nullopt;
+  Container container;
+  container.id = next_id_++;
+  container.node = node;
+  container.size = size;
+  container.owner = owner;
+  container.is_am = is_am;
+  pool.add(container);
+  owner_node_.emplace(container.id, node);
+  return container.id;
+}
+
+void ResourceManager::release(ContainerId id) {
+  const auto it = owner_node_.find(id);
+  SMR_CHECK_MSG(it != owner_node_.end(), "unknown container " << id);
+  pools_[static_cast<std::size_t>(it->second)].release(id);
+  owner_node_.erase(it);
+}
+
+const NodeContainerPool& ResourceManager::pool(NodeId node) const {
+  SMR_CHECK(node >= 0 && static_cast<std::size_t>(node) < pools_.size());
+  return pools_[static_cast<std::size_t>(node)];
+}
+
+int ResourceManager::node_free_task_containers(NodeId node) const {
+  return pool(node).available().count_of(config_.container);
+}
+
+}  // namespace smr::yarn

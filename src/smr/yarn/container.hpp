@@ -1,0 +1,94 @@
+// Explicit container accounting: the bookkeeping half of YARN's resource
+// manager.  Every concurrent task (and every ApplicationMaster) occupies a
+// Container allocated against its node's advertised capacity; the pool
+// enforces the capacity as a hard invariant — any attempt to oversubscribe
+// throws, which is how the test suite proves the capacity policy never
+// cheats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/yarn/resources.hpp"
+
+namespace smr::yarn {
+
+using ContainerId = std::int64_t;
+inline constexpr ContainerId kInvalidContainer = -1;
+
+struct Container {
+  ContainerId id = kInvalidContainer;
+  NodeId node = kInvalidNode;
+  Resource size;
+  JobId owner = kInvalidJob;
+  /// ApplicationMaster containers persist for the job's lifetime; task
+  /// containers turn over per task.
+  bool is_am = false;
+};
+
+/// Per-node container ledger against a fixed capacity.
+class NodeContainerPool {
+ public:
+  NodeContainerPool(NodeId node, Resource capacity);
+
+  NodeId node() const { return node_; }
+  const Resource& capacity() const { return capacity_; }
+  Resource used() const { return used_; }
+  Resource available() const { return capacity_ - used_; }
+  int container_count() const { return static_cast<int>(containers_.size()); }
+
+  bool can_fit(const Resource& size) const { return size.fits_in(available()); }
+
+  /// Record an allocation (id assigned by the ResourceManager).  Throws if
+  /// the container does not fit — capacity is a hard invariant.
+  void add(const Container& container);
+
+  /// Release by id; throws on unknown id.  Returns the released container.
+  Container release(ContainerId id);
+
+  /// Containers currently held, in allocation order.
+  std::vector<Container> containers() const;
+
+ private:
+  NodeId node_;
+  Resource capacity_;
+  Resource used_{0, 0.0};
+  std::unordered_map<ContainerId, Container> containers_;
+  std::vector<ContainerId> order_;
+};
+
+/// Cluster-wide allocator: assigns ids, routes to node pools, answers
+/// occupancy queries.
+class ResourceManager {
+ public:
+  ResourceManager(const YarnConfig& config, int nodes);
+
+  int nodes() const { return static_cast<int>(pools_.size()); }
+  const YarnConfig& config() const { return config_; }
+
+  /// Allocate on a specific node; nullopt if it does not fit.
+  std::optional<ContainerId> allocate(NodeId node, const Resource& size,
+                                      JobId owner, bool is_am);
+
+  void release(ContainerId id);
+
+  bool contains(ContainerId id) const { return owner_node_.count(id) > 0; }
+  const NodeContainerPool& pool(NodeId node) const;
+
+  /// Total containers currently allocated (AM + task).
+  int cluster_allocated() const { return static_cast<int>(owner_node_.size()); }
+
+  /// Task containers (sized config().container) the node can still take.
+  int node_free_task_containers(NodeId node) const;
+
+ private:
+  YarnConfig config_;
+  std::vector<NodeContainerPool> pools_;
+  std::unordered_map<ContainerId, NodeId> owner_node_;
+  ContainerId next_id_ = 1;
+};
+
+}  // namespace smr::yarn

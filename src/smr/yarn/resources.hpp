@@ -1,0 +1,93 @@
+// YARN resource vectors and container sizing.
+//
+// YARN abandons typed slots for fungible containers sized in memory and
+// vcores (Section I / VI of the paper).  The node manager advertises a
+// resource capacity; the scheduler hands out containers against it.  The
+// user picks the container size — the guesswork the paper criticises: too
+// small and tasks die, too large and a few containers fill the node.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "smr/common/error.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::yarn {
+
+struct Resource {
+  Bytes memory = 0;
+  double vcores = 0.0;
+
+  Resource operator+(const Resource& o) const { return {memory + o.memory, vcores + o.vcores}; }
+  Resource operator-(const Resource& o) const { return {memory - o.memory, vcores - o.vcores}; }
+  bool fits_in(const Resource& capacity) const {
+    return memory <= capacity.memory && vcores <= capacity.vcores;
+  }
+  /// How many of `piece` fit into this resource.
+  int count_of(const Resource& piece) const {
+    SMR_CHECK(piece.memory > 0 || piece.vcores > 0);
+    int by_mem = piece.memory > 0
+                     ? static_cast<int>(memory / piece.memory)
+                     : std::numeric_limits<int>::max();
+    int by_cores = piece.vcores > 0
+                       ? static_cast<int>(static_cast<double>(vcores) / piece.vcores)
+                       : std::numeric_limits<int>::max();
+    return std::max(0, std::min(by_mem, by_cores));
+  }
+};
+
+struct YarnConfig {
+  /// Uniform task container size (the paper's setup runs map and reduce
+  /// containers of the same size).
+  Resource container{2 * kGiB, 1.0};
+
+  /// Per-node resources advertised by the node manager
+  /// (yarn.nodemanager.resource.*).
+  Resource node_capacity{10 * kGiB, 16.0};
+
+  /// ApplicationMaster container per running job.
+  Resource am_container{2 * kGiB, 1.0};
+
+  /// Fraction of a job's maps that must complete before its reduces may be
+  /// scheduled (mapreduce.job.reduce.slowstart.completedmaps).
+  double reduce_slowstart = 0.05;
+
+  /// Ceiling on the fraction of cluster task-container capacity reduce
+  /// containers may hold while map tasks are still pending/running (the
+  /// MRAppMaster's reduce ramp-up limit; realises the capacity scheduler's
+  /// map priority the paper describes).
+  double max_reduce_fraction = 0.4;
+
+  /// Map-completion fraction at which the reduce ramp reaches
+  /// max_reduce_fraction (linear ramp from slowstart).
+  double ramp_full_at = 0.8;
+
+  /// Per-node task-container capacity.
+  int containers_per_node() const { return node_capacity.count_of(container); }
+
+  void validate() const {
+    SMR_CHECK(container.memory > 0 && container.vcores > 0);
+    SMR_CHECK(node_capacity.memory > 0 && node_capacity.vcores > 0);
+    SMR_CHECK(containers_per_node() >= 1);
+    SMR_CHECK(reduce_slowstart >= 0.0 && reduce_slowstart <= 1.0);
+    SMR_CHECK(max_reduce_fraction >= 0.0 && max_reduce_fraction <= 1.0);
+    SMR_CHECK(ramp_full_at > 0.0 && ramp_full_at <= 1.0);
+  }
+
+  /// A configuration equivalent to a HadoopV1 cluster with `map_slots` +
+  /// `reduce_slots` per node — the paper's "YARN is configured to be able
+  /// to run 3 map containers and 2 reduce containers concurrently".
+  static YarnConfig equivalent_slots(int map_slots, int reduce_slots) {
+    SMR_CHECK(map_slots >= 1 && reduce_slots >= 0);
+    YarnConfig cfg;
+    const int total = map_slots + reduce_slots;
+    cfg.node_capacity = {cfg.container.memory * total, static_cast<double>(total)};
+    cfg.max_reduce_fraction =
+        static_cast<double>(reduce_slots) / static_cast<double>(total);
+    cfg.validate();
+    return cfg;
+  }
+};
+
+}  // namespace smr::yarn

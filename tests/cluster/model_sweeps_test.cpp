@@ -1,0 +1,146 @@
+// Parameter-direction properties of the contention model: how the
+// thrashing hump and aggregate throughput respond to hardware changes.
+// These pin the *mechanism* docs/MODEL.md describes, so recalibration that
+// silently breaks a direction fails here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "smr/cluster/compute_model.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::cluster {
+namespace {
+
+double aggregate_rate(const NodeSpec& node, const mapreduce::JobSpec& spec, int n) {
+  Occupancy occ;
+  occ.threads = n;
+  occ.io_streams = n;
+  occ.memory_demand = spec.map_task_memory * n;
+  std::vector<PhaseLoad> loads(
+      static_cast<std::size_t>(n),
+      PhaseLoad{spec.map_cpu_per_mib / static_cast<double>(kMiB),
+                1.0 + spec.map_selectivity * spec.spill_disk_factor, kNoCap, 1.0});
+  double total = 0.0;
+  for (double r : ComputeModel::solve(node, occ, {}, loads)) total += r;
+  return total;
+}
+
+int hump(const NodeSpec& node, const mapreduce::JobSpec& spec, int max_n = 20) {
+  int best = 1;
+  double best_rate = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    const double rate = aggregate_rate(node, spec, n);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = n;
+    }
+  }
+  return best;
+}
+
+TEST(ModelSweeps, MoreMemoryMovesHumpRight) {
+  const auto spec = workload::make_puma_job(workload::Puma::kTerasort);
+  NodeSpec small = NodeSpec{};
+  NodeSpec big = NodeSpec{};
+  big.memory = 64 * kGiB;
+  EXPECT_GT(hump(big, spec), hump(small, spec));
+}
+
+TEST(ModelSweeps, SmallerWorkingSetsMoveHumpRight) {
+  const NodeSpec node;
+  auto fat = workload::make_puma_job(workload::Puma::kTerasort);
+  auto lean = fat;
+  lean.map_task_memory = fat.map_task_memory / 2;
+  EXPECT_GT(hump(node, lean), hump(node, fat));
+}
+
+TEST(ModelSweeps, HarsherPagingDeepensTheFall) {
+  const auto spec = workload::make_puma_job(workload::Puma::kTerasort);
+  NodeSpec mild = NodeSpec{};
+  mild.paging_penalty = 4.0;
+  NodeSpec harsh = NodeSpec{};
+  harsh.paging_penalty = 40.0;
+  const int n_past = hump(mild, spec) + 3;
+  EXPECT_LT(aggregate_rate(harsh, spec, n_past), aggregate_rate(mild, spec, n_past));
+}
+
+TEST(ModelSweeps, CpuSpeedScalesThroughputBelowHump) {
+  const auto spec = workload::make_puma_job(workload::Puma::kKMeans);  // CPU-bound
+  NodeSpec fast = NodeSpec{};
+  NodeSpec slow = NodeSpec{};
+  slow.cpu_speed = 0.5;
+  const double fast_rate = aggregate_rate(fast, spec, 3);
+  const double slow_rate = aggregate_rate(slow, spec, 3);
+  EXPECT_NEAR(slow_rate, fast_rate * 0.5, fast_rate * 0.02);
+}
+
+TEST(ModelSweeps, DiskBandwidthBindsIoHeavyWorkloads) {
+  // Terasort at moderate concurrency is disk-bound: halving disk bandwidth
+  // cuts throughput, while KMeans (CPU-bound) barely notices.
+  NodeSpec fast_disk = NodeSpec{};
+  NodeSpec slow_disk = NodeSpec{};
+  slow_disk.disk_bandwidth /= 2.0;
+  const auto terasort = workload::make_puma_job(workload::Puma::kTerasort);
+  const auto kmeans = workload::make_puma_job(workload::Puma::kKMeans);
+  const double terasort_drop = aggregate_rate(slow_disk, terasort, 6) /
+                               aggregate_rate(fast_disk, terasort, 6);
+  const double kmeans_drop =
+      aggregate_rate(slow_disk, kmeans, 6) / aggregate_rate(fast_disk, kmeans, 6);
+  EXPECT_LT(terasort_drop, 0.95);
+  EXPECT_GT(kmeans_drop, 0.99);
+}
+
+TEST(ModelSweeps, ZeroOverheadsGiveIdealScalingUntilResourceBind) {
+  NodeSpec ideal = NodeSpec{};
+  ideal.thread_overhead = 0.0;
+  ideal.sched_overhead = 0.0;
+  ideal.seek_overhead = 0.0;
+  auto spec = workload::make_puma_job(workload::Puma::kGrep);
+  spec.map_task_memory = 1 * kGiB;  // memory never binds up to 20 tasks
+  // Below every bind, aggregate is exactly linear in n.
+  const double r1 = aggregate_rate(ideal, spec, 1);
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_NEAR(aggregate_rate(ideal, spec, n), r1 * n, r1 * 0.01) << "n=" << n;
+  }
+}
+
+TEST(ModelSweeps, AggregateNeverNegativeOrExplosive) {
+  // Robustness sweep across extreme parameter corners.
+  const auto spec = workload::make_puma_job(workload::Puma::kAdjacencyList);
+  for (double penalty : {0.0, 1.0, 100.0}) {
+    for (Bytes memory : {8 * kGiB, 32 * kGiB, 256 * kGiB}) {
+      NodeSpec node;
+      node.paging_penalty = penalty;
+      node.memory = memory;
+      for (int n = 1; n <= 32; ++n) {
+        const double rate = aggregate_rate(node, spec, n);
+        ASSERT_GE(rate, 0.0);
+        // Never exceeds the no-contention bound: n tasks at one core each.
+        const double per_task_cpu_bound =
+            static_cast<double>(kMiB) / spec.map_cpu_per_mib;
+        ASSERT_LE(rate, n * per_task_cpu_bound * 1.01);
+      }
+    }
+  }
+}
+
+class IncastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncastSweep, EfficiencyMonotoneInStreams) {
+  NetworkSpec net;
+  net.incast_knee_streams = GetParam();
+  double prev = 1.0;
+  for (int streams = 1; streams <= 100; ++streams) {
+    const double eff = net.incast_efficiency(streams);
+    ASSERT_LE(eff, prev + 1e-12);
+    ASSERT_GT(eff, 0.0);
+    prev = eff;
+  }
+  EXPECT_DOUBLE_EQ(net.incast_efficiency(GetParam()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Knees, IncastSweep, ::testing::Values(1, 4, 12, 40));
+
+}  // namespace
+}  // namespace smr::cluster

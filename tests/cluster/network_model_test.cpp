@@ -1,0 +1,124 @@
+#include "smr/cluster/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smr::cluster {
+namespace {
+
+ClusterSpec small_cluster(int nodes = 4) { return ClusterSpec::paper_testbed(nodes); }
+
+TEST(NetworkModel, EmptyFlows) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  EXPECT_TRUE(net.allocate({}, {}).empty());
+}
+
+TEST(NetworkModel, SingleDiffuseFlowBoundByReceiverNic) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{0, kInvalidNode, kNoCap}};
+  const auto rates = net.allocate(flows, {});
+  EXPECT_NEAR(rates[0], spec.workers[0].nic_bandwidth, 1.0);
+}
+
+TEST(NetworkModel, PerFlowCapRespected) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{0, kInvalidNode, 5.0 * static_cast<double>(kMiB)}};
+  const auto rates = net.allocate(flows, {});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0 * static_cast<double>(kMiB));
+}
+
+TEST(NetworkModel, TwoFlowsSameReceiverSharePort) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{0, kInvalidNode, kNoCap}, {0, kInvalidNode, kNoCap}};
+  const auto rates = net.allocate(flows, {});
+  EXPECT_NEAR(rates[0], spec.workers[0].nic_bandwidth / 2.0, 1.0);
+  EXPECT_NEAR(rates[1], spec.workers[0].nic_bandwidth / 2.0, 1.0);
+}
+
+TEST(NetworkModel, FlowsOnDistinctReceiversIndependent) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{0, kInvalidNode, kNoCap}, {1, kInvalidNode, kNoCap}};
+  const auto rates = net.allocate(flows, {});
+  EXPECT_NEAR(rates[0], spec.workers[0].nic_bandwidth, 1.0);
+  EXPECT_NEAR(rates[1], spec.workers[1].nic_bandwidth, 1.0);
+}
+
+TEST(NetworkModel, PointToPointLoadsSenderPort) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  // Two point-to-point flows from the same sender to different receivers
+  // split the sender's transmit port.
+  std::vector<NetFlow> flows{{0, 2, kNoCap}, {1, 2, kNoCap}};
+  const auto rates = net.allocate(flows, {});
+  EXPECT_NEAR(rates[0], spec.workers[2].nic_bandwidth / 2.0, 1.0);
+  EXPECT_NEAR(rates[1], spec.workers[2].nic_bandwidth / 2.0, 1.0);
+}
+
+TEST(NetworkModel, FabricCapsAggregate) {
+  ClusterSpec spec = small_cluster(4);
+  spec.network.fabric_bandwidth = 100.0;  // tiny fabric
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{0, kInvalidNode, kNoCap},
+                             {1, kInvalidNode, kNoCap},
+                             {2, kInvalidNode, kNoCap}};
+  const auto rates = net.allocate(flows, {});
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(NetworkModel, IncastReducesReceiverGoodput) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{0, kInvalidNode, kNoCap}};
+  std::vector<int> calm{1, 0, 0, 0};
+  std::vector<int> jammed{60, 0, 0, 0};
+  const double calm_rate = net.allocate(flows, calm)[0];
+  const double jam_rate = net.allocate(flows, jammed)[0];
+  EXPECT_LT(jam_rate, calm_rate);
+  // With the default knee of 12 and 0.08/stream decay, 60 streams lose
+  // roughly 4.8x.
+  EXPECT_NEAR(jam_rate, calm_rate / (1.0 + 0.08 * (60 - 12)), calm_rate * 0.01);
+}
+
+TEST(NetworkModel, IncastBelowKneeIsFree) {
+  NetworkSpec net_spec;
+  EXPECT_DOUBLE_EQ(net_spec.incast_efficiency(1), 1.0);
+  EXPECT_DOUBLE_EQ(net_spec.incast_efficiency(net_spec.incast_knee_streams), 1.0);
+  EXPECT_LT(net_spec.incast_efficiency(net_spec.incast_knee_streams + 1), 1.0);
+}
+
+TEST(NetworkModel, InvalidDstThrows) {
+  const auto spec = small_cluster();
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows{{99, kInvalidNode, kNoCap}};
+  EXPECT_THROW(net.allocate(flows, {}), SmrError);
+}
+
+TEST(NetworkModel, ManyDiffuseFlowsBoundBySenderAggregate) {
+  // 16 receivers each hosting 2 uncapped diffuse flows: the binding
+  // constraint is each receiver's port; totals stay within the fabric.
+  const auto spec = small_cluster(16);
+  NetworkModel net(spec);
+  std::vector<NetFlow> flows;
+  for (int d = 0; d < 16; ++d) {
+    flows.push_back({d, kInvalidNode, kNoCap});
+    flows.push_back({d, kInvalidNode, kNoCap});
+  }
+  const auto rates = net.allocate(flows, {});
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_LE(total, spec.network.fabric_bandwidth * (1.0 + 1e-6));
+  // Each receiver's two flows split its port.
+  EXPECT_NEAR(rates[0], spec.workers[0].nic_bandwidth / 2.0,
+              spec.workers[0].nic_bandwidth * 0.05);
+}
+
+}  // namespace
+}  // namespace smr::cluster

@@ -1,0 +1,75 @@
+#include "smr/cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smr::cluster {
+namespace {
+
+TEST(NodeSpec, DefaultsMatchPaperTestbed) {
+  NodeSpec node;
+  EXPECT_EQ(node.cores, 16);           // 4 quad-core CPUs
+  EXPECT_EQ(node.memory, 32 * kGiB);   // 32 GB DDR3
+  EXPECT_NO_THROW(node.validate());
+}
+
+TEST(NodeSpec, AvailableMemoryExcludesOsReservation) {
+  NodeSpec node;
+  EXPECT_EQ(node.available_memory(), node.memory - node.os_reserved);
+}
+
+TEST(NodeSpec, ValidateRejectsNonsense) {
+  NodeSpec node;
+  node.cores = 0;
+  EXPECT_THROW(node.validate(), SmrError);
+  node = NodeSpec{};
+  node.os_reserved = node.memory;
+  EXPECT_THROW(node.validate(), SmrError);
+  node = NodeSpec{};
+  node.cpu_speed = 0.0;
+  EXPECT_THROW(node.validate(), SmrError);
+}
+
+TEST(ClusterSpec, PaperTestbedShape) {
+  const auto spec = ClusterSpec::paper_testbed();
+  EXPECT_EQ(spec.worker_count(), 16);
+  EXPECT_EQ(spec.dfs_block_size, 128 * kMiB);
+  EXPECT_EQ(spec.dfs_replication, 3);
+  // Non-blocking switch: fabric equals the sum of NIC bandwidths.
+  EXPECT_DOUBLE_EQ(spec.network.fabric_bandwidth,
+                   16.0 * spec.workers[0].nic_bandwidth);
+}
+
+TEST(ClusterSpec, PaperTestbedCustomSize) {
+  const auto spec = ClusterSpec::paper_testbed(4);
+  EXPECT_EQ(spec.worker_count(), 4);
+  EXPECT_DOUBLE_EQ(spec.network.fabric_bandwidth, 4.0 * spec.workers[0].nic_bandwidth);
+}
+
+TEST(ClusterSpec, HeterogeneousSlowNodesScaled) {
+  const auto spec = ClusterSpec::heterogeneous(2, 3, 0.5);
+  ASSERT_EQ(spec.worker_count(), 5);
+  EXPECT_DOUBLE_EQ(spec.workers[0].cpu_speed, 1.0);
+  EXPECT_DOUBLE_EQ(spec.workers[1].cpu_speed, 1.0);
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(spec.workers[static_cast<std::size_t>(i)].cpu_speed, 0.5);
+    EXPECT_EQ(spec.workers[static_cast<std::size_t>(i)].memory, 16 * kGiB);
+  }
+}
+
+TEST(ClusterSpec, HeterogeneousRejectsEmptyAndBadFactor) {
+  EXPECT_THROW(ClusterSpec::heterogeneous(0, 0), SmrError);
+  EXPECT_THROW(ClusterSpec::heterogeneous(1, 1, 0.0), SmrError);
+  EXPECT_THROW(ClusterSpec::heterogeneous(1, 1, 1.5), SmrError);
+}
+
+TEST(NetworkSpec, ValidateRejectsNonsense) {
+  NetworkSpec net;
+  net.fabric_bandwidth = 0.0;
+  EXPECT_THROW(net.validate(), SmrError);
+  net = NetworkSpec{};
+  net.incast_knee_streams = 0;
+  EXPECT_THROW(net.validate(), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::cluster

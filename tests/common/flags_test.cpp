@@ -1,0 +1,125 @@
+#include "smr/common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smr/common/error.hpp"
+
+namespace smr {
+namespace {
+
+FlagSet standard_flags() {
+  FlagSet flags("test tool");
+  flags.define_string("name", "default", "a string");
+  flags.define_int("count", 3, "an int");
+  flags.define_double("ratio", 0.5, "a double");
+  flags.define_bool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(Flags, DefaultsWithoutArguments) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({}));
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_EQ(flags.get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.is_set("name"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({"--name=widget", "--count=7", "--ratio=1.25"}));
+  EXPECT_EQ(flags.get_string("name"), "widget");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 1.25);
+  EXPECT_TRUE(flags.is_set("name"));
+}
+
+TEST(Flags, SpaceSeparatedSyntax) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({"--name", "widget", "--count", "-4"}));
+  EXPECT_EQ(flags.get_string("name"), "widget");
+  EXPECT_EQ(flags.get_int("count"), -4);
+}
+
+TEST(Flags, BooleanForms) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+
+  auto flags2 = standard_flags();
+  ASSERT_TRUE(flags2.parse({"--verbose=false"}));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+
+  auto flags3 = standard_flags();
+  ASSERT_TRUE(flags3.parse({"--verbose", "--no-verbose"}));
+  EXPECT_FALSE(flags3.get_bool("verbose"));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({"alpha", "--count=1", "beta"}));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Flags, UnknownFlagFails) {
+  auto flags = standard_flags();
+  EXPECT_FALSE(flags.parse({"--bogus=1"}));
+  EXPECT_NE(flags.error().find("bogus"), std::string::npos);
+}
+
+TEST(Flags, MalformedNumbersFail) {
+  auto flags = standard_flags();
+  EXPECT_FALSE(flags.parse({"--count=seven"}));
+  auto flags2 = standard_flags();
+  EXPECT_FALSE(flags2.parse({"--ratio=fast"}));
+  auto flags3 = standard_flags();
+  EXPECT_FALSE(flags3.parse({"--verbose=maybe"}));
+}
+
+TEST(Flags, MissingValueFails) {
+  auto flags = standard_flags();
+  EXPECT_FALSE(flags.parse({"--name"}));
+  EXPECT_NE(flags.error().find("missing"), std::string::npos);
+}
+
+TEST(Flags, TypeMismatchOnGetThrows) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({}));
+  EXPECT_THROW(flags.get_int("name"), SmrError);
+  EXPECT_THROW(flags.get_string("count"), SmrError);
+  EXPECT_THROW(flags.get_bool("unknown"), SmrError);
+}
+
+TEST(Flags, DuplicateDefinitionThrows) {
+  FlagSet flags;
+  flags.define_int("x", 1, "");
+  EXPECT_THROW(flags.define_string("x", "", ""), SmrError);
+}
+
+TEST(Flags, UsageListsEveryFlagWithDefaults) {
+  auto flags = standard_flags();
+  const std::string usage = flags.usage("tool");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 3)"), std::string::npos);
+  EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+TEST(Flags, ArgcArgvEntryPointSkipsProgramName) {
+  auto flags = standard_flags();
+  const char* argv[] = {"prog", "--count=9"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_EQ(flags.get_int("count"), 9);
+}
+
+TEST(Flags, ReparseResetsState) {
+  auto flags = standard_flags();
+  ASSERT_TRUE(flags.parse({"pos1", "--count=9"}));
+  ASSERT_TRUE(flags.parse({"pos2"}));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"pos2"}));
+  EXPECT_TRUE(flags.error().empty());
+}
+
+}  // namespace
+}  // namespace smr

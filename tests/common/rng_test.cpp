@@ -1,0 +1,131 @@
+#include "smr/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace smr {
+namespace {
+
+TEST(SplitMix, KnownFirstValueForSeedZero) {
+  // Reference value from the SplitMix64 paper / reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at draw " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 appear in 1000 draws
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, TruncatedNormalRespectsThreeSigma) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    ASSERT_GE(x, 4.0);
+    ASSERT_LE(x, 16.0);
+  }
+}
+
+TEST(Rng, ZeroStddevNormalIsMean) {
+  Rng rng(29);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, JitterZeroCvIsExactlyOne) {
+  Rng rng(31);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(rng.jitter(0.0), 1.0);
+}
+
+TEST(Rng, JitterMeanIsOne) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.jitter(0.2);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, JitterIsAlwaysPositive) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) ASSERT_GT(rng.jitter(0.5), 0.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndAdvanceParent) {
+  Rng parent(43);
+  Rng parent_copy(43);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  // Two successive forks differ from each other.
+  EXPECT_NE(child1.next(), child2.next());
+  // Forking consumed parent state: parent no longer tracks its copy.
+  EXPECT_NE(parent.next(), parent_copy.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGeneratorShape) {
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+  Rng rng(47);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace smr

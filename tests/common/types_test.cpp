@@ -1,0 +1,48 @@
+#include "smr/common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smr {
+namespace {
+
+TEST(Units, LiteralsScaleByPowersOf1024) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024LL * 1024 * 1024);
+  EXPECT_EQ(3_GiB, 3 * kGiB);
+}
+
+TEST(Units, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_mib(5_MiB), 5.0);
+  EXPECT_DOUBLE_EQ(to_gib(5_GiB), 5.0);
+  EXPECT_DOUBLE_EQ(to_gib(512_MiB), 0.5);
+}
+
+TEST(Format, BytesPicksSensibleUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(static_cast<Bytes>(1.5 * static_cast<double>(kGiB))), "1.50 GiB");
+}
+
+TEST(Format, NegativeBytes) {
+  EXPECT_EQ(format_bytes(-2048), "-2.00 KiB");
+}
+
+TEST(Format, RatePicksSensibleUnit) {
+  EXPECT_EQ(format_rate(100.0), "100.0 B/s");
+  EXPECT_EQ(format_rate(120.0 * static_cast<double>(kMiB)), "120.00 MiB/s");
+}
+
+TEST(Format, DurationShortAndLong) {
+  EXPECT_EQ(format_duration(93.25), "93.2 s");
+  EXPECT_EQ(format_duration(3723.0), "1h 02m 03s");
+  EXPECT_EQ(format_duration(-5.0), "-5.0 s");
+}
+
+TEST(Format, DurationInfinite) {
+  EXPECT_EQ(format_duration(kTimeNever), "inf");
+}
+
+}  // namespace
+}  // namespace smr

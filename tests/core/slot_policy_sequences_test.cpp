@@ -1,0 +1,194 @@
+// White-box decision sequences of the slot manager: full scenarios driven
+// through synthetic statistics, checking the *sequence* of decisions, not
+// just single steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "smr/core/slot_policy.hpp"
+
+namespace smr::core {
+namespace {
+
+using mapreduce::ClusterStats;
+using mapreduce::TaskTracker;
+
+std::vector<TaskTracker> make_trackers(int nodes, int maps = 3, int reduces = 2) {
+  std::vector<TaskTracker> trackers;
+  for (int n = 0; n < nodes; ++n) trackers.emplace_back(n, maps, reduces);
+  return trackers;
+}
+
+/// Richer driver than the one in slot_policy_test: the map input rate is a
+/// *function of the current slot count*, so thrashing scenarios emerge from
+/// the interaction instead of being scripted.
+class ScenarioDriver {
+ public:
+  explicit ScenarioDriver(SmrSlotPolicy& policy, std::vector<TaskTracker>& trackers)
+      : policy_(policy), trackers_(trackers) {}
+
+  /// Rate curve: throughput per period as a function of slots.
+  void set_rate_curve(std::function<double(int)> curve) { curve_ = std::move(curve); }
+
+  /// Shuffle keeps up with a fixed fraction of the output rate.
+  void set_shuffle_fraction(double fraction) { shuffle_fraction_ = fraction; }
+
+  void step() {
+    now_ += 6.0;
+    const double rate = curve_(policy_.map_slots());
+    cum_in_ += rate * 6.0;
+    cum_out_ += rate * 6.0;  // selectivity 1 for simplicity
+    cum_shuf_ += rate * shuffle_fraction_ * 6.0;
+    ClusterStats stats;
+    stats.now = now_;
+    stats.nodes = static_cast<int>(trackers_.size());
+    stats.has_active_job = true;
+    stats.active_jobs = {0};
+    stats.pending_maps = 500;
+    stats.running_maps = policy_.map_slots() * stats.nodes;
+    stats.finished_maps = 100;
+    stats.total_maps = 600 + stats.running_maps;
+    stats.running_reduces = 8;
+    stats.total_reduces = 8;
+    stats.cum_map_input = cum_in_;
+    stats.cum_map_output = cum_out_;
+    stats.cum_shuffled = cum_shuf_;
+    stats.front_job_map_fraction = 0.3;
+    stats.front_job_shuffle_volume = 10 * kGiB;
+    policy_.on_period(trackers_, stats);
+  }
+
+  void run_periods(int count) {
+    for (int i = 0; i < count; ++i) step();
+  }
+
+ private:
+  SmrSlotPolicy& policy_;
+  std::vector<TaskTracker>& trackers_;
+  std::function<double(int)> curve_ = [](int) { return 1e6; };
+  double shuffle_fraction_ = 1.0;
+  SimTime now_ = 0.0;
+  double cum_in_ = 0.0, cum_out_ = 0.0, cum_shuf_ = 0.0;
+};
+
+SlotManagerConfig scenario_config() {
+  SlotManagerConfig config;
+  config.slow_start = false;  // scenarios control their own statistics
+  config.rate_window = 12.0;
+  config.input_rate_window = 6.0;
+  return config;
+}
+
+TEST(SlotPolicyScenario, ClimbsToHumpAndConfirmsThrashing) {
+  SmrSlotPolicy policy(scenario_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  ScenarioDriver driver(policy, trackers);
+  // Hump at 7 slots: throughput collapses 30% per slot beyond it.
+  driver.set_rate_curve([](int slots) {
+    const double per_slot = 10.0 * static_cast<double>(kMiB);
+    if (slots <= 7) return per_slot * slots;
+    return per_slot * 7 * std::pow(0.7, slots - 7);
+  });
+  driver.run_periods(30);
+  EXPECT_TRUE(policy.detector().confirmed());
+  EXPECT_GE(policy.detector().ceiling(), 6);
+  EXPECT_LE(policy.detector().ceiling(), 8);
+  EXPECT_LE(policy.map_slots(), policy.detector().ceiling());
+  // ... and it stays pinned there.
+  const int settled = policy.map_slots();
+  driver.run_periods(10);
+  EXPECT_EQ(policy.map_slots(), settled);
+}
+
+TEST(SlotPolicyScenario, ReduceHeavyFindsBalancedState) {
+  SmrSlotPolicy policy(scenario_config());
+  auto trackers = make_trackers(4, 6, 2);  // start over-provisioned
+  policy.on_start(trackers);
+  ScenarioDriver driver(policy, trackers);
+  // Cluster map output scales 8 MiB/s per slot; the shuffle service is
+  // capacity-limited at 40 MiB/s total.  f = min(1, 40 / (8·slots)):
+  // above 5 slots the shuffle falls behind (f < 0.85 at 6 slots), at 5 it
+  // exactly keeps up (f = 1) — so the controller hunts the 5-6 boundary,
+  // the paper's Balanced State.
+  driver.set_rate_curve(
+      [](int slots) { return 8.0 * static_cast<double>(kMiB) * slots; });
+  SmrSlotPolicy* policy_ptr = &policy;
+  for (int i = 0; i < 30; ++i) {
+    const double out = 8.0 * policy_ptr->map_slots();
+    driver.set_shuffle_fraction(std::min(1.0, 40.0 / out));
+    driver.step();
+  }
+  EXPECT_GE(policy.map_slots(), 4);
+  EXPECT_LE(policy.map_slots(), 6);
+}
+
+TEST(SlotPolicyScenario, FlatCurveClimbsToConfiguredMax) {
+  SlotManagerConfig config = scenario_config();
+  config.max_map_slots = 10;
+  config.detect_thrashing = true;
+  SmrSlotPolicy policy(config);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  ScenarioDriver driver(policy, trackers);
+  // Perfectly linear scaling: no thrashing exists; the bound must stop it.
+  driver.set_rate_curve(
+      [](int slots) { return 5.0 * static_cast<double>(kMiB) * slots; });
+  driver.run_periods(30);
+  EXPECT_EQ(policy.map_slots(), 10);
+  EXPECT_FALSE(policy.detector().confirmed());
+}
+
+TEST(SlotPolicyScenario, NoisyPlateauNeedsTwoStrikes) {
+  // A plateau with ±4% noise around the mean must not trigger a (2-strike,
+  // 6%-tolerance) thrashing confirmation.
+  SlotManagerConfig config = scenario_config();
+  config.max_map_slots = 8;
+  SmrSlotPolicy policy(config);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  ScenarioDriver driver(policy, trackers);
+  int step = 0;
+  driver.set_rate_curve([&step](int slots) {
+    const double wobble = (step++ % 2 == 0) ? 1.04 : 0.96;
+    return 6.0 * static_cast<double>(kMiB) * std::min(slots, 6) * wobble;
+  });
+  driver.run_periods(40);
+  // It may stop climbing (rate plateaus at 6), but must not confirm a
+  // ceiling *below* the plateau.
+  if (policy.detector().confirmed()) {
+    EXPECT_GE(policy.detector().ceiling(), 5);
+  }
+  EXPECT_GE(policy.map_slots(), 5);
+}
+
+TEST(SlotPolicyScenario, FrontJobChangeResetsCeiling) {
+  SmrSlotPolicy policy(scenario_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  ScenarioDriver driver(policy, trackers);
+  driver.set_rate_curve([](int slots) {
+    const double per_slot = 10.0 * static_cast<double>(kMiB);
+    return slots <= 5 ? per_slot * slots : per_slot * 5 * std::pow(0.6, slots - 5);
+  });
+  driver.run_periods(25);
+  ASSERT_TRUE(policy.detector().confirmed());
+
+  // A new front job arrives: ceiling must be forgotten (workload changed).
+  ClusterStats stats;
+  stats.now = 1000.0;
+  stats.nodes = 4;
+  stats.has_active_job = true;
+  stats.active_jobs = {1};  // different job id
+  stats.pending_maps = 100;
+  stats.running_maps = 12;
+  stats.total_maps = 112;
+  stats.total_reduces = 8;
+  policy.on_period(trackers, stats);
+  EXPECT_FALSE(policy.detector().confirmed());
+}
+
+}  // namespace
+}  // namespace smr::core

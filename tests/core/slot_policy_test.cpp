@@ -1,0 +1,372 @@
+#include "smr/core/slot_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+#include <vector>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::core {
+namespace {
+
+using mapreduce::ClusterStats;
+using mapreduce::TaskTracker;
+
+std::vector<TaskTracker> make_trackers(int nodes, int maps = 3, int reduces = 2) {
+  std::vector<TaskTracker> trackers;
+  for (int n = 0; n < nodes; ++n) trackers.emplace_back(n, maps, reduces);
+  return trackers;
+}
+
+/// Drives a policy with synthetic statistics, simulating a steady map
+/// output rate `rt`, shuffle rate `rs` and task census.
+struct StatsDriver {
+  SimTime now = 0.0;
+  double cum_in = 0.0, cum_out = 0.0, cum_shuf = 0.0;
+
+  ClusterStats step(double in_rate, double out_rate, double shuffle_rate,
+                    int pending_maps, int running_maps, int running_reduces,
+                    int total_reduces, double front_fraction,
+                    Bytes shuffle_volume = 10 * kGiB) {
+    now += 6.0;
+    cum_in += in_rate * 6.0;
+    cum_out += out_rate * 6.0;
+    cum_shuf += shuffle_rate * 6.0;
+    ClusterStats stats;
+    stats.now = now;
+    stats.nodes = 4;
+    stats.has_active_job = true;
+    stats.active_jobs = {0};
+    stats.pending_maps = pending_maps;
+    stats.running_maps = running_maps;
+    stats.finished_maps = 50;
+    stats.total_maps = pending_maps + running_maps + 50;
+    stats.running_reduces = running_reduces;
+    stats.total_reduces = total_reduces;
+    stats.pending_reduces = total_reduces - running_reduces;
+    stats.cum_map_input = cum_in;
+    stats.cum_map_output = cum_out;
+    stats.cum_shuffled = cum_shuf;
+    stats.front_job_map_fraction = front_fraction;
+    stats.front_job_shuffle_volume = shuffle_volume;
+    return stats;
+  }
+};
+
+SlotManagerConfig fast_config() {
+  SlotManagerConfig config;
+  config.rate_window = 12.0;
+  config.input_rate_window = 6.0;
+  return config;
+}
+
+TEST(SlotPolicy, OnStartAdoptsUserConfiguration) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4, 5, 3);
+  policy.on_start(trackers);
+  EXPECT_EQ(policy.map_slots(), 5);
+  EXPECT_EQ(policy.reduce_slots(), 3);
+}
+
+TEST(SlotPolicy, SlowStartHoldsEarlyDecisions) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  // 5% of maps done: below the 10% slow-start threshold.
+  auto stats = driver.step(100.0, 100.0, 100.0, 200, 12, 8, 8, 0.05);
+  policy.on_period(trackers, stats);
+  EXPECT_FALSE(policy.slow_start_passed());
+  EXPECT_EQ(policy.map_slots(), 3);
+  EXPECT_EQ(policy.decisions_made(), 0);
+}
+
+TEST(SlotPolicy, SlowStartDisabledActsImmediately) {
+  SlotManagerConfig config = fast_config();
+  config.slow_start = false;
+  SmrSlotPolicy policy(config);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  auto stats = driver.step(100.0, 100.0, 100.0, 200, 12, 8, 8, 0.05);
+  policy.on_period(trackers, stats);
+  EXPECT_TRUE(policy.slow_start_passed());
+}
+
+TEST(SlotPolicy, SlowStartWaitsForShuffleStatistics) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  // 20% of maps done but reducers only just appeared: the shuffle gate
+  // holds until a full rate window of shuffle statistics exists.
+  auto stats = driver.step(100.0, 100.0, 0.0, 160, 12, 8, 8, 0.20);
+  policy.on_period(trackers, stats);
+  EXPECT_FALSE(policy.slow_start_passed());
+  // Three more periods (18 s = rate window at reduces-running): gate opens.
+  policy.on_period(trackers, driver.step(100.0, 100.0, 50.0, 150, 12, 8, 8, 0.22));
+  policy.on_period(trackers, driver.step(100.0, 100.0, 50.0, 140, 12, 8, 8, 0.25));
+  policy.on_period(trackers, driver.step(100.0, 100.0, 50.0, 130, 12, 8, 8, 0.28));
+  EXPECT_TRUE(policy.slow_start_passed());
+}
+
+TEST(SlotPolicy, MapHeavyClimbsOneSlotPerPeriod) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  // Shuffle keeps up exactly (f = 1 > upper bound): map-heavy.
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  // Pass slow start first (several periods with reduces running).
+  for (int i = 0; i < 4; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  const int before = policy.map_slots();
+  policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  EXPECT_EQ(policy.map_slots(), before + 1);
+  policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  EXPECT_EQ(policy.map_slots(), before + 2);
+  for (const auto& t : trackers) EXPECT_EQ(t.map_target(), policy.map_slots());
+}
+
+TEST(SlotPolicy, ReduceHeavyDecrements) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4, 5, 2);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double out = 100.0 * static_cast<double>(kMiB);
+  const double shuf = 50.0 * static_cast<double>(kMiB);  // f = 0.5 < lower
+  // Persistent shuffle lag: the controller walks map slots down, one per
+  // period, until the floor.
+  std::vector<int> trajectory;
+  for (int i = 0; i < 10; ++i) {
+    policy.on_period(trackers, driver.step(out, out, shuf, 200, 12, 8, 8, 0.3));
+    trajectory.push_back(policy.map_slots());
+  }
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    EXPECT_LE(trajectory[i], trajectory[i - 1]);  // never climbs
+  }
+  EXPECT_EQ(policy.map_slots(), 1);  // reached the floor
+  ASSERT_TRUE(policy.last_balance_factor().has_value());
+  EXPECT_LT(*policy.last_balance_factor(), 0.85);
+  EXPECT_GE(policy.decisions_made(), 4);
+}
+
+TEST(SlotPolicy, BalancedStateHolds) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double out = 100.0 * static_cast<double>(kMiB);
+  const double shuf = 0.90 * out;  // f = 0.90 in (0.85, 0.95): balanced
+  for (int i = 0; i < 8; ++i) {
+    policy.on_period(trackers, driver.step(out, out, shuf, 200, 12, 8, 8, 0.3));
+  }
+  EXPECT_EQ(policy.map_slots(), 3);
+}
+
+TEST(SlotPolicy, BalanceFactorUsesFirstWaveShare) {
+  // With n of N reduce tasks running, R_m = (n/N) R_t: only half the map
+  // output belongs to the running wave, so a shuffle rate of half the
+  // output rate is balanced, not reduce-heavy.
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double out = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 6; ++i) {
+    policy.on_period(trackers,
+                     driver.step(out, out, 0.45 * out, 200, 12, 4, 8, 0.3));
+  }
+  ASSERT_TRUE(policy.last_balance_factor().has_value());
+  EXPECT_NEAR(*policy.last_balance_factor(), 0.9, 0.05);
+  EXPECT_EQ(policy.map_slots(), 3);
+}
+
+TEST(SlotPolicy, MapOnlyWindowHoldsInsteadOfClimbing) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 4; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  const int before = policy.map_slots();
+  // A straggler window: no map output landed at all.
+  policy.on_period(trackers, driver.step(rate, 0.0, 0.0, 200, 12, 8, 8, 0.3));
+  policy.on_period(trackers, driver.step(rate, 0.0, 0.0, 200, 12, 8, 8, 0.3));
+  policy.on_period(trackers, driver.step(rate, 0.0, 0.0, 200, 12, 8, 8, 0.3));
+  EXPECT_LE(policy.map_slots(), before + 1);  // at most the first climb landed
+}
+
+TEST(SlotPolicy, TailReleasesMapSlotsAndBoostsSmallShuffleReduces) {
+  SlotManagerConfig config = fast_config();
+  config.tail_reduce_boost = 2;
+  config.small_shuffle_threshold = 1 * kGiB;
+  SmrSlotPolicy policy(config);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 4; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  // Tail: no unfinished maps, small shuffle volume.
+  auto stats = driver.step(0.0, 0.0, rate, 0, 0, 8, 8, 1.0, 512 * kMiB);
+  policy.on_period(trackers, stats);
+  for (const auto& t : trackers) {
+    EXPECT_EQ(t.map_target(), 0);          // nothing left to map
+    EXPECT_EQ(t.reduce_target(), 2 + 2);   // boosted
+  }
+}
+
+TEST(SlotPolicy, TailKeepsReducesSmallWhenShuffleLarge) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 4; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  // Tail with a 30 GiB shuffle: boosting copiers would jam the network.
+  auto stats = driver.step(0.0, 0.0, rate, 0, 0, 8, 8, 1.0, 30 * kGiB);
+  policy.on_period(trackers, stats);
+  for (const auto& t : trackers) EXPECT_EQ(t.reduce_target(), 2);
+}
+
+TEST(SlotPolicy, FewRemainingMapsShrinkTargets) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 4; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  // Only 5 maps remain on 4 nodes: two slots per node suffice.
+  auto stats = driver.step(rate, rate, rate, 2, 3, 8, 8, 0.97);
+  policy.on_period(trackers, stats);
+  for (const auto& t : trackers) EXPECT_LE(t.map_target(), 2);
+}
+
+TEST(SlotPolicy, MinimumSlotBoundsRespected) {
+  SlotManagerConfig config = fast_config();
+  config.min_map_slots = 2;
+  SmrSlotPolicy policy(config);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double out = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 20; ++i) {
+    policy.on_period(trackers,
+                     driver.step(out, out, 0.1 * out, 200, 12, 8, 8, 0.3));
+  }
+  EXPECT_EQ(policy.map_slots(), 2);  // floor, despite persistent f < lower
+}
+
+TEST(SlotPolicy, MaximumSlotBoundRespected) {
+  SlotManagerConfig config = fast_config();
+  config.max_map_slots = 5;
+  config.detect_thrashing = false;
+  SmrSlotPolicy policy(config);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 20; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  EXPECT_EQ(policy.map_slots(), 5);
+}
+
+TEST(SlotPolicy, HeterogeneousTargetsScaleWithNodeSpeed) {
+  SlotManagerConfig config = fast_config();
+  config.per_node_targets = true;
+  config.detect_thrashing = false;
+  SmrSlotPolicy policy(config, {1.0, 1.0, 0.5, 0.5});
+  auto trackers = make_trackers(4, 4, 2);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 5; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  EXPECT_GT(trackers[0].map_target(), trackers[2].map_target());
+  EXPECT_EQ(trackers[2].map_target(),
+            std::max(1, static_cast<int>(std::lround(policy.map_slots() * 0.5))));
+}
+
+TEST(SlotPolicy, IdleClusterKeepsAdaptedSlotsAndResetsStatistics) {
+  SmrSlotPolicy policy(fast_config());
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 8; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  const int adapted = policy.map_slots();
+  EXPECT_GT(adapted, 3);
+  // Cluster goes idle.
+  ClusterStats idle;
+  idle.now = driver.now + 6.0;
+  idle.nodes = 4;
+  idle.has_active_job = false;
+  policy.on_period(trackers, idle);
+  EXPECT_EQ(policy.map_slots(), adapted);  // carried over as a prior
+  EXPECT_FALSE(policy.slow_start_passed());  // statistics reset
+}
+
+// End-to-end on the real runtime: the policy climbs on a map-heavy job and
+// beats the static configuration.
+TEST(SlotPolicyEndToEnd, BeatsStaticSlotsOnMapHeavyJob) {
+  mapreduce::RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.initial_map_slots = 3;
+  config.initial_reduce_slots = 2;
+  config.seed = 11;
+  auto spec = workload::make_puma_job(workload::Puma::kHistogramRatings, 8 * kGiB);
+  spec.reduce_tasks = 8;
+
+  mapreduce::Runtime v1(config, std::make_unique<mapreduce::StaticSlotPolicy>());
+  v1.submit(spec, 0.0);
+  const auto v1_result = v1.run();
+
+  mapreduce::Runtime smr(config, std::make_unique<SmrSlotPolicy>());
+  smr.submit(spec, 0.0);
+  const auto smr_result = smr.run();
+
+  ASSERT_TRUE(v1_result.completed && smr_result.completed);
+  EXPECT_LT(smr_result.jobs[0].map_time(), v1_result.jobs[0].map_time() * 0.85);
+}
+
+TEST(SlotPolicyEndToEnd, NeverTerminatesRunningTasks) {
+  // Lazy changer through the real runtime: running tasks never exceed the
+  // *actual* slots, and every launched task finishes (none disappears).
+  mapreduce::RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.seed = 13;
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, 4 * kGiB);
+  spec.reduce_tasks = 8;
+  mapreduce::Runtime smr(config, std::make_unique<SmrSlotPolicy>());
+  smr.submit(spec, 0.0);
+  const auto result = smr.run();
+  ASSERT_TRUE(result.completed);
+  const auto& job = smr.jobs()[0];
+  for (const auto& m : job.maps) {
+    EXPECT_EQ(m.phase, mapreduce::MapPhase::kDone);
+    EXPECT_NE(m.finish_time, kTimeNever);
+  }
+  for (const auto& r : job.reduces) {
+    EXPECT_EQ(r.phase, mapreduce::ReducePhase::kDone);
+  }
+}
+
+}  // namespace
+}  // namespace smr::core

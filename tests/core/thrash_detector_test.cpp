@@ -1,0 +1,167 @@
+#include "smr/core/thrash_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smr::core {
+namespace {
+
+SlotManagerConfig config_with(double tolerance = 0.06, int strikes = 2,
+                              SimTime stabilize = 4.0) {
+  SlotManagerConfig config;
+  config.thrash_tolerance = tolerance;
+  config.suspect_threshold = strikes;
+  config.stabilize_time = stabilize;
+  return config;
+}
+
+TEST(ThrashDetector, NoCeilingInitially) {
+  ThrashingDetector detector(config_with());
+  EXPECT_FALSE(detector.confirmed());
+  EXPECT_FALSE(detector.at_ceiling(1000));
+}
+
+TEST(ThrashDetector, FirstStableObservationBecomesBaseline) {
+  ThrashingDetector detector(config_with());
+  EXPECT_EQ(detector.observe(10.0, 3, 100.0), ThrashVerdict::kOk);
+  EXPECT_TRUE(detector.has_baseline());
+  EXPECT_EQ(detector.baseline_slots(), 3);
+  EXPECT_DOUBLE_EQ(detector.baseline_rate(), 100.0);
+}
+
+TEST(ThrashDetector, StabilizationWindowDiscardsObservations) {
+  ThrashingDetector detector(config_with());
+  detector.observe(0.0, 3, 100.0);
+  detector.on_slots_changed(3, 4, 10.0);
+  // Rates dip right after a change; within the window nothing is judged.
+  EXPECT_EQ(detector.observe(12.0, 4, 10.0), ThrashVerdict::kStabilizing);
+  EXPECT_FALSE(detector.suspicious());
+  // After the window, a recovered rate is accepted.
+  EXPECT_EQ(detector.observe(15.0, 4, 120.0), ThrashVerdict::kOk);
+}
+
+TEST(ThrashDetector, ImprovedRatePromotesBaseline) {
+  ThrashingDetector detector(config_with());
+  detector.observe(0.0, 3, 100.0);
+  detector.on_slots_changed(3, 4, 1.0);
+  EXPECT_EQ(detector.observe(10.0, 4, 130.0), ThrashVerdict::kOk);
+  EXPECT_EQ(detector.baseline_slots(), 4);
+  EXPECT_DOUBLE_EQ(detector.baseline_rate(), 130.0);
+}
+
+TEST(ThrashDetector, TwoStrikesConfirmAndSetCeiling) {
+  ThrashingDetector detector(config_with(0.06, 2));
+  detector.observe(0.0, 4, 100.0);
+  detector.on_slots_changed(4, 5, 1.0);
+  EXPECT_EQ(detector.observe(10.0, 5, 80.0), ThrashVerdict::kSuspected);
+  EXPECT_TRUE(detector.suspicious());
+  EXPECT_FALSE(detector.confirmed());
+  EXPECT_EQ(detector.observe(16.0, 5, 82.0), ThrashVerdict::kConfirmed);
+  EXPECT_TRUE(detector.confirmed());
+  EXPECT_EQ(detector.ceiling(), 4);
+  EXPECT_EQ(detector.revert_slots(), 4);
+  EXPECT_TRUE(detector.at_ceiling(4));
+  EXPECT_FALSE(detector.at_ceiling(3));
+}
+
+TEST(ThrashDetector, RecoveryBetweenStrikesClearsSuspicion) {
+  // The paper: a single bad reading only *suspects* thrashing; the system
+  // gets another chance.
+  ThrashingDetector detector(config_with(0.06, 2));
+  detector.observe(0.0, 4, 100.0);
+  detector.on_slots_changed(4, 5, 1.0);
+  EXPECT_EQ(detector.observe(10.0, 5, 80.0), ThrashVerdict::kSuspected);
+  EXPECT_EQ(detector.observe(16.0, 5, 105.0), ThrashVerdict::kOk);  // recovered
+  EXPECT_FALSE(detector.suspicious());
+  EXPECT_FALSE(detector.confirmed());
+  EXPECT_EQ(detector.baseline_slots(), 5);
+}
+
+TEST(ThrashDetector, SmallDipsWithinToleranceIgnored) {
+  ThrashingDetector detector(config_with(0.10, 2));
+  detector.observe(0.0, 4, 100.0);
+  detector.on_slots_changed(4, 5, 1.0);
+  // 5% below baseline, tolerance 10%: accepted and promoted.
+  EXPECT_EQ(detector.observe(10.0, 5, 95.0), ThrashVerdict::kOk);
+}
+
+TEST(ThrashDetector, DecreaseNeedsNoJudgement) {
+  ThrashingDetector detector(config_with());
+  detector.observe(0.0, 5, 100.0);
+  detector.on_slots_changed(5, 4, 1.0);
+  // After stabilisation, the lower config re-baselines even at lower rate.
+  EXPECT_EQ(detector.observe(10.0, 4, 70.0), ThrashVerdict::kOk);
+  EXPECT_EQ(detector.baseline_slots(), 4);
+  EXPECT_FALSE(detector.confirmed());
+}
+
+TEST(ThrashDetector, DecreaseCancelsPendingSuspicion) {
+  ThrashingDetector detector(config_with(0.06, 2));
+  detector.observe(0.0, 4, 100.0);
+  detector.on_slots_changed(4, 5, 1.0);
+  EXPECT_EQ(detector.observe(10.0, 5, 80.0), ThrashVerdict::kSuspected);
+  detector.on_slots_changed(5, 4, 12.0);  // balance pulled slots back down
+  EXPECT_FALSE(detector.suspicious());
+  EXPECT_EQ(detector.observe(20.0, 4, 80.0), ThrashVerdict::kOk);
+  EXPECT_FALSE(detector.confirmed());
+}
+
+TEST(ThrashDetector, ResetForgetsCeilingAndBaseline) {
+  ThrashingDetector detector(config_with(0.06, 1));
+  detector.observe(0.0, 4, 100.0);
+  detector.on_slots_changed(4, 5, 1.0);
+  EXPECT_EQ(detector.observe(10.0, 5, 50.0), ThrashVerdict::kConfirmed);
+  detector.reset();
+  EXPECT_FALSE(detector.confirmed());
+  EXPECT_FALSE(detector.has_baseline());
+  EXPECT_FALSE(detector.at_ceiling(1000));
+}
+
+TEST(ThrashDetector, PipelinedClimbJudgesAgainstLastGoodConfig) {
+  // The controller may climb every period; the judgement always compares
+  // against the last configuration whose stable rate was recorded.
+  ThrashingDetector detector(config_with(0.06, 2, 4.0));
+  detector.observe(0.0, 3, 90.0);
+  detector.on_slots_changed(3, 4, 0.0);
+  EXPECT_EQ(detector.observe(6.0, 4, 120.0), ThrashVerdict::kOk);
+  detector.on_slots_changed(4, 5, 6.0);
+  EXPECT_EQ(detector.observe(12.0, 5, 150.0), ThrashVerdict::kOk);
+  detector.on_slots_changed(5, 6, 12.0);
+  EXPECT_EQ(detector.observe(18.0, 6, 140.0), ThrashVerdict::kSuspected);
+  EXPECT_EQ(detector.observe(24.0, 6, 138.0), ThrashVerdict::kConfirmed);
+  EXPECT_EQ(detector.revert_slots(), 5);  // the last good configuration
+}
+
+// Property sweep: feed the detector a synthetic hump-shaped rate curve and
+// verify it always confirms at (or just past) the hump, never below it.
+class HumpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HumpSweep, CeilingLandsNearTheHump) {
+  const int hump = GetParam();
+  ThrashingDetector detector(config_with(0.05, 2, 4.0));
+  auto rate_at = [hump](int slots) {
+    // Rises linearly to the hump, falls 25% per slot beyond it.
+    if (slots <= hump) return 100.0 * slots;
+    return 100.0 * hump * std::pow(0.75, slots - hump);
+  };
+  int slots = 2;
+  SimTime now = 0.0;
+  detector.observe(now, slots, rate_at(slots));
+  for (int step = 0; step < 40 && !detector.confirmed(); ++step) {
+    now += 6.0;
+    const auto verdict = detector.observe(now, slots, rate_at(slots));
+    if (verdict == ThrashVerdict::kOk && !detector.at_ceiling(slots + 1)) {
+      detector.on_slots_changed(slots, slots + 1, now);
+      ++slots;
+    }
+  }
+  ASSERT_TRUE(detector.confirmed());
+  EXPECT_GE(detector.ceiling(), hump - 1);
+  EXPECT_LE(detector.ceiling(), hump + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Humps, HumpSweep, ::testing::Values(3, 5, 8, 12));
+
+}  // namespace
+}  // namespace smr::core

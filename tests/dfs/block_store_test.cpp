@@ -1,0 +1,114 @@
+#include "smr/dfs/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smr::dfs {
+namespace {
+
+TEST(BlockStore, SplitsFileIntoBlocks) {
+  BlockStore store(8, 3, Rng(1));
+  const FileId id = store.add_file(1000 * kMiB, 128 * kMiB);
+  const auto& file = store.file(id);
+  EXPECT_EQ(file.blocks.size(), 8u);  // 7 full + 1 remainder
+  Bytes total = 0;
+  for (const auto& block : file.blocks) total += block.size;
+  EXPECT_EQ(total, 1000 * kMiB);
+  EXPECT_EQ(file.blocks.back().size, 1000 * kMiB - 7 * 128 * kMiB);
+}
+
+TEST(BlockStore, ExactMultipleHasNoRemainderBlock) {
+  BlockStore store(8, 3, Rng(1));
+  const FileId id = store.add_file(512 * kMiB, 128 * kMiB);
+  EXPECT_EQ(store.file(id).blocks.size(), 4u);
+  for (const auto& block : store.file(id).blocks) EXPECT_EQ(block.size, 128 * kMiB);
+}
+
+TEST(BlockStore, ReplicasAreDistinctNodes) {
+  BlockStore store(16, 3, Rng(2));
+  const FileId id = store.add_file(10 * kGiB, 128 * kMiB);
+  for (const auto& block : store.file(id).blocks) {
+    ASSERT_EQ(block.replicas.size(), 3u);
+    std::set<NodeId> distinct(block.replicas.begin(), block.replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (NodeId r : block.replicas) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 16);
+    }
+  }
+}
+
+TEST(BlockStore, ReplicationClampedToNodeCount) {
+  BlockStore store(2, 3, Rng(3));
+  EXPECT_EQ(store.replication(), 2);
+  const FileId id = store.add_file(256 * kMiB, 128 * kMiB);
+  for (const auto& block : store.file(id).blocks) {
+    EXPECT_EQ(block.replicas.size(), 2u);
+  }
+}
+
+TEST(BlockStore, HasReplicaOnMatchesList) {
+  BlockStore store(4, 2, Rng(4));
+  const FileId id = store.add_file(128 * kMiB, 128 * kMiB);
+  const auto& block = store.file(id).blocks[0];
+  int holders = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    if (block.has_replica_on(n)) ++holders;
+  }
+  EXPECT_EQ(holders, 2);
+}
+
+TEST(BlockStore, PlacementIsDeterministicPerSeed) {
+  BlockStore a(16, 3, Rng(42)), b(16, 3, Rng(42));
+  const FileId fa = a.add_file(5 * kGiB, 128 * kMiB);
+  const FileId fb = b.add_file(5 * kGiB, 128 * kMiB);
+  const auto& blocks_a = a.file(fa).blocks;
+  const auto& blocks_b = b.file(fb).blocks;
+  ASSERT_EQ(blocks_a.size(), blocks_b.size());
+  for (std::size_t i = 0; i < blocks_a.size(); ++i) {
+    EXPECT_EQ(blocks_a[i].replicas, blocks_b[i].replicas);
+  }
+}
+
+TEST(BlockStore, DifferentSeedsPlaceDifferently) {
+  BlockStore a(16, 3, Rng(1)), b(16, 3, Rng(2));
+  const auto& blocks_a = a.file(a.add_file(5 * kGiB, 128 * kMiB)).blocks;
+  const auto& blocks_b = b.file(b.add_file(5 * kGiB, 128 * kMiB)).blocks;
+  int same = 0;
+  for (std::size_t i = 0; i < blocks_a.size(); ++i) {
+    if (blocks_a[i].replicas == blocks_b[i].replicas) ++same;
+  }
+  EXPECT_LT(same, static_cast<int>(blocks_a.size()) / 2);
+}
+
+TEST(BlockStore, PlacementRoughlyBalanced) {
+  BlockStore store(16, 3, Rng(7));
+  store.add_file(64 * kGiB, 128 * kMiB);  // 512 blocks x 3 replicas
+  const auto usage = store.bytes_per_node();
+  ASSERT_EQ(usage.size(), 16u);
+  const Bytes expected = 64 * kGiB * 3 / 16;
+  for (Bytes u : usage) {
+    EXPECT_GT(u, expected / 2);
+    EXPECT_LT(u, expected * 2);
+  }
+}
+
+TEST(BlockStore, MultipleFilesTracked) {
+  BlockStore store(4, 2, Rng(5));
+  const FileId a = store.add_file(256 * kMiB, 128 * kMiB);
+  const FileId b = store.add_file(384 * kMiB, 128 * kMiB);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.file(a).blocks.size(), 2u);
+  EXPECT_EQ(store.file(b).blocks.size(), 3u);
+}
+
+TEST(BlockStore, InvalidAccessThrows) {
+  BlockStore store(4, 2, Rng(6));
+  EXPECT_THROW(store.file(0), SmrError);
+  EXPECT_THROW(store.add_file(0, 128 * kMiB), SmrError);
+  EXPECT_THROW(store.add_file(128 * kMiB, 0), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::dfs

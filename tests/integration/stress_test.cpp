@@ -1,0 +1,167 @@
+// Randomised stress properties: synthetic job mixes across engines, seeds
+// and feature combinations.  Every run must complete, conserve bytes and
+// stay deterministic — these are the safety nets under all calibration
+// work.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/driver/experiment.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/common/thread_pool.hpp"
+#include "smr/workload/synthetic.hpp"
+#include "smr/yarn/capacity_policy.hpp"
+
+namespace smr::driver {
+namespace {
+
+workload::SyntheticMixConfig small_mix(std::uint64_t seed) {
+  workload::SyntheticMixConfig mix;
+  mix.jobs = 5;
+  mix.mean_interarrival = 40.0;
+  mix.min_input = 1 * kGiB;
+  mix.max_input = 6 * kGiB;
+  mix.reduce_tasks = 8;
+  mix.seed = seed;
+  return mix;
+}
+
+class MixSweep
+    : public ::testing::TestWithParam<std::tuple<EngineKind, std::uint64_t>> {};
+
+TEST_P(MixSweep, SyntheticMixCompletesAndConserves) {
+  const auto [engine, seed] = GetParam();
+  ExperimentConfig config = ExperimentConfig::paper_default(engine);
+  config.runtime.cluster = cluster::ClusterSpec::paper_testbed(8);
+  config.runtime.seed = seed;
+  config.trials = 1;
+
+  mapreduce::RuntimeConfig runtime_config = config.runtime;
+  mapreduce::Runtime runtime(runtime_config, make_policy(config));
+  for (const auto& job : workload::make_synthetic_mix(small_mix(seed))) {
+    runtime.submit(job.spec, job.submit_at);
+  }
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed) << engine_name(engine) << " seed " << seed;
+
+  for (const auto& job : runtime.jobs()) {
+    Bytes outputs = 0;
+    for (const auto& m : job.maps) outputs += m.output_size;
+    EXPECT_NEAR(job.bytes_shuffled, static_cast<double>(outputs),
+                1.0 + 1e-6 * static_cast<double>(outputs))
+        << job.spec.name;
+    EXPECT_NEAR(job.map_input_processed, static_cast<double>(job.spec.input_size),
+                1.0 + 1e-6 * static_cast<double>(job.spec.input_size))
+        << job.spec.name;
+    // Barrier semantics per job.
+    for (const auto& r : job.reduces) {
+      EXPECT_GE(r.shuffle_end_time, job.maps_done_time);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSeeds, MixSweep,
+    ::testing::Combine(::testing::Values(EngineKind::kHadoopV1, EngineKind::kYarn,
+                                         EngineKind::kSMapReduce),
+                       ::testing::Values(1u, 7u, 23u, 99u)),
+    [](const auto& info) {
+      return std::string(engine_name(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Everything on at once: speculation + a node failure + fair scheduling +
+// delay scheduling + eager shrink, under the slot manager.
+class KitchenSinkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KitchenSinkSweep, AllFeaturesComposeWithoutDeadlock) {
+  const std::uint64_t seed = GetParam();
+  mapreduce::RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(8);
+  config.seed = seed;
+  config.speculative_execution = true;
+  config.eager_slot_shrink = true;
+  config.locality_wait_offers = 4;
+  config.failures.push_back({static_cast<NodeId>(seed % 8), 45.0});
+
+  mapreduce::Runtime runtime(config, std::make_unique<core::SmrSlotPolicy>(),
+                             std::make_unique<mapreduce::FairScheduler>());
+  for (const auto& job : workload::make_synthetic_mix(small_mix(seed))) {
+    runtime.submit(job.spec, job.submit_at);
+  }
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed) << "seed " << seed;
+  for (const auto& job : runtime.jobs()) {
+    EXPECT_EQ(job.reduces_finished, static_cast<int>(job.reduces.size()));
+    // Whatever was killed, requeued or speculated, every reducer ends with
+    // exactly its partition.
+    for (const auto& r : job.reduces) {
+      EXPECT_NEAR(r.fetched, static_cast<double>(r.partition_size), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KitchenSinkSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// Determinism must survive every feature: identical reruns bit-match.
+class DeterminismSweep : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(DeterminismSweep, FeatureRichRunsBitMatch) {
+  auto run_once = [&] {
+    mapreduce::RuntimeConfig config;
+    config.cluster = cluster::ClusterSpec::paper_testbed(6);
+    config.seed = 77;
+    config.speculative_execution = true;
+    config.locality_wait_offers = 2;
+    config.failures.push_back({2, 40.0});
+    ExperimentConfig experiment = ExperimentConfig::paper_default(GetParam());
+    experiment.runtime = config;
+    mapreduce::Runtime runtime(config, make_policy(experiment));
+    for (const auto& job : workload::make_synthetic_mix(small_mix(42))) {
+      runtime.submit(job.spec, job.submit_at);
+    }
+    return runtime.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.jobs[j].finish_time, b.jobs[j].finish_time);
+    EXPECT_DOUBLE_EQ(a.jobs[j].maps_done_time, b.jobs[j].maps_done_time);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DeterminismSweep,
+                         ::testing::Values(EngineKind::kHadoopV1, EngineKind::kYarn,
+                                           EngineKind::kSMapReduce),
+                         [](const auto& info) {
+                           return std::string(engine_name(info.param));
+                         });
+
+// The thread pool must not perturb results: the same sweep computed
+// sequentially and in parallel yields identical numbers.
+TEST(ParallelSweeps, MatchSequentialResults) {
+  const auto spec = workload::make_puma_job(workload::Puma::kWordCount, 4 * kGiB);
+  auto run_at = [&spec](int slots) {
+    ExperimentConfig config = ExperimentConfig::paper_default(EngineKind::kHadoopV1);
+    config.runtime.cluster = cluster::ClusterSpec::paper_testbed(4);
+    config.runtime.initial_map_slots = slots;
+    config.trials = 1;
+    return run_single_job(config, spec).jobs[0].finish_time;
+  };
+  std::vector<double> sequential(7), parallel_results(7);
+  for (int s = 1; s <= 6; ++s) sequential[static_cast<std::size_t>(s)] = run_at(s);
+  parallel_for(1, 7, [&](std::size_t s) {
+    parallel_results[s] = run_at(static_cast<int>(s));
+  });
+  for (int s = 1; s <= 6; ++s) {
+    EXPECT_DOUBLE_EQ(sequential[static_cast<std::size_t>(s)],
+                     parallel_results[static_cast<std::size_t>(s)]);
+  }
+}
+
+}  // namespace
+}  // namespace smr::driver

@@ -1,0 +1,121 @@
+// Delay scheduling (Zaharia et al., paper reference [13]): a job may
+// decline a bounded number of non-local slot offers while waiting for a
+// node that holds one of its splits.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig locality_config(int wait_offers, int replication = 1) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(16);
+  config.cluster.dfs_replication = replication;  // locality is scarce
+  config.locality_wait_offers = wait_offers;
+  config.seed = 51;
+  return config;
+}
+
+// Delay scheduling matters for *small* jobs: with only 6 splits on a
+// 16-node cluster, most slot offers come from nodes holding none of them,
+// so a greedy scheduler runs most maps remotely.
+JobSpec locality_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kGrep, 768 * kMiB);
+  spec.reduce_tasks = 4;
+  return spec;
+}
+
+double locality_fraction(const Runtime& runtime) {
+  const int local = runtime.local_map_launches();
+  const int remote = runtime.remote_map_launches();
+  return static_cast<double>(local) / static_cast<double>(local + remote);
+}
+
+TEST(DelayScheduling, ImprovesLocalityOnScarceReplication) {
+  Runtime greedy(locality_config(0), std::make_unique<StaticSlotPolicy>());
+  greedy.submit(locality_job(), 0.0);
+  ASSERT_TRUE(greedy.run().completed);
+
+  Runtime delayed(locality_config(8), std::make_unique<StaticSlotPolicy>());
+  delayed.submit(locality_job(), 0.0);
+  ASSERT_TRUE(delayed.run().completed);
+
+  EXPECT_GT(locality_fraction(delayed), locality_fraction(greedy));
+}
+
+TEST(DelayScheduling, ZeroWaitMatchesGreedyBaseline) {
+  // wait == 0 must be byte-identical to the original greedy behaviour.
+  auto run_fraction = [](int wait) {
+    Runtime runtime(locality_config(wait), std::make_unique<StaticSlotPolicy>());
+    runtime.submit(locality_job(), 0.0);
+    runtime.run();
+    return locality_fraction(runtime);
+  };
+  EXPECT_DOUBLE_EQ(run_fraction(0), run_fraction(0));
+}
+
+TEST(DelayScheduling, BoundedWaitNeverDeadlocks) {
+  // Even with an absurd wait bound the job finishes: skips are counted per
+  // offer, so after `wait` declined offers the job takes a remote slot.
+  Runtime runtime(locality_config(1000), std::make_unique<StaticSlotPolicy>());
+  runtime.submit(locality_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(DelayScheduling, CostsLittleTimeForModestWaits) {
+  auto total_time = [](int wait) {
+    Runtime runtime(locality_config(wait), std::make_unique<StaticSlotPolicy>());
+    runtime.submit(locality_job(), 0.0);
+    return runtime.run().jobs[0].total_time();
+  };
+  // A modest wait should not blow the runtime up; it usually helps (local
+  // reads do not queue on the shared network).
+  EXPECT_LT(total_time(8), total_time(0) * 1.15);
+}
+
+TEST(DelayScheduling, RichReplicationHelpsBothAndDelayStillWins) {
+  // Triple replication triples the chance an offer is local, lifting the
+  // greedy baseline; the wait closes the remaining gap to (near) 100%.
+  Runtime greedy(locality_config(0, 3), std::make_unique<StaticSlotPolicy>());
+  greedy.submit(locality_job(), 0.0);
+  greedy.run();
+  Runtime greedy1(locality_config(0, 1), std::make_unique<StaticSlotPolicy>());
+  greedy1.submit(locality_job(), 0.0);
+  greedy1.run();
+  Runtime delayed(locality_config(8, 3), std::make_unique<StaticSlotPolicy>());
+  delayed.submit(locality_job(), 0.0);
+  delayed.run();
+  EXPECT_GE(locality_fraction(greedy), locality_fraction(greedy1));
+  EXPECT_GE(locality_fraction(delayed), locality_fraction(greedy) - 1e-9);
+  EXPECT_GE(locality_fraction(delayed), 0.9);
+}
+
+TEST(DelayScheduling, RejectsNegativeWait) {
+  RuntimeConfig config = locality_config(0);
+  config.locality_wait_offers = -1;
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+// Sweep: locality is monotone-ish in the wait bound (never collapses).
+class WaitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaitSweep, LocalityAtLeastGreedy) {
+  Runtime greedy(locality_config(0), std::make_unique<StaticSlotPolicy>());
+  greedy.submit(locality_job(), 0.0);
+  greedy.run();
+  Runtime delayed(locality_config(GetParam()), std::make_unique<StaticSlotPolicy>());
+  delayed.submit(locality_job(), 0.0);
+  const auto result = delayed.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_GE(locality_fraction(delayed), locality_fraction(greedy) - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Waits, WaitSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace smr::mapreduce

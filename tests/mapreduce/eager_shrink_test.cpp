@@ -1,0 +1,132 @@
+// The eager (kill-and-reschedule) slot-shrink mode: the counterfactual to
+// the paper's lazy slot changer (§III-D).  Killed tasks must be fully
+// requeued — progress rolled back, accounting conserved — and the job must
+// still complete correctly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig shrink_config() {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.eager_slot_shrink = true;
+  config.seed = 21;
+  return config;
+}
+
+/// A policy that repeatedly oscillates the map target, forcing shrinks.
+class OscillatingPolicy final : public AllocationPolicy {
+ public:
+  std::string name() const override { return "oscillating"; }
+  void on_period(std::span<TaskTracker> trackers, const ClusterStats& stats) override {
+    if (!stats.has_active_job) return;
+    ++periods_;
+    const int target = (periods_ % 2 == 0) ? 4 : 1;
+    for (auto& tracker : trackers) tracker.set_map_target(target);
+  }
+
+ private:
+  int periods_ = 0;
+};
+
+JobSpec reduceheavy_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, 2 * kGiB);
+  spec.reduce_tasks = 8;
+  return spec;
+}
+
+TEST(EagerShrink, KillsHappenAndJobStillCompletes) {
+  RuntimeConfig config = shrink_config();
+  Runtime runtime(config, std::make_unique<OscillatingPolicy>());
+  runtime.submit(reduceheavy_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(runtime.killed_map_tasks(), 0);
+  // Every map eventually finished exactly once despite the kills.
+  const Job& job = runtime.jobs()[0];
+  for (const auto& m : job.maps) {
+    EXPECT_EQ(m.phase, MapPhase::kDone);
+  }
+}
+
+TEST(EagerShrink, ConservationHoldsAfterKills) {
+  RuntimeConfig config = shrink_config();
+  Runtime runtime(config, std::make_unique<OscillatingPolicy>());
+  const JobSpec spec = reduceheavy_job();
+  runtime.submit(spec, 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  ASSERT_GT(runtime.killed_map_tasks(), 0);
+  const Job& job = runtime.jobs()[0];
+  // Killed work was rolled back, so the final processed-input counter must
+  // equal the input exactly once (not input + killed partials).
+  EXPECT_NEAR(job.map_input_processed, static_cast<double>(spec.input_size),
+              1e-6 * static_cast<double>(spec.input_size) + 1.0);
+  Bytes outputs = 0;
+  for (const auto& m : job.maps) outputs += m.output_size;
+  EXPECT_NEAR(job.bytes_shuffled, static_cast<double>(outputs),
+              1.0 + 1e-6 * static_cast<double>(outputs));
+}
+
+TEST(EagerShrink, LazyModeNeverKills) {
+  RuntimeConfig config = shrink_config();
+  config.eager_slot_shrink = false;
+  Runtime runtime(config, std::make_unique<OscillatingPolicy>());
+  runtime.submit(reduceheavy_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(runtime.killed_map_tasks(), 0);
+}
+
+TEST(EagerShrink, KillEventsAppearInTrace) {
+  RuntimeConfig config = shrink_config();
+  Runtime runtime(config, std::make_unique<OscillatingPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(reduceheavy_job(), 0.0);
+  runtime.run();
+  const auto kills = trace.of_kind(metrics::TraceEventKind::kTaskKilled);
+  EXPECT_EQ(static_cast<int>(kills.size()), runtime.killed_map_tasks());
+  for (const auto& kill : kills) {
+    EXPECT_TRUE(kill.is_map);
+    EXPECT_NE(kill.node, kInvalidNode);
+  }
+}
+
+TEST(EagerShrink, KilledTasksRelaunchFresh) {
+  RuntimeConfig config = shrink_config();
+  Runtime runtime(config, std::make_unique<OscillatingPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(reduceheavy_job(), 0.0);
+  runtime.run();
+  // Launches = maps + kills (each kill triggers exactly one relaunch).
+  const auto launches = trace.of_kind(metrics::TraceEventKind::kTaskLaunched);
+  int map_launches = 0;
+  for (const auto& launch : launches) {
+    if (launch.is_map) ++map_launches;
+  }
+  const int total_maps = static_cast<int>(runtime.jobs()[0].maps.size());
+  EXPECT_EQ(map_launches, total_maps + runtime.killed_map_tasks());
+}
+
+TEST(EagerShrink, UnderSlotManagerStillCompletes) {
+  // The real pairing from the ablation bench: SMapReduce policy + eager
+  // shrink on a reduce-heavy job.
+  RuntimeConfig config = shrink_config();
+  Runtime runtime(config, std::make_unique<core::SmrSlotPolicy>());
+  runtime.submit(reduceheavy_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

@@ -1,0 +1,190 @@
+// Fault tolerance: injected node failures.  MapReduce's defining property
+// (paper §I: "easy programming, high performance and fault tolerance") —
+// the runtime must requeue running tasks, re-execute completed maps whose
+// outputs died with the node, and still finish every job correctly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig failing_config(NodeId node, SimTime at, int nodes = 4) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(nodes);
+  config.failures.push_back({node, at});
+  config.seed = 31;
+  return config;
+}
+
+JobSpec shuffle_job(double selectivity = 1.0) {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, 2 * kGiB);
+  spec.map_selectivity = selectivity;
+  spec.reduce_tasks = 6;
+  return spec;
+}
+
+TEST(NodeFailure, JobCompletesDespiteMidMapFailure) {
+  RuntimeConfig config = failing_config(1, 30.0);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_FALSE(runtime.node_alive(1));
+  EXPECT_GT(runtime.tasks_lost_to_failures(), 0);
+  const Job& job = runtime.jobs()[0];
+  for (const auto& m : job.maps) {
+    EXPECT_EQ(m.phase, MapPhase::kDone);
+    // No finished task may be parked on the dead node unless it finished
+    // after re-execution elsewhere — i.e. no *needed* output is there.
+    if (m.node == 1) {
+      EXPECT_GE(m.finish_time, 30.0);  // would have been re-run if needed
+    }
+  }
+  for (const auto& r : job.reduces) EXPECT_EQ(r.phase, ReducePhase::kDone);
+}
+
+TEST(NodeFailure, SlowerThanFailureFreeRun) {
+  const JobSpec spec = shuffle_job();
+  RuntimeConfig clean = failing_config(1, 30.0);
+  clean.failures.clear();
+  Runtime clean_rt(clean, std::make_unique<StaticSlotPolicy>());
+  clean_rt.submit(spec, 0.0);
+  const auto clean_result = clean_rt.run();
+
+  Runtime failed_rt(failing_config(1, 30.0), std::make_unique<StaticSlotPolicy>());
+  failed_rt.submit(spec, 0.0);
+  const auto failed_result = failed_rt.run();
+
+  ASSERT_TRUE(clean_result.completed && failed_result.completed);
+  // Lost work + a quarter of the cluster gone: strictly slower.
+  EXPECT_GT(failed_result.jobs[0].total_time(), clean_result.jobs[0].total_time());
+}
+
+TEST(NodeFailure, CompletedMapsReExecutedWhileShuffleOutstanding) {
+  // Fail late in the map phase: some maps on the dead node had completed
+  // and their outputs are needed by the (large) outstanding shuffle.
+  RuntimeConfig config = failing_config(2, 60.0);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(1.0), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  // Some kills must be re-executions of *completed* maps: total map
+  // launches exceed the map count by the number of lost tasks.
+  int map_launches = 0;
+  for (const auto& e : trace.of_kind(metrics::TraceEventKind::kTaskLaunched)) {
+    if (e.is_map) ++map_launches;
+  }
+  const int total_maps = static_cast<int>(runtime.jobs()[0].maps.size());
+  EXPECT_GT(map_launches, total_maps);
+}
+
+TEST(NodeFailure, ReducersRefetchAndFinishExactPartitions) {
+  RuntimeConfig config = failing_config(0, 45.0);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(1.0), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  const Job& job = runtime.jobs()[0];
+  for (const auto& r : job.reduces) {
+    // Every surviving/restarted reducer ends with exactly its partition.
+    EXPECT_NEAR(r.fetched, static_cast<double>(r.partition_size),
+                1.0 + 1e-6 * static_cast<double>(r.partition_size));
+    EXPECT_GE(r.shuffle_end_time, job.maps_done_time);
+  }
+}
+
+TEST(NodeFailure, MapOnlyJobUnaffectedByOutputLossRule) {
+  // With ~zero map output there is nothing to re-shuffle; a failure after
+  // the barrier must not re-open the map phase.
+  RuntimeConfig config = failing_config(1, 1.0);
+  config.failures[0].at = 3000.0;  // long after this small job finishes
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  auto spec = workload::make_puma_job(workload::Puma::kGrep, 2 * kGiB);
+  spec.reduce_tasks = 6;
+  runtime.submit(spec, 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(runtime.tasks_lost_to_failures(), 0);
+}
+
+TEST(NodeFailure, TraceRecordsNodeFailedEvent) {
+  RuntimeConfig config = failing_config(3, 30.0);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(), 0.0);
+  runtime.run();
+  const auto failures = trace.of_kind(metrics::TraceEventKind::kNodeFailed);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].node, 3);
+  EXPECT_DOUBLE_EQ(failures[0].time, 30.0);
+}
+
+TEST(NodeFailure, MultipleFailuresSurvivable) {
+  RuntimeConfig config = failing_config(0, 30.0, 8);
+  config.failures.push_back({5, 90.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_FALSE(runtime.node_alive(0));
+  EXPECT_FALSE(runtime.node_alive(5));
+  EXPECT_TRUE(runtime.node_alive(1));
+}
+
+TEST(NodeFailure, SingleReplicaInputsStillReadable) {
+  // Replication 1 and a failed node: splits whose only replica died are
+  // read remotely from a live stand-in (re-replication assumed).
+  RuntimeConfig config = failing_config(1, 20.0);
+  config.cluster.dfs_replication = 1;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(0.2), 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(NodeFailure, UnderSlotManagerStillAdaptsAndCompletes) {
+  RuntimeConfig config = failing_config(2, 40.0);
+  Runtime runtime(config, std::make_unique<core::SmrSlotPolicy>());
+  auto spec = workload::make_puma_job(workload::Puma::kHistogramRatings, 4 * kGiB);
+  spec.reduce_tasks = 6;
+  runtime.submit(spec, 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(NodeFailure, ValidationRejectsBadFailures) {
+  RuntimeConfig config = failing_config(99, 30.0);
+  EXPECT_THROW(config.validate(), SmrError);
+  config = failing_config(1, -5.0);
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+// Sweep: a failure at any point of the job lifecycle (early map phase,
+// barrier vicinity, deep reduce tail) must leave a completable job.
+class FailureTimeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureTimeSweep, JobAlwaysCompletes) {
+  RuntimeConfig config = failing_config(1, GetParam());
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  const Job& job = runtime.jobs()[0];
+  EXPECT_EQ(job.reduces_finished, static_cast<int>(job.reduces.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossLifecycle, FailureTimeSweep,
+                         ::testing::Values(5.0, 30.0, 60.0, 90.0, 120.0, 200.0,
+                                           300.0));
+
+}  // namespace
+}  // namespace smr::mapreduce

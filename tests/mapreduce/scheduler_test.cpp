@@ -1,0 +1,132 @@
+#include "smr/mapreduce/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/mapreduce/runtime.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+Job make_job(JobId id, SimTime submit, int running_maps, int running_reduces,
+             bool finished = false) {
+  Job job;
+  job.id = id;
+  job.submit_time = submit;
+  job.maps.resize(20);
+  job.reduces.resize(8);
+  job.maps_assigned = running_maps;
+  job.reduces_assigned = running_reduces;
+  if (finished) job.finish_time = submit + 100.0;
+  return job;
+}
+
+TEST(FifoScheduler, SubmissionOrderPreserved) {
+  FifoScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 5, 0));
+  jobs.push_back(make_job(1, 5.0, 0, 0));
+  jobs.push_back(make_job(2, 10.0, 3, 0));
+  const auto order = scheduler.job_order(jobs, 100.0, true);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(FifoScheduler, SkipsUnsubmittedAndFinished) {
+  FifoScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 0, 0, /*finished=*/true));
+  jobs.push_back(make_job(1, 5.0, 0, 0));
+  jobs.push_back(make_job(2, 50.0, 0, 0));  // not yet submitted at t=10
+  const auto order = scheduler.job_order(jobs, 10.0, true);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1}));
+}
+
+TEST(FairScheduler, FewestRunningTasksFirst) {
+  FairScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 6, 0));
+  jobs.push_back(make_job(1, 1.0, 2, 0));
+  jobs.push_back(make_job(2, 2.0, 4, 0));
+  const auto order = scheduler.job_order(jobs, 10.0, true);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(FairScheduler, TiesBreakBySubmissionOrder) {
+  FairScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 3, 0));
+  jobs.push_back(make_job(1, 1.0, 3, 0));
+  const auto order = scheduler.job_order(jobs, 10.0, true);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FairScheduler, ReduceOrderingUsesReduceCounts) {
+  FairScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 0, 5));
+  jobs.push_back(make_job(1, 1.0, 9, 1));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, false),
+            (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FairScheduler, WeightsScaleShares) {
+  // Job 0 has weight 3: its 6 running tasks count as a deficit of 2,
+  // ranking it ahead of job 1's 3 tasks at weight 1.
+  FairScheduler scheduler({3.0, 1.0});
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 6, 0));
+  jobs.push_back(make_job(1, 1.0, 3, 0));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FairScheduler, RejectsNonPositiveWeights) {
+  EXPECT_THROW(FairScheduler({1.0, 0.0}), SmrError);
+}
+
+TEST(FairScheduler, CompletedTasksDoNotCountAsRunning) {
+  FairScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 10, 0));
+  jobs[0].maps_finished = 9;  // only 1 actually running
+  jobs.push_back(make_job(1, 1.0, 3, 0));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+// End-to-end: with one long job hogging the cluster and a short job
+// arriving later, fair sharing finishes the short job earlier than FIFO.
+TEST(FairSchedulerEndToEnd, ShortJobNotStarvedBehindLongJob) {
+  auto run_with = [](std::unique_ptr<JobScheduler> scheduler) {
+    RuntimeConfig config;
+    config.cluster = cluster::ClusterSpec::paper_testbed(4);
+    config.seed = 5;
+    Runtime runtime(config, std::make_unique<StaticSlotPolicy>(),
+                    std::move(scheduler));
+    JobSpec long_job;
+    long_job.name = "long";
+    long_job.input_size = 8 * kGiB;
+    long_job.reduce_tasks = 4;
+    long_job.map_cpu_per_mib = 0.3;
+    long_job.map_selectivity = 0.05;
+    JobSpec short_job = long_job;
+    short_job.name = "short";
+    short_job.input_size = 1 * kGiB;
+    runtime.submit(long_job, 0.0);
+    runtime.submit(short_job, 30.0);
+    return runtime.run();
+  };
+  const auto fifo = run_with(std::make_unique<FifoScheduler>());
+  const auto fair = run_with(std::make_unique<FairScheduler>());
+  ASSERT_TRUE(fifo.completed && fair.completed);
+  // The short job turns around much faster under fair sharing...
+  EXPECT_LT(fair.jobs[1].execution_time(), fifo.jobs[1].execution_time() * 0.8);
+  // ...at modest cost to the long job.
+  EXPECT_LT(fair.jobs[0].execution_time(), fifo.jobs[0].execution_time() * 1.5);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

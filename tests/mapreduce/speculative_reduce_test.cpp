@@ -1,0 +1,133 @@
+// Reduce-side speculative execution: backup attempts for straggling reduce
+// tasks, launched only past the barrier (the partition is fully available,
+// so a backup can re-fetch independently).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig spec_config(bool reduce_speculation) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.speculative_execution = true;
+  config.speculative_reduce_execution = reduce_speculation;
+  config.speculative_min_age = 20.0;
+  config.seed = 101;
+  return config;
+}
+
+/// Reduce-dominated job with heavy per-task variance: the reduce tail is
+/// where backups pay.
+JobSpec straggly_reduce_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, 3 * kGiB);
+  spec.reduce_tasks = 8;  // exactly one wave on 4 nodes x 2 slots
+  spec.duration_cv = 0.6;
+  return spec;
+}
+
+TEST(ReduceSpeculation, LaunchesBackupsAndCompletes) {
+  Runtime runtime(spec_config(true), std::make_unique<StaticSlotPolicy>());
+  runtime.submit(straggly_reduce_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(runtime.speculative_reduce_launches(), 0);
+  const Job& job = runtime.jobs()[0];
+  for (const auto& r : job.reduces) EXPECT_EQ(r.phase, ReducePhase::kDone);
+}
+
+TEST(ReduceSpeculation, OffByDefaultEvenWithMapSpeculation) {
+  Runtime runtime(spec_config(false), std::make_unique<StaticSlotPolicy>());
+  runtime.submit(straggly_reduce_job(), 0.0);
+  runtime.run();
+  EXPECT_EQ(runtime.speculative_reduce_launches(), 0);
+}
+
+TEST(ReduceSpeculation, BackupsOnlyAfterBarrier) {
+  Runtime runtime(spec_config(true), std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(straggly_reduce_job(), 0.0);
+  runtime.run();
+  const auto barrier = trace.of_kind(metrics::TraceEventKind::kBarrierCrossed);
+  ASSERT_EQ(barrier.size(), 1u);
+  for (const auto& e : trace.of_kind(metrics::TraceEventKind::kTaskLaunched)) {
+    if (!e.is_map && e.detail == "speculative") {
+      EXPECT_GE(e.time, barrier[0].time);
+    }
+  }
+}
+
+TEST(ReduceSpeculation, ConservationHoldsDespiteDuplicateFetches) {
+  Runtime runtime(spec_config(true), std::make_unique<StaticSlotPolicy>());
+  const JobSpec spec = straggly_reduce_job();
+  runtime.submit(spec, 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  ASSERT_GT(runtime.speculative_reduce_launches(), 0);
+  const Job& job = runtime.jobs()[0];
+  // Losing attempts' fetches were rolled back: net shuffled == produced.
+  Bytes outputs = 0;
+  for (const auto& m : job.maps) outputs += m.output_size;
+  EXPECT_NEAR(job.bytes_shuffled, static_cast<double>(outputs),
+              1.0 + 1e-6 * static_cast<double>(outputs));
+}
+
+TEST(ReduceSpeculation, EveryLaunchEndsInExactlyOneKill) {
+  Runtime runtime(spec_config(true), std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(straggly_reduce_job(), 0.0);
+  runtime.run();
+  int shadow_kills = 0, lost_races = 0;
+  for (const auto& e : trace.of_kind(metrics::TraceEventKind::kTaskKilled)) {
+    if (e.is_map) continue;
+    if (e.detail == "speculative") ++shadow_kills;
+    if (e.detail == "lost-race") ++lost_races;
+  }
+  EXPECT_EQ(lost_races, runtime.speculative_reduce_wins());
+  EXPECT_EQ(shadow_kills + lost_races, runtime.speculative_reduce_launches());
+}
+
+TEST(ReduceSpeculation, ShortensReduceTailOnAverage) {
+  double with_total = 0.0, without_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto config_with = spec_config(true);
+    config_with.seed = seed;
+    Runtime with_rt(config_with, std::make_unique<StaticSlotPolicy>());
+    with_rt.submit(straggly_reduce_job(), 0.0);
+    with_total += with_rt.run().jobs[0].reduce_time();
+
+    auto config_without = spec_config(false);
+    config_without.seed = seed;
+    Runtime without_rt(config_without, std::make_unique<StaticSlotPolicy>());
+    without_rt.submit(straggly_reduce_job(), 0.0);
+    without_total += without_rt.run().jobs[0].reduce_time();
+  }
+  EXPECT_LT(with_total, without_total);
+}
+
+TEST(ReduceSpeculation, SurvivesNodeFailure) {
+  auto config = spec_config(true);
+  config.failures.push_back({2, 100.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(straggly_reduce_job(), 0.0);
+  EXPECT_TRUE(runtime.run().completed);
+}
+
+TEST(ReduceSpeculation, Deterministic) {
+  auto run_once = [] {
+    Runtime runtime(spec_config(true), std::make_unique<StaticSlotPolicy>());
+    runtime.submit(straggly_reduce_job(), 0.0);
+    return runtime.run().jobs[0].finish_time;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

@@ -1,0 +1,114 @@
+// The lazy slot changer invariants (paper §III-D): raising a target opens
+// capacity immediately; lowering never terminates a running task; actual
+// slots always equal max(target, running).
+#include "smr/mapreduce/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smr::mapreduce {
+namespace {
+
+TEST(Tracker, InitialTargetsAreFreeSlots) {
+  TaskTracker tracker(0, 3, 2);
+  EXPECT_EQ(tracker.map_slots(), 3);
+  EXPECT_EQ(tracker.reduce_slots(), 2);
+  EXPECT_EQ(tracker.free_map_slots(), 3);
+  EXPECT_EQ(tracker.free_reduce_slots(), 2);
+}
+
+TEST(Tracker, LaunchConsumesFreeSlot) {
+  TaskTracker tracker(0, 2, 1);
+  tracker.launch_map(10);
+  EXPECT_EQ(tracker.running_maps(), 1);
+  EXPECT_EQ(tracker.free_map_slots(), 1);
+  tracker.launch_map(11);
+  EXPECT_EQ(tracker.free_map_slots(), 0);
+  EXPECT_THROW(tracker.launch_map(12), SmrError);
+}
+
+TEST(Tracker, RaisingTargetOpensSlotsImmediately) {
+  TaskTracker tracker(0, 1, 1);
+  tracker.launch_map(1);
+  EXPECT_EQ(tracker.free_map_slots(), 0);
+  tracker.set_map_target(4);
+  EXPECT_EQ(tracker.free_map_slots(), 3);
+  EXPECT_EQ(tracker.map_slots(), 4);
+}
+
+TEST(Tracker, LoweringTargetNeverKillsRunningTasks) {
+  TaskTracker tracker(0, 4, 1);
+  for (TaskId id : {1, 2, 3, 4}) tracker.launch_map(id);
+  tracker.set_map_target(1);
+  // All four tasks keep running; the excess slots retire lazily.
+  EXPECT_EQ(tracker.running_maps(), 4);
+  EXPECT_EQ(tracker.map_slots(), 4);  // actual = max(target, running)
+  EXPECT_EQ(tracker.free_map_slots(), 0);
+}
+
+TEST(Tracker, ExcessSlotsRetireAsTasksFinish) {
+  TaskTracker tracker(0, 4, 1);
+  for (TaskId id : {1, 2, 3, 4}) tracker.launch_map(id);
+  tracker.set_map_target(2);
+  tracker.finish_map(1);
+  EXPECT_EQ(tracker.map_slots(), 3);  // still above target, still no free slot
+  EXPECT_EQ(tracker.free_map_slots(), 0);
+  tracker.finish_map(2);
+  EXPECT_EQ(tracker.map_slots(), 2);
+  EXPECT_EQ(tracker.free_map_slots(), 0);
+  tracker.finish_map(3);
+  // Now below target: the freed slot is usable again.
+  EXPECT_EQ(tracker.map_slots(), 2);
+  EXPECT_EQ(tracker.free_map_slots(), 1);
+}
+
+TEST(Tracker, LazyInvariantHoldsThroughArbitrarySequence) {
+  TaskTracker tracker(0, 3, 2);
+  TaskId next = 0;
+  std::vector<TaskId> running;
+  const int targets[] = {3, 1, 5, 0, 2, 7, 1};
+  for (int target : targets) {
+    tracker.set_map_target(target);
+    ASSERT_EQ(tracker.map_slots(), std::max(target, tracker.running_maps()));
+    while (tracker.free_map_slots() > 0) {
+      tracker.launch_map(next);
+      running.push_back(next++);
+    }
+    // Finish half of the running tasks.
+    const std::size_t keep = running.size() / 2;
+    while (running.size() > keep) {
+      tracker.finish_map(running.back());
+      running.pop_back();
+      ASSERT_EQ(tracker.map_slots(),
+                std::max(tracker.map_target(), tracker.running_maps()));
+    }
+  }
+}
+
+TEST(Tracker, ReduceSlotsIndependentOfMapSlots) {
+  TaskTracker tracker(0, 2, 2);
+  tracker.launch_reduce(100);
+  tracker.set_reduce_target(0);
+  EXPECT_EQ(tracker.running_reduces(), 1);
+  EXPECT_EQ(tracker.reduce_slots(), 1);
+  EXPECT_EQ(tracker.free_reduce_slots(), 0);
+  EXPECT_EQ(tracker.free_map_slots(), 2);  // untouched
+  tracker.finish_reduce(100);
+  EXPECT_EQ(tracker.reduce_slots(), 0);
+}
+
+TEST(Tracker, FinishUnknownTaskThrows) {
+  TaskTracker tracker(0, 1, 1);
+  tracker.launch_map(5);
+  EXPECT_THROW(tracker.finish_map(6), SmrError);
+  EXPECT_THROW(tracker.finish_reduce(5), SmrError);
+}
+
+TEST(Tracker, RejectsNegativeTargets) {
+  TaskTracker tracker(0, 1, 1);
+  EXPECT_THROW(tracker.set_map_target(-1), SmrError);
+  EXPECT_THROW(tracker.set_reduce_target(-2), SmrError);
+  EXPECT_THROW(TaskTracker(-1, 1, 1), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

@@ -1,0 +1,111 @@
+#include "smr/metrics/job_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smr::metrics {
+namespace {
+
+JobResult finished_job(SimTime submit, SimTime start, SimTime barrier,
+                       SimTime finish, Bytes input = 1 * kGiB) {
+  JobResult job;
+  job.id = 0;
+  job.name = "job";
+  job.input_size = input;
+  job.submit_time = submit;
+  job.start_time = start;
+  job.maps_done_time = barrier;
+  job.finish_time = finish;
+  return job;
+}
+
+TEST(JobResult, TimingDecomposition) {
+  const auto job = finished_job(0.0, 2.0, 102.0, 152.0);
+  EXPECT_TRUE(job.finished());
+  EXPECT_DOUBLE_EQ(job.map_time(), 100.0);
+  EXPECT_DOUBLE_EQ(job.reduce_time(), 50.0);
+  EXPECT_DOUBLE_EQ(job.total_time(), 150.0);
+  EXPECT_DOUBLE_EQ(job.execution_time(), 152.0);
+}
+
+TEST(JobResult, ThroughputIsInputOverTotalTime) {
+  const auto job = finished_job(0.0, 0.0, 50.0, 100.0, 100 * kMiB);
+  EXPECT_DOUBLE_EQ(job.throughput(), static_cast<double>(kMiB));
+  EXPECT_DOUBLE_EQ(job.map_throughput(), 2.0 * static_cast<double>(kMiB));
+}
+
+TEST(JobResult, ThroughputOnUnfinishedJobThrows) {
+  JobResult job;
+  job.input_size = 1 * kGiB;
+  EXPECT_FALSE(job.finished());
+  EXPECT_THROW(job.throughput(), SmrError);
+}
+
+TEST(ProgressSample, TotalIsMapPlusReduce) {
+  ProgressSample sample{10.0, 80.0, 30.0};
+  EXPECT_DOUBLE_EQ(sample.total_pct(), 110.0);
+}
+
+TEST(RunResult, MeanExecutionTime) {
+  RunResult result;
+  result.jobs.push_back(finished_job(0.0, 1.0, 50.0, 100.0));
+  result.jobs.push_back(finished_job(5.0, 6.0, 60.0, 205.0));
+  EXPECT_DOUBLE_EQ(result.mean_execution_time(), (100.0 + 200.0) / 2.0);
+}
+
+TEST(RunResult, LastFinishRelativeToFirstSubmit) {
+  RunResult result;
+  result.jobs.push_back(finished_job(10.0, 11.0, 50.0, 100.0));
+  result.jobs.push_back(finished_job(15.0, 16.0, 60.0, 300.0));
+  EXPECT_DOUBLE_EQ(result.last_finish_time(), 290.0);
+}
+
+TEST(RunResult, MeanOnUnfinishedThrows) {
+  RunResult result;
+  result.jobs.push_back(JobResult{});
+  EXPECT_THROW(result.mean_execution_time(), SmrError);
+}
+
+TEST(AverageTrials, MeansTimestamps) {
+  RunResult a, b;
+  a.jobs.push_back(finished_job(0.0, 2.0, 100.0, 150.0));
+  b.jobs.push_back(finished_job(0.0, 4.0, 120.0, 170.0));
+  a.makespan = 150.0;
+  b.makespan = 170.0;
+  a.completed = b.completed = true;
+  const auto avg = average_trials({a, b});
+  EXPECT_DOUBLE_EQ(avg.jobs[0].start_time, 3.0);
+  EXPECT_DOUBLE_EQ(avg.jobs[0].maps_done_time, 110.0);
+  EXPECT_DOUBLE_EQ(avg.jobs[0].finish_time, 160.0);
+  EXPECT_DOUBLE_EQ(avg.makespan, 160.0);
+  EXPECT_TRUE(avg.completed);
+}
+
+TEST(AverageTrials, SingleTrialIsIdentity) {
+  RunResult a;
+  a.jobs.push_back(finished_job(0.0, 2.0, 100.0, 150.0));
+  a.completed = true;
+  const auto avg = average_trials({a});
+  EXPECT_DOUBLE_EQ(avg.jobs[0].finish_time, 150.0);
+}
+
+TEST(AverageTrials, IncompleteTrialPoisonsCompleted) {
+  RunResult a, b;
+  a.jobs.push_back(finished_job(0.0, 2.0, 100.0, 150.0));
+  b.jobs.push_back(finished_job(0.0, 2.0, 100.0, 160.0));
+  a.completed = true;
+  b.completed = false;
+  EXPECT_FALSE(average_trials({a, b}).completed);
+}
+
+TEST(AverageTrials, MismatchedJobsThrow) {
+  RunResult a, b;
+  a.jobs.push_back(finished_job(0.0, 2.0, 100.0, 150.0));
+  EXPECT_THROW(average_trials({a, b}), SmrError);
+  b.jobs.push_back(finished_job(0.0, 2.0, 100.0, 150.0));
+  b.jobs[0].name = "other";
+  EXPECT_THROW(average_trials({a, b}), SmrError);
+  EXPECT_THROW(average_trials({}), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::metrics

@@ -1,0 +1,114 @@
+#include "smr/metrics/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smr::metrics {
+namespace {
+
+RunResult sample_result() {
+  RunResult result;
+  JobResult job;
+  job.id = 0;
+  job.name = "grep";
+  job.input_size = 4 * kGiB;
+  job.shuffle_volume = 4 * kMiB;
+  job.submit_time = 0.0;
+  job.start_time = 1.0;
+  job.maps_done_time = 101.0;
+  job.finish_time = 111.0;
+  result.jobs.push_back(job);
+  job.id = 1;
+  job.name = "terasort";
+  job.submit_time = 5.0;
+  job.start_time = 6.0;
+  job.maps_done_time = 106.0;
+  job.finish_time = 206.0;
+  result.jobs.push_back(job);
+  result.progress.push_back({{10.0, 50.0, 10.0}, {20.0, 100.0, 40.0}});
+  result.progress.push_back({{10.0, 30.0, 0.0}});
+  result.slots.push_back({10.0, 3.0, 2.0, 2.5, 1.5});
+  result.completed = true;
+  result.makespan = 206.0;
+  return result;
+}
+
+TEST(TextTable, AlignsColumnsToWidestCell) {
+  TextTable table({"a", "long-header"});
+  table.add_row({"wide-cell-content", "x"});
+  const std::string text = table.to_string();
+  // Header line, separator, one row.
+  EXPECT_NE(text.find("a                  long-header"), std::string::npos);
+  EXPECT_NE(text.find("wide-cell-content  x"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), SmrError);
+  EXPECT_THROW(TextTable({}), SmrError);
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0), "3.0");
+  EXPECT_EQ(format_fixed(-1.25, 1), "-1.2");
+}
+
+TEST(JobSummary, OneRowPerJob) {
+  const auto table = job_summary_table(sample_result());
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("grep"), std::string::npos);
+  EXPECT_NE(text.find("terasort"), std::string::npos);
+  EXPECT_NE(text.find("110.0"), std::string::npos);  // grep total time
+}
+
+TEST(JobSummary, UnfinishedJobMarked) {
+  RunResult result = sample_result();
+  result.jobs[1].finish_time = kTimeNever;
+  const std::string text = job_summary_table(result).to_string();
+  EXPECT_NE(text.find("(unfinished)"), std::string::npos);
+}
+
+TEST(JobsCsv, HeaderAndValues) {
+  std::ostringstream out;
+  write_jobs_csv(sample_result(), out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("job,name,input_bytes"), std::string::npos);
+  EXPECT_NE(csv.find("0,grep,"), std::string::npos);
+  EXPECT_NE(csv.find("1,terasort,"), std::string::npos);
+  // grep: map 100 s, reduce 10 s, total 110 s.
+  EXPECT_NE(csv.find(",100,10,110,"), std::string::npos);
+}
+
+TEST(JobsCsv, UnfinishedJobHasEmptyDerivedColumns) {
+  RunResult result = sample_result();
+  result.jobs[1].finish_time = kTimeNever;
+  std::ostringstream out;
+  write_jobs_csv(result, out);
+  // The unfinished row ends with the three empty derived columns.
+  EXPECT_NE(out.str().find(",,,\n"), std::string::npos);
+}
+
+TEST(ProgressCsv, OneRowPerSampleWithJobIndex) {
+  std::ostringstream out;
+  write_progress_csv(sample_result(), out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("job,time_s,map_pct,reduce_pct,total_pct"), std::string::npos);
+  EXPECT_NE(csv.find("0,10,50,10,60"), std::string::npos);
+  EXPECT_NE(csv.find("0,20,100,40,140"), std::string::npos);
+  EXPECT_NE(csv.find("1,10,30,0,30"), std::string::npos);
+}
+
+TEST(SlotsCsv, TimelineRows) {
+  std::ostringstream out;
+  write_slots_csv(sample_result(), out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time_s,map_target,reduce_target"), std::string::npos);
+  EXPECT_NE(csv.find("10,3,2,2.5,1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smr::metrics

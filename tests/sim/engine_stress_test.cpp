@@ -1,0 +1,124 @@
+// Randomised stress of the event kernel: thousands of interleaved
+// schedule/cancel/periodic operations, with an independently-maintained
+// reference model checking that exactly the non-cancelled events fire, in
+// time order, with stable tie-breaking.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "smr/common/rng.hpp"
+#include "smr/sim/engine.hpp"
+
+namespace smr::sim {
+namespace {
+
+TEST(EngineStress, RandomScheduleAndCancelMatchesReferenceModel) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Engine engine;
+    std::vector<int> fired;                 // tags in firing order
+    std::map<int, SimTime> expected_times;  // tag -> time for non-cancelled
+    std::vector<EventId> ids;
+    std::vector<int> tags;
+
+    for (int i = 0; i < 2000; ++i) {
+      const SimTime when = rng.uniform(0.0, 1000.0);
+      const int tag = i;
+      ids.push_back(engine.schedule_at(when, [&fired, tag] { fired.push_back(tag); }));
+      tags.push_back(tag);
+      expected_times[tag] = when;
+    }
+    // Cancel a random quarter.
+    for (int i = 0; i < 500; ++i) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      if (engine.cancel(ids[victim])) {
+        expected_times.erase(tags[victim]);
+      }
+    }
+    engine.run();
+
+    ASSERT_EQ(fired.size(), expected_times.size());
+    // Every fired tag was expected, in nondecreasing time order; ties in
+    // schedule order (tag order, since tags were scheduled in sequence).
+    SimTime prev_time = -1.0;
+    int prev_tag = -1;
+    for (int tag : fired) {
+      const auto it = expected_times.find(tag);
+      ASSERT_NE(it, expected_times.end()) << "cancelled event fired: " << tag;
+      ASSERT_GE(it->second, prev_time);
+      if (it->second == prev_time) {
+        ASSERT_GT(tag, prev_tag) << "tie not broken by schedule order";
+      }
+      prev_time = it->second;
+      prev_tag = tag;
+    }
+  }
+}
+
+TEST(EngineStress, EventsScheduledDuringRunInterleaveCorrectly) {
+  Engine engine;
+  Rng rng(7);
+  int fired = 0;
+  int scheduled = 0;
+  // Each event may schedule up to two more within the horizon.
+  std::function<void(int)> spawn = [&](int depth) {
+    ++fired;
+    if (depth >= 6) return;
+    const auto children = rng.uniform_int(0, 2);
+    for (std::int64_t c = 0; c < children; ++c) {
+      ++scheduled;
+      engine.schedule_in(rng.uniform(0.1, 5.0), [&spawn, depth] { spawn(depth + 1); });
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    ++scheduled;
+    engine.schedule_at(rng.uniform(0.0, 10.0), [&spawn] { spawn(0); });
+  }
+  engine.run();
+  EXPECT_EQ(fired, scheduled);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineStress, ManyPeriodicsCancelledMidFlight) {
+  Engine engine;
+  std::vector<EventId> periodics;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50; ++i) {
+    const double period = 1.0 + 0.1 * i;
+    periodics.push_back(engine.schedule_periodic(
+        period, period, [&counts, i] { ++counts[static_cast<std::size_t>(i)]; }));
+  }
+  // Cancel the even ones at t = 50, stop the rest via run limit.
+  engine.schedule_at(50.0, [&] {
+    for (int i = 0; i < 50; i += 2) {
+      engine.cancel(periodics[static_cast<std::size_t>(i)]);
+    }
+  });
+  engine.run(100.0);
+  for (int i = 0; i < 50; ++i) {
+    const double period = 1.0 + 0.1 * i;
+    const double horizon = (i % 2 == 0) ? 50.0 : 100.0;
+    const int expected = static_cast<int>(horizon / period);
+    EXPECT_NEAR(counts[static_cast<std::size_t>(i)], expected, 1) << "series " << i;
+  }
+}
+
+TEST(EngineStress, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Engine engine;
+    Rng rng(99);
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      engine.schedule_at(rng.uniform(0.0, 100.0), [&order, i] { order.push_back(i); });
+    }
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace smr::sim

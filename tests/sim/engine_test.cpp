@@ -1,0 +1,177 @@
+#include "smr/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smr::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZeroEmpty) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, FiresEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, TieBrokenByScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelativeToNow) {
+  Engine engine;
+  SimTime fired_at = -1.0;
+  engine.schedule_at(10.0, [&] {
+    engine.schedule_in(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 12.5);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine engine;
+  engine.schedule_at(10.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5.0, [] {}), SmrError);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), SmrError);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdIsFalse) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel(kInvalidEvent));
+}
+
+TEST(Engine, CancelledEventsExcludedFromPendingCount) {
+  Engine engine;
+  const EventId a = engine.schedule_at(1.0, [] {});
+  engine.schedule_at(2.0, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, PeriodicFiresUntilCancelled) {
+  Engine engine;
+  int count = 0;
+  EventId id = kInvalidEvent;
+  id = engine.schedule_periodic(1.0, 1.0, [&] {
+    if (++count == 5) engine.cancel(id);
+  });
+  engine.run(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);  // run() advanced to the limit
+}
+
+TEST(Engine, PeriodicFirstFiringHonoured) {
+  Engine engine;
+  std::vector<SimTime> times;
+  EventId id = engine.schedule_periodic(2.5, 1.0, [&] { times.push_back(engine.now()); });
+  engine.run(5.0);
+  engine.cancel(id);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 2.5);
+  EXPECT_DOUBLE_EQ(times[1], 3.5);
+  EXPECT_DOUBLE_EQ(times[2], 4.5);
+}
+
+TEST(Engine, RunWithLimitStopsBeforeLaterEvents) {
+  Engine engine;
+  bool late_fired = false;
+  engine.schedule_at(10.0, [&] { late_fired = true; });
+  engine.run(5.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  engine.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Engine, StepExecutesExactlyOneEvent) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, EventsScheduledFromCallbacksRun) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.schedule_in(0.1, recurse);
+  };
+  engine.schedule_at(0.0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(engine.now(), 9.9, 1e-9);
+}
+
+TEST(Engine, ZeroDelaySelfScheduleAtSameTimeRunsAfterSiblings) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] {
+    order.push_back(1);
+    engine.schedule_in(0.0, [&] { order.push_back(3); });
+  });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, PeriodicCanCancelItselfFromCallbackImmediately) {
+  Engine engine;
+  int fires = 0;
+  EventId id = kInvalidEvent;
+  id = engine.schedule_periodic(1.0, 1.0, [&] {
+    ++fires;
+    engine.cancel(id);
+  });
+  engine.run(10.0);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Engine, DispatchedCounterCounts) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_at(i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.dispatched(), 7u);
+}
+
+TEST(Engine, RejectsNullAndBadPeriodics) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_at(1.0, nullptr), SmrError);
+  EXPECT_THROW(engine.schedule_periodic(0.0, 0.0, [] {}), SmrError);
+  EXPECT_THROW(engine.schedule_periodic(0.0, -1.0, [] {}), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::sim

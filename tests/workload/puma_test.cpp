@@ -1,0 +1,111 @@
+#include "smr/workload/puma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smr::workload {
+namespace {
+
+TEST(Puma, CatalogueHasThirteenBenchmarks) {
+  EXPECT_EQ(all_puma_benchmarks().size(), 13u);
+}
+
+TEST(Puma, NamesRoundTrip) {
+  for (Puma b : all_puma_benchmarks()) {
+    const auto parsed = puma_from_name(puma_name(b));
+    ASSERT_TRUE(parsed.has_value()) << puma_name(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(puma_from_name("not-a-benchmark").has_value());
+}
+
+TEST(Puma, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Puma b : all_puma_benchmarks()) names.insert(puma_name(b));
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(Puma, EverySpecValidatesWithPaperDefaults) {
+  for (Puma b : all_puma_benchmarks()) {
+    const JobSpec spec = make_puma_job(b);
+    EXPECT_NO_THROW(spec.validate()) << spec.name;
+    EXPECT_EQ(spec.input_size, 30 * kGiB);
+    EXPECT_EQ(spec.split_size, 128 * kMiB);  // the paper's block size
+    EXPECT_EQ(spec.reduce_tasks, 30);        // 99% of 32 reduce slots
+    EXPECT_EQ(spec.name, puma_name(b));
+  }
+}
+
+TEST(Puma, InputSizeParameterHonoured) {
+  const JobSpec spec = make_puma_job(Puma::kGrep, 250 * kGiB);
+  EXPECT_EQ(spec.input_size, 250 * kGiB);
+  EXPECT_EQ(spec.map_task_count(), 2000);
+}
+
+TEST(Puma, ClassificationIntoHeavinessBands) {
+  // Map-heavy: shuffle volume well under 20% of input.
+  for (Puma b : {Puma::kGrep, Puma::kHistogramMovies, Puma::kHistogramRatings,
+                 Puma::kWordCount, Puma::kClassification, Puma::kKMeans}) {
+    EXPECT_TRUE(make_puma_job(b).map_heavy()) << puma_name(b);
+  }
+  // Reduce-heavy: shuffle comparable to input.
+  for (Puma b : {Puma::kTerasort, Puma::kRankedInvertedIndex, Puma::kAdjacencyList}) {
+    const auto spec = make_puma_job(b);
+    EXPECT_FALSE(spec.map_heavy()) << puma_name(b);
+    EXPECT_GE(spec.map_selectivity, 0.8) << puma_name(b);
+  }
+}
+
+TEST(Puma, ReduceHeavyJobsCarryFatterWorkingSets) {
+  // The driver of the paper's Fig. 1 thrashing-point ordering.
+  const auto grep = make_puma_job(Puma::kGrep);
+  const auto termvector = make_puma_job(Puma::kTermVector);
+  const auto terasort = make_puma_job(Puma::kTerasort);
+  EXPECT_LT(grep.map_task_memory, termvector.map_task_memory);
+  EXPECT_LT(termvector.map_task_memory, terasort.map_task_memory);
+  EXPECT_LT(grep.reduce_task_memory, terasort.reduce_task_memory);
+}
+
+TEST(Puma, TerasortShufflesItsWholeInput) {
+  const auto spec = make_puma_job(Puma::kTerasort, 30 * kGiB);
+  EXPECT_EQ(spec.map_output_total(), 30 * kGiB);
+  EXPECT_EQ(spec.partition_size(), 1 * kGiB);
+}
+
+TEST(Puma, AdjacencyListAmplifiesInput) {
+  const auto spec = make_puma_job(Puma::kAdjacencyList);
+  EXPECT_GT(spec.map_output_total(), spec.input_size);
+}
+
+TEST(Puma, FigureBenchmarkSetsAreFromCatalogue) {
+  EXPECT_EQ(fig1_benchmarks().size(), 3u);   // Terasort, TermVector, Grep
+  EXPECT_EQ(fig3_benchmarks().size(), 10u);
+  const auto all = all_puma_benchmarks();
+  const std::set<Puma> catalogue(all.begin(), all.end());
+  for (Puma b : fig1_benchmarks()) EXPECT_TRUE(catalogue.count(b));
+  for (Puma b : fig3_benchmarks()) EXPECT_TRUE(catalogue.count(b));
+}
+
+TEST(Puma, RecommendedReduceTasksFollows99PercentRule) {
+  // The paper states the rule as "99% of the number of reduce slots" and
+  // then uses 30 on its 32 slots (93.75%) — the rule as stated gives
+  // floor(0.99 * 32) = 31; we implement the stated rule and keep 30 as the
+  // paper-setup default in make_puma_job.
+  EXPECT_EQ(recommended_reduce_tasks(16, 2), 31);
+  EXPECT_EQ(recommended_reduce_tasks(16, 2), static_cast<int>(0.99 * 32));
+  EXPECT_EQ(recommended_reduce_tasks(4, 2), 7);
+  EXPECT_EQ(recommended_reduce_tasks(1, 1), 1);   // never below one
+  EXPECT_EQ(recommended_reduce_tasks(1, 0), 1);
+  EXPECT_THROW(recommended_reduce_tasks(0, 2), SmrError);
+}
+
+TEST(Puma, KMeansHasHeaviestMapCompute) {
+  const double kmeans = make_puma_job(Puma::kKMeans).map_cpu_per_mib;
+  for (Puma b : all_puma_benchmarks()) {
+    EXPECT_LE(make_puma_job(b).map_cpu_per_mib, kmeans) << puma_name(b);
+  }
+}
+
+}  // namespace
+}  // namespace smr::workload

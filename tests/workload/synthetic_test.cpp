@@ -1,0 +1,125 @@
+#include "smr/workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smr::workload {
+namespace {
+
+TEST(SyntheticMix, GeneratesRequestedJobCount) {
+  SyntheticMixConfig config;
+  config.jobs = 12;
+  const auto mix = make_synthetic_mix(config);
+  EXPECT_EQ(mix.size(), 12u);
+}
+
+TEST(SyntheticMix, DeterministicPerSeed) {
+  SyntheticMixConfig config;
+  config.jobs = 10;
+  config.seed = 42;
+  const auto a = make_synthetic_mix(config);
+  const auto b = make_synthetic_mix(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.name, b[i].spec.name);
+    EXPECT_EQ(a[i].spec.input_size, b[i].spec.input_size);
+    EXPECT_DOUBLE_EQ(a[i].submit_at, b[i].submit_at);
+  }
+}
+
+TEST(SyntheticMix, DifferentSeedsDiffer) {
+  SyntheticMixConfig config;
+  config.jobs = 10;
+  config.seed = 1;
+  const auto a = make_synthetic_mix(config);
+  config.seed = 2;
+  const auto b = make_synthetic_mix(config);
+  int differences = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].spec.name != b[i].spec.name ||
+        a[i].spec.input_size != b[i].spec.input_size) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(SyntheticMix, ArrivalsAreNondecreasingStartingAtZero) {
+  SyntheticMixConfig config;
+  config.jobs = 20;
+  const auto mix = make_synthetic_mix(config);
+  EXPECT_DOUBLE_EQ(mix.front().submit_at, 0.0);
+  for (std::size_t i = 1; i < mix.size(); ++i) {
+    EXPECT_GE(mix[i].submit_at, mix[i - 1].submit_at);
+  }
+}
+
+TEST(SyntheticMix, ZeroInterarrivalSubmitsEverythingAtOnce) {
+  SyntheticMixConfig config;
+  config.jobs = 5;
+  config.mean_interarrival = 0.0;
+  for (const auto& job : make_synthetic_mix(config)) {
+    EXPECT_DOUBLE_EQ(job.submit_at, 0.0);
+  }
+}
+
+TEST(SyntheticMix, MeanInterarrivalApproximatelyHonoured) {
+  SyntheticMixConfig config;
+  config.jobs = 2000;
+  config.mean_interarrival = 30.0;
+  config.seed = 9;
+  const auto mix = make_synthetic_mix(config);
+  const double mean = mix.back().submit_at / static_cast<double>(mix.size() - 1);
+  EXPECT_NEAR(mean, 30.0, 3.0);
+}
+
+TEST(SyntheticMix, InputSizesWithinBounds) {
+  SyntheticMixConfig config;
+  config.jobs = 200;
+  config.min_input = 2 * kGiB;
+  config.max_input = 16 * kGiB;
+  for (const auto& job : make_synthetic_mix(config)) {
+    EXPECT_GE(job.spec.input_size, config.min_input);
+    EXPECT_LE(job.spec.input_size, config.max_input);
+  }
+}
+
+TEST(SyntheticMix, CandidateRestrictionHonoured) {
+  SyntheticMixConfig config;
+  config.jobs = 50;
+  config.candidates = {Puma::kGrep, Puma::kTerasort};
+  std::set<std::string> names;
+  for (const auto& job : make_synthetic_mix(config)) {
+    names.insert(job.spec.name);
+  }
+  EXPECT_LE(names.size(), 2u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(name == "grep" || name == "terasort");
+  }
+}
+
+TEST(SyntheticMix, ReduceTasksApplied) {
+  SyntheticMixConfig config;
+  config.jobs = 3;
+  config.reduce_tasks = 12;
+  for (const auto& job : make_synthetic_mix(config)) {
+    EXPECT_EQ(job.spec.reduce_tasks, 12);
+  }
+}
+
+TEST(SyntheticMix, ValidationRejectsNonsense) {
+  SyntheticMixConfig config;
+  config.jobs = 0;
+  EXPECT_THROW(make_synthetic_mix(config), SmrError);
+  config = SyntheticMixConfig{};
+  config.min_input = 10 * kGiB;
+  config.max_input = 1 * kGiB;
+  EXPECT_THROW(make_synthetic_mix(config), SmrError);
+  config = SyntheticMixConfig{};
+  config.mean_interarrival = -1.0;
+  EXPECT_THROW(make_synthetic_mix(config), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::workload

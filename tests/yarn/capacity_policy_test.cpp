@@ -1,0 +1,147 @@
+#include "smr/yarn/capacity_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::yarn {
+namespace {
+
+using mapreduce::ClusterStats;
+using mapreduce::TaskTracker;
+
+ClusterStats stats_with(int nodes, double front_fraction, int pending_maps,
+                        int running_maps, int pending_reduces, int running_reduces) {
+  ClusterStats stats;
+  stats.now = 100.0;
+  stats.nodes = nodes;
+  stats.has_active_job = true;
+  stats.active_jobs = {0};
+  stats.front_job_map_fraction = front_fraction;
+  stats.pending_maps = pending_maps;
+  stats.running_maps = running_maps;
+  stats.total_maps = pending_maps + running_maps + 10;
+  stats.finished_maps = 10;
+  stats.pending_reduces = pending_reduces;
+  stats.running_reduces = running_reduces;
+  stats.total_reduces = pending_reduces + running_reduces;
+  return stats;
+}
+
+TEST(CapacityPolicy, OnStartGivesAllContainersToMaps) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  std::vector<TaskTracker> trackers;
+  for (int n = 0; n < 4; ++n) trackers.emplace_back(n, 3, 2);
+  policy.on_start(trackers);
+  for (const auto& t : trackers) {
+    EXPECT_EQ(t.map_target(), 5);
+    EXPECT_EQ(t.reduce_target(), 0);
+  }
+}
+
+TEST(CapacityPolicy, NoReducesBeforeSlowstart) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  const auto stats = stats_with(4, 0.01, 100, 20, 8, 0);
+  EXPECT_EQ(policy.admitted_reduces(stats), 0);
+}
+
+TEST(CapacityPolicy, RampAdmitsReducesGradually) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  const int early = policy.admitted_reduces(stats_with(4, 0.10, 100, 20, 8, 0));
+  const int mid = policy.admitted_reduces(stats_with(4, 0.40, 60, 20, 8, 0));
+  const int late = policy.admitted_reduces(stats_with(4, 0.80, 10, 20, 8, 0));
+  EXPECT_LE(early, mid);
+  EXPECT_LE(mid, late);
+  // Ramp ceiling: max_reduce_fraction of 4*5 containers = 8.
+  EXPECT_LE(late, 8);
+}
+
+TEST(CapacityPolicy, RampCappedByNeed) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  // Only 2 reduce tasks exist in total.
+  const auto stats = stats_with(4, 0.9, 10, 5, 1, 1);
+  EXPECT_LE(policy.admitted_reduces(stats), 2);
+}
+
+TEST(CapacityPolicy, TailUncapsReduces) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  // No map work left: reduces may take the whole cluster.
+  auto stats = stats_with(4, 1.0, 0, 0, 18, 2);
+  EXPECT_EQ(policy.admitted_reduces(stats), 20);
+}
+
+TEST(CapacityPolicy, AmContainerShrinksHostNode) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  auto stats = stats_with(4, 0.5, 50, 10, 8, 2);
+  stats.active_jobs = {0};  // AM on node 0
+  EXPECT_EQ(policy.node_task_capacity(0, stats), 4);
+  EXPECT_EQ(policy.node_task_capacity(1, stats), 5);
+}
+
+TEST(CapacityPolicy, TwoJobsTwoAmContainers) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  auto stats = stats_with(4, 0.5, 50, 10, 8, 2);
+  stats.active_jobs = {0, 4};  // both AMs land on node 0 (ids mod 4)
+  EXPECT_EQ(policy.node_task_capacity(0, stats), 3);
+}
+
+TEST(CapacityPolicy, HeartbeatRespectsHardCapacity) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  TaskTracker tracker(1, 5, 0);
+  // Node full of maps; ramp wants reduces.
+  for (TaskId id : {1, 2, 3, 4, 5}) tracker.launch_map(id);
+  const auto stats = stats_with(4, 0.5, 50, 20, 8, 0);
+  policy.on_heartbeat(tracker, stats);
+  // Reduce target cannot overlap running maps (capacity 5 all busy).
+  EXPECT_EQ(tracker.reduce_target(), 0);
+  // Map target shrank to reserve the reduce quota.
+  EXPECT_LT(tracker.map_target(), 5);
+  EXPECT_EQ(tracker.free_map_slots(), 0);
+}
+
+TEST(CapacityPolicy, ReducesMoveInAsMapsDrain) {
+  CapacityPolicy policy(YarnConfig::equivalent_slots(3, 2));
+  TaskTracker tracker(1, 5, 0);
+  for (TaskId id : {1, 2, 3}) tracker.launch_map(id);  // 3 of 5 busy
+  const auto stats = stats_with(4, 0.6, 40, 12, 8, 0);
+  policy.on_heartbeat(tracker, stats);
+  EXPECT_GT(tracker.reduce_target(), 0);
+  EXPECT_LE(tracker.reduce_target() + tracker.running_maps(), 5);
+}
+
+// End-to-end: a YARN run never exceeds the per-node container capacity at
+// any sampled instant, and the shared pool beats HadoopV1's static split on
+// a map-heavy job.
+TEST(CapacityPolicyEndToEnd, HardCapacityAndMapPhaseAdvantage) {
+  mapreduce::RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.initial_map_slots = 3;
+  config.initial_reduce_slots = 2;
+  config.seed = 3;
+
+  auto spec = workload::make_puma_job(workload::Puma::kHistogramRatings, 4 * kGiB);
+  spec.reduce_tasks = 8;
+
+  mapreduce::Runtime v1(config, std::make_unique<mapreduce::StaticSlotPolicy>());
+  v1.submit(spec, 0.0);
+  const auto v1_result = v1.run();
+
+  mapreduce::Runtime yarn_rt(
+      config, std::make_unique<CapacityPolicy>(YarnConfig::equivalent_slots(3, 2)));
+  yarn_rt.submit(spec, 0.0);
+  const auto yarn_result = yarn_rt.run();
+
+  ASSERT_TRUE(v1_result.completed && yarn_result.completed);
+  for (const auto& sample : yarn_result.slots) {
+    EXPECT_LE(sample.running_maps + sample.running_reduces, 5.0 + 1e-9)
+        << "container capacity exceeded at t=" << sample.time;
+  }
+  EXPECT_LT(yarn_result.jobs[0].map_time(), v1_result.jobs[0].map_time());
+}
+
+}  // namespace
+}  // namespace smr::yarn

@@ -1,0 +1,75 @@
+#include "smr/yarn/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smr::yarn {
+namespace {
+
+TEST(Resource, ArithmeticAndFits) {
+  const Resource a{4 * kGiB, 2.0};
+  const Resource b{1 * kGiB, 1.0};
+  const Resource sum = a + b;
+  EXPECT_EQ(sum.memory, 5 * kGiB);
+  EXPECT_DOUBLE_EQ(sum.vcores, 3.0);
+  const Resource diff = a - b;
+  EXPECT_EQ(diff.memory, 3 * kGiB);
+  EXPECT_TRUE(b.fits_in(a));
+  EXPECT_FALSE(a.fits_in(b));
+}
+
+TEST(Resource, CountOfLimitedByMemory) {
+  const Resource node{10 * kGiB, 100.0};
+  const Resource container{2 * kGiB, 1.0};
+  EXPECT_EQ(node.count_of(container), 5);
+}
+
+TEST(Resource, CountOfLimitedByCores) {
+  const Resource node{100 * kGiB, 4.0};
+  const Resource container{2 * kGiB, 1.0};
+  EXPECT_EQ(node.count_of(container), 4);
+}
+
+TEST(Resource, CountOfNeverNegative) {
+  const Resource node{1 * kGiB, 1.0};
+  const Resource container{2 * kGiB, 1.0};
+  EXPECT_EQ(node.count_of(container), 0);
+}
+
+TEST(YarnConfig, DefaultsValidate) {
+  YarnConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.containers_per_node(), 5);
+}
+
+TEST(YarnConfig, EquivalentSlotsMatchesPaperSetup) {
+  // The paper: "YARN is configured to be able to run 3 map containers and
+  // 2 reduce containers concurrently".
+  const auto config = YarnConfig::equivalent_slots(3, 2);
+  EXPECT_EQ(config.containers_per_node(), 5);
+  EXPECT_DOUBLE_EQ(config.max_reduce_fraction, 0.4);
+}
+
+TEST(YarnConfig, EquivalentSlotsScalesCapacity) {
+  const auto config = YarnConfig::equivalent_slots(6, 2);
+  EXPECT_EQ(config.containers_per_node(), 8);
+  EXPECT_DOUBLE_EQ(config.max_reduce_fraction, 0.25);
+}
+
+TEST(YarnConfig, EquivalentSlotsRejectsNoMaps) {
+  EXPECT_THROW(YarnConfig::equivalent_slots(0, 2), SmrError);
+}
+
+TEST(YarnConfig, ValidateCatchesBadFractions) {
+  YarnConfig config;
+  config.max_reduce_fraction = 1.5;
+  EXPECT_THROW(config.validate(), SmrError);
+  config = YarnConfig{};
+  config.reduce_slowstart = -0.1;
+  EXPECT_THROW(config.validate(), SmrError);
+  config = YarnConfig{};
+  config.node_capacity = {1 * kGiB, 1.0};  // can't fit one 2 GiB container
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::yarn

@@ -1,0 +1,201 @@
+// smr_sim — command-line front end to the simulator.
+//
+// Runs a single PUMA job, a paper-style multi-job batch, or a synthetic
+// mix on a configurable cluster under any of the three engines, and can
+// dump per-job CSVs, progress/slot timelines, and a Chrome trace of every
+// task.
+//
+//   smr_sim --engine=smapreduce --benchmark=terasort --input-gib=30
+//   smr_sim --engine=yarn --benchmark=grep --jobs=4 --stagger=5
+//   smr_sim --synthetic --jobs=8 --seed=7 --scheduler=fair
+//   smr_sim --benchmark=terasort --chrome-trace=trace.json
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "smr/common/flags.hpp"
+#include "smr/driver/experiment.hpp"
+#include "smr/metrics/reporter.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+#include "smr/workload/jobs_file.hpp"
+#include "smr/workload/synthetic.hpp"
+
+using namespace smr;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "smr_sim: %s\n", message.c_str());
+  return 1;
+}
+
+bool write_file(const std::string& path, const std::function<void(std::ostream&)>& fn) {
+  std::ofstream out(path);
+  if (!out) return false;
+  fn(out);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("Simulate MapReduce jobs under HadoopV1, YARN or SMapReduce.");
+  flags.define_string("engine", "smapreduce", "hadoopv1 | yarn | smapreduce");
+  flags.define_string("benchmark", "histogram-ratings",
+                      "PUMA benchmark (ignored with --synthetic)");
+  flags.define_int("input-gib", 30, "input size per job in GiB");
+  flags.define_int("jobs", 1, "number of identical jobs (paper-style batch)");
+  flags.define_double("stagger", 5.0, "seconds between submissions in a batch");
+  flags.define_bool("synthetic", false,
+                    "generate a random job mix instead of a fixed benchmark");
+  flags.define_string("workload-csv", "",
+                      "replay jobs from a CSV (benchmark,input_gib,submit_at"
+                      "[,reduce_tasks]); overrides --benchmark/--synthetic");
+  flags.define_double("mean-interarrival", 60.0,
+                      "synthetic mix: mean exponential inter-arrival (s)");
+  flags.define_string("scheduler", "fifo", "job scheduler: fifo | fair");
+  flags.define_int("nodes", 16, "worker nodes");
+  flags.define_int("map-slots", 3, "initial map slots per node");
+  flags.define_int("reduce-slots", 2, "initial reduce slots per node");
+  flags.define_int("reduce-tasks", 0,
+                   "reduce tasks per job; 0 applies the paper's 99%-of-"
+                   "reduce-slots rule");
+  flags.define_int("trials", 1, "trials to average");
+  flags.define_int("seed", 1, "base RNG seed");
+  flags.define_bool("heterogeneous", false,
+                    "half the nodes at half speed/memory (future-work setup)");
+  flags.define_bool("per-node-targets", false,
+                    "SMapReduce heterogeneous extension: per-node slot targets");
+  flags.define_bool("speculation", false,
+                    "speculative execution of straggling map tasks");
+  flags.define_bool("reduce-speculation", false,
+                    "also speculate on straggling reduce tasks");
+  flags.define_int("fail-node", -1, "inject a permanent failure of this node");
+  flags.define_double("fail-at", 60.0, "failure time in seconds");
+  flags.define_string("jobs-csv", "", "write per-job results CSV to this path");
+  flags.define_string("progress-csv", "", "write progress timeline CSV");
+  flags.define_string("slots-csv", "", "write slot timeline CSV");
+  flags.define_string("chrome-trace", "",
+                      "write a chrome://tracing JSON of every task (1 trial)");
+  flags.define_bool("help", false, "print this help");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "smr_sim: %s\n\n%s", flags.error().c_str(),
+                 flags.usage("smr_sim").c_str());
+    return 1;
+  }
+  if (flags.get_bool("help")) {
+    std::fputs(flags.usage("smr_sim").c_str(), stdout);
+    return 0;
+  }
+
+  const auto engine = driver::engine_from_name(flags.get_string("engine"));
+  if (!engine) return fail("unknown engine '" + flags.get_string("engine") + "'");
+  const auto scheduler = driver::scheduler_from_name(flags.get_string("scheduler"));
+  if (!scheduler) return fail("unknown scheduler '" + flags.get_string("scheduler") + "'");
+
+  driver::ExperimentConfig config = driver::ExperimentConfig::paper_default(*engine);
+  const int nodes = static_cast<int>(flags.get_int("nodes"));
+  config.runtime.cluster = flags.get_bool("heterogeneous")
+                               ? cluster::ClusterSpec::heterogeneous(
+                                     (nodes + 1) / 2, nodes / 2, 0.5)
+                               : cluster::ClusterSpec::paper_testbed(nodes);
+  config.runtime.initial_map_slots = static_cast<int>(flags.get_int("map-slots"));
+  config.runtime.initial_reduce_slots = static_cast<int>(flags.get_int("reduce-slots"));
+  config.runtime.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const int reduce_tasks =
+      flags.get_int("reduce-tasks") > 0
+          ? static_cast<int>(flags.get_int("reduce-tasks"))
+          : workload::recommended_reduce_tasks(
+                nodes, config.runtime.initial_reduce_slots);
+  config.scheduler = *scheduler;
+  config.trials = static_cast<int>(flags.get_int("trials"));
+  config.slot_manager.per_node_targets = flags.get_bool("per-node-targets");
+  config.runtime.speculative_execution =
+      flags.get_bool("speculation") || flags.get_bool("reduce-speculation");
+  config.runtime.speculative_reduce_execution = flags.get_bool("reduce-speculation");
+  if (const auto fail_node = flags.get_int("fail-node"); fail_node >= 0) {
+    config.runtime.failures.push_back(
+        {static_cast<NodeId>(fail_node), flags.get_double("fail-at")});
+  }
+
+  // Build the workload.
+  std::vector<driver::JobSubmission> submissions;
+  if (const std::string path = flags.get_string("workload-csv"); !path.empty()) {
+    for (auto& job : workload::load_jobs_csv(path)) {
+      submissions.push_back({std::move(job.spec), job.submit_at});
+    }
+    if (submissions.empty()) return fail("no jobs in " + path);
+  } else if (flags.get_bool("synthetic")) {
+    workload::SyntheticMixConfig mix;
+    mix.jobs = static_cast<int>(flags.get_int("jobs"));
+    mix.mean_interarrival = flags.get_double("mean-interarrival");
+    mix.reduce_tasks = reduce_tasks;
+    mix.seed = config.runtime.seed;
+    for (auto& job : workload::make_synthetic_mix(mix)) {
+      submissions.push_back({std::move(job.spec), job.submit_at});
+    }
+  } else {
+    const auto bench = workload::puma_from_name(flags.get_string("benchmark"));
+    if (!bench) return fail("unknown benchmark '" + flags.get_string("benchmark") + "'");
+    auto spec = workload::make_puma_job(*bench,
+                                        flags.get_int("input-gib") * kGiB);
+    spec.reduce_tasks = reduce_tasks;
+    const auto count = flags.get_int("jobs");
+    for (std::int64_t i = 0; i < count; ++i) {
+      submissions.push_back({spec, flags.get_double("stagger") * static_cast<double>(i)});
+    }
+  }
+
+  // The chrome trace needs its own instrumented single run.
+  if (const std::string path = flags.get_string("chrome-trace"); !path.empty()) {
+    metrics::TraceLog trace;
+    mapreduce::RuntimeConfig runtime_config = config.runtime;
+    mapreduce::Runtime runtime(runtime_config, driver::make_policy(config),
+                               driver::make_scheduler(config));
+    runtime.set_trace(&trace);
+    for (const auto& submission : submissions) {
+      runtime.submit(submission.spec, submission.submit_at);
+    }
+    runtime.run();
+    if (!write_file(path, [&](std::ostream& out) { trace.write_chrome_trace(out); })) {
+      return fail("cannot write " + path);
+    }
+    std::printf("chrome trace (%zu events) written to %s\n", trace.size(),
+                path.c_str());
+  }
+
+  const metrics::RunResult result = driver::run_experiment(config, submissions);
+
+  std::printf("engine=%s scheduler=%s nodes=%d slots=%d+%d trials=%d\n\n",
+              driver::engine_name(*engine), driver::scheduler_name(*scheduler),
+              nodes, config.runtime.initial_map_slots,
+              config.runtime.initial_reduce_slots, config.trials);
+  metrics::job_summary_table(result).write(std::cout);
+  if (!result.completed) {
+    std::printf("\nWARNING: run hit the time limit before all jobs finished\n");
+  } else if (result.jobs.size() > 1) {
+    std::printf("\nmean execution %.1fs, last finish %.1fs, makespan %.1fs\n",
+                result.mean_execution_time(), result.last_finish_time(),
+                result.makespan);
+  }
+
+  if (const std::string path = flags.get_string("jobs-csv"); !path.empty()) {
+    if (!write_file(path, [&](std::ostream& out) { metrics::write_jobs_csv(result, out); })) {
+      return fail("cannot write " + path);
+    }
+  }
+  if (const std::string path = flags.get_string("progress-csv"); !path.empty()) {
+    if (!write_file(path,
+                    [&](std::ostream& out) { metrics::write_progress_csv(result, out); })) {
+      return fail("cannot write " + path);
+    }
+  }
+  if (const std::string path = flags.get_string("slots-csv"); !path.empty()) {
+    if (!write_file(path, [&](std::ostream& out) { metrics::write_slots_csv(result, out); })) {
+      return fail("cannot write " + path);
+    }
+  }
+  return result.completed ? 0 : 2;
+}
