@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balance_bounds.dir/ablation_balance_bounds.cpp.o"
+  "CMakeFiles/bench_ablation_balance_bounds.dir/ablation_balance_bounds.cpp.o.d"
+  "bench_ablation_balance_bounds"
+  "bench_ablation_balance_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balance_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

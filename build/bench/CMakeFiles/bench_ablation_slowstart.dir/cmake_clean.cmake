@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slowstart.dir/ablation_slowstart.cpp.o"
+  "CMakeFiles/bench_ablation_slowstart.dir/ablation_slowstart.cpp.o.d"
+  "bench_ablation_slowstart"
+  "bench_ablation_slowstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slowstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibration_model.dir/calibration_model.cpp.o"
+  "CMakeFiles/bench_calibration_model.dir/calibration_model.cpp.o.d"
+  "bench_calibration_model"
+  "bench_calibration_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_thrashing.dir/fig1_thrashing.cpp.o"
+  "CMakeFiles/bench_fig1_thrashing.dir/fig1_thrashing.cpp.o.d"
+  "bench_fig1_thrashing"
+  "bench_fig1_thrashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_benchmarks.dir/fig3_benchmarks.cpp.o"
+  "CMakeFiles/bench_fig3_benchmarks.dir/fig3_benchmarks.cpp.o.d"
+  "bench_fig3_benchmarks"
+  "bench_fig3_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

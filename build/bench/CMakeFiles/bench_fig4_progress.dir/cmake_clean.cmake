@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_progress.dir/fig4_progress.cpp.o"
+  "CMakeFiles/bench_fig4_progress.dir/fig4_progress.cpp.o.d"
+  "bench_fig4_progress"
+  "bench_fig4_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_slot_configs.dir/fig5_slot_configs.cpp.o"
+  "CMakeFiles/bench_fig5_slot_configs.dir/fig5_slot_configs.cpp.o.d"
+  "bench_fig5_slot_configs"
+  "bench_fig5_slot_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_slot_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

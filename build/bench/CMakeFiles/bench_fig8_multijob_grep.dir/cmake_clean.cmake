@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multijob_grep.dir/fig8_multijob_grep.cpp.o"
+  "CMakeFiles/bench_fig8_multijob_grep.dir/fig8_multijob_grep.cpp.o.d"
+  "bench_fig8_multijob_grep"
+  "bench_fig8_multijob_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multijob_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multijob_invindex.dir/fig9_multijob_invindex.cpp.o"
+  "CMakeFiles/bench_fig9_multijob_invindex.dir/fig9_multijob_invindex.cpp.o.d"
+  "bench_fig9_multijob_invindex"
+  "bench_fig9_multijob_invindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multijob_invindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_scheduling.dir/multi_job_scheduling.cpp.o"
+  "CMakeFiles/multi_job_scheduling.dir/multi_job_scheduling.cpp.o.d"
+  "multi_job_scheduling"
+  "multi_job_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

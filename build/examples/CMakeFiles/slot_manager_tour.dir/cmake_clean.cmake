@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_manager_tour.dir/slot_manager_tour.cpp.o"
+  "CMakeFiles/slot_manager_tour.dir/slot_manager_tour.cpp.o.d"
+  "slot_manager_tour"
+  "slot_manager_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_manager_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smr/cluster/compute_model.cpp" "src/CMakeFiles/smr.dir/smr/cluster/compute_model.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/cluster/compute_model.cpp.o.d"
+  "/root/repo/src/smr/cluster/maxmin.cpp" "src/CMakeFiles/smr.dir/smr/cluster/maxmin.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/cluster/maxmin.cpp.o.d"
+  "/root/repo/src/smr/cluster/network_model.cpp" "src/CMakeFiles/smr.dir/smr/cluster/network_model.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/cluster/network_model.cpp.o.d"
+  "/root/repo/src/smr/cluster/node.cpp" "src/CMakeFiles/smr.dir/smr/cluster/node.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/cluster/node.cpp.o.d"
+  "/root/repo/src/smr/common/flags.cpp" "src/CMakeFiles/smr.dir/smr/common/flags.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/common/flags.cpp.o.d"
+  "/root/repo/src/smr/common/log.cpp" "src/CMakeFiles/smr.dir/smr/common/log.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/common/log.cpp.o.d"
+  "/root/repo/src/smr/common/rng.cpp" "src/CMakeFiles/smr.dir/smr/common/rng.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/common/rng.cpp.o.d"
+  "/root/repo/src/smr/common/stats.cpp" "src/CMakeFiles/smr.dir/smr/common/stats.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/common/stats.cpp.o.d"
+  "/root/repo/src/smr/common/thread_pool.cpp" "src/CMakeFiles/smr.dir/smr/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/common/thread_pool.cpp.o.d"
+  "/root/repo/src/smr/common/types.cpp" "src/CMakeFiles/smr.dir/smr/common/types.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/common/types.cpp.o.d"
+  "/root/repo/src/smr/core/slot_policy.cpp" "src/CMakeFiles/smr.dir/smr/core/slot_policy.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/core/slot_policy.cpp.o.d"
+  "/root/repo/src/smr/core/thrash_detector.cpp" "src/CMakeFiles/smr.dir/smr/core/thrash_detector.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/core/thrash_detector.cpp.o.d"
+  "/root/repo/src/smr/dfs/block_store.cpp" "src/CMakeFiles/smr.dir/smr/dfs/block_store.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/dfs/block_store.cpp.o.d"
+  "/root/repo/src/smr/driver/experiment.cpp" "src/CMakeFiles/smr.dir/smr/driver/experiment.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/driver/experiment.cpp.o.d"
+  "/root/repo/src/smr/driver/sweep.cpp" "src/CMakeFiles/smr.dir/smr/driver/sweep.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/driver/sweep.cpp.o.d"
+  "/root/repo/src/smr/mapreduce/job.cpp" "src/CMakeFiles/smr.dir/smr/mapreduce/job.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/mapreduce/job.cpp.o.d"
+  "/root/repo/src/smr/mapreduce/runtime.cpp" "src/CMakeFiles/smr.dir/smr/mapreduce/runtime.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/mapreduce/runtime.cpp.o.d"
+  "/root/repo/src/smr/mapreduce/scheduler.cpp" "src/CMakeFiles/smr.dir/smr/mapreduce/scheduler.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/mapreduce/scheduler.cpp.o.d"
+  "/root/repo/src/smr/mapreduce/task.cpp" "src/CMakeFiles/smr.dir/smr/mapreduce/task.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/mapreduce/task.cpp.o.d"
+  "/root/repo/src/smr/metrics/job_metrics.cpp" "src/CMakeFiles/smr.dir/smr/metrics/job_metrics.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/metrics/job_metrics.cpp.o.d"
+  "/root/repo/src/smr/metrics/reporter.cpp" "src/CMakeFiles/smr.dir/smr/metrics/reporter.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/metrics/reporter.cpp.o.d"
+  "/root/repo/src/smr/metrics/trace.cpp" "src/CMakeFiles/smr.dir/smr/metrics/trace.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/metrics/trace.cpp.o.d"
+  "/root/repo/src/smr/metrics/utilization.cpp" "src/CMakeFiles/smr.dir/smr/metrics/utilization.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/metrics/utilization.cpp.o.d"
+  "/root/repo/src/smr/sim/engine.cpp" "src/CMakeFiles/smr.dir/smr/sim/engine.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/sim/engine.cpp.o.d"
+  "/root/repo/src/smr/workload/jobs_file.cpp" "src/CMakeFiles/smr.dir/smr/workload/jobs_file.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/workload/jobs_file.cpp.o.d"
+  "/root/repo/src/smr/workload/puma.cpp" "src/CMakeFiles/smr.dir/smr/workload/puma.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/workload/puma.cpp.o.d"
+  "/root/repo/src/smr/workload/synthetic.cpp" "src/CMakeFiles/smr.dir/smr/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/workload/synthetic.cpp.o.d"
+  "/root/repo/src/smr/yarn/capacity_policy.cpp" "src/CMakeFiles/smr.dir/smr/yarn/capacity_policy.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/yarn/capacity_policy.cpp.o.d"
+  "/root/repo/src/smr/yarn/container.cpp" "src/CMakeFiles/smr.dir/smr/yarn/container.cpp.o" "gcc" "src/CMakeFiles/smr.dir/smr/yarn/container.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/compute_model_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/compute_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/compute_model_test.cpp.o.d"
+  "/root/repo/tests/cluster/maxmin_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/maxmin_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/maxmin_test.cpp.o.d"
+  "/root/repo/tests/cluster/model_sweeps_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/model_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/model_sweeps_test.cpp.o.d"
+  "/root/repo/tests/cluster/network_model_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/network_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/network_model_test.cpp.o.d"
+  "/root/repo/tests/cluster/node_test.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/node_test.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/node_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/compute_model_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/compute_model_test.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/maxmin_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/maxmin_test.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/model_sweeps_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/model_sweeps_test.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/network_model_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/network_model_test.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/node_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/node_test.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

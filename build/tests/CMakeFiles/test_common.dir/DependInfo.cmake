@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/flags_test.cpp" "tests/CMakeFiles/test_common.dir/common/flags_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/flags_test.cpp.o.d"
+  "/root/repo/tests/common/log_test.cpp" "tests/CMakeFiles/test_common.dir/common/log_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/log_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/types_test.cpp" "tests/CMakeFiles/test_common.dir/common/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapreduce/combiner_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/combiner_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/combiner_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/delay_scheduling_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/delay_scheduling_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/delay_scheduling_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/eager_shrink_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/eager_shrink_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/eager_shrink_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/failure_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/failure_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/failure_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/job_spec_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/job_spec_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/job_spec_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/per_node_stats_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/per_node_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/per_node_stats_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/reduce_waves_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/reduce_waves_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/reduce_waves_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/runtime_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/runtime_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/scheduler_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/scheduler_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/speculative_reduce_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/speculative_reduce_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/speculative_reduce_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/speculative_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/speculative_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/speculative_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/task_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/task_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/task_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/tracker_test.cpp" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapreduce.dir/mapreduce/tracker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

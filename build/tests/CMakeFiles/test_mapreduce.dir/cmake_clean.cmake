@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/mapreduce/combiner_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/combiner_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/delay_scheduling_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/delay_scheduling_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/eager_shrink_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/eager_shrink_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/failure_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/failure_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/job_spec_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/job_spec_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/per_node_stats_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/per_node_stats_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/reduce_waves_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/reduce_waves_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/runtime_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/runtime_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/scheduler_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/speculative_reduce_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/speculative_reduce_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/speculative_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/speculative_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/task_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/task_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/tracker_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/tracker_test.cpp.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+  "test_mapreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

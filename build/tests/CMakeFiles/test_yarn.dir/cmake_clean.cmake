@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yarn.dir/yarn/capacity_policy_test.cpp.o"
+  "CMakeFiles/test_yarn.dir/yarn/capacity_policy_test.cpp.o.d"
+  "CMakeFiles/test_yarn.dir/yarn/container_test.cpp.o"
+  "CMakeFiles/test_yarn.dir/yarn/container_test.cpp.o.d"
+  "CMakeFiles/test_yarn.dir/yarn/resources_test.cpp.o"
+  "CMakeFiles/test_yarn.dir/yarn/resources_test.cpp.o.d"
+  "test_yarn"
+  "test_yarn.pdb"
+  "test_yarn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

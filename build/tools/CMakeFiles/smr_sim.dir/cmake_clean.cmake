@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_sim.dir/smr_sim.cpp.o"
+  "CMakeFiles/smr_sim.dir/smr_sim.cpp.o.d"
+  "smr_sim"
+  "smr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

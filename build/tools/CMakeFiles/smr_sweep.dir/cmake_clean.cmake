@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_sweep.dir/smr_sweep.cpp.o"
+  "CMakeFiles/smr_sweep.dir/smr_sweep.cpp.o.d"
+  "smr_sweep"
+  "smr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
