@@ -11,12 +11,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "smr/driver/experiment.hpp"
+#include "smr/obs/self_profile.hpp"
 #include "smr/workload/puma.hpp"
 
 namespace smr::bench {
@@ -79,10 +82,84 @@ inline driver::ExperimentConfig paper_config(driver::EngineKind engine, int tria
   return config;
 }
 
+/// Accumulates wall-clock/event costs of the simulations a bench binary
+/// ran, keyed by job name, and can dump them as machine-readable
+/// JSON-lines.  Enabled by setting SMR_PERF_JSON=<path> in the
+/// environment; see docs/OBSERVABILITY.md.
+class PerfLog {
+ public:
+  static PerfLog& instance() {
+    static PerfLog log;
+    return log;
+  }
+
+  void record(const std::string& name, const obs::EngineProfile& profile) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    ++entry.runs;
+    entry.wall_seconds += profile.wall_seconds;
+    entry.sim_seconds += profile.sim_seconds;
+    entry.events += profile.events;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.empty();
+  }
+
+  /// One JSON object per line: {"type":"bench","name":...,...}.
+  void write_json(std::ostream& out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, e] : entries_) {
+      const double eps =
+          e.wall_seconds > 0.0
+              ? static_cast<double>(e.events) / e.wall_seconds
+              : 0.0;
+      out << "{\"type\":\"bench\",\"name\":\"" << name
+          << "\",\"runs\":" << e.runs << ",\"wall_seconds\":" << e.wall_seconds
+          << ",\"sim_seconds\":" << e.sim_seconds << ",\"events\":" << e.events
+          << ",\"events_per_sec\":" << eps << "}\n";
+    }
+  }
+
+ private:
+  struct Entry {
+    int runs = 0;
+    double wall_seconds = 0.0;
+    double sim_seconds = 0.0;
+    std::uint64_t events = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
 /// Run one single-job experiment and return the averaged job result.
+/// Also times the run and feeds the PerfLog, so any bench binary can emit
+/// per-simulation perf JSON via SMR_PERF_JSON.
 inline metrics::JobResult run_job(const driver::ExperimentConfig& config,
                                   const mapreduce::JobSpec& spec) {
-  return driver::run_single_job(config, spec).jobs[0];
+  obs::Stopwatch stopwatch;
+  metrics::RunResult result = driver::run_single_job(config, spec);
+  obs::EngineProfile profile;
+  profile.wall_seconds = stopwatch.seconds();
+  profile.sim_seconds = result.makespan;
+  profile.events = result.engine_events;
+  PerfLog::instance().record(spec.name, profile);
+  return result.jobs[0];
+}
+
+/// Write the PerfLog to $SMR_PERF_JSON if set (and anything was recorded).
+inline void maybe_write_perf_json() {
+  const char* path = std::getenv("SMR_PERF_JSON");
+  if (path == nullptr || PerfLog::instance().empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  PerfLog::instance().write_json(out);
+  std::printf("perf json written to %s\n", path);
 }
 
 /// A standard custom main: run benchmarks, then print the tables that the
@@ -96,6 +173,7 @@ inline metrics::JobResult run_job(const driver::ExperimentConfig& config,
     ::benchmark::RunSpecifiedBenchmarks();                            \
     ::benchmark::Shutdown();                                          \
     __VA_ARGS__;                                                      \
+    ::smr::bench::maybe_write_perf_json();                            \
     return 0;                                                         \
   }
 

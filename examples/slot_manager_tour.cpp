@@ -2,6 +2,8 @@
 // policy period, what the slot manager saw (balance factor, windowed
 // rates), what it decided (slot targets), and what the cluster was doing
 // (running tasks).  This is the paper's Sections III-IV made observable.
+// Afterwards it replays the policy's decision audit log (smr::obs) — the
+// same records `smr_sim --decisions-out` exports as CSV.
 //
 //   ./slot_manager_tour [benchmark] [input-GiB]
 #include <cstdio>
@@ -11,6 +13,7 @@
 
 #include "smr/core/slot_policy.hpp"
 #include "smr/driver/experiment.hpp"
+#include "smr/obs/decision_log.hpp"
 #include "smr/workload/puma.hpp"
 
 using namespace smr;
@@ -28,7 +31,9 @@ int main(int argc, char** argv) {
   mapreduce::RuntimeConfig runtime_config;
   runtime_config.cluster = cluster::ClusterSpec::paper_testbed(16);
   auto policy = std::make_unique<core::SmrSlotPolicy>();
-  const core::SmrSlotPolicy* manager = policy.get();
+  core::SmrSlotPolicy* manager = policy.get();
+  obs::DecisionLog decisions;
+  manager->set_decision_log(&decisions);
   mapreduce::Runtime runtime(runtime_config, std::move(policy));
   runtime.submit(spec, 0.0);
 
@@ -71,5 +76,17 @@ int main(int argc, char** argv) {
               job.map_time(), job.reduce_time(), job.total_time(),
               format_rate(job.throughput()).c_str());
   std::printf("slot-manager decisions made: %d\n", manager->decisions_made());
+
+  // Replay the audit log: every period that *changed* the slot targets,
+  // with the manager's own reasoning.  (--decisions-out in smr_sim dumps
+  // the full log, holds included, as CSV.)
+  std::printf("\ndecision audit log (slot changes only, %zu periods total):\n",
+              decisions.size());
+  for (const auto& d : decisions.decisions()) {
+    if (!d.changed_slots()) continue;
+    std::printf("  %7.0fs %-13s maps %d->%d reduces %d->%d  %s\n", d.time,
+                obs::to_string(d.action), d.map_slots_before, d.map_slots_after,
+                d.reduce_slots_before, d.reduce_slots_after, d.reason.c_str());
+  }
   return 0;
 }

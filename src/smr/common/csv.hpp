@@ -1,0 +1,27 @@
+// Minimal RFC-4180 CSV field quoting, shared by every CSV writer in the
+// repo.  A field containing a comma, double quote, CR or LF is wrapped in
+// double quotes with embedded quotes doubled; anything else passes through
+// unchanged, so existing numeric columns are byte-identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace smr {
+
+inline std::string csv_quote(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace smr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "smr/common/log.hpp"
 
@@ -50,6 +51,31 @@ void SmrSlotPolicy::reset_statistics() {
   node_running_maps_.clear();
 }
 
+void SmrSlotPolicy::log_decision(const mapreduce::ClusterStats& stats,
+                                 obs::SlotAction action, std::string reason,
+                                 int map_slots_before, int reduce_slots_before) {
+  if (decision_log_ == nullptr) return;
+  obs::SlotDecision d;
+  d.time = stats.now;
+  d.map_output_rate = output_rate_.rate();
+  d.shuffle_rate = shuffle_rate_.rate();
+  d.running_reduces = stats.running_reduces;
+  d.total_reduces = stats.total_reduces;
+  d.balance_factor = last_f_;
+  d.slow_start_passed = started_;
+  d.thrash_suspected = detector_.suspicious();
+  d.thrash_confirmed = detector_.confirmed();
+  d.thrash_strikes = detector_.strikes();
+  d.thrash_ceiling = detector_.confirmed() ? detector_.ceiling() : -1;
+  d.map_slots_before = map_slots_before;
+  d.map_slots_after = map_slots_;
+  d.reduce_slots_before = reduce_slots_before;
+  d.reduce_slots_after = reduce_slots_;
+  d.action = action;
+  d.reason = std::move(reason);
+  decision_log_->record(std::move(d));
+}
+
 void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
                               const mapreduce::ClusterStats& stats) {
   if (!stats.has_active_job) {
@@ -88,6 +114,10 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
     }
   }
 
+  // Audit baseline: the slot counts in force when this period began.
+  const int maps_before = map_slots_;
+  const int reduces_before = reduce_slots_;
+
   // --- Slow start (§IV-A1) ---------------------------------------------
   if (first_reduce_running_time_ == kTimeNever && stats.running_reduces > 0) {
     first_reduce_running_time_ = stats.now;
@@ -105,6 +135,17 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
     if (!config_.slow_start || (maps_gate && shuffle_gate)) {
       started_ = true;
     } else {
+      std::ostringstream reason;
+      if (!maps_gate) {
+        reason << "slow start: " << 100.0 * stats.front_job_map_fraction
+               << "% of front job's maps finished, gate at "
+               << 100.0 * config_.slow_start_fraction << '%';
+      } else {
+        reason << "slow start: shuffle statistics do not yet cover a full "
+               << config_.rate_window << "s window";
+      }
+      log_decision(stats, obs::SlotAction::kHoldSlowStart, reason.str(),
+                   maps_before, reduces_before);
       apply_targets(trackers, stats);
       return;
     }
@@ -118,11 +159,20 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
       // Only reduce tasks remain: release map slots; grant extra reduce
       // slots only when the shuffle volume is small enough not to jam the
       // network.
+      std::ostringstream reason;
+      reason << "tail stretch: no unfinished maps, releasing map slots";
       if (stats.front_job_shuffle_volume <= config_.small_shuffle_threshold) {
         reduce_slots_ = std::min(config_.max_reduce_slots,
                                  initial_reduce_slots_ + config_.tail_reduce_boost);
+        reason << ", small shuffle (" << stats.front_job_shuffle_volume
+               << " B), reduce slots -> " << reduce_slots_;
+      } else {
+        reason << ", shuffle too large (" << stats.front_job_shuffle_volume
+               << " B) for a reduce boost";
       }
       ++decisions_;
+      log_decision(stats, obs::SlotAction::kTailStretch, reason.str(),
+                   maps_before, reduces_before);
     }
     apply_targets(trackers, stats);
     return;
@@ -144,6 +194,11 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
       SMR_INFO("slot manager: thrashing confirmed at " << old
                << " map slots; reverting to " << map_slots_);
       ++decisions_;
+      std::ostringstream reason;
+      reason << "thrashing confirmed at " << old << " map slots, reverting to "
+             << map_slots_ << " (new ceiling)";
+      log_decision(stats, obs::SlotAction::kRevertThrash, reason.str(),
+                   maps_before, reduces_before);
       apply_targets(trackers, stats);
       return;
     }
@@ -168,6 +223,9 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
   } else if (rt <= kRateEps) {
     // No map output landed inside the statistics window (e.g. a straggling
     // wave): no basis for a decision — hold everything.
+    log_decision(stats, obs::SlotAction::kHoldNoStats,
+                 "no map output landed in the statistics window, holding",
+                 maps_before, reduces_before);
     apply_targets(trackers, stats);
     return;
   } else {
@@ -178,6 +236,8 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
     reduce_heavy = f < config_.balance_lower;
   }
 
+  obs::SlotAction action = obs::SlotAction::kHoldBalanced;
+  std::ostringstream reason;
   if (map_heavy) {
     const int proposed = map_slots_ + 1;
     if (!climb_held && proposed <= config_.max_map_slots &&
@@ -185,8 +245,23 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
       detector_.on_slots_changed(map_slots_, proposed, stats.now);
       map_slots_ = proposed;
       ++decisions_;
+      action = obs::SlotAction::kGrowMaps;
+      if (last_f_) {
+        reason << "map-heavy: f=" << *last_f_ << " > " << config_.balance_upper
+               << ", map slots -> " << map_slots_;
+      } else {
+        reason << "map-heavy: nothing shuffling, map slots -> " << map_slots_;
+      }
       SMR_DEBUG("slot manager: map-heavy (f="
                 << (last_f_ ? *last_f_ : -1.0) << "); map slots -> " << map_slots_);
+    } else if (climb_held) {
+      reason << "map-heavy but climb held: thrashing suspected, strike "
+             << detector_.strikes() << " of " << config_.suspect_threshold;
+    } else if (proposed > detector_.ceiling()) {
+      reason << "map-heavy but " << proposed << " slots would exceed the thrash ceiling "
+             << detector_.ceiling();
+    } else {
+      reason << "map-heavy but already at max_map_slots=" << config_.max_map_slots;
     }
   } else if (reduce_heavy) {
     const int proposed = map_slots_ - 1;
@@ -194,11 +269,21 @@ void SmrSlotPolicy::on_period(std::span<mapreduce::TaskTracker> trackers,
       detector_.on_slots_changed(map_slots_, proposed, stats.now);
       map_slots_ = proposed;
       ++decisions_;
+      action = obs::SlotAction::kShrinkMaps;
+      reason << "reduce-heavy: f=" << *last_f_ << " < " << config_.balance_lower
+             << ", map slots -> " << map_slots_;
       SMR_DEBUG("slot manager: reduce-heavy (f=" << *last_f_ << "); map slots -> "
                                                  << map_slots_);
+    } else {
+      reason << "reduce-heavy: f=" << *last_f_
+             << ", but already at min_map_slots=" << config_.min_map_slots;
     }
+  } else {
+    // Balanced state: hold (§IV-A3).
+    reason << "balanced: f=" << *last_f_ << " within [" << config_.balance_lower
+           << ", " << config_.balance_upper << "]";
   }
-  // Balanced state: hold (§IV-A3).
+  log_decision(stats, action, reason.str(), maps_before, reduces_before);
 
   apply_targets(trackers, stats);
 }

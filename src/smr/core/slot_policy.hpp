@@ -31,6 +31,7 @@
 #include "smr/core/slot_manager_config.hpp"
 #include "smr/core/thrash_detector.hpp"
 #include "smr/mapreduce/policy.hpp"
+#include "smr/obs/decision_log.hpp"
 
 namespace smr::core {
 
@@ -46,6 +47,12 @@ class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
   void on_start(std::span<mapreduce::TaskTracker> trackers) override;
   void on_period(std::span<mapreduce::TaskTracker> trackers,
                  const mapreduce::ClusterStats& stats) override;
+
+  /// Attach a decision audit log (must outlive the policy).  Every
+  /// on_period with an active job then appends one structured record:
+  /// rates seen, gate state, action taken and a human-readable reason.
+  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+  const obs::DecisionLog* decision_log() const override { return decision_log_; }
 
   // --- Introspection (tests, benches, the slot timeline) ----------------
   const SlotManagerConfig& config() const { return config_; }
@@ -65,6 +72,10 @@ class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
   void apply_targets(std::span<mapreduce::TaskTracker> trackers,
                      const mapreduce::ClusterStats& stats) const;
   void reset_statistics();
+  /// Append one audit record for the period that just resolved.
+  void log_decision(const mapreduce::ClusterStats& stats,
+                    obs::SlotAction action, std::string reason,
+                    int map_slots_before, int reduce_slots_before);
 
   SlotManagerConfig config_;
   std::vector<double> node_speeds_;
@@ -91,6 +102,7 @@ class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
   SimTime first_reduce_running_time_ = kTimeNever;
   std::optional<double> last_f_;
   int decisions_ = 0;
+  obs::DecisionLog* decision_log_ = nullptr;
 };
 
 }  // namespace smr::core

@@ -52,6 +52,8 @@ class ThrashingDetector {
 
   /// Suspicion is pending (hold further climbs until it resolves)?
   bool suspicious() const { return suspicions_ > 0; }
+  /// Consecutive suspicion strikes recorded so far (audit telemetry).
+  int strikes() const { return suspicions_; }
 
   /// Last known-good configuration, if any (tests).
   bool has_baseline() const { return has_good_; }

@@ -19,6 +19,10 @@
 #include "smr/common/types.hpp"
 #include "smr/mapreduce/tracker.hpp"
 
+namespace smr::obs {
+class DecisionLog;
+}
+
 namespace smr::mapreduce {
 
 /// Per-tracker statistics carried by heartbeats (Section III-C: "the task
@@ -87,6 +91,11 @@ class AllocationPolicy {
   /// Called every policy period with all trackers (the slot manager thread
   /// in the paper's job tracker, Section IV-A).
   virtual void on_period(std::span<TaskTracker> /*trackers*/, const ClusterStats& /*stats*/) {}
+
+  /// The policy's decision audit log, if it keeps one (the slot manager
+  /// does when a log is attached).  The runtime mirrors new records into
+  /// the trace as POLICY_DECISION events.
+  virtual const obs::DecisionLog* decision_log() const { return nullptr; }
 };
 
 /// HadoopV1: the initial slot configuration, never changed at runtime.

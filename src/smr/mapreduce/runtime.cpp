@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "smr/common/log.hpp"
+#include "smr/obs/decision_log.hpp"
 
 namespace smr::mapreduce {
 
@@ -117,6 +118,16 @@ metrics::RunResult Runtime::run() {
   SMR_CHECK_MSG(!jobs_.empty(), "no jobs submitted");
 
   policy_->on_start(trackers());
+  // Seed the slot-target counter tracks at their initial values so the
+  // trace timeline starts at t = 0 rather than the first change.
+  if (trace_ != nullptr) {
+    trace_event(metrics::TraceEventKind::kSlotTargetChanged, kInvalidJob,
+                kInvalidTask, kInvalidNode, true, "map",
+                static_cast<double>(total_map_target()));
+    trace_event(metrics::TraceEventKind::kSlotTargetChanged, kInvalidJob,
+                kInvalidTask, kInvalidNode, false, "reduce",
+                static_cast<double>(total_reduce_target()));
+  }
 
   periodic_events_.push_back(
       engine_.schedule_periodic(config_.tick, config_.tick, [this] { on_tick(); }));
@@ -175,6 +186,7 @@ metrics::RunResult Runtime::run() {
   } else {
     result_.makespan = config_.time_limit;
   }
+  result_.engine_events = engine_.dispatched();
   return result_;
 }
 
@@ -567,6 +579,10 @@ void Runtime::complete_map(Job& job, MapTask& task, TaskId attempt_id) {
   if (has_shadow(task.id)) kill_shadow(task);
   task.phase = MapPhase::kDone;
   task.finish_time = engine_.now();
+  if (metrics_ != nullptr) {
+    metrics_->histogram("task.map_duration_s", obs::kDurationBounds)
+        .observe(task.finish_time - task.start_time);
+  }
   trace_event(metrics::TraceEventKind::kTaskFinished, job.id, task.id,
               task.node, true);
   trackers_[static_cast<std::size_t>(task.node)].finish_map(attempt_id);
@@ -624,6 +640,10 @@ void Runtime::complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id) {
   if (has_reduce_shadow(task.id)) kill_reduce_shadow(task);
   task.phase = ReducePhase::kDone;
   task.finish_time = engine_.now();
+  if (metrics_ != nullptr) {
+    metrics_->histogram("task.reduce_duration_s", obs::kDurationBounds)
+        .observe(task.finish_time - task.start_time);
+  }
   trace_event(metrics::TraceEventKind::kTaskFinished, job.id, task.id,
               task.node, false);
   trackers_[static_cast<std::size_t>(task.node)].finish_reduce(attempt_id);
@@ -657,7 +677,13 @@ void Runtime::on_heartbeat(std::size_t tracker_index) {
   if (!node_alive_[tracker_index]) return;
   TaskTracker& tracker = trackers_[tracker_index];
   const ClusterStats stats = snapshot();
+  // Heartbeat-level policies (YARN's capacity accounting) adjust targets
+  // here; watch the cluster totals so the counter tracks stay truthful.
+  const int prev_map_total = trace_ != nullptr ? total_map_target() : 0;
+  const int prev_reduce_total = trace_ != nullptr ? total_reduce_target() : 0;
   policy_->on_heartbeat(tracker, stats);
+  if (trace_ != nullptr) trace_slot_targets(prev_map_total, prev_reduce_total);
+  if (metrics_ != nullptr) metrics_->counter("heartbeats.processed").inc();
   if (config_.eager_slot_shrink) eager_shrink(tracker);
   assign_tasks(tracker);
 }
@@ -835,7 +861,59 @@ void Runtime::fail_node(NodeId node) {
 
 void Runtime::on_policy_period() {
   if (stopping_) return;
+  const obs::DecisionLog* decisions = policy_->decision_log();
+  const std::size_t decisions_before =
+      decisions != nullptr ? decisions->size() : 0;
+  const int prev_map_total = trace_ != nullptr ? total_map_target() : 0;
+  const int prev_reduce_total = trace_ != nullptr ? total_reduce_target() : 0;
+
   policy_->on_period(trackers(), snapshot());
+
+  if (metrics_ != nullptr) metrics_->counter("policy.periods").inc();
+  if (trace_ != nullptr) {
+    trace_slot_targets(prev_map_total, prev_reduce_total);
+    // Mirror freshly appended audit records into the trace so Perfetto
+    // shows the control loop's reasoning next to the task slices.
+    if (decisions != nullptr) {
+      for (std::size_t i = decisions_before; i < decisions->size(); ++i) {
+        const obs::SlotDecision& d = decisions->decisions()[i];
+        std::string detail = obs::to_string(d.action);
+        if (!d.reason.empty()) {
+          detail += ": ";
+          detail += d.reason;
+        }
+        trace_event(metrics::TraceEventKind::kPolicyDecision, kInvalidJob,
+                    kInvalidTask, kInvalidNode, true, detail.c_str(),
+                    d.balance_factor.value_or(0.0));
+      }
+    }
+  }
+}
+
+int Runtime::total_map_target() const {
+  int total = 0;
+  for (const auto& tracker : trackers_) total += tracker.map_target();
+  return total;
+}
+
+int Runtime::total_reduce_target() const {
+  int total = 0;
+  for (const auto& tracker : trackers_) total += tracker.reduce_target();
+  return total;
+}
+
+void Runtime::trace_slot_targets(int prev_map_total, int prev_reduce_total) {
+  if (const int now_map = total_map_target(); now_map != prev_map_total) {
+    trace_event(metrics::TraceEventKind::kSlotTargetChanged, kInvalidJob,
+                kInvalidTask, kInvalidNode, true, "map",
+                static_cast<double>(now_map));
+  }
+  if (const int now_reduce = total_reduce_target();
+      now_reduce != prev_reduce_total) {
+    trace_event(metrics::TraceEventKind::kSlotTargetChanged, kInvalidJob,
+                kInvalidTask, kInvalidNode, false, "reduce",
+                static_cast<double>(now_reduce));
+  }
 }
 
 void Runtime::assign_tasks(TaskTracker& tracker) {
@@ -1181,6 +1259,31 @@ void Runtime::on_sample() {
     slot_sample.running_maps += tracker.running_maps();
     slot_sample.running_reduces += tracker.running_reduces();
   }
+  if (metrics_ != nullptr) {
+    // Cluster totals (before the per-node averaging below).
+    metrics_->series("slots.map_target").append(now, slot_sample.map_target);
+    metrics_->series("slots.reduce_target")
+        .append(now, slot_sample.reduce_target);
+    metrics_->series("tasks.running_maps").append(now, slot_sample.running_maps);
+    metrics_->series("tasks.running_reduces")
+        .append(now, slot_sample.running_reduces);
+    double pending_maps = 0.0;
+    double pending_reduces = 0.0;
+    double shuffle_backlog = 0.0;
+    for (const Job& job : jobs_) {
+      if (job.submit_time > now || job.finished()) continue;
+      pending_maps += job.maps_pending();
+      pending_reduces += job.reduces_pending();
+      for (const ReduceTask& task : job.reduces) {
+        if (task.running() && task.phase == ReducePhase::kShuffling) {
+          shuffle_backlog += task.backlog();
+        }
+      }
+    }
+    metrics_->series("queue.pending_maps").append(now, pending_maps);
+    metrics_->series("queue.pending_reduces").append(now, pending_reduces);
+    metrics_->series("shuffle.bytes_in_flight").append(now, shuffle_backlog);
+  }
   const double nt = static_cast<double>(trackers_.size());
   slot_sample.map_target /= nt;
   slot_sample.reduce_target /= nt;
@@ -1190,7 +1293,24 @@ void Runtime::on_sample() {
 }
 
 void Runtime::trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
-                          NodeId node, bool is_map, const char* detail) {
+                          NodeId node, bool is_map, const char* detail,
+                          double value) {
+  // Every launch and kill flows through here, so the control-plane counters
+  // live here rather than at each call site.
+  if (metrics_ != nullptr) {
+    switch (kind) {
+      case metrics::TraceEventKind::kTaskLaunched:
+        metrics_
+            ->counter(is_map ? "tasks.map_launches" : "tasks.reduce_launches")
+            .inc();
+        break;
+      case metrics::TraceEventKind::kTaskKilled:
+        metrics_->counter("tasks.kills").inc();
+        break;
+      default:
+        break;
+    }
+  }
   if (trace_ == nullptr) return;
   metrics::TraceEvent event;
   event.time = engine_.now();
@@ -1200,6 +1320,7 @@ void Runtime::trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
   event.node = node;
   event.is_map = is_map;
   event.detail = detail;
+  event.value = value;
   trace_->record(event);
 }
 

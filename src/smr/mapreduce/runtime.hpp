@@ -34,6 +34,7 @@
 #include "smr/mapreduce/tracker.hpp"
 #include "smr/metrics/job_metrics.hpp"
 #include "smr/metrics/trace.hpp"
+#include "smr/obs/metrics_registry.hpp"
 #include "smr/sim/engine.hpp"
 
 namespace smr::mapreduce {
@@ -131,8 +132,17 @@ class Runtime {
 
   /// Attach a trace log (optional; must outlive run()).  Records every job
   /// submission, task launch, phase transition, completion, kill and
-  /// barrier crossing.
+  /// barrier crossing, plus slot-target counter changes and (when the
+  /// policy keeps a decision log) POLICY_DECISION events.
   void set_trace(metrics::TraceLog* trace) { trace_ = trace; }
+
+  /// Attach a metrics registry (optional; must outlive run()).  The
+  /// runtime then records sampled time series every sample period
+  /// (slot targets, running tasks, queue depths, shuffle bytes in
+  /// flight), control-plane counters (heartbeats, policy periods, task
+  /// launches/kills) and task-duration histograms.  Metric names are
+  /// documented in docs/OBSERVABILITY.md.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // --- Observers (tests and policies) ---------------------------------
   const RuntimeConfig& config() const { return config_; }
@@ -211,7 +221,14 @@ class Runtime {
   MapTask& map_task(TaskId id);
   ReduceTask& reduce_task(TaskId id);
   void trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
-                   NodeId node, bool is_map, const char* detail = "");
+                   NodeId node, bool is_map, const char* detail = "",
+                   double value = 0.0);
+  /// Cluster-total slot targets over all trackers (telemetry).
+  int total_map_target() const;
+  int total_reduce_target() const;
+  /// Emit kSlotTargetChanged trace events when the cluster totals moved
+  /// away from the given previous values.
+  void trace_slot_targets(int prev_map_total, int prev_reduce_total);
 
   RuntimeConfig config_;
   std::unique_ptr<AllocationPolicy> policy_;
@@ -254,6 +271,7 @@ class Runtime {
 
   metrics::RunResult result_;
   metrics::TraceLog* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<sim::EventId> periodic_events_;
   bool ran_ = false;
   bool stopping_ = false;

@@ -43,6 +43,7 @@ RunResult average_trials(const std::vector<RunResult>& trials) {
     }
     avg.makespan += trial.makespan;
     avg.completed = avg.completed && trial.completed;
+    avg.engine_events += trial.engine_events;
   }
   for (auto& job : avg.jobs) {
     job.submit_time /= n;

@@ -11,6 +11,7 @@
 // *submission* to finish, matching how Hadoop reports job runtime.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,9 @@ struct RunResult {
   SimTime makespan = 0.0;
   /// True when every submitted job completed before the time limit.
   bool completed = false;
+  /// Discrete events the sim engine dispatched for this run (summed over
+  /// trials by average_trials) — the denominator of events/sec profiling.
+  std::uint64_t engine_events = 0;
 
   const JobResult& job(std::size_t index) const {
     SMR_CHECK(index < jobs.size());

@@ -1,7 +1,11 @@
 #include "smr/metrics/trace.hpp"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
+#include <set>
+
+#include "smr/common/csv.hpp"
 
 namespace smr::metrics {
 
@@ -16,6 +20,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kJobFinished: return "JOB_FINISHED";
     case TraceEventKind::kSlotTargetChanged: return "SLOT_TARGET_CHANGED";
     case TraceEventKind::kNodeFailed: return "NODE_FAILED";
+    case TraceEventKind::kPolicyDecision: return "POLICY_DECISION";
   }
   return "UNKNOWN";
 }
@@ -28,16 +33,53 @@ std::vector<TraceEvent> TraceLog::of_kind(TraceEventKind kind) const {
   return matching;
 }
 
+std::size_t TraceLog::memory_bytes() const {
+  std::size_t bytes = events_.capacity() * sizeof(TraceEvent);
+  for (const auto& event : events_) {
+    // Only out-of-line string storage counts; SSO buffers are part of
+    // sizeof(TraceEvent) already.
+    if (event.detail.capacity() > sizeof(std::string)) {
+      bytes += event.detail.capacity();
+    }
+  }
+  return bytes;
+}
+
 void TraceLog::write_csv(std::ostream& out) const {
   out << "time,kind,job,task,node,is_map,detail,value\n";
   for (const auto& e : events_) {
     out << e.time << ',' << to_string(e.kind) << ',' << e.job << ',' << e.task
-        << ',' << e.node << ',' << (e.is_map ? 1 : 0) << ',' << e.detail << ','
-        << e.value << '\n';
+        << ',' << e.node << ',' << (e.is_map ? 1 : 0) << ','
+        << csv_quote(e.detail) << ',' << e.value << '\n';
   }
 }
 
+namespace {
+
+/// JSON string escaping for event details (free text may carry quotes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void TraceLog::write_chrome_trace(std::ostream& out) const {
+  // The control plane (counters, instants, policy decisions) renders as
+  // its own trace-viewer process, away from any real node pid.
+  constexpr long long kControlPid = 1000000;
+
   // Pair each phase start with the start of the next phase of the same
   // task, or with the task's finish/kill.
   struct OpenPhase {
@@ -50,23 +92,52 @@ void TraceLog::write_chrome_trace(std::ostream& out) const {
 
   out << "[";
   bool first = true;
-  auto emit = [&](const OpenPhase& phase, TaskId task, SimTime end) {
+  auto comma = [&] {
     if (!first) out << ",";
     first = false;
-    out << "\n{\"name\":\"" << phase.name << "\",\"ph\":\"X\",\"pid\":"
+  };
+  auto emit = [&](const OpenPhase& phase, TaskId task, SimTime end) {
+    comma();
+    out << "\n{\"name\":\"" << json_escape(phase.name) << "\",\"ph\":\"X\",\"pid\":"
         << phase.node << ",\"tid\":" << task << ",\"ts\":"
         << phase.start * 1e6 << ",\"dur\":" << (end - phase.start) * 1e6
         << ",\"args\":{\"job\":" << phase.job << "}}";
   };
   auto emit_instant = [&](const TraceEvent& e, const char* name) {
-    if (!first) out << ",";
-    first = false;
-    out << "\n{\"name\":\"" << name << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
-        << "\"tid\":0,\"ts\":" << e.time * 1e6 << ",\"args\":{\"job\":"
-        << e.job << "}}";
+    comma();
+    out << "\n{\"name\":\"" << name << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":"
+        << kControlPid << ",\"tid\":0,\"ts\":" << e.time * 1e6
+        << ",\"args\":{\"job\":" << e.job << "}}";
+  };
+  auto emit_counter = [&](const char* name, SimTime time, const char* series,
+                          double value) {
+    comma();
+    out << "\n{\"name\":\"" << name << "\",\"ph\":\"C\",\"pid\":" << kControlPid
+        << ",\"ts\":" << time * 1e6 << ",\"args\":{\"" << series
+        << "\":" << value << "}}";
   };
 
+  // Process-name metadata: one process per node plus the control plane.
+  std::set<NodeId> nodes;
   for (const auto& e : events_) {
+    if (e.node != kInvalidNode) nodes.insert(e.node);
+  }
+  for (NodeId node : nodes) {
+    comma();
+    out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+        << ",\"args\":{\"name\":\"node-" << node << "\"}}";
+  }
+  comma();
+  out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kControlPid
+      << ",\"args\":{\"name\":\"control-plane\"}}";
+
+  // Running-task concurrency, recomputed from launch/finish/kill events.
+  int running_maps = 0;
+  int running_reduces = 0;
+  SimTime last_time = 0.0;
+
+  for (const auto& e : events_) {
+    last_time = std::max(last_time, e.time);
     switch (e.kind) {
       case TraceEventKind::kPhaseStarted: {
         if (auto it = open.find(e.task); it != open.end()) {
@@ -75,12 +146,33 @@ void TraceLog::write_chrome_trace(std::ostream& out) const {
         open[e.task] = OpenPhase{e.time, e.detail, e.node, e.job};
         break;
       }
+      case TraceEventKind::kTaskLaunched: {
+        (e.is_map ? running_maps : running_reduces) += 1;
+        emit_counter("running-tasks", e.time, e.is_map ? "maps" : "reduces",
+                     e.is_map ? running_maps : running_reduces);
+        break;
+      }
       case TraceEventKind::kTaskFinished:
       case TraceEventKind::kTaskKilled: {
         if (auto it = open.find(e.task); it != open.end()) {
           emit(it->second, e.task, e.time);
           open.erase(it);
         }
+        (e.is_map ? running_maps : running_reduces) -= 1;
+        emit_counter("running-tasks", e.time, e.is_map ? "maps" : "reduces",
+                     e.is_map ? running_maps : running_reduces);
+        break;
+      }
+      case TraceEventKind::kSlotTargetChanged:
+        emit_counter(e.is_map ? "map-slot-target" : "reduce-slot-target",
+                     e.time, "target", e.value);
+        break;
+      case TraceEventKind::kPolicyDecision: {
+        comma();
+        out << "\n{\"name\":\"" << json_escape(e.detail)
+            << "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":" << kControlPid
+            << ",\"tid\":1,\"ts\":" << e.time * 1e6
+            << ",\"args\":{\"balance_factor\":" << e.value << "}}";
         break;
       }
       case TraceEventKind::kBarrierCrossed:
@@ -89,10 +181,21 @@ void TraceLog::write_chrome_trace(std::ostream& out) const {
       case TraceEventKind::kJobFinished:
         emit_instant(e, "job-finished");
         break;
+      case TraceEventKind::kNodeFailed:
+        emit_instant(e, "node-failed");
+        break;
       default:
         break;
     }
   }
+
+  // Flush phases still open at the end of the log (tasks in flight on a
+  // killed node, runs cut off by the time limit) as slices ending at the
+  // last event time, so the viewer shows them instead of dropping them.
+  for (const auto& [task, phase] : open) {
+    emit(phase, task, std::max(last_time, phase.start));
+  }
+
   out << "\n]\n";
 }
 

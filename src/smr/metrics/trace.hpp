@@ -21,8 +21,9 @@ enum class TraceEventKind {
   kTaskKilled,     // eager slot shrinking only
   kBarrierCrossed, // all maps of a job finished
   kJobFinished,
-  kSlotTargetChanged,  // detail = "map" or "reduce"; value = new target
+  kSlotTargetChanged,  // detail = "map" or "reduce"; value = new cluster target
   kNodeFailed,         // node = the failed worker
+  kPolicyDecision,     // detail = action[: reason]; value = balance factor f
 };
 
 const char* to_string(TraceEventKind kind);
@@ -50,11 +51,24 @@ class TraceLog {
   /// because the simulation is).
   std::vector<TraceEvent> of_kind(TraceEventKind kind) const;
 
+  /// Approximate heap footprint of the log (self-profiling): vector
+  /// capacity plus out-of-line detail strings.
+  std::size_t memory_bytes() const;
+
   /// One CSV row per event: time,kind,job,task,node,is_map,detail,value.
+  /// The detail field is RFC-4180 quoted so free-text details cannot
+  /// corrupt rows.
   void write_csv(std::ostream& out) const;
 
-  /// Chrome trace-viewer JSON: complete events ("ph":"X") per task phase,
-  /// one trace-viewer process per node, instant events for barriers.
+  /// Chrome trace-viewer JSON (load in chrome://tracing or Perfetto):
+  ///  * complete events ("ph":"X") per task phase, one trace-viewer
+  ///    process per node, named via process_name metadata;
+  ///  * a synthetic control-plane process carrying instant events
+  ///    (barriers, job completions, policy decisions) and counter tracks
+  ///    ("ph":"C") for the slot targets and the cluster's running-task
+  ///    concurrency, so the control loop renders next to the task slices;
+  ///  * phases still open at the end of the log (killed nodes, truncated
+  ///    runs) are flushed as slices ending at the last event time.
   /// Durations are in microseconds of simulated time.
   void write_chrome_trace(std::ostream& out) const;
 

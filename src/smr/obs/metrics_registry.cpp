@@ -1,0 +1,206 @@
+#include "smr/obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "smr/common/csv.hpp"
+#include "smr/common/error.hpp"
+
+namespace smr::obs {
+
+namespace {
+
+void add_to_atomic_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON string escaping for metric names and label values (they may carry
+/// quotes via labeled_name, and future free-text names must not break the
+/// output).
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SMR_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  SMR_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_to_atomic_double(sum_, value);
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  SMR_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Series::append(double time, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back({time, value});
+}
+
+std::vector<Series::Sample> Series::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+std::string labeled_name(const std::string& name,
+                         const std::map<std::string, std::string>& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key.push_back(',');
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key.push_back('"');
+  }
+  key.push_back('}');
+  return key;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::slot(const std::string& name) {
+  return instruments_[name];  // default-constructed on first use
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = slot(name);
+  if (!inst.counter) {
+    SMR_CHECK_MSG(!inst.gauge && !inst.histogram && !inst.series,
+                  "metric '" << name << "' already registered with another kind");
+    inst.counter = std::make_unique<Counter>();
+  }
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = slot(name);
+  if (!inst.gauge) {
+    SMR_CHECK_MSG(!inst.counter && !inst.histogram && !inst.series,
+                  "metric '" << name << "' already registered with another kind");
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = slot(name);
+  if (!inst.histogram) {
+    SMR_CHECK_MSG(!inst.counter && !inst.gauge && !inst.series,
+                  "metric '" << name << "' already registered with another kind");
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *inst.histogram;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = slot(name);
+  if (!inst.series) {
+    SMR_CHECK_MSG(!inst.counter && !inst.gauge && !inst.histogram,
+                  "metric '" << name << "' already registered with another kind");
+    inst.series = std::make_unique<Series>();
+  }
+  return *inst.series;
+}
+
+Series& MetricsRegistry::series(const std::string& name,
+                                const std::map<std::string, std::string>& labels) {
+  return series(labeled_name(name, labels));
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(instruments_.size());
+  for (const auto& [name, inst] : instruments_) out.push_back(name);
+  return out;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.counter) {
+      out << "{\"type\":\"counter\",\"name\":";
+      write_json_string(out, name);
+      out << ",\"value\":" << inst.counter->value() << "}\n";
+    } else if (inst.gauge) {
+      out << "{\"type\":\"gauge\",\"name\":";
+      write_json_string(out, name);
+      out << ",\"value\":" << inst.gauge->value() << "}\n";
+    } else if (inst.histogram) {
+      const Histogram& h = *inst.histogram;
+      out << "{\"type\":\"histogram\",\"name\":";
+      write_json_string(out, name);
+      out << ",\"count\":" << h.total_count() << ",\"sum\":" << h.sum()
+          << ",\"bounds\":[";
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        if (i) out << ',';
+        out << h.bounds()[i];
+      }
+      out << "],\"buckets\":[";
+      for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+        if (i) out << ',';
+        out << h.bucket_count(i);
+      }
+      out << "]}\n";
+    } else if (inst.series) {
+      for (const auto& sample : inst.series->samples()) {
+        out << "{\"type\":\"series\",\"name\":";
+        write_json_string(out, name);
+        out << ",\"t\":" << sample.time << ",\"v\":" << sample.value << "}\n";
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_series_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "name,time,value\n";
+  for (const auto& [name, inst] : instruments_) {
+    if (!inst.series) continue;
+    for (const auto& sample : inst.series->samples()) {
+      out << csv_quote(name) << ',' << sample.time << ',' << sample.value << '\n';
+    }
+  }
+}
+
+}  // namespace smr::obs

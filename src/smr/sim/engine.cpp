@@ -1,11 +1,13 @@
 #include "smr/sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace smr::sim {
 
 void Engine::push(SimTime when, SimTime period, EventId id, std::function<void()> fn) {
   heap_.push(Entry{when, next_seq_++, id, period, std::move(fn)});
+  peak_pending_ = std::max(peak_pending_, heap_.size());
 }
 
 EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {

@@ -59,6 +59,10 @@ class Engine {
   /// Total events dispatched so far (for tests / instrumentation).
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// High-water mark of the event heap (self-profiling: how deep the
+  /// queue ever got, cancelled-but-unpopped entries included).
+  std::size_t peak_pending() const { return peak_pending_; }
+
  private:
   struct Entry {
     SimTime when;
@@ -81,6 +85,7 @@ class Engine {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::size_t peak_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
 };

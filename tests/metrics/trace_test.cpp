@@ -41,7 +41,8 @@ TEST(TraceLog, EveryKindHasAName) {
                     TraceEventKind::kPhaseStarted, TraceEventKind::kTaskFinished,
                     TraceEventKind::kTaskKilled, TraceEventKind::kBarrierCrossed,
                     TraceEventKind::kJobFinished, TraceEventKind::kNodeFailed,
-                    TraceEventKind::kSlotTargetChanged}) {
+                    TraceEventKind::kSlotTargetChanged,
+                    TraceEventKind::kPolicyDecision}) {
     EXPECT_STRNE(to_string(kind), "UNKNOWN");
   }
 }
@@ -56,6 +57,24 @@ TEST(TraceLog, CsvHasHeaderAndOneRowPerEvent) {
   EXPECT_NE(csv.find("time,kind,job,task,node,is_map,detail,value"), std::string::npos);
   EXPECT_NE(csv.find("1.5,TASK_LAUNCHED,0,7,3,1,,0"), std::string::npos);
   EXPECT_NE(csv.find("2.5,PHASE_STARTED,0,7,3,1,MAP,0"), std::string::npos);
+}
+
+TEST(TraceLog, CsvQuotesDetailsWithSeparators) {
+  // Details are free text (policy reasons carry commas and quotes); the
+  // CSV writer must quote them per RFC 4180 or the columns shift.
+  TraceLog log;
+  log.record(event_at(6.0, TraceEventKind::kPolicyDecision, kInvalidTask,
+                      kInvalidNode, "GROW_MAPS: f=1.02, above [0.85,0.95]"));
+  log.record(event_at(12.0, TraceEventKind::kPolicyDecision, kInvalidTask,
+                      kInvalidNode, "held \"climb\"\nnext line"));
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"GROW_MAPS: f=1.02, above [0.85,0.95]\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"held \"\"climb\"\"\nnext line\""), std::string::npos);
+  // The plain columns stay unquoted.
+  EXPECT_NE(csv.find("6,POLICY_DECISION,"), std::string::npos);
 }
 
 TEST(TraceLog, ChromeTracePairsPhasesIntoSlices) {

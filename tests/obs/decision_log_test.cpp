@@ -1,0 +1,234 @@
+#include "smr/obs/decision_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::obs {
+namespace {
+
+using core::SlotManagerConfig;
+using core::SmrSlotPolicy;
+using mapreduce::ClusterStats;
+using mapreduce::TaskTracker;
+
+std::vector<TaskTracker> make_trackers(int nodes, int maps = 3, int reduces = 2) {
+  std::vector<TaskTracker> trackers;
+  for (int n = 0; n < nodes; ++n) trackers.emplace_back(n, maps, reduces);
+  return trackers;
+}
+
+/// Same synthetic-statistics harness as the slot-policy tests.
+struct StatsDriver {
+  SimTime now = 0.0;
+  double cum_in = 0.0, cum_out = 0.0, cum_shuf = 0.0;
+
+  ClusterStats step(double in_rate, double out_rate, double shuffle_rate,
+                    int pending_maps, int running_maps, int running_reduces,
+                    int total_reduces, double front_fraction,
+                    Bytes shuffle_volume = 10 * kGiB) {
+    now += 6.0;
+    cum_in += in_rate * 6.0;
+    cum_out += out_rate * 6.0;
+    cum_shuf += shuffle_rate * 6.0;
+    ClusterStats stats;
+    stats.now = now;
+    stats.nodes = 4;
+    stats.has_active_job = true;
+    stats.active_jobs = {0};
+    stats.pending_maps = pending_maps;
+    stats.running_maps = running_maps;
+    stats.finished_maps = 50;
+    stats.total_maps = pending_maps + running_maps + 50;
+    stats.running_reduces = running_reduces;
+    stats.total_reduces = total_reduces;
+    stats.pending_reduces = total_reduces - running_reduces;
+    stats.cum_map_input = cum_in;
+    stats.cum_map_output = cum_out;
+    stats.cum_shuffled = cum_shuf;
+    stats.front_job_map_fraction = front_fraction;
+    stats.front_job_shuffle_volume = shuffle_volume;
+    return stats;
+  }
+};
+
+SlotManagerConfig fast_config() {
+  SlotManagerConfig config;
+  config.rate_window = 12.0;
+  config.input_rate_window = 6.0;
+  return config;
+}
+
+TEST(DecisionLog, OfActionFilters) {
+  DecisionLog log;
+  SlotDecision grow;
+  grow.action = SlotAction::kGrowMaps;
+  SlotDecision hold;
+  hold.action = SlotAction::kHoldBalanced;
+  log.record(grow);
+  log.record(hold);
+  log.record(grow);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.of_action(SlotAction::kGrowMaps).size(), 2u);
+  EXPECT_EQ(log.of_action(SlotAction::kTailStretch).size(), 0u);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(DecisionLog, PolicyRecordsSlowStartHolds) {
+  SmrSlotPolicy policy(fast_config());
+  DecisionLog log;
+  policy.set_decision_log(&log);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  // 5% of maps done: below the 10% slow-start threshold.
+  policy.on_period(trackers, driver.step(100.0, 100.0, 100.0, 200, 12, 8, 8, 0.05));
+  ASSERT_EQ(log.size(), 1u);
+  const SlotDecision& d = log.decisions()[0];
+  EXPECT_EQ(d.action, SlotAction::kHoldSlowStart);
+  EXPECT_FALSE(d.slow_start_passed);
+  EXPECT_FALSE(d.changed_slots());
+  EXPECT_EQ(d.map_slots_before, 3);
+  EXPECT_EQ(d.map_slots_after, 3);
+  EXPECT_NE(d.reason.find("slow start"), std::string::npos);
+}
+
+TEST(DecisionLog, PolicyRecordsGrowAndHold) {
+  SmrSlotPolicy policy(fast_config());
+  DecisionLog log;
+  policy.set_decision_log(&log);
+  auto trackers = make_trackers(4);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  // Shuffle keeps up exactly (f = 1 > upper bound): map-heavy, so once the
+  // slow-start gate opens the controller grows one map slot per period.
+  const double rate = 100.0 * static_cast<double>(kMiB);
+  for (int i = 0; i < 6; ++i) {
+    policy.on_period(trackers, driver.step(rate, rate, rate, 200, 12, 8, 8, 0.3));
+  }
+  EXPECT_EQ(log.size(), 6u);  // exactly one record per period
+  const auto grows = log.of_action(SlotAction::kGrowMaps);
+  ASSERT_GE(grows.size(), 1u);
+  const SlotDecision& g = grows.front();
+  EXPECT_EQ(g.map_slots_after, g.map_slots_before + 1);
+  EXPECT_EQ(g.reduce_slots_after, g.reduce_slots_before);
+  EXPECT_TRUE(g.slow_start_passed);
+  ASSERT_TRUE(g.balance_factor.has_value());
+  EXPECT_NEAR(*g.balance_factor, 1.0, 0.01);
+  EXPECT_TRUE(g.changed_slots());
+}
+
+TEST(DecisionLog, PolicyRecordsShrink) {
+  SmrSlotPolicy policy(fast_config());
+  DecisionLog log;
+  policy.set_decision_log(&log);
+  auto trackers = make_trackers(4, 5, 2);
+  policy.on_start(trackers);
+  StatsDriver driver;
+  const double out = 100.0 * static_cast<double>(kMiB);
+  const double shuf = 50.0 * static_cast<double>(kMiB);  // f = 0.5 < lower
+  for (int i = 0; i < 10; ++i) {
+    policy.on_period(trackers, driver.step(out, out, shuf, 200, 12, 8, 8, 0.3));
+  }
+  const auto shrinks = log.of_action(SlotAction::kShrinkMaps);
+  ASSERT_GE(shrinks.size(), 1u);
+  const SlotDecision& s = shrinks.front();
+  EXPECT_EQ(s.map_slots_after, s.map_slots_before - 1);
+  ASSERT_TRUE(s.balance_factor.has_value());
+  EXPECT_LT(*s.balance_factor, 0.85);
+  // The walk ends at the floor; the final periods hold there.
+  const SlotDecision& last = log.decisions().back();
+  EXPECT_EQ(last.map_slots_after, 1);
+}
+
+TEST(DecisionLog, CsvHasHeaderAndOneRowPerDecision) {
+  DecisionLog log;
+  SlotDecision d;
+  d.time = 12.0;
+  d.map_output_rate = 100.0;
+  d.shuffle_rate = 90.0;
+  d.running_reduces = 4;
+  d.total_reduces = 8;
+  d.balance_factor = 0.9;
+  d.slow_start_passed = true;
+  d.thrash_strikes = 1;
+  d.map_slots_before = 3;
+  d.map_slots_after = 4;
+  d.reduce_slots_before = 2;
+  d.reduce_slots_after = 2;
+  d.action = SlotAction::kGrowMaps;
+  d.reason = "map-heavy, grew";
+  log.record(d);
+  std::ostringstream out;
+  write_decisions_csv(log, out);
+  std::istringstream in(out.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "time,action,map_output_rate,shuffle_rate,running_reduces,"
+            "total_reduces,balance_factor,slow_start_passed,thrash_suspected,"
+            "thrash_confirmed,thrash_strikes,thrash_ceiling,map_slots_before,"
+            "map_slots_after,reduce_slots_before,reduce_slots_after,reason");
+  // The reason contains a comma, so RFC 4180 requires it quoted.
+  EXPECT_EQ(
+      lines[1],
+      "12,GROW_MAPS,100,90,4,8,0.9,1,0,0,1,-1,3,4,2,2,\"map-heavy, grew\"");
+}
+
+TEST(DecisionLog, CsvQuotesReasonsWithCommas) {
+  // Embedded quotes must be doubled inside the quoted field.
+  DecisionLog log;
+  SlotDecision d;
+  d.reason = "said \"grow\", then held";
+  log.record(d);
+  std::ostringstream out;
+  write_decisions_csv(log, out);
+  EXPECT_NE(out.str().find("\"said \"\"grow\"\", then held\""),
+            std::string::npos);
+}
+
+TEST(DecisionLog, CsvEmptyBalanceFactorCell) {
+  DecisionLog log;
+  SlotDecision d;
+  d.time = 6.0;
+  d.action = SlotAction::kHoldNoStats;
+  log.record(d);
+  std::ostringstream out;
+  write_decisions_csv(log, out);
+  // ...,total_reduces,balance_factor,slow_start... -> 0,,0
+  EXPECT_NE(out.str().find("6,HOLD_NO_STATS,0,0,0,0,,0,"), std::string::npos);
+}
+
+TEST(DecisionLog, EndToEndRuntimeProducesDecisions) {
+  mapreduce::RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  auto policy = std::make_unique<SmrSlotPolicy>(SlotManagerConfig{});
+  SmrSlotPolicy* policy_ptr = policy.get();
+  DecisionLog log;
+  policy_ptr->set_decision_log(&log);
+
+  mapreduce::Runtime runtime(config, std::move(policy));
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, kGiB);
+  spec.reduce_tasks = 8;
+  runtime.submit(spec);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  ASSERT_FALSE(log.empty());
+  // Decisions arrive in time order, one per policy period while a job ran.
+  for (std::size_t i = 1; i < log.decisions().size(); ++i) {
+    EXPECT_GT(log.decisions()[i].time, log.decisions()[i - 1].time);
+  }
+  // The runtime exposes the same log via the policy interface.
+  EXPECT_EQ(runtime.policy().decision_log(), &log);
+}
+
+}  // namespace
+}  // namespace smr::obs

@@ -1,0 +1,158 @@
+#include "smr/obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "smr/common/thread_pool.hpp"
+
+namespace smr::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.counter("events"), &c);
+  EXPECT_EQ(registry.counter("events").value(), 42);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(registry.gauge("depth").value(), -1.25);
+}
+
+TEST(Histogram, BucketsByUpperBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 5.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (bounds are inclusive upper bounds)
+  h.observe(3.0);   // <= 5
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.total_count(), 4);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 0);
+  EXPECT_EQ(h.bucket_count(3), 1);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  // Bounds are fixed on first creation; a second lookup ignores its bounds.
+  EXPECT_EQ(&registry.histogram("lat", {99.0}), &h);
+  EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST(Series, AppendsInOrder) {
+  MetricsRegistry registry;
+  Series& s = registry.series("slots");
+  s.append(0.0, 3.0);
+  s.append(2.0, 4.0);
+  ASSERT_EQ(s.size(), 2u);
+  const auto samples = s.samples();
+  EXPECT_DOUBLE_EQ(samples[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 4.0);
+}
+
+TEST(LabeledName, CanonicalKeyIsSorted) {
+  EXPECT_EQ(labeled_name("slots", {}), "slots");
+  EXPECT_EQ(labeled_name("slots", {{"node", "3"}, {"kind", "map"}}),
+            "slots{kind=\"map\",node=\"3\"}");
+}
+
+TEST(LabeledSeries, DistinctLabelsDistinctSeries) {
+  MetricsRegistry registry;
+  Series& a = registry.series("slots", {{"kind", "map"}});
+  Series& b = registry.series("slots", {{"kind", "reduce"}});
+  EXPECT_NE(&a, &b);
+  a.append(1.0, 1.0);
+  EXPECT_EQ(b.size(), 0u);
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "slots{kind=\"map\"}");
+}
+
+TEST(MetricsRegistry, NamesAreSorted) {
+  MetricsRegistry registry;
+  registry.counter("zeta");
+  registry.gauge("alpha");
+  registry.series("mid");
+  const auto names = registry.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "mid");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromThreadPool) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits");
+  Histogram& h = registry.histogram("obs", {10.0, 100.0});
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  constexpr int kPerTask = 1000;
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    pool.submit([&registry, &c, &h] {
+      for (int i = 0; i < kPerTask; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(i % 200));
+        // Lookups race with other creators too.
+        registry.counter("hits");
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(h.total_count(), static_cast<std::int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(h.bucket_count(0) + h.bucket_count(1) + h.bucket_count(2),
+            h.total_count());
+}
+
+TEST(MetricsRegistry, WriteJsonlOneObjectPerLine) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(7);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", {1.0}).observe(0.5);
+  registry.series("s").append(1.0, 9.0);
+  registry.series("s").append(2.0, 10.0);
+  std::ostringstream out;
+  registry.write_jsonl(out);
+  std::istringstream in(out.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);  // c, g, h, and two series samples
+  EXPECT_EQ(lines[0], "{\"type\":\"counter\",\"name\":\"c\",\"value\":7}");
+  EXPECT_EQ(lines[1], "{\"type\":\"gauge\",\"name\":\"g\",\"value\":2.5}");
+  EXPECT_NE(lines[2].find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"buckets\":[1,0]"), std::string::npos);
+  EXPECT_EQ(lines[3],
+            "{\"type\":\"series\",\"name\":\"s\",\"t\":1,\"v\":9}");
+  EXPECT_EQ(lines[4],
+            "{\"type\":\"series\",\"name\":\"s\",\"t\":2,\"v\":10}");
+  // Every line parses as a standalone JSON object (brace balance check).
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(MetricsRegistry, WriteSeriesCsvQuotesLabeledNames) {
+  MetricsRegistry registry;
+  registry.series("slots", {{"kind", "map"}}).append(1.0, 3.0);
+  std::ostringstream out;
+  registry.write_series_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name,time,value\n"), std::string::npos);
+  // The canonical key contains commas and quotes, so it must arrive quoted.
+  EXPECT_NE(text.find("\"slots{kind=\"\"map\"\"}\",1,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smr::obs

@@ -1,0 +1,223 @@
+// Chrome-trace enrichment: counter tracks, process metadata, policy
+// instants and the end-of-log flush, checked against a minimal JSON
+// validator (the file must load in a real trace viewer).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::metrics {
+namespace {
+
+/// Minimal recursive-descent JSON validator: structure only, no semantics.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TraceEvent make_event(TraceEventKind kind, SimTime time, TaskId task,
+                      NodeId node, bool is_map, const char* detail = "",
+                      double value = 0.0) {
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.job = 0;
+  e.task = task;
+  e.node = node;
+  e.is_map = is_map;
+  e.detail = detail;
+  e.value = value;
+  return e;
+}
+
+TEST(ChromeTrace, CounterTracksAndMetadataAreValidJson) {
+  TraceLog log;
+  log.record(make_event(TraceEventKind::kTaskLaunched, 1.0, 7, 3, true));
+  log.record(make_event(TraceEventKind::kPhaseStarted, 1.0, 7, 3, true, "MAP"));
+  log.record(make_event(TraceEventKind::kSlotTargetChanged, 2.0, kInvalidTask,
+                        kInvalidNode, true, "map", 4.0));
+  log.record(make_event(TraceEventKind::kSlotTargetChanged, 2.0, kInvalidTask,
+                        kInvalidNode, false, "reduce", 3.0));
+  // A reason with quotes and a comma: must survive JSON escaping.
+  log.record(make_event(TraceEventKind::kPolicyDecision, 2.0, kInvalidTask,
+                        kInvalidNode, true, "GROW_MAPS: f=1.02, \"map-heavy\"",
+                        1.02));
+  log.record(make_event(TraceEventKind::kTaskFinished, 5.0, 7, 3, true));
+  log.record(make_event(TraceEventKind::kNodeFailed, 6.0, kInvalidTask, 3, true));
+
+  std::ostringstream out;
+  log.write_chrome_trace(out);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // Counter tracks for slot targets and running tasks.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"map-slot-target\""), std::string::npos);
+  EXPECT_NE(json.find("\"reduce-slot-target\""), std::string::npos);
+  EXPECT_NE(json.find("\"running-tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"target\":4"), std::string::npos);
+  // Process-name metadata for the node and the control plane.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"node-3\""), std::string::npos);
+  EXPECT_NE(json.find("\"control-plane\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1000000"), std::string::npos);
+  // The policy decision rides along as an instant with its balance factor.
+  EXPECT_NE(json.find("\\\"map-heavy\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"balance_factor\":1.02"), std::string::npos);
+  // Node failure shows as an instant.
+  EXPECT_NE(json.find("\"node-failed\""), std::string::npos);
+}
+
+TEST(ChromeTrace, FlushesOpenPhasesAtEndOfLog) {
+  TraceLog log;
+  log.record(make_event(TraceEventKind::kTaskLaunched, 1.0, 7, 3, true));
+  log.record(make_event(TraceEventKind::kPhaseStarted, 1.0, 7, 3, true, "MAP"));
+  // The run is cut off at t=5 with the phase still open.
+  log.record(make_event(TraceEventKind::kBarrierCrossed, 5.0, kInvalidTask,
+                        kInvalidNode, true));
+
+  std::ostringstream out;
+  log.write_chrome_trace(out);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // The open MAP phase becomes a slice from t=1 to the last event (t=5).
+  EXPECT_NE(json.find("\"name\":\"MAP\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1e+06,\"dur\":4e+06"), std::string::npos);
+}
+
+TEST(ChromeTrace, EndToEndRunCarriesSlotTargetCounters) {
+  mapreduce::RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  mapreduce::Runtime runtime(
+      config, std::make_unique<core::SmrSlotPolicy>(core::SlotManagerConfig{}));
+  TraceLog trace;
+  runtime.set_trace(&trace);
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, kGiB);
+  spec.reduce_tasks = 8;
+  runtime.submit(spec);
+  ASSERT_TRUE(runtime.run().completed);
+
+  // The runtime seeds both targets at t=0 so the tracks start defined.
+  const auto changes = trace.of_kind(TraceEventKind::kSlotTargetChanged);
+  ASSERT_GE(changes.size(), 2u);
+  EXPECT_EQ(changes[0].time, 0.0);
+  EXPECT_EQ(changes[0].detail, "map");
+  EXPECT_EQ(changes[0].value, 4.0 * 3.0);  // 4 nodes x 3 initial map slots
+  EXPECT_EQ(changes[1].detail, "reduce");
+  EXPECT_EQ(changes[1].value, 4.0 * 2.0);
+
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonValidator(json).valid());
+  EXPECT_NE(json.find("\"map-slot-target\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smr::metrics

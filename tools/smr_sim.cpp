@@ -8,15 +8,20 @@
 //   smr_sim --engine=smapreduce --benchmark=terasort --input-gib=30
 //   smr_sim --engine=yarn --benchmark=grep --jobs=4 --stagger=5
 //   smr_sim --synthetic --jobs=8 --seed=7 --scheduler=fair
-//   smr_sim --benchmark=terasort --chrome-trace=trace.json
+//   smr_sim --benchmark=terasort --trace-out=trace.json
+//           --metrics-out=metrics.jsonl --decisions-out=decisions.csv
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "smr/common/flags.hpp"
+#include "smr/core/slot_policy.hpp"
 #include "smr/driver/experiment.hpp"
 #include "smr/metrics/reporter.hpp"
 #include "smr/metrics/trace.hpp"
+#include "smr/obs/decision_log.hpp"
+#include "smr/obs/metrics_registry.hpp"
+#include "smr/obs/self_profile.hpp"
 #include "smr/workload/puma.hpp"
 #include "smr/workload/jobs_file.hpp"
 #include "smr/workload/synthetic.hpp"
@@ -78,6 +83,14 @@ int main(int argc, char** argv) {
   flags.define_string("slots-csv", "", "write slot timeline CSV");
   flags.define_string("chrome-trace", "",
                       "write a chrome://tracing JSON of every task (1 trial)");
+  flags.define_string("trace-out", "", "alias for --chrome-trace");
+  flags.define_string("metrics-out", "",
+                      "write JSON-lines metrics (sampled series, counters, "
+                      "histograms, engine self-profile) from 1 instrumented "
+                      "trial");
+  flags.define_string("decisions-out", "",
+                      "write the slot manager's decision audit log as CSV "
+                      "(smapreduce engine only)");
   flags.define_bool("help", false, "print this help");
 
   if (!flags.parse(argc, argv)) {
@@ -148,22 +161,72 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The chrome trace needs its own instrumented single run.
-  if (const std::string path = flags.get_string("chrome-trace"); !path.empty()) {
+  // Telemetry sinks share one instrumented single run (trial 1's seed).
+  std::string trace_path = flags.get_string("trace-out");
+  if (trace_path.empty()) trace_path = flags.get_string("chrome-trace");
+  const std::string metrics_path = flags.get_string("metrics-out");
+  const std::string decisions_path = flags.get_string("decisions-out");
+  if (!trace_path.empty() || !metrics_path.empty() || !decisions_path.empty()) {
     metrics::TraceLog trace;
+    obs::MetricsRegistry registry;
+    obs::DecisionLog decisions;
+    obs::Stopwatch stopwatch;
+
     mapreduce::RuntimeConfig runtime_config = config.runtime;
-    mapreduce::Runtime runtime(runtime_config, driver::make_policy(config),
+    auto policy = driver::make_policy(config);
+    if (auto* smr_policy = dynamic_cast<core::SmrSlotPolicy*>(policy.get())) {
+      smr_policy->set_decision_log(&decisions);
+    } else if (!decisions_path.empty()) {
+      std::fprintf(stderr,
+                   "smr_sim: --decisions-out: engine '%s' has no slot "
+                   "manager; the decision log will be empty\n",
+                   driver::engine_name(*engine));
+    }
+    mapreduce::Runtime runtime(runtime_config, std::move(policy),
                                driver::make_scheduler(config));
-    runtime.set_trace(&trace);
+    if (!trace_path.empty()) runtime.set_trace(&trace);
+    runtime.set_metrics(&registry);
     for (const auto& submission : submissions) {
       runtime.submit(submission.spec, submission.submit_at);
     }
-    runtime.run();
-    if (!write_file(path, [&](std::ostream& out) { trace.write_chrome_trace(out); })) {
-      return fail("cannot write " + path);
+    const metrics::RunResult instrumented = runtime.run();
+
+    obs::EngineProfile profile;
+    profile.wall_seconds = stopwatch.seconds();
+    profile.sim_seconds = instrumented.makespan;
+    profile.events = runtime.engine().dispatched();
+    profile.peak_pending = runtime.engine().peak_pending();
+    profile.trace_events = trace.size();
+    profile.trace_bytes = trace.memory_bytes();
+
+    if (!trace_path.empty()) {
+      if (!write_file(trace_path,
+                      [&](std::ostream& out) { trace.write_chrome_trace(out); })) {
+        return fail("cannot write " + trace_path);
+      }
+      std::printf("chrome trace (%zu events) written to %s\n", trace.size(),
+                  trace_path.c_str());
     }
-    std::printf("chrome trace (%zu events) written to %s\n", trace.size(),
-                path.c_str());
+    if (!metrics_path.empty()) {
+      if (!write_file(metrics_path, [&](std::ostream& out) {
+            registry.write_jsonl(out);
+            profile.write_json(out);
+            out << '\n';
+          })) {
+        return fail("cannot write " + metrics_path);
+      }
+      std::printf("metrics (%.0f events/s simulated) written to %s\n",
+                  profile.events_per_sec(), metrics_path.c_str());
+    }
+    if (!decisions_path.empty()) {
+      if (!write_file(decisions_path, [&](std::ostream& out) {
+            obs::write_decisions_csv(decisions, out);
+          })) {
+        return fail("cannot write " + decisions_path);
+      }
+      std::printf("decision log (%zu decisions) written to %s\n",
+                  decisions.size(), decisions_path.c_str());
+    }
   }
 
   const metrics::RunResult result = driver::run_experiment(config, submissions);
