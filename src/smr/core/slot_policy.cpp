@@ -313,7 +313,18 @@ double SmrSlotPolicy::node_relative_speed(NodeId node) const {
 
 void SmrSlotPolicy::apply_targets(std::span<mapreduce::TaskTracker> trackers,
                                   const mapreduce::ClusterStats& stats) const {
-  const int nodes = static_cast<int>(trackers.size());
+  // Dead and blacklisted trackers are not capacity: spreading the remaining
+  // work over them would both under-provision the live nodes and resurrect
+  // slot targets the runtime zeroed at failure time.  (Hand-built stats in
+  // tests may omit per_node; treat every tracker as live then.)
+  auto usable = [&](const mapreduce::TaskTracker& tracker) {
+    const auto i = static_cast<std::size_t>(tracker.node());
+    if (i >= stats.per_node.size()) return true;
+    return stats.per_node[i].alive && !stats.per_node[i].blacklisted;
+  };
+  int nodes = 0;
+  for (const auto& tracker : trackers) nodes += usable(tracker) ? 1 : 0;
+
   const int remaining_maps = stats.pending_maps + stats.running_maps;
   // Never keep more map slots open than there is map work to fill; this is
   // the "few map tasks" half of the tail-stretch rule and costs nothing in
@@ -322,6 +333,7 @@ void SmrSlotPolicy::apply_targets(std::span<mapreduce::TaskTracker> trackers,
       (remaining_maps + nodes - 1) / std::max(1, nodes);
 
   for (auto& tracker : trackers) {
+    if (!usable(tracker)) continue;  // runtime manages its (zeroed) targets
     int map_target = map_slots_;
     if (config_.per_node_targets) {
       const double speed = node_relative_speed(tracker.node());

@@ -96,10 +96,16 @@ SweepResult run_sweep(const SweepConfig& config) {
 }
 
 void SweepResult::write_csv(std::ostream& out) const {
+  // `completed` makes unfinished cells explicit (previously they were only
+  // recognisable by their empty derived columns); `failed` separates a job
+  // torn down by the fault path from one that merely hit the time limit.
   out << sweep_dimension_name(dimension)
-      << ",engine,map_time_s,reduce_time_s,total_time_s,throughput_bytes_s\n";
+      << ",engine,completed,failed,map_time_s,reduce_time_s,total_time_s,"
+         "throughput_bytes_s\n";
   for (const auto& cell : cells) {
-    out << cell.value << ',' << engine_name(cell.engine) << ',';
+    out << cell.value << ',' << engine_name(cell.engine) << ','
+        << (cell.job.finished() ? 1 : 0) << ',' << (cell.job.failed ? 1 : 0)
+        << ',';
     if (cell.job.finished()) {
       out << cell.job.map_time() << ',' << cell.job.reduce_time() << ','
           << cell.job.total_time() << ',' << cell.job.throughput();

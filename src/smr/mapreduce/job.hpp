@@ -1,6 +1,7 @@
 // A submitted MapReduce job and its runtime bookkeeping.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "smr/common/types.hpp"
@@ -27,6 +28,12 @@ struct Job {
   int maps_finished = 0;
   int reduces_assigned = 0;
   int reduces_finished = 0;
+
+  /// Set when a task of this job exhausted max_attempts: the job was torn
+  /// down (running attempts cancelled, pending tasks never scheduled) and
+  /// finish_time records the teardown instant, not a success.
+  bool failed = false;
+  std::string failure_reason;
 
   /// Delay-scheduling state: consecutive slot offers this job declined
   /// because the offering node held none of its pending splits.

@@ -32,6 +32,9 @@ namespace smr::mapreduce {
 struct NodeStats {
   NodeId node = kInvalidNode;
   bool alive = true;
+  /// Blacklisted trackers take no new assignments and contribute no
+  /// capacity to slot-policy targets (running tasks drain lazily).
+  bool blacklisted = false;
   int running_maps = 0;
   int running_reduces = 0;
   double cum_map_input = 0.0;    // map input bytes processed on this node

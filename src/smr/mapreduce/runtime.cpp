@@ -31,7 +31,13 @@ void RuntimeConfig::validate() const {
     SMR_CHECK_MSG(failure.node >= 0 && failure.node < cluster.worker_count(),
                   "failure on unknown node " << failure.node);
     SMR_CHECK(failure.at >= 0.0);
+    SMR_CHECK_MSG(failure.recover_at == kTimeNever || failure.recover_at > failure.at,
+                  "node " << failure.node << " recovery at " << failure.recover_at
+                          << " precedes its failure at " << failure.at);
   }
+  SMR_CHECK(task_fail_rate >= 0.0 && task_fail_rate <= 1.0);
+  SMR_CHECK(max_attempts >= 1);
+  SMR_CHECK(blacklist_after >= 0);
 }
 
 Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
@@ -43,7 +49,11 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
       dfs_(config_.cluster.worker_count(), config_.cluster.dfs_replication,
            Rng(config_.seed ^ 0x9e3779b97f4a7c15ULL)),
       network_(config_.cluster),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      // Independent stream for attempt-failure draws: task_fail_rate == 0
+      // must reproduce fault-free runs bit-for-bit, so injection never
+      // advances (or forks) rng_.
+      fault_rng_(config_.seed ^ 0xfa011a7e5eedULL) {
   config_.validate();
   SMR_CHECK(policy_ != nullptr);
   trackers_.reserve(static_cast<std::size_t>(config_.cluster.worker_count()));
@@ -54,6 +64,8 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
   node_map_input_.assign(node_alive_.size(), 0.0);
   node_map_output_.assign(node_alive_.size(), 0.0);
   node_shuffled_in_.assign(node_alive_.size(), 0.0);
+  node_attempt_failures_.assign(node_alive_.size(), 0);
+  heartbeat_events_.assign(node_alive_.size(), sim::kInvalidEvent);
 }
 
 JobId Runtime::submit(const JobSpec& spec, SimTime at) {
@@ -131,11 +143,13 @@ metrics::RunResult Runtime::run() {
 
   periodic_events_.push_back(
       engine_.schedule_periodic(config_.tick, config_.tick, [this] { on_tick(); }));
+  // Heartbeats live outside periodic_events_ so a node failure can cancel
+  // just its tracker's event (and a recovery re-schedule it).
   for (std::size_t i = 0; i < trackers_.size(); ++i) {
     const SimTime offset = config_.heartbeat_period * static_cast<double>(i + 1) /
                            static_cast<double>(trackers_.size());
-    periodic_events_.push_back(engine_.schedule_periodic(
-        offset, config_.heartbeat_period, [this, i] { on_heartbeat(i); }));
+    heartbeat_events_[i] = engine_.schedule_periodic(
+        offset, config_.heartbeat_period, [this, i] { on_heartbeat(i); });
   }
   periodic_events_.push_back(engine_.schedule_periodic(
       config_.policy_period, config_.policy_period, [this] { on_policy_period(); }));
@@ -156,6 +170,13 @@ metrics::RunResult Runtime::run() {
   for (const auto& failure : config_.failures) {
     const NodeId node = failure.node;
     engine_.schedule_at(failure.at, [this, node] { fail_node(node); });
+    if (failure.recover_at != kTimeNever) {
+      // Count the scheduled recovery up front: an all-nodes-dead cluster
+      // must wait for it instead of aborting the run.
+      ++pending_recoveries_;
+      engine_.schedule_at(failure.recover_at,
+                          [this, node] { recover_node(node); });
+    }
   }
 
   result_.progress.assign(jobs_.size(), {});
@@ -173,12 +194,29 @@ metrics::RunResult Runtime::run() {
     jr.start_time = job.start_time;
     jr.maps_done_time = job.maps_done_time;
     jr.finish_time = job.finish_time;
+    jr.failed = job.failed;
     result_.jobs.push_back(jr);
   }
-  result_.completed = (unfinished_jobs_ == 0);
-  if (result_.completed) {
+  result_.completed = unfinished_jobs_ == 0 && !aborted_ && failed_jobs_ == 0;
+  if (aborted_) {
+    result_.failure_reason = run_failure_reason_;
+  } else if (failed_jobs_ > 0) {
+    for (const auto& job : jobs_) {
+      if (!job.failed) continue;
+      result_.failure_reason =
+          "job " + job.spec.name + " failed: " + job.failure_reason;
+      break;
+    }
+  } else if (!result_.completed) {
+    result_.failure_reason = "time limit reached";
+  }
+  if (aborted_) {
+    // The run was cut short; the makespan is when it stopped making
+    // progress, not the far-away time limit the engine ran out to.
+    result_.makespan = abort_time_;
+  } else if (unfinished_jobs_ == 0) {
     // The clock sits at the run limit after engine_.run(); the makespan is
-    // when the last job actually finished.
+    // when the last job actually finished (teardown time for failed jobs).
     result_.makespan = 0.0;
     for (const auto& job : result_.jobs) {
       result_.makespan = std::max(result_.makespan, job.finish_time);
@@ -222,6 +260,7 @@ ClusterStats Runtime::snapshot() const {
     NodeStats node;
     node.node = static_cast<NodeId>(n);
     node.alive = node_alive_[n];
+    node.blacklisted = trackers_[n].blacklisted();
     node.running_maps = trackers_[n].running_maps();
     node.running_reduces = trackers_[n].running_reduces();
     node.cum_map_input = node_map_input_[n];
@@ -265,6 +304,11 @@ ReduceTask& Runtime::reduce_task(TaskId id) {
 
 void Runtime::on_tick() {
   if (stopping_) return;
+  // Injected attempt failures fire at the tick boundary, before the census:
+  // an attempt whose progress crossed its doom threshold last tick dies now,
+  // freeing its slot for the next heartbeat's assignment round.
+  inject_attempt_failures();
+  if (stopping_) return;  // the last failure may have failed the last job
   const double dt = config_.tick;
   const int n = config_.cluster.worker_count();
 
@@ -665,6 +709,25 @@ void Runtime::check_all_done() {
     stopping_ = true;
     for (sim::EventId id : periodic_events_) engine_.cancel(id);
     periodic_events_.clear();
+    for (sim::EventId& id : heartbeat_events_) {
+      if (id != sim::kInvalidEvent) engine_.cancel(id);
+      id = sim::kInvalidEvent;
+    }
+  }
+}
+
+void Runtime::abort_run(std::string reason) {
+  if (stopping_) return;
+  SMR_WARN("aborting run at " << format_duration(engine_.now()) << ": " << reason);
+  aborted_ = true;
+  abort_time_ = engine_.now();
+  run_failure_reason_ = std::move(reason);
+  stopping_ = true;
+  for (sim::EventId id : periodic_events_) engine_.cancel(id);
+  periodic_events_.clear();
+  for (sim::EventId& id : heartbeat_events_) {
+    if (id != sim::kInvalidEvent) engine_.cancel(id);
+    id = sim::kInvalidEvent;
   }
 }
 
@@ -684,6 +747,9 @@ void Runtime::on_heartbeat(std::size_t tracker_index) {
   policy_->on_heartbeat(tracker, stats);
   if (trace_ != nullptr) trace_slot_targets(prev_map_total, prev_reduce_total);
   if (metrics_ != nullptr) metrics_->counter("heartbeats.processed").inc();
+  // A blacklisted tracker still heartbeats (its statistics stay fresh and
+  // running tasks drain lazily) but takes no new assignments.
+  if (tracker.blacklisted()) return;
   if (config_.eager_slot_shrink) eager_shrink(tracker);
   assign_tasks(tracker);
 }
@@ -803,14 +869,31 @@ void Runtime::requeue_completed_map(Job& job, MapTask& task) {
 }
 
 void Runtime::fail_node(NodeId node) {
+  if (stopping_) return;  // failure scheduled past the end of the run
   SMR_CHECK(node >= 0 && static_cast<std::size_t>(node) < node_alive_.size());
   SMR_CHECK_MSG(node_alive_[static_cast<std::size_t>(node)],
                 "node " << node << " failed twice");
+  const int prev_map_total = trace_ != nullptr ? total_map_target() : 0;
+  const int prev_reduce_total = trace_ != nullptr ? total_reduce_target() : 0;
   node_alive_[static_cast<std::size_t>(node)] = false;
   trace_event(metrics::TraceEventKind::kNodeFailed, kInvalidJob, kInvalidTask,
               node, true);
+  if (metrics_ != nullptr) metrics_->counter("nodes.failed").inc();
   TaskTracker& tracker = trackers_[static_cast<std::size_t>(node)];
   SMR_WARN("node " << node << " failed at " << format_duration(engine_.now()));
+
+  // A dead tracker stops heartbeating (the job tracker expires it); leaving
+  // the periodic event live would keep running its control loop.
+  sim::EventId& heartbeat = heartbeat_events_[static_cast<std::size_t>(node)];
+  if (heartbeat != sim::kInvalidEvent) {
+    engine_.cancel(heartbeat);
+    heartbeat = sim::kInvalidEvent;
+  }
+  // Its slots are gone with it: zero the targets so cluster totals (and the
+  // slot-target counter tracks) reflect live capacity only.
+  tracker.set_map_target(0);
+  tracker.set_reduce_target(0);
+  if (trace_ != nullptr) trace_slot_targets(prev_map_total, prev_reduce_total);
 
   // Kill everything running there (copies: requeue mutates the lists).
   const std::vector<TaskId> running_maps = tracker.running_map_tasks();
@@ -857,6 +940,218 @@ void Runtime::fail_node(NodeId node) {
       }
     }
   }
+
+  // With every worker down and no recovery on the calendar, the run can
+  // never finish — degrade gracefully instead of wedging until the time
+  // limit (or crashing in the assignment path).
+  bool any_alive = false;
+  for (const bool alive : node_alive_) any_alive = any_alive || alive;
+  if (!any_alive && (unfinished_jobs_ > 0 || jobs_not_yet_submitted_ > 0)) {
+    if (pending_recoveries_ > 0) {
+      SMR_WARN("all worker nodes are down; waiting for scheduled recovery");
+    } else {
+      abort_run("all worker nodes have failed");
+    }
+  }
+}
+
+void Runtime::recover_node(NodeId node) {
+  --pending_recoveries_;
+  if (stopping_) return;  // recovery scheduled past the end of the run
+  SMR_CHECK(node >= 0 && static_cast<std::size_t>(node) < node_alive_.size());
+  SMR_CHECK_MSG(!node_alive_[static_cast<std::size_t>(node)],
+                "node " << node << " recovered while alive");
+  const int prev_map_total = trace_ != nullptr ? total_map_target() : 0;
+  const int prev_reduce_total = trace_ != nullptr ? total_reduce_target() : 0;
+  node_alive_[static_cast<std::size_t>(node)] = true;
+  TaskTracker& tracker = trackers_[static_cast<std::size_t>(node)];
+  // A fresh tracker process rejoins: no running tasks (the failure already
+  // emptied the lists), initial slot targets, a clean blacklist record.
+  tracker.set_blacklisted(false);
+  node_attempt_failures_[static_cast<std::size_t>(node)] = 0;
+  tracker.set_map_target(config_.initial_map_slots);
+  tracker.set_reduce_target(config_.initial_reduce_slots);
+  if (trace_ != nullptr) trace_slot_targets(prev_map_total, prev_reduce_total);
+  ++nodes_recovered_;
+  trace_event(metrics::TraceEventKind::kNodeRecovered, kInvalidJob,
+              kInvalidTask, node, true);
+  if (metrics_ != nullptr) metrics_->counter("nodes.recovered").inc();
+  SMR_INFO("node " << node << " recovered at " << format_duration(engine_.now()));
+  // Resume the heartbeat on this tracker's original stagger grid, at the
+  // first grid point after the recovery instant.
+  const std::size_t i = static_cast<std::size_t>(node);
+  const SimTime offset = config_.heartbeat_period * static_cast<double>(i + 1) /
+                         static_cast<double>(trackers_.size());
+  const SimTime now = engine_.now();
+  SimTime first = offset;
+  if (first <= now) {
+    first = offset + std::ceil((now - offset) / config_.heartbeat_period) *
+                         config_.heartbeat_period;
+    if (first <= now) first += config_.heartbeat_period;
+  }
+  heartbeat_events_[i] = engine_.schedule_periodic(
+      first, config_.heartbeat_period, [this, i] { on_heartbeat(i); });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: per-attempt failures, retries, blacklisting.
+// ---------------------------------------------------------------------------
+
+NodeId Runtime::pick_live_source(const std::vector<NodeId>& replicas) {
+  std::vector<NodeId> alive;
+  for (NodeId r : replicas) {
+    if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
+  }
+  if (alive.empty()) {
+    // Every replica died: HDFS would have re-replicated long before the
+    // split is read; model that by reading from a random live node.
+    for (NodeId r = 0; r < static_cast<NodeId>(node_alive_.size()); ++r) {
+      if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
+    }
+  }
+  if (alive.empty()) return kInvalidNode;
+  return alive[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1))];
+}
+
+double Runtime::draw_fail_threshold() {
+  // Draw only when injection is on: a fault-free config must not advance
+  // fault_rng_ either, so later enabling injection cannot perturb it.
+  if (config_.task_fail_rate <= 0.0) return kNeverFail;
+  if (fault_rng_.uniform() >= config_.task_fail_rate) return kNeverFail;
+  // Doomed: die somewhere mid-phase (never at 0, where the attempt has no
+  // footprint yet, and never so close to 1 that it always finishes first).
+  return fault_rng_.uniform(0.05, 0.95);
+}
+
+void Runtime::inject_attempt_failures() {
+  if (config_.task_fail_rate <= 0.0) return;
+  // Collect first: failing an attempt mutates the tracker lists (and a job
+  // teardown may retire other doomed attempts mid-sweep).
+  std::vector<TaskId> doomed_maps;
+  std::vector<TaskId> doomed_reduces;
+  for (const auto& tracker : trackers_) {
+    for (TaskId id : tracker.running_map_tasks()) {
+      const MapTask& task = map_task(id);
+      if (task.progress() >= task.fail_at_progress) doomed_maps.push_back(id);
+    }
+    for (TaskId id : tracker.running_reduce_tasks()) {
+      const ReduceTask& task = reduce_task(id);
+      if (task.progress() >= task.fail_at_progress) doomed_reduces.push_back(id);
+    }
+  }
+  std::sort(doomed_maps.begin(), doomed_maps.end());
+  std::sort(doomed_reduces.begin(), doomed_reduces.end());
+  for (TaskId id : doomed_maps) fail_map_attempt(id);
+  for (TaskId id : doomed_reduces) fail_reduce_attempt(id);
+}
+
+void Runtime::fail_map_attempt(TaskId id) {
+  const auto it = task_refs_.find(id);
+  if (it == task_refs_.end()) return;  // retired by an earlier teardown
+  const TaskRef ref = it->second;
+  Job& job = job_of(ref.job);
+  if (job.failed) return;
+  MapTask& primary = job.maps[static_cast<std::size_t>(ref.index)];
+  const NodeId node = map_task(id).node;
+  ++task_attempt_failures_;
+  ++primary.failed_attempts;
+  if (metrics_ != nullptr) metrics_->counter("tasks.map_attempt_failures").inc();
+  trace_event(metrics::TraceEventKind::kTaskAttemptFailed, job.id, id, node,
+              true, ref.speculative ? "injected-speculative" : "injected",
+              static_cast<double>(primary.failed_attempts));
+  if (ref.speculative) {
+    // The shadow dies; the primary keeps running (but the failure counts
+    // against the shared attempt budget, as in Hadoop).
+    kill_shadow(primary);
+  } else if (primary.failed_attempts < config_.max_attempts) {
+    requeue_running_map(primary);  // emits TASK_KILLED, frees the slot
+    ++task_retries_;
+    if (metrics_ != nullptr) metrics_->counter("tasks.retries").inc();
+  }
+  record_attempt_failure_on(node);
+  if (primary.failed_attempts >= config_.max_attempts) {
+    fail_job(job, "map task " + std::to_string(primary.id) + " failed " +
+                      std::to_string(primary.failed_attempts) + " attempts");
+  }
+}
+
+void Runtime::fail_reduce_attempt(TaskId id) {
+  const auto it = task_refs_.find(id);
+  if (it == task_refs_.end()) return;  // retired by an earlier teardown
+  const TaskRef ref = it->second;
+  Job& job = job_of(ref.job);
+  if (job.failed) return;
+  ReduceTask& primary = job.reduces[static_cast<std::size_t>(ref.index)];
+  const NodeId node = reduce_task(id).node;
+  ++task_attempt_failures_;
+  ++primary.failed_attempts;
+  if (metrics_ != nullptr) {
+    metrics_->counter("tasks.reduce_attempt_failures").inc();
+  }
+  trace_event(metrics::TraceEventKind::kTaskAttemptFailed, job.id, id, node,
+              false, ref.speculative ? "injected-speculative" : "injected",
+              static_cast<double>(primary.failed_attempts));
+  if (ref.speculative) {
+    kill_reduce_shadow(primary);
+  } else if (primary.failed_attempts < config_.max_attempts) {
+    requeue_running_reduce(primary);
+    ++task_retries_;
+    if (metrics_ != nullptr) metrics_->counter("tasks.retries").inc();
+  }
+  record_attempt_failure_on(node);
+  if (primary.failed_attempts >= config_.max_attempts) {
+    fail_job(job, "reduce task " + std::to_string(primary.id) + " failed " +
+                      std::to_string(primary.failed_attempts) + " attempts");
+  }
+}
+
+void Runtime::record_attempt_failure_on(NodeId node) {
+  if (config_.blacklist_after <= 0) return;
+  const auto n = static_cast<std::size_t>(node);
+  if (!node_alive_[n] || trackers_[n].blacklisted()) return;
+  if (++node_attempt_failures_[n] < config_.blacklist_after) return;
+  // Never blacklist the last healthy tracker: a cluster with zero
+  // assignable slots can only wedge.
+  int healthy = 0;
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    if (node_alive_[i] && !trackers_[i].blacklisted()) ++healthy;
+  }
+  if (healthy <= 1) return;
+  const int prev_map_total = trace_ != nullptr ? total_map_target() : 0;
+  const int prev_reduce_total = trace_ != nullptr ? total_reduce_target() : 0;
+  trackers_[n].set_blacklisted(true);
+  if (trace_ != nullptr) trace_slot_targets(prev_map_total, prev_reduce_total);
+  ++nodes_blacklisted_;
+  trace_event(metrics::TraceEventKind::kNodeBlacklisted, kInvalidJob,
+              kInvalidTask, node, true, "",
+              static_cast<double>(node_attempt_failures_[n]));
+  if (metrics_ != nullptr) metrics_->counter("nodes.blacklisted").inc();
+  SMR_WARN("node " << node << " blacklisted after " << node_attempt_failures_[n]
+                   << " attempt failures at " << format_duration(engine_.now()));
+}
+
+void Runtime::fail_job(Job& job, std::string reason) {
+  SMR_CHECK(!job.failed);
+  SMR_WARN("job " << job.spec.name << " failed: " << reason);
+  // Tear down every running attempt; the requeue helpers retire shadows,
+  // emit TASK_KILLED and roll the fluid accounting back.  Queued tasks are
+  // cancelled implicitly: a finished job is invisible to the scheduler.
+  for (auto& task : job.maps) {
+    if (task.running()) requeue_running_map(task);
+  }
+  for (auto& task : job.reduces) {
+    if (task.running()) requeue_running_reduce(task);
+  }
+  job.failed = true;
+  job.failure_reason = std::move(reason);
+  job.finish_time = engine_.now();
+  --unfinished_jobs_;
+  ++failed_jobs_;
+  trace_event(metrics::TraceEventKind::kJobFailed, job.id, kInvalidTask,
+              kInvalidNode, true, job.failure_reason.c_str());
+  if (metrics_ != nullptr) metrics_->counter("jobs.failed").inc();
+  check_all_done();  // this may have been the last unfinished job
 }
 
 void Runtime::on_policy_period() {
@@ -891,14 +1186,22 @@ void Runtime::on_policy_period() {
 }
 
 int Runtime::total_map_target() const {
+  // Live capacity only: dead and blacklisted trackers contribute nothing,
+  // whatever stale targets they may carry.
   int total = 0;
-  for (const auto& tracker : trackers_) total += tracker.map_target();
+  for (std::size_t n = 0; n < trackers_.size(); ++n) {
+    if (!node_alive_[n] || trackers_[n].blacklisted()) continue;
+    total += trackers_[n].map_target();
+  }
   return total;
 }
 
 int Runtime::total_reduce_target() const {
   int total = 0;
-  for (const auto& tracker : trackers_) total += tracker.reduce_target();
+  for (std::size_t n = 0; n < trackers_.size(); ++n) {
+    if (!node_alive_[n] || trackers_[n].blacklisted()) continue;
+    total += trackers_[n].reduce_target();
+  }
   return total;
 }
 
@@ -963,25 +1266,22 @@ bool Runtime::assign_one_map(TaskTracker& tracker) {
     if (!local) {
       const auto& replicas =
           file.blocks[static_cast<std::size_t>(chosen->split_index)].replicas;
-      std::vector<NodeId> alive;
-      for (NodeId r : replicas) {
-        if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
+      const NodeId src = pick_live_source(replicas);
+      if (src == kInvalidNode) {
+        // No live node holds (or could re-host) the split.  Unreachable
+        // while the assigning tracker itself is alive, but degrade to "no
+        // assignment" rather than crashing the run.
+        chosen->node = kInvalidNode;
+        chosen->local = true;
+        return false;
       }
-      if (alive.empty()) {
-        // Every replica died: HDFS would have re-replicated long before the
-        // split is read; model that by reading from a random live node.
-        for (NodeId r = 0; r < static_cast<NodeId>(node_alive_.size()); ++r) {
-          if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
-        }
-        SMR_CHECK_MSG(!alive.empty(), "all worker nodes have failed");
-      }
-      chosen->src_node = alive[static_cast<std::size_t>(rng_.uniform_int(
-          0, static_cast<std::int64_t>(alive.size()) - 1))];
+      chosen->src_node = src;
       ++remote_map_launches_;
     } else {
       ++local_map_launches_;
     }
     chosen->start_time = now;
+    chosen->fail_at_progress = draw_fail_threshold();
     tracker.launch_map(chosen->id);
     ++job.maps_assigned;
     if (!job.started()) job.start_time = now;
@@ -1040,14 +1340,15 @@ bool Runtime::launch_speculative(TaskTracker& tracker) {
     const auto& block = file.blocks[static_cast<std::size_t>(shadow.split_index)];
     shadow.local = block.has_replica_on(tracker.node());
     if (!shadow.local) {
-      std::vector<NodeId> alive;
-      for (NodeId r : block.replicas) {
-        if (node_alive_[static_cast<std::size_t>(r)]) alive.push_back(r);
-      }
-      SMR_CHECK(!alive.empty());
-      shadow.src_node = alive[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1))];
+      // Fall back to any live node when every replica holder is dead (the
+      // re-replication model of assign_one_map); previously this crashed
+      // with dfs_replication == 1 and the sole replica's node down.
+      const NodeId src = pick_live_source(block.replicas);
+      if (src == kInvalidNode) continue;  // nowhere to read from: skip
+      shadow.src_node = src;
     }
+    shadow.fail_at_progress = draw_fail_threshold();
+    shadow.failed_attempts = 0;  // the budget lives on the primary
     task_refs_[shadow.id] =
         TaskRef{job.id, straggler->split_index, true, /*speculative=*/true};
     shadow_of_[straggler->id] = shadow.id;
@@ -1119,6 +1420,7 @@ bool Runtime::assign_one_reduce(TaskTracker& tracker) {
       if (task.node != kInvalidNode) continue;
       task.node = tracker.node();
       task.start_time = now;
+      task.fail_at_progress = draw_fail_threshold();
       tracker.launch_reduce(task.id);
       ++job.reduces_assigned;
       if (!job.started()) job.start_time = now;
@@ -1177,6 +1479,8 @@ bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
     shadow.start_time = now;
     shadow.shuffle_end_time = kTimeNever;
     shadow.cost_factor = rng_.jitter(job.spec.duration_cv);
+    shadow.fail_at_progress = draw_fail_threshold();
+    shadow.failed_attempts = 0;  // the budget lives on the primary
     task_refs_[shadow.id] =
         TaskRef{job.id, straggler->partition, false, /*speculative=*/true};
     reduce_shadow_of_[straggler->id] = shadow.id;

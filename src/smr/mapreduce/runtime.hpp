@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -100,15 +101,37 @@ struct RuntimeConfig {
   /// started) or further along than 90% (not worth the duplicate work).
   SimTime speculative_min_age = 30.0;
 
-  /// Fault injection: permanently fail a worker node at a given time.
-  /// Running tasks on it are requeued; completed map tasks whose output is
-  /// still needed by an unfinished shuffle are re-executed (map outputs
-  /// live on the failed node's local disk, exactly as in Hadoop).
+  /// Fault injection: fail a worker node at a given time.  Running tasks
+  /// on it are requeued; completed map tasks whose output is still needed
+  /// by an unfinished shuffle are re-executed (map outputs live on the
+  /// failed node's local disk, exactly as in Hadoop).  When `recover_at`
+  /// is set the failure is *transient*: the tracker rejoins at that time
+  /// with no running tasks, its initial slot targets, a clean blacklist
+  /// record, and a resumed heartbeat.  The same node may fail and recover
+  /// repeatedly via multiple entries.
   struct NodeFailure {
     NodeId node = kInvalidNode;
     SimTime at = 0.0;
+    SimTime recover_at = kTimeNever;  // kTimeNever = permanent
   };
   std::vector<NodeFailure> failures;
+
+  /// Probability that any given task attempt (map or reduce, speculative
+  /// shadows included) fails mid-phase.  Each launch draws once from a
+  /// dedicated seeded stream; a failing attempt is assigned a progress
+  /// threshold and dies when it crosses it.  0 disables injection and
+  /// leaves every RNG stream untouched.
+  double task_fail_rate = 0.0;
+
+  /// Attempts per task before the owning *job* is failed and torn down
+  /// (Hadoop's mapred.map.max.attempts / reduce.max.attempts, default 4).
+  int max_attempts = 4;
+
+  /// Blacklist a tracker once this many attempt failures happened on it
+  /// (Hadoop's tracker fault threshold).  Blacklisted trackers keep
+  /// heartbeating but receive no new tasks and drop out of slot-target
+  /// totals; the last healthy tracker is never blacklisted.  0 disables.
+  int blacklist_after = 4;
 
   /// Hard stop; a run hitting it reports completed == false.
   SimTime time_limit = 48.0 * 3600.0;
@@ -164,6 +187,18 @@ class Runtime {
   /// Tasks (running or completed-but-needed maps, running reduces) lost to
   /// injected node failures and requeued.
   int tasks_lost_to_failures() const { return tasks_lost_to_failures_; }
+  /// Injected per-attempt failures (tentpole fault model) and the retries
+  /// they caused (an exhausted task fails its job instead of retrying).
+  int task_attempt_failures() const { return task_attempt_failures_; }
+  int task_retries() const { return task_retries_; }
+  /// Jobs torn down because a task exhausted max_attempts.
+  int failed_jobs() const { return failed_jobs_; }
+  /// Node lifecycle counters.
+  int nodes_recovered() const { return nodes_recovered_; }
+  int nodes_blacklisted() const { return nodes_blacklisted_; }
+  bool node_blacklisted(NodeId node) const {
+    return trackers_[static_cast<std::size_t>(node)].blacklisted();
+  }
   /// Speculative map attempts launched / that finished before the original.
   int speculative_launches() const { return speculative_launches_; }
   int speculative_wins() const { return speculative_wins_; }
@@ -193,6 +228,24 @@ class Runtime {
   void requeue_running_reduce(ReduceTask& task);
   void requeue_completed_map(Job& job, MapTask& task);
   void fail_node(NodeId node);
+  void recover_node(NodeId node);
+  /// Stop the run without finishing: cancel all periodic machinery and
+  /// report completed == false with `reason`.
+  void abort_run(std::string reason);
+  /// Fault injection: per-attempt failure draws and mid-phase checks.
+  double draw_fail_threshold();
+  void inject_attempt_failures();
+  void fail_map_attempt(TaskId id);
+  void fail_reduce_attempt(TaskId id);
+  /// Count an attempt failure against `node`, blacklisting it at the
+  /// configured threshold (never the last healthy tracker).
+  void record_attempt_failure_on(NodeId node);
+  /// A task exhausted max_attempts: cancel the job's running attempts and
+  /// mark it failed (JobResult.failed) instead of wedging the run.
+  void fail_job(Job& job, std::string reason);
+  /// A live replica of `replicas` to read from, falling back to any live
+  /// node (HDFS re-replication); kInvalidNode when every worker is dead.
+  NodeId pick_live_source(const std::vector<NodeId>& replicas);
   /// Roll a running attempt's fluid input accounting back out of the job
   /// and cluster counters.
   void rollback_map_progress(const MapTask& task);
@@ -257,6 +310,26 @@ class Runtime {
   int speculative_launches_ = 0;
   int speculative_wins_ = 0;
   std::vector<bool> node_alive_;
+  // --- Fault-injection state -------------------------------------------
+  /// Dedicated stream for attempt-failure draws, seeded independently of
+  /// rng_ so task_fail_rate == 0 reproduces fault-free runs bit-for-bit.
+  Rng fault_rng_;
+  /// Per-tracker heartbeat events, cancellable on node failure and
+  /// re-schedulable on recovery (indexed by NodeId).
+  std::vector<sim::EventId> heartbeat_events_;
+  /// Attempt failures charged to each tracker (blacklist accounting).
+  std::vector<int> node_attempt_failures_;
+  /// Scheduled recoveries not yet fired: while > 0, an all-nodes-dead
+  /// cluster waits instead of aborting the run.
+  int pending_recoveries_ = 0;
+  bool aborted_ = false;
+  SimTime abort_time_ = 0.0;
+  std::string run_failure_reason_;
+  int task_attempt_failures_ = 0;
+  int task_retries_ = 0;
+  int failed_jobs_ = 0;
+  int nodes_recovered_ = 0;
+  int nodes_blacklisted_ = 0;
   // Per-node cumulative byte counters (the heartbeat statistics of §III-C).
   std::vector<double> node_map_input_;
   std::vector<double> node_map_output_;

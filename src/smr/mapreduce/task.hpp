@@ -11,6 +11,10 @@ enum class ReducePhase { kShuffling, kSorting, kReducing, kDone };
 const char* to_string(MapPhase phase);
 const char* to_string(ReducePhase phase);
 
+/// Sentinel progress threshold meaning "this attempt will not be failed by
+/// the fault injector" (progress() never exceeds 1.0).
+inline constexpr double kNeverFail = 2.0;
+
 struct MapTask {
   TaskId id = kInvalidTask;
   JobId job = kInvalidJob;
@@ -35,6 +39,13 @@ struct MapTask {
 
   /// Per-task multiplicative cost factor (~1.0; trial jitter).
   double cost_factor = 1.0;
+
+  /// Fault injection: the current attempt fails once progress() passes this
+  /// threshold (kNeverFail disables; redrawn per attempt at launch).
+  double fail_at_progress = kNeverFail;
+  /// Failed attempts of this task so far (speculative shadows count against
+  /// their primary); max_attempts exhausts the owning job.
+  int failed_attempts = 0;
 
   SimTime start_time = kTimeNever;
   SimTime finish_time = kTimeNever;
@@ -74,6 +85,10 @@ struct ReduceTask {
   double phase_done = 0.0;
 
   double cost_factor = 1.0;
+
+  /// Fault injection (see MapTask::fail_at_progress).
+  double fail_at_progress = kNeverFail;
+  int failed_attempts = 0;
 
   SimTime start_time = kTimeNever;
   SimTime shuffle_end_time = kTimeNever;

@@ -41,6 +41,14 @@ class TaskTracker {
   int map_target() const { return map_target_; }
   int reduce_target() const { return reduce_target_; }
 
+  // --- Blacklisting -----------------------------------------------------
+  /// A blacklisted tracker keeps heartbeating and finishes its running
+  /// tasks (the lazy policy never kills), but receives no new assignments
+  /// and is exempt from cluster slot-target totals.  Cleared when the node
+  /// recovers from a failure (a fresh tracker process).
+  void set_blacklisted(bool blacklisted) { blacklisted_ = blacklisted; }
+  bool blacklisted() const { return blacklisted_; }
+
   // --- Actual slots under the lazy policy ------------------------------
   int map_slots() const { return std::max(map_target_, running_maps()); }
   int reduce_slots() const { return std::max(reduce_target_, running_reduces()); }
@@ -74,6 +82,7 @@ class TaskTracker {
   NodeId node_;
   int map_target_;
   int reduce_target_;
+  bool blacklisted_ = false;
   std::vector<TaskId> running_map_tasks_;
   std::vector<TaskId> running_reduce_tasks_;
 };

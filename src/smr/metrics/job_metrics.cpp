@@ -40,9 +40,11 @@ RunResult average_trials(const std::vector<RunResult>& trials) {
       avg.jobs[j].start_time += trial.jobs[j].start_time;
       avg.jobs[j].maps_done_time += trial.jobs[j].maps_done_time;
       avg.jobs[j].finish_time += trial.jobs[j].finish_time;
+      avg.jobs[j].failed = avg.jobs[j].failed || trial.jobs[j].failed;
     }
     avg.makespan += trial.makespan;
     avg.completed = avg.completed && trial.completed;
+    if (avg.failure_reason.empty()) avg.failure_reason = trial.failure_reason;
     avg.engine_events += trial.engine_events;
   }
   for (auto& job : avg.jobs) {

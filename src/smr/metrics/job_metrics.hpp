@@ -31,7 +31,13 @@ struct JobResult {
   SimTime maps_done_time = kTimeNever;
   SimTime finish_time = kTimeNever;
 
-  bool finished() const { return finish_time != kTimeNever; }
+  /// True when the job was torn down after a task exhausted its retry
+  /// budget; finish_time then records the teardown, not a success.
+  bool failed = false;
+
+  /// Successful completion: a failed job is never "finished" even though
+  /// its teardown stamped finish_time.
+  bool finished() const { return finish_time != kTimeNever && !failed; }
 
   /// Map-phase execution time (start → barrier).
   SimTime map_time() const { return maps_done_time - start_time; }
@@ -79,8 +85,18 @@ struct RunResult {
   std::vector<std::vector<ProgressSample>> progress;
   std::vector<SlotSample> slots;
   SimTime makespan = 0.0;
-  /// True when every submitted job completed before the time limit.
+  /// True when every submitted job completed successfully before the time
+  /// limit; false on a timeout, a failed job, or a degraded run (e.g. every
+  /// worker node failed) — `failure_reason` then says why.
   bool completed = false;
+  /// Human-readable reason when completed == false; empty otherwise.
+  std::string failure_reason;
+  /// Jobs torn down after a task exhausted max_attempts.
+  int failed_jobs() const {
+    int n = 0;
+    for (const auto& job : jobs) n += job.failed ? 1 : 0;
+    return n;
+  }
   /// Discrete events the sim engine dispatched for this run (summed over
   /// trials by average_trials) — the denominator of events/sec profiling.
   std::uint64_t engine_events = 0;

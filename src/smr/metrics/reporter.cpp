@@ -62,7 +62,7 @@ TextTable job_summary_table(const RunResult& result) {
     if (!job.finished()) {
       table.add_row({std::to_string(job.id), job.name,
                      format_fixed(job.submit_time), "-", "-", "-", "-",
-                     "(unfinished)"});
+                     job.failed ? "(failed)" : "(unfinished)"});
       continue;
     }
     table.add_row({std::to_string(job.id), job.name, format_fixed(job.submit_time),

@@ -21,6 +21,10 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kSlotTargetChanged: return "SLOT_TARGET_CHANGED";
     case TraceEventKind::kNodeFailed: return "NODE_FAILED";
     case TraceEventKind::kPolicyDecision: return "POLICY_DECISION";
+    case TraceEventKind::kTaskAttemptFailed: return "TASK_ATTEMPT_FAILED";
+    case TraceEventKind::kNodeRecovered: return "NODE_RECOVERED";
+    case TraceEventKind::kNodeBlacklisted: return "NODE_BLACKLISTED";
+    case TraceEventKind::kJobFailed: return "JOB_FAILED";
   }
   return "UNKNOWN";
 }
@@ -183,6 +187,20 @@ void TraceLog::write_chrome_trace(std::ostream& out) const {
         break;
       case TraceEventKind::kNodeFailed:
         emit_instant(e, "node-failed");
+        break;
+      case TraceEventKind::kNodeRecovered:
+        emit_instant(e, "node-recovered");
+        break;
+      case TraceEventKind::kNodeBlacklisted:
+        emit_instant(e, "node-blacklisted");
+        break;
+      case TraceEventKind::kJobFailed:
+        emit_instant(e, "job-failed");
+        break;
+      case TraceEventKind::kTaskAttemptFailed:
+        // An instant only: the attempt's slice is closed by the TASK_KILLED
+        // the requeue emits, so the running-task counters stay balanced.
+        emit_instant(e, "task-attempt-failed");
         break;
       default:
         break;

@@ -24,6 +24,10 @@ enum class TraceEventKind {
   kSlotTargetChanged,  // detail = "map" or "reduce"; value = new cluster target
   kNodeFailed,         // node = the failed worker
   kPolicyDecision,     // detail = action[: reason]; value = balance factor f
+  kTaskAttemptFailed,  // injected attempt failure; value = failed attempts so far
+  kNodeRecovered,      // node = the worker whose tracker rejoined
+  kNodeBlacklisted,    // node = the tracker taken out of assignment rotation
+  kJobFailed,          // a task exhausted max_attempts; detail = reason
 };
 
 const char* to_string(TraceEventKind kind);

@@ -1,0 +1,101 @@
+// Graceful degradation: losing every worker node must terminate the run
+// cleanly (completed == false, a failure reason, an early stop) instead of
+// aborting via SMR_CHECK or wedging until the time limit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig small_cluster(int nodes = 3) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(nodes);
+  config.seed = 31;
+  return config;
+}
+
+JobSpec small_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, kGiB);
+  spec.reduce_tasks = 4;
+  return spec;
+}
+
+TEST(GracefulDegradation, EveryNodeFailingEndsRunCleanly) {
+  RuntimeConfig config = small_cluster(3);
+  config.failures.push_back({0, 20.0});
+  config.failures.push_back({1, 30.0});
+  config.failures.push_back({2, 40.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.failure_reason.find("all worker nodes"), std::string::npos);
+  // The run stopped at the final failure, not at the 48 h time limit.
+  EXPECT_DOUBLE_EQ(result.makespan, 40.0);
+  for (NodeId n = 0; n < 3; ++n) EXPECT_FALSE(runtime.node_alive(n));
+}
+
+TEST(GracefulDegradation, NoEventsAfterAbort) {
+  RuntimeConfig config = small_cluster(2);
+  config.failures.push_back({0, 15.0});
+  config.failures.push_back({1, 25.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_FALSE(result.completed);
+  // The trace must go quiet at the abort: no launches, phases or
+  // completions after the last failure.
+  for (const auto& e : trace.events()) {
+    EXPECT_LE(e.time, 25.0) << "event " << metrics::to_string(e.kind)
+                            << " after the run aborted";
+  }
+}
+
+TEST(GracefulDegradation, SurvivingNodeKeepsTheRunAlive) {
+  RuntimeConfig config = small_cluster(3);
+  config.failures.push_back({0, 20.0});
+  config.failures.push_back({2, 35.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.failure_reason.empty());
+  EXPECT_TRUE(runtime.node_alive(1));
+}
+
+TEST(GracefulDegradation, FailedJobsAreNotCompletedRuns) {
+  // completed means "every job succeeded": a failed job must flip it even
+  // though the engine drained normally.
+  RuntimeConfig config = small_cluster(3);
+  config.task_fail_rate = 1.0;  // every attempt dies mid-phase
+  config.max_attempts = 2;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.failed_jobs(), 1);
+  EXPECT_NE(result.failure_reason.find("failed"), std::string::npos);
+  // The teardown stamped a finish time, so the makespan is real.
+  EXPECT_LT(result.makespan, config.time_limit);
+}
+
+TEST(GracefulDegradation, TimeLimitStillReportsReason) {
+  RuntimeConfig config = small_cluster(2);
+  config.time_limit = 10.0;  // far too short for the job
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.failure_reason, "time limit reached");
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

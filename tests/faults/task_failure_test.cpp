@@ -1,0 +1,245 @@
+// Probabilistic per-attempt task failures: Hadoop-faithful retry semantics
+// (max_attempts, default 4), job teardown on exhaustion, and tracker
+// blacklisting — all visible in the metrics registry and the trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/obs/metrics_registry.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig faulty_config(double rate, int max_attempts = 4, int nodes = 4) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(nodes);
+  config.task_fail_rate = rate;
+  config.max_attempts = max_attempts;
+  config.seed = 31;
+  return config;
+}
+
+JobSpec small_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, kGiB);
+  spec.reduce_tasks = 4;
+  return spec;
+}
+
+TEST(TaskFailure, RetriesEventuallyComplete) {
+  // A moderate failure rate with a generous attempt budget: the job limps
+  // home through retries.
+  RuntimeConfig config = faulty_config(0.2, 50);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  obs::MetricsRegistry registry;
+  runtime.set_trace(&trace);
+  runtime.set_metrics(&registry);
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(runtime.task_attempt_failures(), 0);
+  EXPECT_GT(runtime.task_retries(), 0);
+  EXPECT_EQ(runtime.failed_jobs(), 0);
+  // Registry counters mirror the runtime's.
+  EXPECT_EQ(registry.counter("tasks.retries").value(), runtime.task_retries());
+  EXPECT_EQ(registry.counter("tasks.map_attempt_failures").value() +
+                registry.counter("tasks.reduce_attempt_failures").value(),
+            runtime.task_attempt_failures());
+  // And the trace carries one TASK_ATTEMPT_FAILED per injected failure.
+  EXPECT_EQ(
+      trace.of_kind(metrics::TraceEventKind::kTaskAttemptFailed).size(),
+      static_cast<std::size_t>(runtime.task_attempt_failures()));
+}
+
+TEST(TaskFailure, JobFailsAfterMaxAttemptsExhausted) {
+  // Every attempt is doomed: some task burns its 4 attempts and the job is
+  // torn down with JobResult.failed set.
+  RuntimeConfig config = faulty_config(1.0, 4);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  obs::MetricsRegistry registry;
+  runtime.set_trace(&trace);
+  runtime.set_metrics(&registry);
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_FALSE(result.completed);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_TRUE(result.jobs[0].failed);
+  EXPECT_FALSE(result.jobs[0].finished());
+  EXPECT_EQ(result.failed_jobs(), 1);
+  EXPECT_EQ(runtime.failed_jobs(), 1);
+  EXPECT_EQ(registry.counter("jobs.failed").value(), 1);
+  EXPECT_NE(result.failure_reason.find("failed"), std::string::npos);
+  // The engine stopped at the teardown instead of idling to the limit.
+  EXPECT_LT(result.makespan, config.time_limit);
+  // Teardown is visible in the trace.
+  ASSERT_EQ(trace.of_kind(metrics::TraceEventKind::kJobFailed).size(), 1u);
+  // The exhausted task logged exactly max_attempts failures: the trace
+  // events carry the running attempt count in `value`.
+  double max_value = 0.0;
+  for (const auto& e :
+       trace.of_kind(metrics::TraceEventKind::kTaskAttemptFailed)) {
+    max_value = std::max(max_value, e.value);
+  }
+  EXPECT_DOUBLE_EQ(max_value, 4.0);
+}
+
+TEST(TaskFailure, FailedJobTearsDownCleanly) {
+  RuntimeConfig config = faulty_config(1.0, 2);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(small_job(), 0.0);
+  ASSERT_FALSE(runtime.run().completed);
+  // No attempt is left running: launches balance finishes + kills.
+  int launches = 0;
+  int retired = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == metrics::TraceEventKind::kTaskLaunched) ++launches;
+    if (e.kind == metrics::TraceEventKind::kTaskFinished ||
+        e.kind == metrics::TraceEventKind::kTaskKilled) {
+      ++retired;
+    }
+  }
+  EXPECT_EQ(launches, retired);
+  for (const auto& tracker : runtime.trackers()) {
+    EXPECT_EQ(tracker.running_maps(), 0);
+    EXPECT_EQ(tracker.running_reduces(), 0);
+  }
+}
+
+TEST(TaskFailure, BlacklistsFaultyTrackersButNeverTheLast) {
+  RuntimeConfig config = faulty_config(1.0, 8);
+  config.blacklist_after = 2;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  obs::MetricsRegistry registry;
+  runtime.set_trace(&trace);
+  runtime.set_metrics(&registry);
+  runtime.submit(small_job(), 0.0);
+  runtime.run();
+  // With every attempt failing and a threshold of 2, trackers blacklist
+  // quickly — but at least one must always stay in rotation.
+  EXPECT_GE(runtime.nodes_blacklisted(), 1);
+  EXPECT_LE(runtime.nodes_blacklisted(), 3);
+  int blacklisted = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    blacklisted += runtime.node_blacklisted(n) ? 1 : 0;
+  }
+  EXPECT_EQ(blacklisted, runtime.nodes_blacklisted());
+  EXPECT_LT(blacklisted, 4);
+  EXPECT_EQ(registry.counter("nodes.blacklisted").value(),
+            runtime.nodes_blacklisted());
+  // No task may launch on a tracker after its blacklisting.
+  for (const auto& b :
+       trace.of_kind(metrics::TraceEventKind::kNodeBlacklisted)) {
+    for (const auto& e :
+         trace.of_kind(metrics::TraceEventKind::kTaskLaunched)) {
+      if (e.node == b.node) EXPECT_LE(e.time, b.time);
+    }
+  }
+}
+
+TEST(TaskFailure, SingleNodeClusterNeverBlacklistsItself) {
+  RuntimeConfig config = faulty_config(1.0, 3, /*nodes=*/1);
+  config.blacklist_after = 1;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  // The job fails (every attempt dies) but the lone tracker must stay
+  // assignable throughout — no wedge, no blacklist.
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(runtime.nodes_blacklisted(), 0);
+  EXPECT_FALSE(runtime.node_blacklisted(0));
+}
+
+TEST(TaskFailure, ZeroRateLeavesRunByteIdentical) {
+  // task_fail_rate == 0 must not touch any RNG stream: the run is
+  // bit-for-bit the run of a config that never heard of fault injection.
+  RuntimeConfig plain;
+  plain.cluster = cluster::ClusterSpec::paper_testbed(4);
+  plain.seed = 31;
+  Runtime a(plain, std::make_unique<StaticSlotPolicy>());
+  a.submit(small_job(), 0.0);
+  const auto ra = a.run();
+
+  RuntimeConfig zeroed = plain;
+  zeroed.task_fail_rate = 0.0;
+  zeroed.max_attempts = 7;       // retry config is inert without failures
+  zeroed.blacklist_after = 1;
+  Runtime b(zeroed, std::make_unique<StaticSlotPolicy>());
+  b.submit(small_job(), 0.0);
+  const auto rb = b.run();
+
+  ASSERT_TRUE(ra.completed && rb.completed);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.jobs[0].finish_time, rb.jobs[0].finish_time);
+}
+
+TEST(TaskFailure, InjectionIsDeterministic) {
+  const auto run_once = [] {
+    Runtime runtime(faulty_config(0.3, 20), std::make_unique<StaticSlotPolicy>());
+    runtime.submit(small_job(), 0.0);
+    const auto result = runtime.run();
+    return std::make_tuple(result.makespan, runtime.task_attempt_failures(),
+                           runtime.task_retries());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TaskFailure, SpeculativeShadowsShareTheAttemptBudget) {
+  RuntimeConfig config = faulty_config(0.3, 50);
+  config.speculative_execution = true;
+  config.speculative_reduce_execution = true;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  // Attempt accounting stays balanced with shadows in the mix.
+  int launches = 0;
+  int retired = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == metrics::TraceEventKind::kTaskLaunched) ++launches;
+    if (e.kind == metrics::TraceEventKind::kTaskFinished ||
+        e.kind == metrics::TraceEventKind::kTaskKilled) {
+      ++retired;
+    }
+  }
+  EXPECT_EQ(launches, retired);
+}
+
+TEST(TaskFailure, ChromeTraceRendersFaultEvents) {
+  RuntimeConfig config = faulty_config(1.0, 4);
+  config.blacklist_after = 2;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(small_job(), 0.0);
+  ASSERT_FALSE(runtime.run().completed);
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("task-attempt-failed"), std::string::npos);
+  EXPECT_NE(json.find("job-failed"), std::string::npos);
+}
+
+TEST(TaskFailure, ValidationRejectsBadFaultConfig) {
+  RuntimeConfig config = faulty_config(1.5);
+  EXPECT_THROW(config.validate(), SmrError);
+  config = faulty_config(-0.1);
+  EXPECT_THROW(config.validate(), SmrError);
+  config = faulty_config(0.5, 0);
+  EXPECT_THROW(config.validate(), SmrError);
+  config = faulty_config(0.5);
+  config.blacklist_after = -1;
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

@@ -1,0 +1,147 @@
+// Transient node failures: a tracker that fails at t and recovers at t'
+// rejoins with no running tasks, its initial slot targets, a clean
+// blacklist record and a resumed heartbeat — and then takes work again.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/metrics/trace.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig transient_config(NodeId node, SimTime at, SimTime recover_at,
+                               int nodes = 4) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(nodes);
+  config.failures.push_back({node, at, recover_at});
+  config.seed = 31;
+  return config;
+}
+
+JobSpec shuffle_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, 2 * kGiB);
+  spec.reduce_tasks = 6;
+  return spec;
+}
+
+TEST(TransientFailure, NodeRecoversAndFinishesTheJob) {
+  Runtime runtime(transient_config(1, 30.0, 60.0),
+                  std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(runtime.node_alive(1));
+  EXPECT_EQ(runtime.nodes_recovered(), 1);
+  const auto recoveries = trace.of_kind(metrics::TraceEventKind::kNodeRecovered);
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_EQ(recoveries[0].node, 1);
+  EXPECT_DOUBLE_EQ(recoveries[0].time, 60.0);
+}
+
+TEST(TransientFailure, RecoveredTrackerTakesWorkAgain) {
+  // A short outage early in the map phase: the maps requeued at the
+  // failure are still pending when the node comes back, so it must pick
+  // them up again.
+  Runtime runtime(transient_config(1, 10.0, 20.0),
+                  std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(), 0.0);
+  ASSERT_TRUE(runtime.run().completed);
+  // During the outage no task may launch on the node; after recovery (plus
+  // a heartbeat) it must take assignments again.
+  bool launched_after_recovery = false;
+  for (const auto& e : trace.of_kind(metrics::TraceEventKind::kTaskLaunched)) {
+    if (e.node != 1) continue;
+    EXPECT_TRUE(e.time <= 10.0 || e.time > 20.0)
+        << "task launched on node 1 during its outage at t=" << e.time;
+    launched_after_recovery = launched_after_recovery || e.time > 20.0;
+  }
+  EXPECT_TRUE(launched_after_recovery);
+}
+
+TEST(TransientFailure, SlotTargetsDropAndReturn) {
+  Runtime runtime(transient_config(1, 30.0, 60.0),
+                  std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(), 0.0);
+  ASSERT_TRUE(runtime.run().completed);
+  // 4 nodes at 3 map slots each: 12 -> 9 at the failure, back to 12 at the
+  // recovery.
+  bool dropped = false;
+  bool restored = false;
+  for (const auto& e :
+       trace.of_kind(metrics::TraceEventKind::kSlotTargetChanged)) {
+    if (!e.is_map) continue;
+    if (e.time == 30.0 && e.value == 9.0) dropped = true;
+    if (e.time == 60.0 && e.value == 12.0) restored = true;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_TRUE(restored);
+}
+
+TEST(TransientFailure, WholeClusterOutageWaitsForRecovery) {
+  // Every node down at once — but recoveries are scheduled, so the run
+  // must wait them out rather than aborting, then finish.
+  RuntimeConfig config = transient_config(0, 30.0, 50.0, 2);
+  config.failures.push_back({1, 35.0, 55.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(runtime.nodes_recovered(), 2);
+  EXPECT_GT(result.makespan, 50.0);
+}
+
+TEST(TransientFailure, RepeatedFailureAndRecoveryCycles) {
+  RuntimeConfig config = transient_config(2, 20.0, 40.0);
+  config.failures.push_back({2, 80.0, 100.0});
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(runtime.nodes_recovered(), 2);
+  EXPECT_TRUE(runtime.node_alive(2));
+}
+
+TEST(TransientFailure, RecoveryClearsBlacklistRecord) {
+  // Bounce a node on a run with injected attempt failures: a recovered
+  // tracker starts with a clean blacklist record, so it may end the run
+  // blacklisted only if it was blacklisted *again* after the recovery.
+  RuntimeConfig config = transient_config(1, 120.0, 150.0);
+  config.task_fail_rate = 0.25;
+  config.max_attempts = 50;  // retries must not exhaust any job here
+  config.blacklist_after = 2;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(runtime.nodes_recovered(), 1);
+  if (runtime.node_blacklisted(1)) {
+    bool reblacklisted_after_recovery = false;
+    for (const auto& e :
+         trace.of_kind(metrics::TraceEventKind::kNodeBlacklisted)) {
+      if (e.node == 1 && e.time > 150.0) reblacklisted_after_recovery = true;
+    }
+    EXPECT_TRUE(reblacklisted_after_recovery)
+        << "node 1 ended blacklisted without a post-recovery blacklisting";
+  }
+}
+
+TEST(TransientFailure, ValidationRejectsRecoveryBeforeFailure) {
+  RuntimeConfig config = transient_config(1, 50.0, 40.0);
+  EXPECT_THROW(config.validate(), SmrError);
+  config = transient_config(1, 50.0, 50.0);
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

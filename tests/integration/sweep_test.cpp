@@ -85,11 +85,33 @@ TEST(Sweep, CsvHasHeaderAndAllCells) {
   std::ostringstream out;
   result.write_csv(out);
   const std::string csv = out.str();
-  EXPECT_NE(csv.find("map-slots,engine,map_time_s"), std::string::npos);
-  EXPECT_NE(csv.find("2,HadoopV1,"), std::string::npos);
-  EXPECT_NE(csv.find("4,SMapReduce,"), std::string::npos);
+  EXPECT_NE(csv.find("map-slots,engine,completed,failed,map_time_s"),
+            std::string::npos);
+  // Every cell here completed without failing: completed=1, failed=0.
+  EXPECT_NE(csv.find("2,HadoopV1,1,0,"), std::string::npos);
+  EXPECT_NE(csv.find("4,SMapReduce,1,0,"), std::string::npos);
   // Header + 4 cells = 5 lines.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(Sweep, CsvMarksUnfinishedAndFailedCells) {
+  SweepResult result;
+  result.dimension = SweepDimension::kSeed;
+  SweepCell timed_out;
+  timed_out.value = 1.0;
+  timed_out.engine = EngineKind::kHadoopV1;
+  // finish_time unset: the run hit the time limit.
+  SweepCell failed;
+  failed.value = 2.0;
+  failed.engine = EngineKind::kHadoopV1;
+  failed.job.finish_time = 120.0;
+  failed.job.failed = true;  // torn down by the fault path
+  result.cells = {timed_out, failed};
+  std::ostringstream out;
+  result.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("1,HadoopV1,0,0,,,,"), std::string::npos);
+  EXPECT_NE(csv.find("2,HadoopV1,0,1,,,,"), std::string::npos);
 }
 
 TEST(Sweep, ValidationCatchesNonsense) {

@@ -4,6 +4,7 @@
 // outputs died with the node, and still finish every job correctly.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 
 #include "smr/core/slot_policy.hpp"
@@ -166,6 +167,132 @@ TEST(NodeFailure, ValidationRejectsBadFailures) {
   EXPECT_THROW(config.validate(), SmrError);
   config = failing_config(1, -5.0);
   EXPECT_THROW(config.validate(), SmrError);
+}
+
+TEST(NodeFailure, BarrierReopensWhenCompletedMapsLost) {
+  // Fail a node after the barrier (maps done ~70 s for this job) while the
+  // shuffle is still outstanding: completed maps on it are re-executed,
+  // which re-opens the barrier, so the trace must show it crossed (at
+  // least) twice.
+  RuntimeConfig config = failing_config(2, 100.0);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(1.0), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  ASSERT_GT(runtime.tasks_lost_to_failures(), 0);
+  const auto barriers = trace.of_kind(metrics::TraceEventKind::kBarrierCrossed);
+  EXPECT_GE(barriers.size(), 2u);
+  // The first crossing precedes the failure; the last one follows it.
+  EXPECT_LT(barriers.front().time, 100.0);
+  EXPECT_GT(barriers.back().time, 100.0);
+}
+
+TEST(NodeFailure, TraceLaunchKillFinishBalance) {
+  // Every launched attempt is retired exactly once: finishes + kills ==
+  // launches, for maps and reduces separately, even with speculation and a
+  // node failure racing shadows against primaries.
+  RuntimeConfig config = failing_config(1, 45.0);
+  config.speculative_execution = true;
+  config.speculative_reduce_execution = true;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(1.0), 0.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  // Walk the trace with a per-attempt ledger.  A retirement with no
+  // outstanding launch is a completed-map invalidation (the map already
+  // FINISHED, then its output died with the node and it was KILLED before
+  // re-launch) — legal for maps, never for reduces.
+  std::map<TaskId, int> outstanding;
+  int map_invalidations = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == metrics::TraceEventKind::kTaskLaunched) {
+      ++outstanding[e.task];
+    } else if (e.kind == metrics::TraceEventKind::kTaskFinished ||
+               e.kind == metrics::TraceEventKind::kTaskKilled) {
+      auto it = outstanding.find(e.task);
+      if (it != outstanding.end() && it->second > 0) {
+        --it->second;
+      } else {
+        EXPECT_TRUE(e.is_map) << "reduce attempt retired twice";
+        EXPECT_EQ(e.kind, metrics::TraceEventKind::kTaskKilled);
+        ++map_invalidations;
+      }
+    }
+  }
+  // Every launched attempt was retired exactly once.
+  for (const auto& [task, open] : outstanding) {
+    EXPECT_EQ(open, 0) << "attempt " << task << " never retired";
+  }
+  // The node failure actually invalidated finished maps in this scenario.
+  EXPECT_GT(map_invalidations, 0);
+}
+
+TEST(NodeFailure, CumulativeCountersMatchFailureFreeRun) {
+  // After all the requeue/rollback churn the end-of-run map byte counters
+  // must equal a failure-free replay's: every byte lost to the failure was
+  // re-processed, none double-counted.  Shuffle volume may only grow (the
+  // fluid model cannot attribute already-fetched bytes to individual lost
+  // maps, so re-executed outputs are fetched again), never shrink.
+  const JobSpec spec = shuffle_job(1.0);
+  RuntimeConfig clean = failing_config(1, 45.0);
+  clean.failures.clear();
+  Runtime clean_rt(clean, std::make_unique<StaticSlotPolicy>());
+  clean_rt.submit(spec, 0.0);
+  ASSERT_TRUE(clean_rt.run().completed);
+  const ClusterStats clean_stats = clean_rt.snapshot();
+
+  Runtime failed_rt(failing_config(1, 45.0), std::make_unique<StaticSlotPolicy>());
+  failed_rt.submit(spec, 0.0);
+  ASSERT_TRUE(failed_rt.run().completed);
+  const ClusterStats failed_stats = failed_rt.snapshot();
+
+  const double tol = 1e-6 * clean_stats.cum_map_input + 1.0;
+  EXPECT_NEAR(failed_stats.cum_map_input, clean_stats.cum_map_input, tol);
+  EXPECT_NEAR(failed_stats.cum_map_output, clean_stats.cum_map_output, tol);
+  EXPECT_GE(failed_stats.cum_shuffled, clean_stats.cum_shuffled - tol);
+  // Job-level accounting agrees too.
+  const Job& job = failed_rt.jobs()[0];
+  EXPECT_NEAR(job.map_input_processed, static_cast<double>(spec.input_size), tol);
+  // Nothing may remain attributed to the dead node's ingest ledger beyond
+  // what it actually shuffled in before dying.
+  double node_sum = 0.0;
+  for (const auto& node : failed_stats.per_node) node_sum += node.cum_shuffled_in;
+  EXPECT_NEAR(node_sum, failed_stats.cum_shuffled, tol);
+}
+
+TEST(NodeFailure, DeadTrackerLeavesSlotTargetTotals) {
+  // Satellite fix: fail_node must cancel the tracker's heartbeat and drop
+  // it from the cluster slot-target totals (previously the dead tracker
+  // kept its targets and its heartbeat event alive).
+  RuntimeConfig config = failing_config(1, 30.0);
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>());
+  metrics::TraceLog trace;
+  runtime.set_trace(&trace);
+  runtime.submit(shuffle_job(), 0.0);
+  ASSERT_TRUE(runtime.run().completed);
+
+  // The failure zeroes the dead tracker's share: with 4 nodes at 3+2 slots
+  // the map total drops 12 -> 9 and the reduce total 8 -> 6 at t = 30.
+  bool saw_map_drop = false;
+  bool saw_reduce_drop = false;
+  for (const auto& e :
+       trace.of_kind(metrics::TraceEventKind::kSlotTargetChanged)) {
+    if (e.time != 30.0) continue;
+    if (e.is_map && e.value == 9.0) saw_map_drop = true;
+    if (!e.is_map && e.value == 6.0) saw_reduce_drop = true;
+  }
+  EXPECT_TRUE(saw_map_drop);
+  EXPECT_TRUE(saw_reduce_drop);
+
+  // No heartbeat-driven event (task launch, slot change) may involve the
+  // dead node after the failure.
+  for (const auto& e : trace.of_kind(metrics::TraceEventKind::kTaskLaunched)) {
+    if (e.time > 30.0) EXPECT_NE(e.node, 1);
+  }
 }
 
 // Sweep: a failure at any point of the job lifecycle (early map phase,

@@ -11,6 +11,7 @@
 //   smr_sim --benchmark=terasort --trace-out=trace.json
 //           --metrics-out=metrics.jsonl --decisions-out=decisions.csv
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -39,6 +40,53 @@ bool write_file(const std::string& path, const std::function<void(std::ostream&)
   std::ofstream out(path);
   if (!out) return false;
   fn(out);
+  return true;
+}
+
+/// Parses --fail-node entries.  Each comma-separated entry is "N" (node N
+/// fails permanently at --fail-at, the pre-existing syntax), "N@t" (fails
+/// at t), or "N@t:t2" (transient: fails at t, recovers at t2).
+bool parse_failures(const std::string& spec, double default_at,
+                    std::vector<mapreduce::RuntimeConfig::NodeFailure>& out,
+                    std::string& error) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    mapreduce::RuntimeConfig::NodeFailure failure;
+    failure.at = default_at;
+    const std::size_t at_sep = entry.find('@');
+    const std::string node_str = entry.substr(0, at_sep);
+    char* rest = nullptr;
+    failure.node = static_cast<NodeId>(std::strtol(node_str.c_str(), &rest, 10));
+    if (rest == node_str.c_str() || *rest != '\0') {
+      error = "--fail-node: bad node id in '" + entry + "'";
+      return false;
+    }
+    if (at_sep != std::string::npos) {
+      const std::string times = entry.substr(at_sep + 1);
+      const std::size_t colon = times.find(':');
+      const std::string at_str = times.substr(0, colon);
+      failure.at = std::strtod(at_str.c_str(), &rest);
+      if (at_str.empty() || rest == at_str.c_str() || *rest != '\0') {
+        error = "--fail-node: bad failure time in '" + entry + "'";
+        return false;
+      }
+      if (colon != std::string::npos) {
+        const std::string recover_str = times.substr(colon + 1);
+        failure.recover_at = std::strtod(recover_str.c_str(), &rest);
+        if (recover_str.empty() || rest == recover_str.c_str() || *rest != '\0') {
+          error = "--fail-node: bad recovery time in '" + entry + "'";
+          return false;
+        }
+      }
+    }
+    out.push_back(failure);
+  }
   return true;
 }
 
@@ -76,8 +124,19 @@ int main(int argc, char** argv) {
                     "speculative execution of straggling map tasks");
   flags.define_bool("reduce-speculation", false,
                     "also speculate on straggling reduce tasks");
-  flags.define_int("fail-node", -1, "inject a permanent failure of this node");
+  flags.define_string("fail-node", "",
+                      "inject node failures: \"N\" (fails at --fail-at), "
+                      "\"N@t\", or \"N@t:t2\" (transient; recovers at t2); "
+                      "comma-separate for several");
   flags.define_double("fail-at", 60.0, "failure time in seconds");
+  flags.define_double("task-fail-rate", 0.0,
+                      "probability that a task attempt fails mid-phase "
+                      "(seeded, per-attempt draw)");
+  flags.define_int("max-attempts", 4,
+                   "attempts per task before its job is failed");
+  flags.define_int("blacklist-after", 4,
+                   "attempt failures before a tracker is blacklisted "
+                   "(0 disables)");
   flags.define_string("jobs-csv", "", "write per-job results CSV to this path");
   flags.define_string("progress-csv", "", "write progress timeline CSV");
   flags.define_string("slots-csv", "", "write slot timeline CSV");
@@ -128,9 +187,16 @@ int main(int argc, char** argv) {
   config.runtime.speculative_execution =
       flags.get_bool("speculation") || flags.get_bool("reduce-speculation");
   config.runtime.speculative_reduce_execution = flags.get_bool("reduce-speculation");
-  if (const auto fail_node = flags.get_int("fail-node"); fail_node >= 0) {
-    config.runtime.failures.push_back(
-        {static_cast<NodeId>(fail_node), flags.get_double("fail-at")});
+  config.runtime.task_fail_rate = flags.get_double("task-fail-rate");
+  config.runtime.max_attempts = static_cast<int>(flags.get_int("max-attempts"));
+  config.runtime.blacklist_after =
+      static_cast<int>(flags.get_int("blacklist-after"));
+  if (const std::string spec = flags.get_string("fail-node"); !spec.empty()) {
+    std::string error;
+    if (!parse_failures(spec, flags.get_double("fail-at"),
+                        config.runtime.failures, error)) {
+      return fail(error);
+    }
   }
 
   // Build the workload.
@@ -159,6 +225,14 @@ int main(int argc, char** argv) {
     for (std::int64_t i = 0; i < count; ++i) {
       submissions.push_back({spec, flags.get_double("stagger") * static_cast<double>(i)});
     }
+  }
+
+  // Surface config mistakes (bad failure specs, out-of-range rates) as a
+  // usage error instead of an uncaught SmrError mid-run.
+  try {
+    config.runtime.validate();
+  } catch (const SmrError& e) {
+    return fail(e.what());
   }
 
   // Telemetry sinks share one instrumented single run (trial 1's seed).
@@ -237,7 +311,12 @@ int main(int argc, char** argv) {
               config.runtime.initial_reduce_slots, config.trials);
   metrics::job_summary_table(result).write(std::cout);
   if (!result.completed) {
-    std::printf("\nWARNING: run hit the time limit before all jobs finished\n");
+    std::printf("\nWARNING: run did not complete: %s\n",
+                result.failure_reason.empty() ? "unknown reason"
+                                              : result.failure_reason.c_str());
+    if (const int failed = result.failed_jobs(); failed > 0) {
+      std::printf("%d of %zu job(s) failed\n", failed, result.jobs.size());
+    }
   } else if (result.jobs.size() > 1) {
     std::printf("\nmean execution %.1fs, last finish %.1fs, makespan %.1fs\n",
                 result.mean_execution_time(), result.last_finish_time(),
