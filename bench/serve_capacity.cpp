@@ -1,0 +1,115 @@
+// Serving capacity: rate-vs-p99 curves and the capacity knee per engine.
+//
+// The serving-mode analogue of the paper's Fig. 8: instead of a fixed
+// 4-job batch, an open-loop Poisson stream of Grep-class jobs arrives at
+// a swept aggregate rate, and we measure the steady-state p99 sojourn
+// time behind each slot policy.  The knee — the highest rate with p99
+// under the bound and no shedding — is the headline capacity number.
+// Expected shape: SMapReduce's faster per-job completion (Fig. 8) turns
+// into a higher sustainable arrival rate than HadoopV1's static slots.
+//
+// Set SMR_CAPACITY_JSON=<path> to also dump the machine-readable
+// rate-vs-p99 report (the same JSON smr_serve --capacity-out writes).
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "smr/serve/capacity.hpp"
+
+namespace {
+
+using namespace smr;
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Serving capacity: p99 sojourn (s) by offered rate");
+  return t;
+}
+
+serve::CapacityConfig capacity_config() {
+  serve::CapacityConfig config;
+  config.base.experiment = bench::paper_config(driver::EngineKind::kSMapReduce);
+  config.base.experiment.scheduler = driver::SchedulerKind::kDeadline;
+
+  workload::SyntheticMixConfig shape;
+  shape.candidates = {workload::Puma::kGrep};
+  shape.min_input = 4 * kGiB;
+  shape.max_input = 12 * kGiB;
+  shape.reduce_tasks = 30;
+  workload::SyntheticMixConfig::SloClass slo;
+  slo.base_deadline_s = 600.0;
+  slo.per_gib_s = 60.0;
+  shape.slo_classes.push_back(slo);
+
+  for (int i = 0; i < 2; ++i) {
+    serve::TenantConfig tenant;
+    tenant.name = "tenant" + std::to_string(i);
+    tenant.jobs_per_hour = 1.0;  // scaled to each grid rate by the sweep
+    tenant.shape = shape;
+    config.base.tenants.push_back(std::move(tenant));
+  }
+
+  config.base.admission.max_in_system = 12;
+  config.base.admission.policy = serve::AdmissionPolicy::kShed;
+  config.base.horizon = 3600.0;
+  config.base.warmup = 600.0;
+  config.base.drain_limit = 3600.0;
+  config.base.seed = 7;
+
+  config.rates = {30.0, 60.0, 90.0, 120.0, 150.0, 180.0};
+  config.p99_bound_s = 1200.0;
+  config.max_shed_fraction = 0.0;
+  return config;
+}
+
+std::vector<serve::CapacityCurve>& curves() {
+  static std::vector<serve::CapacityCurve> c;
+  return c;
+}
+
+char rate_row[64];
+
+void register_engine(driver::EngineKind engine) {
+  benchmark::RegisterBenchmark(
+      (std::string("ServeCapacity/") + driver::engine_name(engine)).c_str(),
+      [engine](benchmark::State& state) {
+        serve::CapacityCurve curve;
+        const serve::CapacityConfig config = capacity_config();
+        for (auto _ : state) {
+          curve = serve::sweep_capacity(config, engine);
+        }
+        for (const auto& point : curve.points) {
+          std::snprintf(rate_row, sizeof(rate_row), "p99 @ %4.0f jobs/h",
+                        point.jobs_per_hour);
+          table().set(rate_row, curve.engine,
+                      point.report.aggregate.latency.p99);
+        }
+        table().set("knee (jobs/h)", curve.engine, curve.knee_jobs_per_hour);
+        state.counters["knee_jobs_per_hour"] = curve.knee_jobs_per_hour;
+        curves().push_back(std::move(curve));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+const bool registered = [] {
+  for (driver::EngineKind engine : driver::all_engines()) {
+    register_engine(engine);
+  }
+  return true;
+}();
+
+void maybe_write_capacity_json() {
+  const char* path = std::getenv("SMR_CAPACITY_JSON");
+  if (path == nullptr || curves().empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  serve::write_capacity_json(capacity_config(), curves(), out);
+  std::printf("capacity json written to %s\n", path);
+}
+
+}  // namespace
+
+SMR_BENCH_MAIN(table().print("%12.1f"); maybe_write_capacity_json())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "smr/common/error.hpp"
 
@@ -107,7 +108,9 @@ double TrailingMean::mean() const {
 
 double percentile(std::vector<double> samples, double p) {
   SMR_CHECK(p >= 0.0 && p <= 100.0);
-  if (samples.empty()) return 0.0;
+  // No samples means no percentile; NaN is the honest answer (0.0 would
+  // silently read as "zero latency" in reports).
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];
   const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);

@@ -104,6 +104,8 @@ class TrailingMean {
 };
 
 /// Percentile over a snapshot of samples (copies + sorts; reporting only).
+/// An empty sample set has no percentiles: returns quiet NaN, which callers
+/// must handle (or test with std::isnan) before formatting.
 double percentile(std::vector<double> samples, double p);
 
 }  // namespace smr

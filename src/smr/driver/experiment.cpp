@@ -39,6 +39,7 @@ const char* scheduler_name(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kFifo: return "fifo";
     case SchedulerKind::kFair: return "fair";
+    case SchedulerKind::kDeadline: return "deadline";
   }
   return "unknown";
 }
@@ -47,6 +48,7 @@ std::optional<SchedulerKind> scheduler_from_name(const std::string& name) {
   const std::string lower = to_lower(name);
   if (lower == "fifo") return SchedulerKind::kFifo;
   if (lower == "fair") return SchedulerKind::kFair;
+  if (lower == "deadline" || lower == "edf") return SchedulerKind::kDeadline;
   return std::nullopt;
 }
 
@@ -54,6 +56,8 @@ std::unique_ptr<mapreduce::JobScheduler> make_scheduler(const ExperimentConfig& 
   switch (config.scheduler) {
     case SchedulerKind::kFifo: return std::make_unique<mapreduce::FifoScheduler>();
     case SchedulerKind::kFair: return std::make_unique<mapreduce::FairScheduler>();
+    case SchedulerKind::kDeadline:
+      return std::make_unique<mapreduce::DeadlineScheduler>();
   }
   SMR_CHECK_MSG(false, "unknown scheduler kind");
   return nullptr;

@@ -24,7 +24,8 @@ std::vector<EngineKind> all_engines();
 std::optional<EngineKind> engine_from_name(const std::string& name);
 
 /// Job ordering for slot assignment (Section V-F uses FIFO / capacity).
-enum class SchedulerKind { kFifo, kFair };
+/// kDeadline is EDF over per-job SLO deadlines (the serving subsystem).
+enum class SchedulerKind { kFifo, kFair, kDeadline };
 
 const char* scheduler_name(SchedulerKind kind);
 std::optional<SchedulerKind> scheduler_from_name(const std::string& name);

@@ -24,6 +24,11 @@ struct Job {
   SimTime maps_done_time = kTimeNever;  // the synchronisation barrier
   SimTime finish_time = kTimeNever;
 
+  /// Absolute completion deadline (submit_time + spec.relative_deadline;
+  /// kTimeNever when the spec carries no SLO).  The DeadlineScheduler
+  /// orders active jobs by this value.
+  SimTime deadline = kTimeNever;
+
   int maps_assigned = 0;
   int maps_finished = 0;
   int reduces_assigned = 0;

@@ -104,6 +104,19 @@ struct JobSpec {
   /// in lockstep bursts no real cluster exhibits.
   double duration_cv = 0.18;
 
+  // --- Serving / SLO ---------------------------------------------------
+  /// SLO class label for serving workloads ("" = unclassified); purely
+  /// descriptive, carried through to per-job results and serve reports.
+  std::string slo_class;
+
+  /// Completion deadline in seconds after submission (kTimeNever = none).
+  /// The serving layer derives it from per-class SLO multipliers; the
+  /// runtime stamps the absolute deadline on the Job at submission, which
+  /// the DeadlineScheduler orders by (EDF) and the SLO metrics judge
+  /// goodput against.  0 is allowed (already past due on arrival — e.g. a
+  /// deferred job that exhausted its budget in the admission queue).
+  SimTime relative_deadline = kTimeNever;
+
   // --- Derived --------------------------------------------------------
   int map_task_count() const {
     return static_cast<int>((input_size + split_size - 1) / split_size);
@@ -131,6 +144,7 @@ struct JobSpec {
     SMR_CHECK(shuffle_fetch_cap > 0);
     SMR_CHECK(combiner_reduction > 0 && combiner_reduction <= 1.0);
     SMR_CHECK(combine_cpu_per_mib >= 0);
+    SMR_CHECK(relative_deadline >= 0.0);
   }
 };
 

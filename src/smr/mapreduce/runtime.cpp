@@ -69,14 +69,25 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
 }
 
 JobId Runtime::submit(const JobSpec& spec, SimTime at) {
-  SMR_CHECK_MSG(!ran_, "submit() after run()");
-  SMR_CHECK(at >= 0.0);
+  if (ran_) {
+    // The serving path: submission into a running simulation.  Only a
+    // runtime held open can still be fed (a closed batch run may already
+    // have torn its periodic machinery down), and only from the engine's
+    // present onwards.
+    SMR_CHECK_MSG(open_, "submit() after run() on a runtime not kept open");
+    SMR_CHECK_MSG(!stopping_, "submit() on a stopped runtime");
+    SMR_CHECK(at >= engine_.now());
+  } else {
+    SMR_CHECK(at >= 0.0);
+  }
   spec.validate();
 
   Job job;
   job.id = static_cast<JobId>(jobs_.size());
   job.spec = spec;
   job.submit_time = at;
+  job.deadline =
+      spec.relative_deadline == kTimeNever ? kTimeNever : at + spec.relative_deadline;
   job.input_file = dfs_.add_file(spec.input_size, spec.split_size);
 
   Rng task_rng = rng_.fork();
@@ -121,13 +132,25 @@ JobId Runtime::submit(const JobSpec& spec, SimTime at) {
   jobs_.push_back(std::move(job));
   ++unfinished_jobs_;
   ++jobs_not_yet_submitted_;
+  if (ran_) {
+    // run() has already sized the progress table and scheduled the batch's
+    // arrival events; do both for this late job now.
+    result_.progress.emplace_back();
+    const JobId id = jobs_.back().id;
+    engine_.schedule_at(at, [this, id] {
+      --jobs_not_yet_submitted_;
+      trace_event(metrics::TraceEventKind::kJobSubmitted, id, kInvalidTask,
+                  kInvalidNode, true);
+    });
+  }
   return jobs_.back().id;
 }
 
 metrics::RunResult Runtime::run() {
   SMR_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
-  SMR_CHECK_MSG(!jobs_.empty(), "no jobs submitted");
+  // An open (serving) runtime may start empty: arrivals stream in later.
+  SMR_CHECK_MSG(!jobs_.empty() || open_, "no jobs submitted");
 
   policy_->on_start(trackers());
   // Seed the slot-target counter tracks at their initial values so the
@@ -194,6 +217,7 @@ metrics::RunResult Runtime::run() {
     jr.start_time = job.start_time;
     jr.maps_done_time = job.maps_done_time;
     jr.finish_time = job.finish_time;
+    jr.deadline = job.deadline;
     jr.failed = job.failed;
     result_.jobs.push_back(jr);
   }
@@ -700,11 +724,20 @@ void Runtime::complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id) {
                 kInvalidNode, true);
     SMR_INFO("job " << job.spec.name << " finished at "
                     << format_duration(engine_.now()));
+    if (on_job_finished_) on_job_finished_(job);
   }
+}
+
+void Runtime::close_submissions() {
+  open_ = false;
+  if (ran_) check_all_done();
 }
 
 void Runtime::check_all_done() {
   if (stopping_) return;
+  // An open runtime idles through empty-queue stretches: the arrival
+  // process may still inject work.
+  if (open_) return;
   if (unfinished_jobs_ == 0 && jobs_not_yet_submitted_ == 0) {
     stopping_ = true;
     for (sim::EventId id : periodic_events_) engine_.cancel(id);
@@ -1151,6 +1184,7 @@ void Runtime::fail_job(Job& job, std::string reason) {
   trace_event(metrics::TraceEventKind::kJobFailed, job.id, kInvalidTask,
               kInvalidNode, true, job.failure_reason.c_str());
   if (metrics_ != nullptr) metrics_->counter("jobs.failed").inc();
+  if (on_job_finished_) on_job_finished_(job);
   check_all_done();  // this may have been the last unfinished job
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -146,9 +147,35 @@ class Runtime {
   Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
           std::unique_ptr<JobScheduler> scheduler = nullptr);
 
-  /// Submit a job for execution at absolute time `at`.  Must be called
-  /// before run().
+  /// Submit a job for execution at absolute time `at`.  Before run() this
+  /// builds the batch workload, exactly as before.  After run() has started
+  /// it is the serving path: allowed only on a runtime held open via
+  /// keep_open(), with `at` >= now; the job enters the running simulation
+  /// and competes for slots from `at` on.
   JobId submit(const JobSpec& spec, SimTime at = 0.0);
+
+  /// Serving mode: keep the run alive when the job queue momentarily
+  /// drains, so an open-loop arrival process can keep submitting into the
+  /// running simulation.  Must be called before run(); the run then only
+  /// ends after close_submissions() (or the time limit / an abort).
+  void keep_open() {
+    SMR_CHECK_MSG(!ran_, "keep_open() after run()");
+    open_ = true;
+  }
+
+  /// End of the arrival stream: no further submissions will be made.  The
+  /// run may stop as soon as every submitted job has finished.  Callable
+  /// from inside an engine event (the usual case) or before run().
+  void close_submissions();
+
+  /// Optional callback fired whenever a job leaves the system — finished
+  /// or failed (Job::failed distinguishes).  Invoked at the tail of the
+  /// completing event with the runtime's state consistent, but the
+  /// callback must NOT synchronously call back into the runtime (submit,
+  /// close_submissions, ...): schedule a zero-delay engine event instead.
+  void set_job_finished_callback(std::function<void(const Job&)> callback) {
+    on_job_finished_ = std::move(callback);
+  }
 
   /// Execute the simulation to completion (or the time limit); single use.
   metrics::RunResult run();
@@ -207,6 +234,10 @@ class Runtime {
   bool node_alive(NodeId node) const {
     return node_alive_[static_cast<std::size_t>(node)];
   }
+  /// True once the run has stopped accepting work (all jobs done after
+  /// close_submissions(), or an abort).  The serving layer checks this
+  /// before submitting deferred jobs.
+  bool stopped() const { return stopping_; }
 
  private:
   struct TaskRef {
@@ -345,9 +376,12 @@ class Runtime {
   metrics::RunResult result_;
   metrics::TraceLog* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::function<void(const Job&)> on_job_finished_;
   std::vector<sim::EventId> periodic_events_;
   bool ran_ = false;
   bool stopping_ = false;
+  /// Serving mode: while true the run never stops on an empty job queue.
+  bool open_ = false;
 };
 
 }  // namespace smr::mapreduce

@@ -47,4 +47,16 @@ std::vector<std::size_t> FairScheduler::job_order(const std::vector<Job>& jobs,
   return order;
 }
 
+std::vector<std::size_t> DeadlineScheduler::job_order(const std::vector<Job>& jobs,
+                                                      SimTime now,
+                                                      bool /*for_map*/) const {
+  std::vector<std::size_t> order = active_jobs(jobs, now);
+  // kTimeNever is +inf, so undated jobs naturally sort last; stable keeps
+  // submission order within equal deadlines.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].deadline < jobs[b].deadline;
+  });
+  return order;
+}
+
 }  // namespace smr::mapreduce

@@ -56,4 +56,17 @@ class FairScheduler final : public JobScheduler {
   std::vector<double> weights_;
 };
 
+/// Earliest-deadline-first over Job::deadline (submit time + the spec's
+/// relative SLO deadline).  Jobs without a deadline (kTimeNever) sort after
+/// every dated job; ties — including all-undated workloads — fall back to
+/// submission order, so EDF degrades to FIFO when no SLOs are configured.
+/// This is the job-driven deadline scheduling of Lee & Lin (hybrid
+/// job-driven scheduling) applied at the slot-offer level.
+class DeadlineScheduler final : public JobScheduler {
+ public:
+  std::string name() const override { return "deadline"; }
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs, SimTime now,
+                                     bool for_map) const override;
+};
+
 }  // namespace smr::mapreduce

@@ -1,0 +1,58 @@
+#include "smr/serve/admission.hpp"
+
+#include <algorithm>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kShed: return "shed";
+    case AdmissionPolicy::kDefer: return "defer";
+  }
+  return "unknown";
+}
+
+void AdmissionConfig::validate() const {
+  // Nothing to reject: non-positive limits mean "unlimited" by contract.
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+AdmissionDecision AdmissionController::on_arrival() {
+  if (unlimited() || in_system_ < config_.max_in_system) {
+    ++in_system_;
+    ++admitted_;
+    peak_in_system_ = std::max(peak_in_system_, in_system_);
+    return AdmissionDecision::kAdmit;
+  }
+  if (config_.policy == AdmissionPolicy::kDefer &&
+      (config_.max_pending <= 0 || pending_ < config_.max_pending)) {
+    ++pending_;
+    ++deferred_;
+    peak_pending_ = std::max(peak_pending_, pending_);
+    return AdmissionDecision::kDefer;
+  }
+  ++shed_;
+  return AdmissionDecision::kShed;
+}
+
+bool AdmissionController::on_departure() {
+  SMR_CHECK_MSG(in_system_ > 0, "departure with no jobs in system");
+  --in_system_;
+  return pending_ > 0;
+}
+
+void AdmissionController::on_deferred_admitted() {
+  SMR_CHECK_MSG(pending_ > 0, "deferred admit with empty pending queue");
+  --pending_;
+  ++in_system_;
+  ++admitted_;
+  peak_in_system_ = std::max(peak_in_system_, in_system_);
+}
+
+}  // namespace smr::serve

@@ -1,0 +1,79 @@
+// Admission control for the serving subsystem.
+//
+// An open-loop arrival stream can offer more work than the cluster
+// sustains; without admission control the job queue grows without bound
+// and every latency percentile diverges.  The controller bounds the
+// number of jobs in the system and either sheds excess arrivals (drops
+// them, counting against the tenant's goodput) or defers them in a
+// bounded pending queue that drains as jobs depart.
+#pragma once
+
+#include <cstdint>
+
+namespace smr::serve {
+
+/// What to do with an arrival that exceeds max_in_system.
+enum class AdmissionPolicy {
+  kShed,   ///< Drop it immediately (load shedding).
+  kDefer,  ///< Park it in the pending queue (up to max_pending, then shed).
+};
+
+const char* admission_policy_name(AdmissionPolicy policy);
+
+struct AdmissionConfig {
+  /// Maximum jobs admitted concurrently (submitted, not yet departed).
+  /// <= 0 means unlimited (pure open loop, no control).
+  int max_in_system = 0;
+
+  /// Maximum deferred arrivals waiting for a slot in the system (only
+  /// meaningful under kDefer).  <= 0 means an unbounded pending queue.
+  int max_pending = 0;
+
+  AdmissionPolicy policy = AdmissionPolicy::kShed;
+
+  void validate() const;
+};
+
+/// Decision for one arrival.
+enum class AdmissionDecision { kAdmit, kDefer, kShed };
+
+/// Pure counting state machine: the serving session owns the actual
+/// deferred-job queue and calls `on_arrival` per arrival (acting on the
+/// decision) and `on_departure` per job departure (a `true` return means
+/// one deferred arrival may now be admitted — the session pops its queue
+/// and must then call `on_deferred_admitted`).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  AdmissionDecision on_arrival();
+  /// A job left the system (finished or failed).  Returns true when a
+  /// deferred arrival should be admitted in its place.
+  bool on_departure();
+  /// The session admitted a previously deferred arrival.
+  void on_deferred_admitted();
+
+  int in_system() const { return in_system_; }
+  int pending() const { return pending_; }
+
+  // --- Lifetime counters -----------------------------------------------
+  std::int64_t admitted() const { return admitted_; }
+  std::int64_t deferred() const { return deferred_; }
+  std::int64_t shed() const { return shed_; }
+  int peak_in_system() const { return peak_in_system_; }
+  int peak_pending() const { return peak_pending_; }
+
+ private:
+  bool unlimited() const { return config_.max_in_system <= 0; }
+
+  AdmissionConfig config_;
+  int in_system_ = 0;
+  int pending_ = 0;
+  std::int64_t admitted_ = 0;
+  std::int64_t deferred_ = 0;
+  std::int64_t shed_ = 0;
+  int peak_in_system_ = 0;
+  int peak_pending_ = 0;
+};
+
+}  // namespace smr::serve

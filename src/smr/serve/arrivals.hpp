@@ -1,0 +1,73 @@
+// Open-loop arrival processes for the serving subsystem.
+//
+// A long-lived cluster does not see a fixed batch: jobs arrive from
+// independent tenants as streams.  This module generates such streams —
+// per-tenant Poisson processes whose job shapes come from the synthetic
+// mix generator — and can also replay recorded arrival traces from CSV.
+// Arrivals are *open loop*: the arrival clock never waits for the system,
+// which is what exposes a capacity knee when the offered rate exceeds
+// what a slot policy can sustain.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/workload/synthetic.hpp"
+
+namespace smr::serve {
+
+/// One tenant's offered load: a Poisson arrival process (exponential
+/// inter-arrival gaps, mean 3600 / jobs_per_hour seconds) over job shapes
+/// drawn from `shape` (benchmark mix, input-size distribution, SLO
+/// classes).  The shape's own `jobs` / `mean_interarrival` / `seed`
+/// fields are ignored here; the arrival process owns the clock and the
+/// stream seed.
+struct TenantConfig {
+  std::string name = "tenant";
+  double jobs_per_hour = 30.0;
+  workload::SyntheticMixConfig shape;
+
+  void validate() const;
+};
+
+/// One job arrival: which tenant offered it and the timed job itself
+/// (`job.submit_at` is the absolute arrival time).
+struct Arrival {
+  int tenant = 0;
+  workload::TimedJob job;
+};
+
+/// A full arrival stream: tenant names plus arrivals sorted by time.
+struct ArrivalTrace {
+  std::vector<std::string> tenants;
+  std::vector<Arrival> arrivals;
+};
+
+/// Generate the merged arrival stream for `tenants` over [0, horizon).
+///
+/// Deterministic in `seed`.  Each tenant draws from its own substream
+/// (derived from `seed` by tenant index), so adding or re-ordering one
+/// tenant's config never perturbs another tenant's arrivals.  The merged
+/// stream is sorted by (time, tenant) — a total order, since a single
+/// tenant cannot arrive twice at the same continuous instant.
+ArrivalTrace generate_arrivals(const std::vector<TenantConfig>& tenants,
+                               SimTime horizon, std::uint64_t seed);
+
+/// Parse a recorded arrival trace.  Format (header optional, `#` comments
+/// and blank lines skipped):
+///
+///   tenant,benchmark,input_gib,arrive_at[,slo_class,deadline_s]
+///
+/// Tenants are numbered in order of first appearance.  `deadline_s` is the
+/// relative completion deadline in seconds ("inf" or empty = none).
+/// Arrivals are returned sorted by (time, tenant).
+ArrivalTrace parse_arrivals_csv(std::istream& in);
+ArrivalTrace load_arrivals_csv(const std::string& path);
+
+/// Write a trace back out in the replayable CSV format.
+void write_arrivals_csv(const ArrivalTrace& trace, std::ostream& out);
+
+}  // namespace smr::serve

@@ -1,0 +1,120 @@
+#include "smr/serve/capacity.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+
+void CapacityConfig::validate() const {
+  base.validate();
+  SMR_CHECK_MSG(!base.tenants.empty(), "capacity sweep needs tenants");
+  SMR_CHECK_MSG(!rates.empty(), "capacity sweep needs a rate grid");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    SMR_CHECK_MSG(rates[i] > 0.0, "rates must be > 0");
+    SMR_CHECK_MSG(i == 0 || rates[i] > rates[i - 1], "rates must ascend");
+  }
+  SMR_CHECK(p99_bound_s > 0.0);
+  SMR_CHECK(max_shed_fraction >= 0.0 && max_shed_fraction <= 1.0);
+}
+
+std::vector<TenantConfig> scale_tenants(std::vector<TenantConfig> tenants,
+                                        double jobs_per_hour) {
+  double total = 0.0;
+  for (const auto& tenant : tenants) total += tenant.jobs_per_hour;
+  SMR_CHECK(total > 0.0);
+  const double factor = jobs_per_hour / total;
+  for (auto& tenant : tenants) tenant.jobs_per_hour *= factor;
+  return tenants;
+}
+
+namespace {
+
+bool point_sustainable(const CapacityConfig& config, const ServeReport& report) {
+  const auto& agg = report.aggregate;
+  if (agg.completed == 0) return false;
+  if (std::isnan(agg.latency.p99) || agg.latency.p99 > config.p99_bound_s) {
+    return false;
+  }
+  if (agg.arrived > 0) {
+    const double shed_fraction =
+        static_cast<double>(agg.shed) / static_cast<double>(agg.arrived);
+    if (shed_fraction > config.max_shed_fraction) return false;
+  }
+  // A run that hit the hard stop with work still queued is not steady
+  // state, whatever its percentiles say.
+  if (!report.completed && report.unfinished > 0) return false;
+  return true;
+}
+
+}  // namespace
+
+CapacityCurve sweep_capacity(const CapacityConfig& config,
+                             driver::EngineKind engine) {
+  config.validate();
+  CapacityCurve curve;
+  curve.engine = driver::engine_name(engine);
+  curve.points.reserve(config.rates.size());
+
+  for (double rate : config.rates) {
+    ServeConfig serve = config.base;
+    serve.experiment.engine = engine;
+    serve.tenants = scale_tenants(serve.tenants, rate);
+
+    CapacityPoint point;
+    point.jobs_per_hour = rate;
+    ServeSession session(serve);
+    point.report = session.run();
+    point.sustainable = point_sustainable(config, point.report);
+    if (point.sustainable) curve.knee_jobs_per_hour = rate;
+    curve.points.push_back(std::move(point));
+  }
+  return curve;
+}
+
+std::vector<CapacityCurve> sweep_engines(
+    const CapacityConfig& config,
+    const std::vector<driver::EngineKind>& engines) {
+  std::vector<CapacityCurve> curves;
+  curves.reserve(engines.size());
+  for (driver::EngineKind engine : engines) {
+    curves.push_back(sweep_capacity(config, engine));
+  }
+  return curves;
+}
+
+void write_capacity_json(const CapacityConfig& config,
+                         const std::vector<CapacityCurve>& curves,
+                         std::ostream& out) {
+  out << "{\"p99_bound_s\":" << config.p99_bound_s
+      << ",\"max_shed_fraction\":" << config.max_shed_fraction
+      << ",\"horizon_s\":" << config.base.horizon
+      << ",\"warmup_s\":" << config.base.warmup << ",\"seed\":"
+      << config.base.seed << ",\"rates\":[";
+  for (std::size_t i = 0; i < config.rates.size(); ++i) {
+    if (i > 0) out << ',';
+    out << config.rates[i];
+  }
+  out << "],\"curves\":[";
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    if (c > 0) out << ',';
+    const CapacityCurve& curve = curves[c];
+    out << "{\"engine\":\"" << curve.engine << "\",\"knee_jobs_per_hour\":"
+        << curve.knee_jobs_per_hour << ",\"points\":[";
+    for (std::size_t p = 0; p < curve.points.size(); ++p) {
+      if (p > 0) out << ',';
+      const CapacityPoint& point = curve.points[p];
+      out << "{\"jobs_per_hour\":" << point.jobs_per_hour
+          << ",\"sustainable\":" << (point.sustainable ? "true" : "false")
+          << ",\"report\":";
+      point.report.write_json(out);
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace smr::serve

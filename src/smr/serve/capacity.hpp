@@ -1,0 +1,72 @@
+// Capacity sweep: find the maximum sustainable arrival rate per engine.
+//
+// A serving system's headline number is its capacity knee — the highest
+// offered rate it sustains with bounded tail latency and (near) zero
+// shedding.  The sweep scales the tenants' offered rates proportionally
+// across a rate grid, runs one ServeSession per (engine, rate) point, and
+// marks each point sustainable iff the measured p99 stays under the bound
+// and the shed fraction under its cap.  Comparing knees across engines is
+// the serving-mode analogue of the paper's Fig. 8 makespan comparison:
+// the slot policy that finishes batches faster also sustains a higher
+// arrival rate before its queue diverges.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/driver/experiment.hpp"
+#include "smr/serve/session.hpp"
+
+namespace smr::serve {
+
+struct CapacityConfig {
+  /// Template session; `base.tenants` rates are scaled so their sum hits
+  /// each grid point, and `base.experiment.engine` is overridden per
+  /// swept engine.
+  ServeConfig base;
+
+  /// Aggregate offered rates (jobs/hour) to sweep, ascending.
+  std::vector<double> rates;
+
+  /// A point is sustainable iff measured aggregate p99 sojourn <= this...
+  double p99_bound_s = 1800.0;
+  /// ...and (shed jobs / measured arrivals) <= this.
+  double max_shed_fraction = 0.0;
+
+  void validate() const;
+};
+
+struct CapacityPoint {
+  double jobs_per_hour = 0.0;
+  bool sustainable = false;
+  ServeReport report;
+};
+
+struct CapacityCurve {
+  std::string engine;
+  std::vector<CapacityPoint> points;
+  /// Highest sustainable rate in the grid; 0 when none was sustainable.
+  double knee_jobs_per_hour = 0.0;
+};
+
+/// Scale `tenants` so their aggregate rate equals `jobs_per_hour`.
+std::vector<TenantConfig> scale_tenants(std::vector<TenantConfig> tenants,
+                                        double jobs_per_hour);
+
+/// Sweep one engine over the rate grid.  Deterministic in base.seed.
+CapacityCurve sweep_capacity(const CapacityConfig& config,
+                             driver::EngineKind engine);
+
+/// Sweep several engines and emit the rate-vs-p99 JSON report:
+/// {"p99_bound_s":...,"rates":[...],"curves":[{"engine":...,
+///  "knee_jobs_per_hour":...,"points":[{"jobs_per_hour":...,
+///  "sustainable":...,"report":{...}}]}]}.
+std::vector<CapacityCurve> sweep_engines(
+    const CapacityConfig& config, const std::vector<driver::EngineKind>& engines);
+
+void write_capacity_json(const CapacityConfig& config,
+                         const std::vector<CapacityCurve>& curves,
+                         std::ostream& out);
+
+}  // namespace smr::serve

@@ -1,0 +1,227 @@
+#include "smr/serve/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+
+namespace {
+
+/// Bucket bounds (seconds) for the serve.latency_s histogram: sojourn
+/// times span minutes to hours, unlike task durations.
+const std::vector<double> kLatencyBounds = {30.0,   60.0,   120.0,  300.0,
+                                            600.0,  1200.0, 1800.0, 3600.0,
+                                            7200.0, 14400.0};
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  SMR_CHECK(horizon > 0.0);
+  SMR_CHECK(warmup >= 0.0 && warmup < horizon);
+  SMR_CHECK(drain_limit >= 0.0);
+  admission.validate();
+  for (const auto& tenant : tenants) tenant.validate();
+}
+
+ServeSession::ServeSession(ServeConfig config)
+    : config_(std::move(config)), admission_(config_.admission) {
+  config_.validate();
+}
+
+ServeSession::~ServeSession() = default;
+
+ServeReport ServeSession::run(obs::MetricsRegistry* metrics) {
+  // Arrival streams get their own seed domain so they never correlate
+  // with the runtime's task-duration streams under the same user seed.
+  const std::uint64_t arrival_seed = config_.seed ^ 0xa11a5eedULL;
+  return execute(
+      generate_arrivals(config_.tenants, config_.horizon, arrival_seed),
+      metrics);
+}
+
+ServeReport ServeSession::replay(ArrivalTrace trace,
+                                 obs::MetricsRegistry* metrics) {
+  return execute(std::move(trace), metrics);
+}
+
+ServeReport ServeSession::execute(ArrivalTrace trace,
+                                  obs::MetricsRegistry* metrics) {
+  SMR_CHECK_MSG(!executed_, "ServeSession is single-use");
+  executed_ = true;
+  SMR_CHECK_MSG(!trace.arrivals.empty(), "empty arrival stream");
+  trace_ = std::move(trace);
+  metrics_ = metrics != nullptr ? metrics : &own_metrics_;
+
+  driver::ExperimentConfig experiment = config_.experiment;
+  experiment.runtime.seed = config_.seed;
+  experiment.runtime.time_limit = config_.horizon + config_.drain_limit;
+  runtime_ = std::make_unique<mapreduce::Runtime>(
+      experiment.runtime, driver::make_policy(experiment),
+      driver::make_scheduler(experiment));
+  runtime_->keep_open();
+  runtime_->set_metrics(metrics_);
+  runtime_->set_job_finished_callback(
+      [this](const mapreduce::Job& job) { on_job_finished(job); });
+
+  tracker_ = std::make_unique<SloTracker>(config_.warmup, config_.horizon,
+                                          trace_.tenants);
+
+  sim::Engine& engine = runtime_->engine();
+  for (std::size_t i = 0; i < trace_.arrivals.size(); ++i) {
+    engine.schedule_at(trace_.arrivals[i].job.submit_at,
+                       [this, i] { on_arrival(i); });
+  }
+  engine.schedule_at(config_.horizon, [this] {
+    arrivals_closed_ = true;
+    maybe_close();
+  });
+
+  result_ = runtime_->run();
+
+  // Deferred arrivals that never got a slot before the run ended were
+  // effectively shed.
+  for (std::size_t index : deferred_) {
+    const Arrival& arrival = trace_.arrivals[index];
+    tracker_->record_shed(arrival.tenant, arrival.job.submit_at);
+    metrics_->counter("serve.jobs_shed").inc();
+  }
+
+  ServeReport report;
+  tracker_->fill(report);
+  report.engine = driver::engine_name(config_.experiment.engine);
+  report.scheduler = driver::scheduler_name(config_.experiment.scheduler);
+  report.admission = admission_policy_name(config_.admission.policy);
+  report.offered_jobs_per_hour =
+      static_cast<double>(trace_.arrivals.size()) / (config_.horizon / 3600.0);
+  report.makespan = result_.makespan;
+  report.completed = result_.completed;
+  report.failure_reason = result_.failure_reason;
+  for (const auto& job : result_.jobs) {
+    if (job.finish_time == kTimeNever) ++report.unfinished;
+  }
+  report.utilization = utilization_from_slots();
+  return report;
+}
+
+void ServeSession::on_arrival(std::size_t index) {
+  const Arrival& arrival = trace_.arrivals[index];
+  metrics_->counter("serve.jobs_arrived").inc();
+  tracker_->record_arrival(arrival.tenant, arrival.job.submit_at);
+
+  if (runtime_->stopped()) {
+    // The run aborted (e.g. every node died); nothing can be admitted.
+    tracker_->record_shed(arrival.tenant, arrival.job.submit_at);
+    metrics_->counter("serve.jobs_shed").inc();
+    return;
+  }
+
+  switch (admission_.on_arrival()) {
+    case AdmissionDecision::kAdmit:
+      metrics_->counter("serve.jobs_admitted").inc();
+      submit_arrival(index);
+      break;
+    case AdmissionDecision::kDefer:
+      deferred_.push_back(index);
+      tracker_->record_deferred(arrival.tenant, arrival.job.submit_at);
+      metrics_->counter("serve.jobs_deferred").inc();
+      metrics_->series("serve.queue_depth")
+          .append(runtime_->engine().now(),
+                  static_cast<double>(admission_.pending()));
+      break;
+    case AdmissionDecision::kShed:
+      tracker_->record_shed(arrival.tenant, arrival.job.submit_at);
+      metrics_->counter("serve.jobs_shed").inc();
+      break;
+  }
+}
+
+void ServeSession::submit_arrival(std::size_t index) {
+  const Arrival& arrival = trace_.arrivals[index];
+  const SimTime now = runtime_->engine().now();
+
+  mapreduce::JobSpec spec = arrival.job.spec;
+  if (spec.relative_deadline != kTimeNever) {
+    // Keep the absolute deadline anchored to the *arrival* instant: time
+    // spent in the deferred queue eats into the job's budget.
+    spec.relative_deadline =
+        std::max(0.0, spec.relative_deadline - (now - arrival.job.submit_at));
+  }
+
+  const JobId id = runtime_->submit(spec, now);
+  admitted_[id] = JobInfo{arrival.tenant, arrival.job.submit_at};
+  metrics_->series("serve.jobs_in_system")
+      .append(now, static_cast<double>(admission_.in_system()));
+}
+
+void ServeSession::on_job_finished(const mapreduce::Job& job) {
+  // Fires at the tail of the runtime event that completed/failed the job.
+  // Recording is safe here; anything that re-enters the runtime (deferred
+  // submits, close_submissions) is pushed to a zero-delay event.
+  const auto found = admitted_.find(job.id);
+  SMR_CHECK_MSG(found != admitted_.end(), "departure of unknown job " << job.id);
+  const JobInfo info = found->second;
+  admitted_.erase(found);
+
+  const SimTime service =
+      job.started() ? job.finish_time - job.start_time : 0.0;
+  tracker_->record_outcome(info.tenant, info.arrived, job.finish_time, service,
+                           job.deadline, job.failed);
+  if (job.failed) {
+    metrics_->counter("serve.jobs_failed").inc();
+  } else {
+    metrics_->counter("serve.jobs_completed").inc();
+    metrics_->histogram("serve.latency_s", kLatencyBounds)
+        .observe(job.finish_time - info.arrived);
+    if (job.deadline != kTimeNever) {
+      metrics_
+          ->counter(job.finish_time <= job.deadline ? "serve.slo_met"
+                                                    : "serve.slo_missed")
+          .inc();
+    }
+  }
+
+  runtime_->engine().schedule_in(0.0, [this] { process_departure(); });
+}
+
+void ServeSession::process_departure() {
+  const bool admit_deferred = admission_.on_departure();
+  if (admit_deferred && !deferred_.empty() && !runtime_->stopped()) {
+    const std::size_t index = deferred_.front();
+    deferred_.pop_front();
+    admission_.on_deferred_admitted();
+    metrics_->counter("serve.jobs_admitted").inc();
+    metrics_->series("serve.queue_depth")
+        .append(runtime_->engine().now(),
+                static_cast<double>(admission_.pending()));
+    submit_arrival(index);
+  }
+  metrics_->series("serve.jobs_in_system")
+      .append(runtime_->engine().now(),
+              static_cast<double>(admission_.in_system()));
+  maybe_close();
+}
+
+void ServeSession::maybe_close() {
+  if (closed_ || !arrivals_closed_ || !deferred_.empty()) return;
+  if (runtime_->stopped()) return;
+  closed_ = true;
+  runtime_->close_submissions();
+}
+
+double ServeSession::utilization_from_slots() const {
+  double sum = 0.0;
+  int samples = 0;
+  for (const auto& sample : result_.slots) {
+    if (sample.time < config_.warmup || sample.time >= config_.horizon) continue;
+    const double target = sample.map_target + sample.reduce_target;
+    if (target <= 0.0) continue;
+    sum += (sample.running_maps + sample.running_reduces) / target;
+    ++samples;
+  }
+  return samples > 0 ? sum / static_cast<double>(samples) : std::nan("");
+}
+
+}  // namespace smr::serve

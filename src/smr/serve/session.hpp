@@ -1,0 +1,104 @@
+// ServeSession: one long-lived serving run.
+//
+// Wires the pieces of the serving subsystem together: an arrival stream
+// (generated or replayed) feeds an AdmissionController; admitted jobs are
+// submitted into a *running* mapreduce::Runtime (held open via
+// keep_open()); departures release admission slots and pop the deferred
+// queue; an SloTracker measures the steady state between the warmup end
+// and the arrival horizon.  The run ends once arrivals stop and the
+// system drains (bounded by drain_limit), and the whole thing is
+// deterministic in the config seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "smr/driver/experiment.hpp"
+#include "smr/obs/metrics_registry.hpp"
+#include "smr/serve/admission.hpp"
+#include "smr/serve/arrivals.hpp"
+#include "smr/serve/slo.hpp"
+
+namespace smr::serve {
+
+struct ServeConfig {
+  /// Engine / cluster / scheduler under test.  `trials` is ignored (a
+  /// serving run is one long session); `runtime.seed` and
+  /// `runtime.time_limit` are overridden by `seed` and
+  /// `horizon + drain_limit` below.
+  driver::ExperimentConfig experiment;
+
+  /// Offered load (ignored by replay(), which brings its own trace).
+  std::vector<TenantConfig> tenants;
+
+  AdmissionConfig admission;
+
+  /// Arrivals cover [0, horizon); the measurement window is
+  /// [warmup, horizon).
+  SimTime horizon = 2.0 * 3600.0;
+  SimTime warmup = 900.0;
+
+  /// Extra simulated time after the horizon for in-flight jobs to drain
+  /// before the hard stop.
+  SimTime drain_limit = 2.0 * 3600.0;
+
+  /// Seeds both the arrival streams and the runtime.
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Single-use session: construct, then call run() or replay() exactly once.
+class ServeSession {
+ public:
+  explicit ServeSession(ServeConfig config);
+  ~ServeSession();
+
+  /// Generate per-tenant Poisson arrivals from the config and serve them.
+  /// `metrics` (optional) additionally receives the runtime's telemetry
+  /// and the serve.* counters/series; pass nullptr to keep it internal.
+  ServeReport run(obs::MetricsRegistry* metrics = nullptr);
+
+  /// Serve a recorded arrival trace instead (tenant set comes from the
+  /// trace; config.tenants is ignored).
+  ServeReport replay(ArrivalTrace trace, obs::MetricsRegistry* metrics = nullptr);
+
+  /// The underlying batch-style result (per-job records, slot timeline),
+  /// valid after run()/replay() returned.
+  const metrics::RunResult& run_result() const { return result_; }
+
+ private:
+  struct JobInfo {
+    int tenant = 0;
+    SimTime arrived = 0.0;
+  };
+
+  ServeReport execute(ArrivalTrace trace, obs::MetricsRegistry* metrics);
+  void on_arrival(std::size_t index);
+  /// Submit arrival `index` at the current simulation time, re-anchoring
+  /// its relative deadline to the original arrival instant.
+  void submit_arrival(std::size_t index);
+  void on_job_finished(const mapreduce::Job& job);
+  void process_departure();
+  void maybe_close();
+  double utilization_from_slots() const;
+
+  ServeConfig config_;
+  ArrivalTrace trace_;
+  std::unique_ptr<mapreduce::Runtime> runtime_;
+  std::unique_ptr<SloTracker> tracker_;
+  AdmissionController admission_;
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unordered_map<JobId, JobInfo> admitted_;
+  std::deque<std::size_t> deferred_;
+  metrics::RunResult result_;
+  bool arrivals_closed_ = false;
+  bool closed_ = false;
+  bool executed_ = false;
+};
+
+}  // namespace smr::serve

@@ -1,0 +1,132 @@
+// Steady-state SLO metrics for the serving subsystem.
+//
+// Batch metrics (makespan, per-job results) say little about a long-lived
+// service; what matters is the steady state: latency percentiles, the
+// fraction of jobs meeting their deadline, goodput, and how much load was
+// shed.  The tracker excludes a warmup window — the initial transient
+// while the pipeline fills — and measures every job by its *arrival* time
+// (deferred queueing counts against latency; shed jobs count against
+// goodput), per tenant and in aggregate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+
+namespace smr::serve {
+
+/// Percentile summary of one latency sample set.  With count == 0 the
+/// percentile fields are quiet NaN (smr::percentile's empty contract) and
+/// the JSON writers emit null.
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute the summary (consumes the samples; they get sorted).
+LatencyStats summarize_latency(std::vector<double> samples);
+
+/// Measured steady-state results for one tenant (or the aggregate).
+struct TenantReport {
+  std::string name;
+
+  // Counts over jobs *arriving* inside the measurement window.
+  std::int64_t arrived = 0;
+  std::int64_t shed = 0;
+  std::int64_t deferred = 0;   ///< Arrivals that waited in the pending queue.
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t slo_met = 0;    ///< Completed with finish <= deadline.
+  std::int64_t with_deadline = 0;  ///< Completed jobs that carried an SLO.
+
+  /// Sojourn time: finish - arrival (queueing included), completed jobs.
+  LatencyStats latency;
+  /// Mean of (finish - arrival) / service time, completed jobs; >= 1.
+  double mean_slowdown = 0.0;
+  /// SLO-met completions per simulated hour of measurement window.
+  double goodput_per_hour = 0.0;
+};
+
+/// The full serving report: configuration echo, aggregate and per-tenant
+/// steady-state metrics, and run health.
+struct ServeReport {
+  std::string engine;
+  std::string scheduler;
+  std::string admission;
+
+  double offered_jobs_per_hour = 0.0;  ///< Over the whole arrival stream.
+  SimTime warmup = 0.0;
+  SimTime horizon = 0.0;
+  SimTime makespan = 0.0;  ///< When the simulation actually ended.
+  bool completed = false;  ///< False when the run hit its time limit/abort.
+  std::string failure_reason;
+
+  TenantReport aggregate;  ///< name == "all".
+  std::vector<TenantReport> tenants;
+
+  /// Unfinished admitted jobs at the end of the run (drain shortfall).
+  std::int64_t unfinished = 0;
+  /// Mean busy-slot fraction over the measurement window, from the
+  /// runtime's sampled series ((running maps + reduces) / slot targets).
+  double utilization = 0.0;
+
+  void write_json(std::ostream& out) const;
+};
+
+/// Accumulates per-job outcomes and produces the report.  Only jobs whose
+/// arrival time falls inside [warmup_end, measure_end) are measured; the
+/// rest still run (they load the system) but do not distort the steady
+/// state with warmup or tail-drain transients.
+class SloTracker {
+ public:
+  SloTracker(SimTime warmup_end, SimTime measure_end,
+             std::vector<std::string> tenant_names);
+
+  void record_arrival(int tenant, SimTime arrived);
+  void record_shed(int tenant, SimTime arrived);
+  void record_deferred(int tenant, SimTime arrived);
+  /// A job departed.  `service` is finish - first task launch (0 when the
+  /// job never started); `deadline` is absolute, kTimeNever when none.
+  void record_outcome(int tenant, SimTime arrived, SimTime finished,
+                      SimTime service, SimTime deadline, bool failed);
+
+  /// Build the aggregate + per-tenant reports (counts, percentiles,
+  /// slowdown, goodput).  Leaves the caller to fill the config-echo and
+  /// run-health fields of ServeReport.
+  void fill(ServeReport& report) const;
+
+  bool measured(SimTime arrived) const {
+    return arrived >= warmup_end_ && arrived < measure_end_;
+  }
+
+ private:
+  struct PerTenant {
+    std::string name;
+    std::int64_t arrived = 0;
+    std::int64_t shed = 0;
+    std::int64_t deferred = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    std::int64_t slo_met = 0;
+    std::int64_t with_deadline = 0;
+    std::vector<double> latencies;
+    double slowdown_sum = 0.0;
+    std::int64_t slowdown_count = 0;
+  };
+
+  TenantReport report_of(const PerTenant& t) const;
+
+  SimTime warmup_end_;
+  SimTime measure_end_;
+  std::vector<PerTenant> tenants_;
+};
+
+}  // namespace smr::serve

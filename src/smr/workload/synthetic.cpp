@@ -11,29 +11,44 @@ void SyntheticMixConfig::validate() const {
   SMR_CHECK(mean_interarrival >= 0.0);
   SMR_CHECK(min_input > 0 && min_input <= max_input);
   SMR_CHECK(reduce_tasks >= 1);
+  for (const auto& slo : slo_classes) {
+    SMR_CHECK_MSG(!slo.name.empty(), "SLO class with empty name");
+    SMR_CHECK(slo.base_deadline_s >= 0.0 && slo.per_gib_s >= 0.0);
+    SMR_CHECK_MSG(slo.base_deadline_s + slo.per_gib_s > 0.0,
+                  "SLO class '" << slo.name << "' has a zero deadline");
+  }
+}
+
+JobSpec draw_synthetic_job(const SyntheticMixConfig& config, Rng& rng) {
+  const std::vector<Puma> candidates =
+      config.candidates.empty() ? all_puma_benchmarks() : config.candidates;
+  const double log_min = std::log(static_cast<double>(config.min_input));
+  const double log_max = std::log(static_cast<double>(config.max_input));
+
+  const Puma bench = candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  const auto input = static_cast<Bytes>(std::exp(rng.uniform(log_min, log_max)));
+  JobSpec spec = make_puma_job(bench, input);
+  spec.reduce_tasks = config.reduce_tasks;
+  if (!config.slo_classes.empty()) {
+    const auto& slo = config.slo_classes[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config.slo_classes.size()) - 1))];
+    spec.slo_class = slo.name;
+    spec.relative_deadline = slo.base_deadline_s + slo.per_gib_s * to_gib(input);
+  }
+  return spec;
 }
 
 std::vector<TimedJob> make_synthetic_mix(const SyntheticMixConfig& config) {
   config.validate();
   Rng rng(config.seed);
-  const std::vector<Puma> candidates =
-      config.candidates.empty() ? all_puma_benchmarks() : config.candidates;
 
   std::vector<TimedJob> mix;
   mix.reserve(static_cast<std::size_t>(config.jobs));
   SimTime clock = 0.0;
-  const double log_min = std::log(static_cast<double>(config.min_input));
-  const double log_max = std::log(static_cast<double>(config.max_input));
   for (int i = 0; i < config.jobs; ++i) {
-    const Puma bench = candidates[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
-    const auto input = static_cast<Bytes>(
-        std::exp(rng.uniform(log_min, log_max)));
-    JobSpec spec = make_puma_job(bench, input);
-    spec.reduce_tasks = config.reduce_tasks;
-
     TimedJob job;
-    job.spec = std::move(spec);
+    job.spec = draw_synthetic_job(config, rng);
     job.submit_at = clock;
     mix.push_back(std::move(job));
 

@@ -38,6 +38,20 @@ struct SyntheticMixConfig {
   /// Reduce tasks per job (the paper's 30 suits a 16-node cluster).
   int reduce_tasks = 30;
 
+  /// Optional SLO class attached to every generated job (the serving
+  /// subsystem's deadline inputs).  When non-empty, each job draws a class
+  /// uniformly and receives its label plus a relative completion deadline
+  /// of base_deadline_s + per_gib_s × input-GiB, which the runtime turns
+  /// into the absolute Job::deadline the DeadlineScheduler orders by.
+  /// Empty (the default) leaves specs deadline-free and the RNG stream
+  /// untouched, so pre-SLO mixes reproduce bit-for-bit.
+  struct SloClass {
+    std::string name = "default";
+    double base_deadline_s = 300.0;
+    double per_gib_s = 60.0;
+  };
+  std::vector<SloClass> slo_classes;
+
   std::uint64_t seed = 1;
 
   void validate() const;
@@ -46,5 +60,11 @@ struct SyntheticMixConfig {
 /// Generate the mix.  Deterministic in `config.seed`; jobs are returned in
 /// submission order.
 std::vector<TimedJob> make_synthetic_mix(const SyntheticMixConfig& config);
+
+/// Draw one job spec from the mix distribution (benchmark, log-uniform
+/// input size, reduce tasks, optional SLO class) using `rng`.  This is the
+/// per-job core of make_synthetic_mix, exposed so open-loop generators
+/// (smr::serve) can draw the same shapes on their own arrival clock.
+JobSpec draw_synthetic_job(const SyntheticMixConfig& config, Rng& rng);
 
 }  // namespace smr::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "smr/common/error.hpp"
 #include "smr/common/rng.hpp"
 
@@ -149,8 +151,12 @@ TEST(Percentile, InterpolatesBetweenRanks) {
   EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
 }
 
-TEST(Percentile, EmptyIsZeroSingletonIsValue) {
-  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+TEST(Percentile, EmptyIsNaNSingletonIsValue) {
+  // An empty sample set has no percentiles: quiet NaN, not a fake 0 that
+  // a report would happily format as "p99 = 0s".
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100.0)));
   EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
 }
 

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/mapreduce/scheduler.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+Job make_job(JobId id, SimTime submit, SimTime deadline = kTimeNever,
+             bool finished = false) {
+  Job job;
+  job.id = id;
+  job.submit_time = submit;
+  job.deadline = deadline;
+  job.maps.resize(20);
+  job.reduces.resize(8);
+  if (finished) job.finish_time = submit + 100.0;
+  return job;
+}
+
+TEST(DeadlineScheduler, EarliestDeadlineFirst) {
+  DeadlineScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, /*deadline=*/900.0));
+  jobs.push_back(make_job(1, 1.0, /*deadline=*/300.0));
+  jobs.push_back(make_job(2, 2.0, /*deadline=*/600.0));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, false),
+            (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(DeadlineScheduler, UndatedJobsSortAfterDatedOnes) {
+  DeadlineScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0));  // no deadline
+  jobs.push_back(make_job(1, 1.0, /*deadline=*/5000.0));
+  jobs.push_back(make_job(2, 2.0));  // no deadline
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(DeadlineScheduler, TiesFallBackToSubmissionOrder) {
+  DeadlineScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, /*deadline=*/600.0));
+  jobs.push_back(make_job(1, 1.0, /*deadline=*/600.0));
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DeadlineScheduler, AllUndatedDegradesToFifo) {
+  DeadlineScheduler deadline;
+  FifoScheduler fifo;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0));
+  jobs.push_back(make_job(1, 5.0));
+  jobs.push_back(make_job(2, 10.0));
+  EXPECT_EQ(deadline.job_order(jobs, 100.0, true),
+            fifo.job_order(jobs, 100.0, true));
+}
+
+TEST(DeadlineScheduler, SkipsUnsubmittedAndFinished) {
+  DeadlineScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 200.0, /*finished=*/true));
+  jobs.push_back(make_job(1, 5.0, 400.0));
+  jobs.push_back(make_job(2, 50.0, 100.0));  // not yet submitted at t=10
+  EXPECT_EQ(scheduler.job_order(jobs, 10.0, true),
+            (std::vector<std::size_t>{1}));
+}
+
+TEST(DeadlineScheduler, Name) {
+  EXPECT_EQ(DeadlineScheduler().name(), "deadline");
+}
+
+// The runtime stamps Job::deadline = submit time + the spec's relative
+// deadline, so a tight-SLO job submitted later can still preempt the
+// slot-offer order.
+TEST(DeadlineSchedulerEndToEnd, TightDeadlineJobOvertakesEarlierJob) {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.seed = 5;
+  Runtime runtime(config, std::make_unique<StaticSlotPolicy>(),
+                  std::make_unique<DeadlineScheduler>());
+  JobSpec relaxed;
+  relaxed.name = "relaxed";
+  relaxed.input_size = 4 * kGiB;
+  relaxed.reduce_tasks = 4;
+  relaxed.map_cpu_per_mib = 0.3;
+  relaxed.map_selectivity = 0.05;
+  relaxed.relative_deadline = 100000.0;
+  JobSpec urgent = relaxed;
+  urgent.name = "urgent";
+  urgent.input_size = 1 * kGiB;
+  urgent.relative_deadline = 300.0;
+  runtime.submit(relaxed, 0.0);
+  runtime.submit(urgent, 30.0);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_DOUBLE_EQ(result.jobs[0].deadline, 100000.0);
+  EXPECT_DOUBLE_EQ(result.jobs[1].deadline, 330.0);
+  // The urgent job finishes first despite arriving second.
+  EXPECT_LT(result.jobs[1].finish_time, result.jobs[0].finish_time);
+  EXPECT_LE(result.jobs[1].finish_time, result.jobs[1].deadline);
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

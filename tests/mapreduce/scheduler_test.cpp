@@ -128,5 +128,61 @@ TEST(FairSchedulerEndToEnd, ShortJobNotStarvedBehindLongJob) {
   EXPECT_LT(fair.jobs[0].execution_time(), fifo.jobs[0].execution_time() * 1.5);
 }
 
+// Staggered arrivals: jobs not yet submitted must stay out of the order
+// until their submit time passes, then join with a zero running-task count
+// (i.e. at the front of the fair order).
+TEST(FairScheduler, StaggeredArrivalsJoinWhenSubmitted) {
+  FairScheduler scheduler;
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 4, 0));
+  jobs.push_back(make_job(1, 60.0, 0, 0));
+  jobs.push_back(make_job(2, 120.0, 0, 0));
+  EXPECT_EQ(scheduler.job_order(jobs, 30.0, true),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(scheduler.job_order(jobs, 90.0, true),
+            (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(scheduler.job_order(jobs, 150.0, true),
+            (std::vector<std::size_t>{1, 2, 0}));
+}
+
+// End-to-end with several staggered mid-run arrivals: each short job that
+// lands while the long job occupies the cluster still turns around quickly
+// under fair sharing, and arrivals keep FIFO order among themselves.
+TEST(FairSchedulerEndToEnd, StaggeredMidRunArrivalsShareSlots) {
+  auto run_with = [](std::unique_ptr<JobScheduler> scheduler) {
+    RuntimeConfig config;
+    config.cluster = cluster::ClusterSpec::paper_testbed(4);
+    config.seed = 5;
+    Runtime runtime(config, std::make_unique<StaticSlotPolicy>(),
+                    std::move(scheduler));
+    JobSpec long_job;
+    long_job.name = "long";
+    long_job.input_size = 8 * kGiB;
+    long_job.reduce_tasks = 4;
+    long_job.map_cpu_per_mib = 0.3;
+    long_job.map_selectivity = 0.05;
+    JobSpec short_job = long_job;
+    short_job.input_size = 1 * kGiB;
+    short_job.name = "short-a";
+    runtime.submit(long_job, 0.0);
+    runtime.submit(short_job, 40.0);
+    short_job.name = "short-b";
+    runtime.submit(short_job, 80.0);
+    return runtime.run();
+  };
+  const auto fifo = run_with(std::make_unique<FifoScheduler>());
+  const auto fair = run_with(std::make_unique<FairScheduler>());
+  ASSERT_TRUE(fifo.completed && fair.completed);
+  for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_LT(fair.jobs[i].execution_time(),
+              fifo.jobs[i].execution_time() * 0.8)
+        << "short job " << i;
+  }
+  // The earlier short arrival is not reordered behind the later one.
+  EXPECT_LT(fair.jobs[1].finish_time, fair.jobs[2].finish_time);
+  // The long job pays a bounded fairness tax.
+  EXPECT_LT(fair.jobs[0].execution_time(), fifo.jobs[0].execution_time() * 1.6);
+}
+
 }  // namespace
 }  // namespace smr::mapreduce

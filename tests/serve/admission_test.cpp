@@ -1,0 +1,100 @@
+#include "smr/serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+namespace {
+
+TEST(AdmissionController, UnlimitedAdmitsEverything) {
+  AdmissionConfig config;  // max_in_system = 0 means no limit
+  AdmissionController controller(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(controller.in_system(), 100);
+  EXPECT_EQ(controller.admitted(), 100);
+  EXPECT_EQ(controller.shed(), 0);
+}
+
+TEST(AdmissionController, ShedsBeyondTheLimit) {
+  AdmissionConfig config;
+  config.max_in_system = 2;
+  config.policy = AdmissionPolicy::kShed;
+  AdmissionController controller(config);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kShed);
+  EXPECT_EQ(controller.in_system(), 2);
+  EXPECT_EQ(controller.shed(), 1);
+  EXPECT_EQ(controller.peak_in_system(), 2);
+
+  // A departure frees a slot for the next arrival (shed jobs are gone).
+  EXPECT_FALSE(controller.on_departure());
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.admitted(), 3);
+}
+
+TEST(AdmissionController, DefersThenShedsAtPendingBound) {
+  AdmissionConfig config;
+  config.max_in_system = 1;
+  config.max_pending = 2;
+  config.policy = AdmissionPolicy::kDefer;
+  AdmissionController controller(config);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kDefer);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kDefer);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kShed);
+  EXPECT_EQ(controller.pending(), 2);
+  EXPECT_EQ(controller.peak_pending(), 2);
+  EXPECT_EQ(controller.deferred(), 2);
+  EXPECT_EQ(controller.shed(), 1);
+}
+
+TEST(AdmissionController, DepartureReleasesDeferredJobs) {
+  AdmissionConfig config;
+  config.max_in_system = 1;
+  config.policy = AdmissionPolicy::kDefer;
+  AdmissionController controller(config);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kDefer);
+
+  EXPECT_TRUE(controller.on_departure());
+  controller.on_deferred_admitted();
+  EXPECT_EQ(controller.in_system(), 1);
+  EXPECT_EQ(controller.pending(), 0);
+  EXPECT_EQ(controller.admitted(), 2);
+
+  // No pending jobs left: the next departure releases nothing.
+  EXPECT_FALSE(controller.on_departure());
+  EXPECT_EQ(controller.in_system(), 0);
+}
+
+TEST(AdmissionController, UnboundedPendingNeverSheds) {
+  AdmissionConfig config;
+  config.max_in_system = 1;
+  config.max_pending = 0;  // unbounded
+  config.policy = AdmissionPolicy::kDefer;
+  AdmissionController controller(config);
+  EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kAdmit);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(controller.on_arrival(), AdmissionDecision::kDefer);
+  }
+  EXPECT_EQ(controller.shed(), 0);
+  EXPECT_EQ(controller.pending(), 50);
+}
+
+TEST(AdmissionController, MisuseAborts) {
+  AdmissionController controller(AdmissionConfig{});
+  EXPECT_THROW(controller.on_departure(), SmrError);
+  EXPECT_THROW(controller.on_deferred_admitted(), SmrError);
+}
+
+TEST(AdmissionPolicyName, Names) {
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::kShed), "shed");
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::kDefer), "defer");
+}
+
+}  // namespace
+}  // namespace smr::serve

@@ -1,0 +1,173 @@
+#include "smr/serve/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+namespace {
+
+TenantConfig grep_tenant(const std::string& name, double jobs_per_hour) {
+  TenantConfig tenant;
+  tenant.name = name;
+  tenant.jobs_per_hour = jobs_per_hour;
+  tenant.shape.candidates = {workload::Puma::kGrep};
+  tenant.shape.min_input = 1 * kGiB;
+  tenant.shape.max_input = 4 * kGiB;
+  tenant.shape.reduce_tasks = 4;
+  return tenant;
+}
+
+TEST(GenerateArrivals, DeterministicInSeed) {
+  const std::vector<TenantConfig> tenants = {grep_tenant("a", 30.0),
+                                             grep_tenant("b", 10.0)};
+  const ArrivalTrace one = generate_arrivals(tenants, 7200.0, 7);
+  const ArrivalTrace two = generate_arrivals(tenants, 7200.0, 7);
+  ASSERT_EQ(one.arrivals.size(), two.arrivals.size());
+  for (std::size_t i = 0; i < one.arrivals.size(); ++i) {
+    EXPECT_EQ(one.arrivals[i].tenant, two.arrivals[i].tenant);
+    EXPECT_DOUBLE_EQ(one.arrivals[i].job.submit_at, two.arrivals[i].job.submit_at);
+    EXPECT_EQ(one.arrivals[i].job.spec.input_size, two.arrivals[i].job.spec.input_size);
+  }
+  const ArrivalTrace other = generate_arrivals(tenants, 7200.0, 8);
+  ASSERT_FALSE(other.arrivals.empty());
+  EXPECT_NE(other.arrivals[0].job.submit_at, one.arrivals[0].job.submit_at);
+}
+
+TEST(GenerateArrivals, AddingATenantDoesNotPerturbEarlierStreams) {
+  const ArrivalTrace solo = generate_arrivals({grep_tenant("a", 20.0)}, 3600.0, 3);
+  const ArrivalTrace duo = generate_arrivals(
+      {grep_tenant("a", 20.0), grep_tenant("b", 40.0)}, 3600.0, 3);
+
+  std::vector<const Arrival*> tenant0;
+  for (const auto& arrival : duo.arrivals) {
+    if (arrival.tenant == 0) tenant0.push_back(&arrival);
+  }
+  ASSERT_EQ(tenant0.size(), solo.arrivals.size());
+  for (std::size_t i = 0; i < tenant0.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tenant0[i]->job.submit_at, solo.arrivals[i].job.submit_at);
+    EXPECT_EQ(tenant0[i]->job.spec.input_size,
+              solo.arrivals[i].job.spec.input_size);
+  }
+}
+
+TEST(GenerateArrivals, SortedAndInsideHorizon) {
+  const ArrivalTrace trace = generate_arrivals(
+      {grep_tenant("a", 60.0), grep_tenant("b", 60.0)}, 1800.0, 1);
+  ASSERT_FALSE(trace.arrivals.empty());
+  for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+    EXPECT_GE(trace.arrivals[i].job.submit_at, 0.0);
+    EXPECT_LT(trace.arrivals[i].job.submit_at, 1800.0);
+    if (i > 0) {
+      EXPECT_GE(trace.arrivals[i].job.submit_at,
+                trace.arrivals[i - 1].job.submit_at);
+    }
+  }
+}
+
+TEST(GenerateArrivals, RateControlsVolume) {
+  const auto slow = generate_arrivals({grep_tenant("a", 10.0)}, 7200.0, 2);
+  const auto fast = generate_arrivals({grep_tenant("a", 100.0)}, 7200.0, 2);
+  // 20 vs 200 expected arrivals; any sane draw keeps these far apart.
+  EXPECT_GT(fast.arrivals.size(), slow.arrivals.size() * 3);
+}
+
+TEST(GenerateArrivals, SloClassesStampDeadlines) {
+  TenantConfig tenant = grep_tenant("a", 30.0);
+  workload::SyntheticMixConfig::SloClass slo;
+  slo.name = "gold";
+  slo.base_deadline_s = 100.0;
+  slo.per_gib_s = 10.0;
+  tenant.shape.slo_classes = {slo};
+  const auto trace = generate_arrivals({tenant}, 3600.0, 4);
+  ASSERT_FALSE(trace.arrivals.empty());
+  for (const auto& arrival : trace.arrivals) {
+    EXPECT_EQ(arrival.job.spec.slo_class, "gold");
+    EXPECT_GE(arrival.job.spec.relative_deadline, 100.0);
+    EXPECT_NE(arrival.job.spec.relative_deadline, kTimeNever);
+  }
+}
+
+TEST(GenerateArrivals, RejectsBadConfigs) {
+  EXPECT_THROW(generate_arrivals({}, 3600.0, 1), SmrError);
+  EXPECT_THROW(generate_arrivals({grep_tenant("a", 0.0)}, 3600.0, 1), SmrError);
+  EXPECT_THROW(generate_arrivals({grep_tenant("a", 30.0)}, 0.0, 1), SmrError);
+}
+
+TEST(ArrivalsCsv, RoundTripsThroughWriteAndParse) {
+  TenantConfig tenant = grep_tenant("a", 30.0);
+  workload::SyntheticMixConfig::SloClass slo;
+  tenant.shape.slo_classes = {slo};
+  const ArrivalTrace trace =
+      generate_arrivals({tenant, grep_tenant("b", 15.0)}, 3600.0, 5);
+
+  std::stringstream csv;
+  write_arrivals_csv(trace, csv);
+  const ArrivalTrace parsed = parse_arrivals_csv(csv);
+
+  ASSERT_EQ(parsed.tenants.size(), trace.tenants.size());
+  ASSERT_EQ(parsed.arrivals.size(), trace.arrivals.size());
+  for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+    const Arrival& a = trace.arrivals[i];
+    const Arrival& b = parsed.arrivals[i];
+    EXPECT_EQ(trace.tenants[static_cast<std::size_t>(a.tenant)],
+              parsed.tenants[static_cast<std::size_t>(b.tenant)]);
+    EXPECT_EQ(a.job.spec.name, b.job.spec.name);
+    EXPECT_EQ(a.job.spec.slo_class, b.job.spec.slo_class);
+    // Sizes and times pass through decimal text; allow formatting slack.
+    EXPECT_NEAR(static_cast<double>(b.job.spec.input_size),
+                static_cast<double>(a.job.spec.input_size),
+                0.001 * static_cast<double>(a.job.spec.input_size));
+    EXPECT_NEAR(b.job.submit_at, a.job.submit_at, 0.01 * (a.job.submit_at + 1.0));
+    if (a.job.spec.relative_deadline == kTimeNever) {
+      EXPECT_EQ(b.job.spec.relative_deadline, kTimeNever);
+    } else {
+      EXPECT_NEAR(b.job.spec.relative_deadline, a.job.spec.relative_deadline,
+                  0.01 * a.job.spec.relative_deadline);
+    }
+  }
+}
+
+TEST(ArrivalsCsv, ParsesOptionalSloColumnsAndInf) {
+  std::stringstream csv(
+      "tenant,benchmark,input_gib,arrive_at,slo_class,deadline_s\n"
+      "alpha,grep,2.5,10\n"
+      "beta,terasort,1.0,5,gold,300\n"
+      "alpha,grep,1.5,20,,inf\n");
+  const ArrivalTrace trace = parse_arrivals_csv(csv);
+  ASSERT_EQ(trace.tenants.size(), 2u);
+  EXPECT_EQ(trace.tenants[0], "alpha");
+  EXPECT_EQ(trace.tenants[1], "beta");
+  ASSERT_EQ(trace.arrivals.size(), 3u);
+  // Sorted by time: beta@5, alpha@10, alpha@20.
+  EXPECT_EQ(trace.arrivals[0].tenant, 1);
+  EXPECT_EQ(trace.arrivals[0].job.spec.slo_class, "gold");
+  EXPECT_DOUBLE_EQ(trace.arrivals[0].job.spec.relative_deadline, 300.0);
+  EXPECT_EQ(trace.arrivals[1].tenant, 0);
+  EXPECT_EQ(trace.arrivals[1].job.spec.relative_deadline, kTimeNever);
+  EXPECT_EQ(trace.arrivals[2].job.spec.relative_deadline, kTimeNever);
+}
+
+TEST(ArrivalsCsv, RejectsMalformedRows) {
+  {
+    std::stringstream csv("alpha,not-a-benchmark,2,10\n");
+    EXPECT_THROW(parse_arrivals_csv(csv), SmrError);
+  }
+  {
+    std::stringstream csv("alpha,grep,2\n");
+    EXPECT_THROW(parse_arrivals_csv(csv), SmrError);
+  }
+  {
+    std::stringstream csv("alpha,grep,-2,10\n");
+    EXPECT_THROW(parse_arrivals_csv(csv), SmrError);
+  }
+  {
+    std::stringstream csv("alpha,grep,2,-10\n");
+    EXPECT_THROW(parse_arrivals_csv(csv), SmrError);
+  }
+}
+
+}  // namespace
+}  // namespace smr::serve

@@ -1,0 +1,128 @@
+#include "smr/serve/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+namespace {
+
+// The bench grid (bench/serve_capacity.cpp) trimmed to the rates that
+// separate the engines: at 90 jobs/h every engine keeps up, at 120 the
+// static-slot engine starts shedding while SMapReduce still clears the
+// queue within the p99 bound.
+CapacityConfig knee_config() {
+  CapacityConfig config;
+  config.base.experiment =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kSMapReduce);
+  config.base.experiment.scheduler = driver::SchedulerKind::kDeadline;
+
+  workload::SyntheticMixConfig shape;
+  shape.candidates = {workload::Puma::kGrep};
+  shape.min_input = 4 * kGiB;
+  shape.max_input = 12 * kGiB;
+  shape.reduce_tasks = 30;
+  workload::SyntheticMixConfig::SloClass slo;
+  slo.base_deadline_s = 600.0;
+  slo.per_gib_s = 60.0;
+  shape.slo_classes.push_back(slo);
+
+  for (int i = 0; i < 2; ++i) {
+    TenantConfig tenant;
+    tenant.name = "tenant" + std::to_string(i);
+    tenant.jobs_per_hour = 1.0;
+    tenant.shape = shape;
+    config.base.tenants.push_back(std::move(tenant));
+  }
+
+  config.base.admission.max_in_system = 12;
+  config.base.admission.policy = AdmissionPolicy::kShed;
+  config.base.horizon = 3600.0;
+  config.base.warmup = 600.0;
+  config.base.drain_limit = 3600.0;
+  config.base.seed = 7;
+
+  config.rates = {90.0, 120.0};
+  config.p99_bound_s = 1200.0;
+  config.max_shed_fraction = 0.0;
+  return config;
+}
+
+TEST(ScaleTenants, ScalesProportionally) {
+  TenantConfig a;
+  a.name = "a";
+  a.jobs_per_hour = 1.0;
+  TenantConfig b = a;
+  b.name = "b";
+  b.jobs_per_hour = 3.0;
+  const auto scaled = scale_tenants({a, b}, 120.0);
+  ASSERT_EQ(scaled.size(), 2u);
+  EXPECT_DOUBLE_EQ(scaled[0].jobs_per_hour, 30.0);
+  EXPECT_DOUBLE_EQ(scaled[1].jobs_per_hour, 90.0);
+}
+
+TEST(CapacityConfigValidate, RejectsBadGrids) {
+  CapacityConfig config = knee_config();
+  config.rates = {};
+  EXPECT_THROW(config.validate(), SmrError);
+  config = knee_config();
+  config.rates = {120.0, 90.0};  // not ascending
+  EXPECT_THROW(config.validate(), SmrError);
+  config = knee_config();
+  config.rates = {0.0, 90.0};
+  EXPECT_THROW(config.validate(), SmrError);
+  config = knee_config();
+  config.p99_bound_s = 0.0;
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+// The acceptance claim for the serving subsystem: dynamic slot management
+// sustains a strictly higher arrival rate than static slots at the same
+// p99 bound.  Also pins the sweep's determinism: two sweeps with the same
+// seed produce byte-identical JSON.
+TEST(CapacitySweep, SMapReduceKneeBeatsHadoopV1) {
+  const CapacityConfig config = knee_config();
+  const std::vector<driver::EngineKind> engines = {
+      driver::EngineKind::kHadoopV1, driver::EngineKind::kSMapReduce};
+
+  const auto curves = sweep_engines(config, engines);
+  ASSERT_EQ(curves.size(), 2u);
+  const CapacityCurve& hadoop = curves[0];
+  const CapacityCurve& smr = curves[1];
+  EXPECT_EQ(hadoop.engine, "HadoopV1");
+  EXPECT_EQ(smr.engine, "SMapReduce");
+
+  // Both engines sustain the low rate; only SMapReduce sustains the high
+  // one, so its knee is strictly higher.
+  ASSERT_EQ(hadoop.points.size(), 2u);
+  EXPECT_TRUE(hadoop.points[0].sustainable);
+  EXPECT_FALSE(hadoop.points[1].sustainable);
+  EXPECT_TRUE(smr.points[0].sustainable);
+  EXPECT_TRUE(smr.points[1].sustainable);
+  EXPECT_GT(smr.knee_jobs_per_hour, hadoop.knee_jobs_per_hour);
+  EXPECT_DOUBLE_EQ(smr.knee_jobs_per_hour, 120.0);
+  EXPECT_DOUBLE_EQ(hadoop.knee_jobs_per_hour, 90.0);
+
+  // At the contested rate the static engine sheds; SMapReduce does not.
+  EXPECT_GT(hadoop.points[1].report.aggregate.shed, 0);
+  EXPECT_EQ(smr.points[1].report.aggregate.shed, 0);
+
+  // Deterministic: rerunning the sweep reproduces the JSON byte for byte.
+  std::stringstream first, second;
+  write_capacity_json(config, curves, first);
+  write_capacity_json(config, sweep_engines(config, engines), second);
+  ASSERT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+
+  // The JSON report carries the grid and both curves.
+  const std::string json = first.str();
+  EXPECT_NE(json.find("\"p99_bound_s\":1200"), std::string::npos);
+  EXPECT_NE(json.find("\"engine\":\"HadoopV1\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine\":\"SMapReduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"knee_jobs_per_hour\":120"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smr::serve

@@ -1,0 +1,175 @@
+#include "smr/serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "smr/common/error.hpp"
+
+namespace smr::serve {
+namespace {
+
+// Small, fast serving setup: 4 nodes, small Grep jobs, ~25 arrivals/hour.
+ServeConfig small_config(driver::EngineKind engine = driver::EngineKind::kHadoopV1) {
+  ServeConfig config;
+  config.experiment = driver::ExperimentConfig::paper_default(engine);
+  config.experiment.runtime.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.experiment.scheduler = driver::SchedulerKind::kDeadline;
+  config.horizon = 1800.0;
+  config.warmup = 300.0;
+  config.drain_limit = 3600.0;
+  config.seed = 11;
+
+  TenantConfig tenant;
+  tenant.name = "t0";
+  tenant.jobs_per_hour = 25.0;
+  tenant.shape.candidates = {workload::Puma::kGrep};
+  tenant.shape.min_input = 1 * kGiB;
+  tenant.shape.max_input = 2 * kGiB;
+  tenant.shape.reduce_tasks = 4;
+  workload::SyntheticMixConfig::SloClass slo;
+  slo.base_deadline_s = 600.0;
+  slo.per_gib_s = 60.0;
+  tenant.shape.slo_classes = {slo};
+  config.tenants.push_back(tenant);
+
+  TenantConfig other = config.tenants[0];
+  other.name = "t1";
+  other.jobs_per_hour = 10.0;
+  config.tenants.push_back(other);
+  return config;
+}
+
+std::string report_json(const ServeReport& report) {
+  std::stringstream out;
+  report.write_json(out);
+  return out.str();
+}
+
+TEST(ServeSession, ServesOpenLoopArrivalsToCompletion) {
+  ServeSession session(small_config());
+  const ServeReport report = session.run();
+
+  EXPECT_TRUE(report.completed) << report.failure_reason;
+  EXPECT_EQ(report.unfinished, 0);
+  EXPECT_GT(report.aggregate.arrived, 0);
+  // No admission limit: every measured arrival completes (generous drain).
+  EXPECT_EQ(report.aggregate.completed, report.aggregate.arrived);
+  EXPECT_EQ(report.aggregate.shed, 0);
+  EXPECT_EQ(report.aggregate.failed, 0);
+  ASSERT_GT(report.aggregate.latency.count, 0u);
+  EXPECT_GT(report.aggregate.latency.p50, 0.0);
+  EXPECT_GE(report.aggregate.latency.p99, report.aggregate.latency.p50);
+  EXPECT_GE(report.aggregate.mean_slowdown, 1.0);
+  EXPECT_GT(report.utilization, 0.0);
+  ASSERT_EQ(report.tenants.size(), 2u);
+  EXPECT_EQ(report.tenants[0].name, "t0");
+  // Makespan covers the horizon (jobs keep arriving until its end) but
+  // respects the drain limit.
+  EXPECT_GE(report.makespan, 1500.0);
+  EXPECT_LE(report.makespan, 1800.0 + 3600.0);
+}
+
+TEST(ServeSession, DeterministicForFixedSeed) {
+  ServeSession one(small_config());
+  ServeSession two(small_config());
+  EXPECT_EQ(report_json(one.run()), report_json(two.run()));
+
+  ServeConfig reseeded = small_config();
+  reseeded.seed = 12;
+  ServeSession three(reseeded);
+  EXPECT_NE(report_json(three.run()), report_json(ServeSession(small_config()).run()));
+}
+
+TEST(ServeSession, RunMatchesReplayOfItsOwnTrace) {
+  // run() is exactly replay() over the generated stream.
+  ServeConfig config = small_config();
+  const ArrivalTrace trace =
+      generate_arrivals(config.tenants, config.horizon, config.seed ^ 0xa11a5eedULL);
+  ServeSession generated(config);
+  ServeSession replayed(config);
+  EXPECT_EQ(report_json(generated.run()),
+            report_json(replayed.replay(trace)));
+}
+
+TEST(ServeSession, ShedPolicyBoundsJobsInSystem) {
+  ServeConfig config = small_config();
+  config.admission.max_in_system = 1;
+  config.admission.policy = AdmissionPolicy::kShed;
+  ServeSession session(config);
+
+  obs::MetricsRegistry registry;
+  const ServeReport report = session.replay(
+      generate_arrivals(config.tenants, config.horizon, 99), &registry);
+
+  EXPECT_GT(report.aggregate.shed, 0);
+  // Every arrival is either admitted (completed) or shed; nothing lingers.
+  EXPECT_EQ(report.aggregate.completed + report.aggregate.shed,
+            report.aggregate.arrived);
+  // The serve counters cover the whole run (warmup included), so they are
+  // at least the measured-window counts.
+  EXPECT_GE(registry.counter("serve.jobs_shed").value(), report.aggregate.shed);
+  EXPECT_GE(registry.counter("serve.jobs_arrived").value(),
+            report.aggregate.arrived);
+  EXPECT_EQ(registry.counter("serve.jobs_arrived").value(),
+            registry.counter("serve.jobs_admitted").value() +
+                registry.counter("serve.jobs_shed").value() +
+                registry.counter("serve.jobs_deferred").value());
+}
+
+TEST(ServeSession, DeferPolicyQueuesInsteadOfShedding) {
+  ServeConfig config = small_config();
+  config.admission.max_in_system = 1;
+  config.admission.max_pending = 0;  // unbounded queue
+  config.admission.policy = AdmissionPolicy::kDefer;
+  ServeSession session(config);
+  const ServeReport report = session.run();
+
+  EXPECT_TRUE(report.completed) << report.failure_reason;
+  EXPECT_EQ(report.aggregate.shed, 0);
+  EXPECT_GT(report.aggregate.deferred, 0);
+  // Deferred jobs eventually run; latency then includes the queue wait on
+  // top of service time under a 1-job limit.
+  EXPECT_EQ(report.aggregate.completed, report.aggregate.arrived);
+  EXPECT_GT(report.aggregate.mean_slowdown, 1.05);
+}
+
+TEST(ServeSession, EmitsServeTelemetry) {
+  obs::MetricsRegistry registry;
+  ServeSession session(small_config());
+  session.run(&registry);
+
+  EXPECT_GT(registry.counter("serve.jobs_arrived").value(), 0);
+  EXPECT_GT(registry.counter("serve.jobs_completed").value(), 0);
+  EXPECT_GT(registry.histogram("serve.latency_s", {}).total_count(), 0);
+  EXPECT_GT(registry.series("serve.jobs_in_system").size(), 0u);
+  // SLO verdicts are tracked for deadline-carrying jobs.
+  EXPECT_GT(registry.counter("serve.slo_met").value() +
+                registry.counter("serve.slo_missed").value(),
+            0);
+  // The runtime's own telemetry shares the registry.
+  EXPECT_GT(registry.counter("heartbeats.processed").value(), 0);
+}
+
+TEST(ServeSession, SingleUse) {
+  ServeSession session(small_config());
+  session.run();
+  EXPECT_THROW(session.run(), SmrError);
+}
+
+TEST(ServeSession, RejectsEmptyTraces) {
+  ServeSession session(small_config());
+  EXPECT_THROW(session.replay(ArrivalTrace{}), SmrError);
+}
+
+TEST(ServeConfig, ValidatesWindows) {
+  ServeConfig config = small_config();
+  config.warmup = config.horizon;
+  EXPECT_THROW(config.validate(), SmrError);
+  config = small_config();
+  config.horizon = 0.0;
+  EXPECT_THROW(config.validate(), SmrError);
+}
+
+}  // namespace
+}  // namespace smr::serve

@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
                       "[,reduce_tasks]); overrides --benchmark/--synthetic");
   flags.define_double("mean-interarrival", 60.0,
                       "synthetic mix: mean exponential inter-arrival (s)");
-  flags.define_string("scheduler", "fifo", "job scheduler: fifo | fair");
+  flags.define_string("scheduler", "fifo",
+                      "job scheduler: fifo | fair | deadline");
   flags.define_int("nodes", 16, "worker nodes");
   flags.define_int("map-slots", 3, "initial map slots per node");
   flags.define_int("reduce-slots", 2, "initial reduce slots per node");
