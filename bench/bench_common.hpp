@@ -93,13 +93,16 @@ class PerfLog {
     return log;
   }
 
-  void record(const std::string& name, const obs::EngineProfile& profile) {
+  void record(const std::string& name, const obs::EngineProfile& profile,
+              std::uint64_t solver_calls = 0, std::uint64_t solver_full_solves = 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     Entry& entry = entries_[name];
     ++entry.runs;
     entry.wall_seconds += profile.wall_seconds;
     entry.sim_seconds += profile.sim_seconds;
     entry.events += profile.events;
+    entry.solver_calls += solver_calls;
+    entry.solver_full_solves += solver_full_solves;
   }
 
   bool empty() const {
@@ -118,7 +121,9 @@ class PerfLog {
       out << "{\"type\":\"bench\",\"name\":\"" << name
           << "\",\"runs\":" << e.runs << ",\"wall_seconds\":" << e.wall_seconds
           << ",\"sim_seconds\":" << e.sim_seconds << ",\"events\":" << e.events
-          << ",\"events_per_sec\":" << eps << "}\n";
+          << ",\"events_per_sec\":" << eps
+          << ",\"solver_calls\":" << e.solver_calls
+          << ",\"solver_full_solves\":" << e.solver_full_solves << "}\n";
     }
   }
 
@@ -128,6 +133,8 @@ class PerfLog {
     double wall_seconds = 0.0;
     double sim_seconds = 0.0;
     std::uint64_t events = 0;
+    std::uint64_t solver_calls = 0;
+    std::uint64_t solver_full_solves = 0;
   };
 
   mutable std::mutex mutex_;
@@ -145,7 +152,8 @@ inline metrics::JobResult run_job(const driver::ExperimentConfig& config,
   profile.wall_seconds = stopwatch.seconds();
   profile.sim_seconds = result.makespan;
   profile.events = result.engine_events;
-  PerfLog::instance().record(spec.name, profile);
+  PerfLog::instance().record(spec.name, profile, result.solver_calls,
+                             result.solver_full_solves);
   return result.jobs[0];
 }
 

@@ -47,42 +47,58 @@ double ComputeModel::effective_disk(const NodeSpec& node, const Occupancy& occ) 
          paging_factor(node, occ.memory_demand);
 }
 
+void ComputeModel::load_to_flow(const NodeSpec& node, const PhaseLoad& load,
+                                FlowDemand& flow) {
+  enum : int { kCpu = 0, kDisk = 1 };
+  flow.uses.clear();
+  // A single thread can use at most `max_cores` cores; that caps the rate
+  // of CPU-bearing phases regardless of idle capacity elsewhere.
+  double cap = load.rate_cap;
+  if (load.cpu_per_byte > 0.0) {
+    const double single_thread =
+        load.max_cores * node.cpu_speed / load.cpu_per_byte;
+    cap = (cap == kNoCap) ? single_thread : std::min(cap, single_thread);
+    flow.uses.push_back({kCpu, load.cpu_per_byte});
+  }
+  if (load.disk_per_byte > 0.0) {
+    flow.uses.push_back({kDisk, load.disk_per_byte});
+  }
+  SMR_CHECK_MSG(cap != kNoCap || !flow.uses.empty(),
+                "phase with no resource use and no cap would be unbounded");
+  flow.rate_cap = cap;
+}
+
+std::array<double, 2> ComputeModel::capacities_for(const NodeSpec& node,
+                                                   const Occupancy& occ,
+                                                   const BackgroundLoad& background) {
+  return {std::max(kMinCpuRemnant, effective_cpu(node, occ) - background.cpu_cores),
+          std::max(kMinDiskRemnant, effective_disk(node, occ) - background.disk_rate)};
+}
+
 std::vector<double> ComputeModel::solve(const NodeSpec& node, const Occupancy& occ,
                                         const BackgroundLoad& background,
                                         std::span<const PhaseLoad> loads) {
   if (loads.empty()) return {};
 
-  const double cpu_capacity =
-      std::max(kMinCpuRemnant, effective_cpu(node, occ) - background.cpu_cores);
-  const double disk_capacity =
-      std::max(kMinDiskRemnant, effective_disk(node, occ) - background.disk_rate);
-
-  enum : int { kCpu = 0, kDisk = 1 };
-  const std::array<double, 2> capacities{cpu_capacity, disk_capacity};
-
-  std::vector<FlowDemand> flows;
-  flows.reserve(loads.size());
-  for (const auto& load : loads) {
-    FlowDemand flow;
-    // A single thread can use at most `max_cores` cores; that caps the rate
-    // of CPU-bearing phases regardless of idle capacity elsewhere.
-    double cap = load.rate_cap;
-    if (load.cpu_per_byte > 0.0) {
-      const double single_thread =
-          load.max_cores * node.cpu_speed / load.cpu_per_byte;
-      cap = (cap == kNoCap) ? single_thread : std::min(cap, single_thread);
-      flow.uses.push_back({kCpu, load.cpu_per_byte});
-    }
-    if (load.disk_per_byte > 0.0) {
-      flow.uses.push_back({kDisk, load.disk_per_byte});
-    }
-    SMR_CHECK_MSG(cap != kNoCap || !flow.uses.empty(),
-                  "phase with no resource use and no cap would be unbounded");
-    flow.rate_cap = cap;
-    flows.push_back(std::move(flow));
+  const std::array<double, 2> capacities = capacities_for(node, occ, background);
+  std::vector<FlowDemand> flows(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    load_to_flow(node, loads[i], flows[i]);
   }
-
   return max_min_allocate(capacities, flows);
+}
+
+const std::vector<double>& ComputeModel::solve_cached(
+    const NodeSpec& node, const Occupancy& occ, const BackgroundLoad& background,
+    std::span<const PhaseLoad> loads) {
+  if (loads.empty()) return empty_;
+
+  const std::array<double, 2> capacities = capacities_for(node, occ, background);
+  flows_scratch_.resize(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    load_to_flow(node, loads[i], flows_scratch_[i]);
+  }
+  return solver_.solve(capacities, flows_scratch_);
 }
 
 }  // namespace smr::cluster

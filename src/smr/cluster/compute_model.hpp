@@ -21,6 +21,7 @@
 // ordering in the paper's Fig. 1.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -79,9 +80,36 @@ class ComputeModel {
   /// Solve for the progress rate (bytes/s) of every sub-phase on one node.
   /// `background` is subtracted from capacity first (floored at a small
   /// positive remnant so foreground work always creeps forward).
+  ///
+  /// Stateless reference path ("oracle"); the stateful solve_cached() below
+  /// is bit-identical and is what the runtime calls every tick.
   static std::vector<double> solve(const NodeSpec& node, const Occupancy& occ,
                                    const BackgroundLoad& background,
                                    std::span<const PhaseLoad> loads);
+
+  /// Same result as solve(), but via a per-instance incremental MaxMinSolver:
+  /// when a node's occupancy and loads are unchanged between ticks (the
+  /// common steady-execution case) the water-filling pass is skipped
+  /// entirely.  Keep one instance per simulated node; NOT thread-safe.
+  /// The returned reference is invalidated by the next call.
+  const std::vector<double>& solve_cached(const NodeSpec& node, const Occupancy& occ,
+                                          const BackgroundLoad& background,
+                                          std::span<const PhaseLoad> loads);
+
+  const MaxMinSolver::Stats& solver_stats() const { return solver_.stats(); }
+
+ private:
+  /// Translate one sub-phase load into a max-min flow (shared by the oracle
+  /// and cached paths so the arithmetic is identical).
+  static void load_to_flow(const NodeSpec& node, const PhaseLoad& load,
+                           FlowDemand& flow);
+  static std::array<double, 2> capacities_for(const NodeSpec& node,
+                                              const Occupancy& occ,
+                                              const BackgroundLoad& background);
+
+  MaxMinSolver solver_;
+  std::vector<FlowDemand> flows_scratch_;
+  std::vector<double> empty_;
 };
 
 }  // namespace smr::cluster

@@ -4,16 +4,17 @@
 
 namespace smr::cluster {
 
-std::vector<double> NetworkModel::allocate(
-    std::span<const NetFlow> flows, std::span<const int> fetch_streams_per_node) const {
-  if (flows.empty()) return {};
+void NetworkModel::build_problem(std::span<const NetFlow> flows,
+                                 std::span<const int> fetch_streams_per_node,
+                                 std::vector<double>& capacities,
+                                 std::vector<FlowDemand>& demands) const {
   const auto& spec = *spec_;
   const int n = spec.worker_count();
   SMR_CHECK(fetch_streams_per_node.empty() ||
             fetch_streams_per_node.size() == static_cast<std::size_t>(n));
 
   // Resource layout: [0, n) receive ports, [n, 2n) transmit ports, 2n fabric.
-  std::vector<double> capacities(static_cast<std::size_t>(2 * n) + 1, 0.0);
+  capacities.assign(static_cast<std::size_t>(2 * n) + 1, 0.0);
   for (int i = 0; i < n; ++i) {
     const auto& node = spec.workers[static_cast<std::size_t>(i)];
     double rx = node.nic_bandwidth;
@@ -25,13 +26,14 @@ std::vector<double> NetworkModel::allocate(
   }
   capacities[static_cast<std::size_t>(2 * n)] = spec.network.fabric_bandwidth;
 
-  std::vector<FlowDemand> demands;
-  demands.reserve(flows.size());
   const double diffuse_weight = 1.0 / static_cast<double>(n);
-  for (const auto& flow : flows) {
+  demands.resize(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const auto& flow = flows[f];
     SMR_CHECK_MSG(flow.dst >= 0 && flow.dst < n, "flow with invalid dst " << flow.dst);
-    FlowDemand d;
+    FlowDemand& d = demands[f];
     d.rate_cap = flow.rate_cap;
+    d.uses.clear();
     d.uses.push_back({flow.dst, 1.0});                       // receive port
     d.uses.push_back({2 * n, 1.0});                          // fabric
     if (flow.src == kInvalidNode) {
@@ -41,10 +43,23 @@ std::vector<double> NetworkModel::allocate(
       SMR_CHECK_MSG(flow.src >= 0 && flow.src < n, "flow with invalid src " << flow.src);
       d.uses.push_back({n + flow.src, 1.0});
     }
-    demands.push_back(std::move(d));
   }
+}
 
+std::vector<double> NetworkModel::allocate(
+    std::span<const NetFlow> flows, std::span<const int> fetch_streams_per_node) const {
+  if (flows.empty()) return {};
+  std::vector<double> capacities;
+  std::vector<FlowDemand> demands;
+  build_problem(flows, fetch_streams_per_node, capacities, demands);
   return max_min_allocate(capacities, demands);
+}
+
+const std::vector<double>& NetworkModel::allocate_cached(
+    std::span<const NetFlow> flows, std::span<const int> fetch_streams_per_node) {
+  if (flows.empty()) return empty_;
+  build_problem(flows, fetch_streams_per_node, caps_scratch_, demands_scratch_);
+  return solver_.solve(caps_scratch_, demands_scratch_);
 }
 
 }  // namespace smr::cluster

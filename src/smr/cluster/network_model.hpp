@@ -41,11 +41,37 @@ class NetworkModel {
   /// Allocate rates for `flows`.  `fetch_streams_per_node[d]` is the number
   /// of concurrent TCP fetch streams terminating at node d (drives the
   /// incast penalty on d's receive port); pass an empty span to disable.
+  ///
+  /// Stateless reference path ("oracle"); allocate_cached() below is
+  /// bit-identical and is what the runtime calls every tick.
   std::vector<double> allocate(std::span<const NetFlow> flows,
                                std::span<const int> fetch_streams_per_node) const;
 
+  /// Same result as allocate(), but through the instance's incremental
+  /// MaxMinSolver: unchanged flow sets are answered from the cache, and
+  /// shuffle ticks where only the (non-binding, backlog-tracking) rate caps
+  /// moved while the network stayed the bottleneck skip the water-filling
+  /// pass too.  NOT thread-safe; the returned reference is invalidated by
+  /// the next call.
+  const std::vector<double>& allocate_cached(std::span<const NetFlow> flows,
+                                             std::span<const int> fetch_streams_per_node);
+
+  const MaxMinSolver::Stats& solver_stats() const { return solver_.stats(); }
+
  private:
+  /// Build the (capacities, demands) max-min problem into the given
+  /// buffers (shared by the oracle and cached paths so the arithmetic is
+  /// identical).
+  void build_problem(std::span<const NetFlow> flows,
+                     std::span<const int> fetch_streams_per_node,
+                     std::vector<double>& capacities,
+                     std::vector<FlowDemand>& demands) const;
+
   const ClusterSpec* spec_;
+  MaxMinSolver solver_;
+  std::vector<double> caps_scratch_;
+  std::vector<FlowDemand> demands_scratch_;
+  std::vector<double> empty_;
 };
 
 }  // namespace smr::cluster

@@ -1,6 +1,8 @@
 #include "smr/common/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 
 #include "smr/common/error.hpp"
 
@@ -36,6 +38,24 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    ++active_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -61,6 +81,37 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void TaskGroup::submit(std::function<void()> task) {
+  SMR_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  pool_->submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_ == 0) cv_done_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (outstanding_ == 0) return;
+    }
+    // Help: run someone's queued task (possibly ours) instead of sleeping.
+    // On a small pool this is what makes nested fan-out finish at all.
+    if (pool_->try_run_one()) continue;
+    // Queue empty but group tasks still running on other threads: sleep
+    // until one of them signals.  Re-check under the lock to avoid a lost
+    // wakeup between the empty-queue observation and the wait.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (outstanding_ == 0) return;
+    cv_done_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
@@ -69,28 +120,16 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(n, threads * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::atomic<std::size_t> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
-  std::size_t launched = 0;
+  TaskGroup group(pool);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    ++launched;
-    remaining.fetch_add(1, std::memory_order_relaxed);
-    pool.submit([lo, hi, &fn, &remaining, &done_mutex, &done_cv] {
+    group.submit([lo, hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
     });
   }
-  (void)launched;
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&remaining] { return remaining.load(std::memory_order_acquire) == 0; });
+  group.wait();
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -99,7 +138,13 @@ void parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& default_thread_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SMR_THREADS")) {
+      const long value = std::strtol(env, nullptr, 10);
+      if (value > 0) return static_cast<std::size_t>(value);
+    }
+    return static_cast<std::size_t>(0);  // hardware_concurrency
+  }());
   return pool;
 }
 

@@ -1,4 +1,4 @@
-// A small work-stealing-free thread pool plus parallel_for.
+// A small work-stealing-free thread pool plus TaskGroup and parallel_for.
 //
 // The simulator itself is single-threaded and deterministic; the pool exists
 // so that benches and sweeps can run *independent* simulations concurrently
@@ -6,6 +6,11 @@
 // contiguous chunks, which keeps per-simulation memory locality and gives
 // deterministic results regardless of thread count because the tasks do not
 // share mutable state.
+//
+// Nesting: a task running on the pool may itself fan out through TaskGroup
+// or parallel_for on the *same* pool.  The waiting task helps — it drains
+// queued pool work via try_run_one() instead of sleeping — so nested waits
+// cannot deadlock even on a single-threaded pool.
 #pragma once
 
 #include <condition_variable>
@@ -33,6 +38,11 @@ class ThreadPool {
   /// terminate the process (same policy as std::thread).
   void submit(std::function<void()> task);
 
+  /// Pop and run one queued task on the calling thread.  Returns false if
+  /// the queue was empty.  This is the help-wait primitive: a thread
+  /// blocked on a TaskGroup keeps the pool moving instead of sleeping.
+  bool try_run_one();
+
   /// Block until every submitted task has finished.
   void wait_idle();
 
@@ -48,8 +58,35 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// A group of tasks whose completion can be awaited independently of the
+/// rest of the pool.  Unlike ThreadPool::wait_idle(), wait() only blocks on
+/// *this group's* tasks, and the waiting thread helps run pool work while
+/// it waits — safe to use from inside another pool task (nested fan-out).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue a task belonging to this group.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted to this group has finished.  Runs
+  /// queued pool tasks on the calling thread while waiting.
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_done_;
+  std::size_t outstanding_ = 0;
+};
+
 /// Run `fn(i)` for every i in [begin, end) using `pool`, blocking until all
-/// iterations complete.  Iterations must be independent.
+/// iterations complete.  Iterations must be independent.  Safe to call from
+/// inside a pool task (the wait helps drain the queue).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 
@@ -57,7 +94,9 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 
-/// The process-wide default pool (lazily constructed).
+/// The process-wide default pool (lazily constructed).  Honours the
+/// SMR_THREADS environment variable (positive integer) on first use;
+/// unset or invalid falls back to hardware_concurrency.
 ThreadPool& default_thread_pool();
 
 }  // namespace smr

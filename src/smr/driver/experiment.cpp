@@ -113,14 +113,30 @@ metrics::RunResult run_trial(const ExperimentConfig& config,
 }
 
 metrics::RunResult run_experiment(const ExperimentConfig& config,
-                                  const std::vector<JobSubmission>& jobs) {
+                                  const std::vector<JobSubmission>& jobs,
+                                  ThreadPool& pool) {
   SMR_CHECK(config.trials >= 1);
-  std::vector<metrics::RunResult> trials;
-  trials.reserve(static_cast<std::size_t>(config.trials));
-  for (int t = 0; t < config.trials; ++t) {
-    trials.push_back(run_trial(config, jobs, config.runtime.seed + static_cast<std::uint64_t>(t)));
+  // Indexed result slots + fixed per-trial seeds (seed + t): the averaged
+  // result is bit-identical whatever the pool size or completion order.
+  std::vector<metrics::RunResult> trials(static_cast<std::size_t>(config.trials));
+  if (config.trials == 1) {
+    trials[0] = run_trial(config, jobs, config.runtime.seed);
+  } else {
+    TaskGroup group(pool);
+    for (int t = 0; t < config.trials; ++t) {
+      group.submit([&config, &jobs, &trials, t] {
+        trials[static_cast<std::size_t>(t)] =
+            run_trial(config, jobs, config.runtime.seed + static_cast<std::uint64_t>(t));
+      });
+    }
+    group.wait();
   }
   return metrics::average_trials(trials);
+}
+
+metrics::RunResult run_experiment(const ExperimentConfig& config,
+                                  const std::vector<JobSubmission>& jobs) {
+  return run_experiment(config, jobs, default_thread_pool());
 }
 
 metrics::RunResult run_single_job(const ExperimentConfig& config,

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "smr/common/thread_pool.hpp"
 #include "smr/core/slot_manager_config.hpp"
 #include "smr/mapreduce/runtime.hpp"
 #include "smr/metrics/job_metrics.hpp"
@@ -71,6 +72,15 @@ metrics::RunResult run_trial(const ExperimentConfig& config,
                              std::uint64_t seed);
 
 /// Run `config.trials` trials (seeds seed, seed+1, ...) and average.
+/// Trials are independent simulations; they run concurrently on `pool`
+/// (trial t always uses seed + t and lands in result slot t, so the
+/// averaged result is bit-identical for any pool size — including 1).
+/// Safe to call from inside a pool task: the wait helps drain the queue.
+metrics::RunResult run_experiment(const ExperimentConfig& config,
+                                  const std::vector<JobSubmission>& jobs,
+                                  ThreadPool& pool);
+
+/// Convenience: run on the process-wide default pool.
 metrics::RunResult run_experiment(const ExperimentConfig& config,
                                   const std::vector<JobSubmission>& jobs);
 

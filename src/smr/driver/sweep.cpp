@@ -51,7 +51,8 @@ void SweepConfig::validate() const {
 
 namespace {
 
-SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine) {
+SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine,
+                   ThreadPool& pool) {
   ExperimentConfig experiment = config.base;
   experiment.engine = engine;
   mapreduce::JobSpec spec = config.spec;
@@ -75,24 +76,52 @@ SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine) {
   SweepCell cell;
   cell.value = value;
   cell.engine = engine;
-  cell.job = run_single_job(experiment, spec).jobs[0];
+  metrics::RunResult run = run_experiment(experiment, {JobSubmission{spec, 0.0}}, pool);
+  cell.job = run.jobs[0];
+  cell.engine_events = run.engine_events;
+  cell.solver_calls = run.solver_calls;
+  cell.solver_full_solves = run.solver_full_solves;
   return cell;
 }
 
 }  // namespace
 
-SweepResult run_sweep(const SweepConfig& config) {
+SweepResult run_sweep(const SweepConfig& config, ThreadPool& pool) {
   config.validate();
   SweepResult result;
   result.dimension = config.dimension;
   const std::size_t engines = config.engines.size();
   result.cells.resize(config.values.size() * engines);
-  parallel_for(0, result.cells.size(), [&](std::size_t i) {
+  // Cells fan out on the pool, and each cell's trials fan out again on the
+  // same pool; TaskGroup's help-wait makes the nesting deadlock-free.
+  parallel_for(pool, 0, result.cells.size(), [&](std::size_t i) {
     const double value = config.values[i / engines];
     const EngineKind engine = config.engines[i % engines];
-    result.cells[i] = run_cell(config, value, engine);
+    result.cells[i] = run_cell(config, value, engine, pool);
   });
   return result;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  return run_sweep(config, default_thread_pool());
+}
+
+std::uint64_t SweepResult::total_engine_events() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells) total += cell.engine_events;
+  return total;
+}
+
+std::uint64_t SweepResult::total_solver_calls() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells) total += cell.solver_calls;
+  return total;
+}
+
+std::uint64_t SweepResult::total_solver_full_solves() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells) total += cell.solver_full_solves;
+  return total;
 }
 
 void SweepResult::write_csv(std::ostream& out) const {

@@ -38,6 +38,11 @@ struct SweepCell {
   double value = 0.0;
   EngineKind engine = EngineKind::kHadoopV1;
   metrics::JobResult job;
+  /// Engine/solver work done by this cell's trials (perf instrumentation,
+  /// summed over trials; not part of the CSV output).
+  std::uint64_t engine_events = 0;
+  std::uint64_t solver_calls = 0;
+  std::uint64_t solver_full_solves = 0;
 };
 
 struct SweepResult {
@@ -45,12 +50,21 @@ struct SweepResult {
   /// Row-major: one cell per (value, engine), values outer, engines inner.
   std::vector<SweepCell> cells;
 
+  /// Sum of per-cell engine events / solver calls (perf instrumentation).
+  std::uint64_t total_engine_events() const;
+  std::uint64_t total_solver_calls() const;
+  std::uint64_t total_solver_full_solves() const;
+
   /// CSV: value,engine,map_time_s,reduce_time_s,total_time_s,throughput.
   void write_csv(std::ostream& out) const;
 };
 
 /// Run the sweep; cells execute concurrently and results are returned in
-/// deterministic (value-major) order regardless of thread count.
+/// deterministic (value-major) order regardless of thread count.  Each
+/// cell's trials also fan out on the same pool (nested, help-wait safe).
+SweepResult run_sweep(const SweepConfig& config, ThreadPool& pool);
+
+/// Convenience: run on the process-wide default pool.
 SweepResult run_sweep(const SweepConfig& config);
 
 }  // namespace smr::driver

@@ -66,6 +66,19 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
   node_shuffled_in_.assign(node_alive_.size(), 0.0);
   node_attempt_failures_.assign(node_alive_.size(), 0);
   heartbeat_events_.assign(node_alive_.size(), sim::kInvalidEvent);
+  node_models_.resize(node_alive_.size());
+}
+
+cluster::MaxMinSolver::Stats Runtime::solver_stats() const {
+  cluster::MaxMinSolver::Stats total = network_.solver_stats();
+  for (const auto& model : node_models_) {
+    const auto& s = model.solver_stats();
+    total.calls += s.calls;
+    total.cache_hits += s.cache_hits;
+    total.cap_fast_hits += s.cap_fast_hits;
+    total.full_solves += s.full_solves;
+  }
+  return total;
 }
 
 JobId Runtime::submit(const JobSpec& spec, SimTime at) {
@@ -106,7 +119,7 @@ JobId Runtime::submit(const JobSpec& spec, SimTime at) {
       task.combine_total = static_cast<Bytes>(std::llround(
           static_cast<double>(task.output_size) / spec.combiner_reduction));
     }
-    task_refs_[task.id] = TaskRef{job.id, static_cast<int>(b), true};
+    set_task_ref(task.id, TaskRef{job.id, static_cast<int>(b), true});
     job.maps.push_back(task);
   }
   // Map output is partitioned uniformly over the reduce tasks (Section
@@ -125,7 +138,7 @@ JobId Runtime::submit(const JobSpec& spec, SimTime at) {
     const Bytes extra = (r < static_cast<int>(total_output % spec.reduce_tasks)) ? 1 : 0;
     task.partition_size = base + extra;
     task.cost_factor = task_rng.jitter(spec.duration_cv);
-    task_refs_[task.id] = TaskRef{job.id, r, false};
+    set_task_ref(task.id, TaskRef{job.id, r, false});
     job.reduces.push_back(task);
   }
 
@@ -249,6 +262,9 @@ metrics::RunResult Runtime::run() {
     result_.makespan = config_.time_limit;
   }
   result_.engine_events = engine_.dispatched();
+  const cluster::MaxMinSolver::Stats solver = solver_stats();
+  result_.solver_calls = solver.calls;
+  result_.solver_full_solves = solver.full_solves;
   return result_;
 }
 
@@ -301,25 +317,25 @@ Job& Runtime::job_of(JobId id) {
 }
 
 MapTask& Runtime::map_task(TaskId id) {
-  const auto it = task_refs_.find(id);
-  SMR_CHECK_MSG(it != task_refs_.end() && it->second.is_map, "unknown map task " << id);
-  if (it->second.speculative) {
+  const TaskRef* ref = find_task_ref(id);
+  SMR_CHECK_MSG(ref != nullptr && ref->is_map, "unknown map task " << id);
+  if (ref->speculative) {
     const auto shadow = shadow_attempts_.find(id);
     SMR_CHECK_MSG(shadow != shadow_attempts_.end(), "dangling shadow " << id);
     return shadow->second;
   }
-  return job_of(it->second.job).maps[static_cast<std::size_t>(it->second.index)];
+  return job_of(ref->job).maps[static_cast<std::size_t>(ref->index)];
 }
 
 ReduceTask& Runtime::reduce_task(TaskId id) {
-  const auto it = task_refs_.find(id);
-  SMR_CHECK_MSG(it != task_refs_.end() && !it->second.is_map, "unknown reduce task " << id);
-  if (it->second.speculative) {
+  const TaskRef* ref = find_task_ref(id);
+  SMR_CHECK_MSG(ref != nullptr && !ref->is_map, "unknown reduce task " << id);
+  if (ref->speculative) {
     const auto shadow = reduce_shadow_attempts_.find(id);
     SMR_CHECK_MSG(shadow != reduce_shadow_attempts_.end(), "dangling reduce shadow " << id);
     return shadow->second;
   }
-  return job_of(it->second.job).reduces[static_cast<std::size_t>(it->second.index)];
+  return job_of(ref->job).reduces[static_cast<std::size_t>(ref->index)];
 }
 
 // ---------------------------------------------------------------------------
@@ -397,7 +413,8 @@ void Runtime::on_tick() {
       flow_is_shuffle.push_back(false);
     }
   }
-  std::vector<double> net_rates = network_.allocate(flows, fetch_streams);
+  // Copy out of the solver cache: shuffle rates are rescaled in place below.
+  std::vector<double> net_rates = network_.allocate_cached(flows, fetch_streams);
 
   // --- 3. Cap shuffle ingest by each receiver's disk share --------------
   std::vector<double> shuffle_disk_demand(static_cast<std::size_t>(n), 0.0);
@@ -493,7 +510,7 @@ void Runtime::on_tick() {
       loads.push_back(load);
     }
     if (loads.empty()) continue;
-    const std::vector<double> rates = cluster::ComputeModel::solve(
+    const std::vector<double>& rates = node_models_[static_cast<std::size_t>(d)].solve_cached(
         node_spec, occ[static_cast<std::size_t>(d)], background[static_cast<std::size_t>(d)],
         loads);
     for (std::size_t i = 0; i < compute_ids.size(); ++i) {
@@ -522,7 +539,7 @@ void Runtime::on_tick() {
   std::vector<TaskId> finished_maps;
   std::vector<TaskId> finished_reduces;
   for (const auto& [id, rate] : compute_rate) {
-    const TaskRef& ref = task_refs_.at(id);
+    const TaskRef& ref = task_ref_at(id);
     if (ref.is_map) {
       MapTask& task = map_task(id);
       Job& job = job_of(task.job);
@@ -586,13 +603,14 @@ void Runtime::on_tick() {
       }
     }
   }
-  // Deterministic completion order (compute_rate is an unordered_map).
+  // Deterministic completion order (compute_rate is in node order, not id
+  // order).
   std::sort(finished_maps.begin(), finished_maps.end());
   std::sort(finished_reduces.begin(), finished_reduces.end());
   for (TaskId id : finished_maps) {
-    const auto ref_it = task_refs_.find(id);
-    if (ref_it == task_refs_.end()) continue;  // shadow retired this tick
-    const TaskRef& ref = ref_it->second;
+    const TaskRef* ref_it = find_task_ref(id);
+    if (ref_it == nullptr) continue;  // shadow retired this tick
+    const TaskRef& ref = *ref_it;
     if (ref.speculative) {
       win_speculative(id);
       continue;
@@ -602,9 +620,9 @@ void Runtime::on_tick() {
     complete_map(job_of(task.job), task, id);
   }
   for (TaskId id : finished_reduces) {
-    const auto ref_it = task_refs_.find(id);
-    if (ref_it == task_refs_.end()) continue;  // shadow retired this tick
-    if (ref_it->second.speculative) {
+    const TaskRef* ref_it = find_task_ref(id);
+    if (ref_it == nullptr) continue;  // shadow retired this tick
+    if (ref_it->speculative) {
       win_speculative_reduce(id);
       continue;
     }
@@ -795,7 +813,7 @@ void Runtime::eager_shrink(TaskTracker& tracker) {
     SimTime latest = -1.0;
     bool victim_is_shadow = false;
     for (TaskId id : tracker.running_map_tasks()) {
-      const bool is_shadow = task_refs_.at(id).speculative;
+      const bool is_shadow = task_ref_at(id).speculative;
       const MapTask& task = map_task(id);
       if ((is_shadow && !victim_is_shadow) ||
           (is_shadow == victim_is_shadow && task.start_time > latest)) {
@@ -806,7 +824,7 @@ void Runtime::eager_shrink(TaskTracker& tracker) {
     }
     SMR_CHECK(victim != kInvalidTask);
     if (victim_is_shadow) {
-      const TaskRef ref = task_refs_.at(victim);
+      const TaskRef ref = task_ref_at(victim);
       kill_shadow(job_of(ref.job).maps[static_cast<std::size_t>(ref.index)]);
     } else {
       requeue_running_map(map_task(victim));
@@ -916,11 +934,11 @@ void Runtime::fail_node(NodeId node) {
   SMR_WARN("node " << node << " failed at " << format_duration(engine_.now()));
 
   // A dead tracker stops heartbeating (the job tracker expires it); leaving
-  // the periodic event live would keep running its control loop.
-  sim::EventId& heartbeat = heartbeat_events_[static_cast<std::size_t>(node)];
+  // the periodic event live would keep running its control loop.  Park the
+  // series instead of cancelling so a recovery can revive the same event.
+  const sim::EventId heartbeat = heartbeat_events_[static_cast<std::size_t>(node)];
   if (heartbeat != sim::kInvalidEvent) {
-    engine_.cancel(heartbeat);
-    heartbeat = sim::kInvalidEvent;
+    engine_.reschedule(heartbeat, kTimeNever);
   }
   // Its slots are gone with it: zero the targets so cluster totals (and the
   // slot-target counter tracks) reflect live capacity only.
@@ -931,7 +949,7 @@ void Runtime::fail_node(NodeId node) {
   // Kill everything running there (copies: requeue mutates the lists).
   const std::vector<TaskId> running_maps = tracker.running_map_tasks();
   for (TaskId id : running_maps) {
-    const TaskRef ref = task_refs_.at(id);
+    const TaskRef ref = task_ref_at(id);
     if (ref.speculative) {
       kill_shadow(job_of(ref.job).maps[static_cast<std::size_t>(ref.index)]);
     } else {
@@ -941,7 +959,7 @@ void Runtime::fail_node(NodeId node) {
   }
   const std::vector<TaskId> running_reduces = tracker.running_reduce_tasks();
   for (TaskId id : running_reduces) {
-    const TaskRef ref = task_refs_.at(id);
+    const TaskRef ref = task_ref_at(id);
     if (ref.speculative) {
       kill_reduce_shadow(
           job_of(ref.job).reduces[static_cast<std::size_t>(ref.index)]);
@@ -1011,7 +1029,8 @@ void Runtime::recover_node(NodeId node) {
   if (metrics_ != nullptr) metrics_->counter("nodes.recovered").inc();
   SMR_INFO("node " << node << " recovered at " << format_duration(engine_.now()));
   // Resume the heartbeat on this tracker's original stagger grid, at the
-  // first grid point after the recovery instant.
+  // first grid point after the recovery instant.  The parked periodic
+  // series is revived in place — no cancel+push pair, no new event id.
   const std::size_t i = static_cast<std::size_t>(node);
   const SimTime offset = config_.heartbeat_period * static_cast<double>(i + 1) /
                          static_cast<double>(trackers_.size());
@@ -1022,8 +1041,8 @@ void Runtime::recover_node(NodeId node) {
                          config_.heartbeat_period;
     if (first <= now) first += config_.heartbeat_period;
   }
-  heartbeat_events_[i] = engine_.schedule_periodic(
-      first, config_.heartbeat_period, [this, i] { on_heartbeat(i); });
+  const bool revived = engine_.reschedule(heartbeat_events_[i], first);
+  SMR_CHECK_MSG(revived, "heartbeat series for node " << node << " vanished");
 }
 
 // ---------------------------------------------------------------------------
@@ -1080,9 +1099,9 @@ void Runtime::inject_attempt_failures() {
 }
 
 void Runtime::fail_map_attempt(TaskId id) {
-  const auto it = task_refs_.find(id);
-  if (it == task_refs_.end()) return;  // retired by an earlier teardown
-  const TaskRef ref = it->second;
+  const TaskRef* it = find_task_ref(id);
+  if (it == nullptr) return;  // retired by an earlier teardown
+  const TaskRef ref = *it;
   Job& job = job_of(ref.job);
   if (job.failed) return;
   MapTask& primary = job.maps[static_cast<std::size_t>(ref.index)];
@@ -1110,9 +1129,9 @@ void Runtime::fail_map_attempt(TaskId id) {
 }
 
 void Runtime::fail_reduce_attempt(TaskId id) {
-  const auto it = task_refs_.find(id);
-  if (it == task_refs_.end()) return;  // retired by an earlier teardown
-  const TaskRef ref = it->second;
+  const TaskRef* it = find_task_ref(id);
+  if (it == nullptr) return;  // retired by an earlier teardown
+  const TaskRef ref = *it;
   Job& job = job_of(ref.job);
   if (job.failed) return;
   ReduceTask& primary = job.reduces[static_cast<std::size_t>(ref.index)];
@@ -1383,8 +1402,8 @@ bool Runtime::launch_speculative(TaskTracker& tracker) {
     }
     shadow.fail_at_progress = draw_fail_threshold();
     shadow.failed_attempts = 0;  // the budget lives on the primary
-    task_refs_[shadow.id] =
-        TaskRef{job.id, straggler->split_index, true, /*speculative=*/true};
+    set_task_ref(shadow.id,
+                 TaskRef{job.id, straggler->split_index, true, /*speculative=*/true});
     shadow_of_[straggler->id] = shadow.id;
     const TaskId shadow_id = shadow.id;
     shadow_attempts_.emplace(shadow_id, std::move(shadow));
@@ -1410,11 +1429,11 @@ void Runtime::kill_shadow(MapTask& primary) {
   trackers_[static_cast<std::size_t>(shadow.node)].finish_map(shadow_id);
   shadow_of_.erase(it);
   shadow_attempts_.erase(shadow_id);
-  task_refs_.erase(shadow_id);
+  erase_task_ref(shadow_id);
 }
 
 void Runtime::win_speculative(TaskId shadow_id) {
-  const TaskRef ref = task_refs_.at(shadow_id);
+  const TaskRef ref = task_ref_at(shadow_id);
   SMR_CHECK(ref.speculative);
   Job& job = job_of(ref.job);
   MapTask& primary = job.maps[static_cast<std::size_t>(ref.index)];
@@ -1436,7 +1455,7 @@ void Runtime::win_speculative(TaskId shadow_id) {
   primary.phase_done = shadow.phase_done;
   shadow_of_.erase(primary.id);
   shadow_attempts_.erase(shadow_id);
-  task_refs_.erase(shadow_id);
+  erase_task_ref(shadow_id);
   ++speculative_wins_;
   complete_map(job, primary, shadow_id);
 }
@@ -1515,8 +1534,8 @@ bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
     shadow.cost_factor = rng_.jitter(job.spec.duration_cv);
     shadow.fail_at_progress = draw_fail_threshold();
     shadow.failed_attempts = 0;  // the budget lives on the primary
-    task_refs_[shadow.id] =
-        TaskRef{job.id, straggler->partition, false, /*speculative=*/true};
+    set_task_ref(shadow.id,
+                 TaskRef{job.id, straggler->partition, false, /*speculative=*/true});
     reduce_shadow_of_[straggler->id] = shadow.id;
     const TaskId shadow_id = shadow.id;
     reduce_shadow_attempts_.emplace(shadow_id, std::move(shadow));
@@ -1546,11 +1565,11 @@ void Runtime::kill_reduce_shadow(ReduceTask& primary) {
   trackers_[static_cast<std::size_t>(shadow.node)].finish_reduce(shadow_id);
   reduce_shadow_of_.erase(it);
   reduce_shadow_attempts_.erase(shadow_id);
-  task_refs_.erase(shadow_id);
+  erase_task_ref(shadow_id);
 }
 
 void Runtime::win_speculative_reduce(TaskId shadow_id) {
-  const TaskRef ref = task_refs_.at(shadow_id);
+  const TaskRef ref = task_ref_at(shadow_id);
   SMR_CHECK(ref.speculative && !ref.is_map);
   Job& job = job_of(ref.job);
   ReduceTask& primary = job.reduces[static_cast<std::size_t>(ref.index)];
@@ -1572,7 +1591,7 @@ void Runtime::win_speculative_reduce(TaskId shadow_id) {
   primary.phase = ReducePhase::kReducing;  // completing momentarily
   reduce_shadow_of_.erase(primary.id);
   reduce_shadow_attempts_.erase(shadow_id);
-  task_refs_.erase(shadow_id);
+  erase_task_ref(shadow_id);
   ++speculative_reduce_wins_;
   complete_reduce(job, primary, shadow_id);
 }

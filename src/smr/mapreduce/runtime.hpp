@@ -239,6 +239,10 @@ class Runtime {
   /// before submitting deferred jobs.
   bool stopped() const { return stopping_; }
 
+  /// Aggregated incremental max-min solver statistics over every per-node
+  /// compute model plus the network model (perf instrumentation).
+  cluster::MaxMinSolver::Stats solver_stats() const;
+
  private:
   struct TaskRef {
     JobId job = kInvalidJob;
@@ -304,6 +308,32 @@ class Runtime {
   Job& job_of(JobId id);
   MapTask& map_task(TaskId id);
   ReduceTask& reduce_task(TaskId id);
+  /// Task ids are allocated densely from 0, so the ref table is a plain
+  /// vector (hot: every census/integration step resolves ids through it).
+  /// A slot with job == kInvalidJob is retired (shadow attempts only;
+  /// primary-task refs live for the whole run).
+  const TaskRef* find_task_ref(TaskId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= task_refs_.size()) return nullptr;
+    const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+    return ref.job == kInvalidJob ? nullptr : &ref;
+  }
+  const TaskRef& task_ref_at(TaskId id) const {
+    const TaskRef* ref = find_task_ref(id);
+    SMR_CHECK_MSG(ref != nullptr, "unknown task " << id);
+    return *ref;
+  }
+  void set_task_ref(TaskId id, TaskRef ref) {
+    SMR_CHECK(id >= 0);
+    if (static_cast<std::size_t>(id) >= task_refs_.size()) {
+      task_refs_.resize(static_cast<std::size_t>(id) + 1);
+    }
+    task_refs_[static_cast<std::size_t>(id)] = ref;
+  }
+  void erase_task_ref(TaskId id) {
+    if (id >= 0 && static_cast<std::size_t>(id) < task_refs_.size()) {
+      task_refs_[static_cast<std::size_t>(id)] = TaskRef{};
+    }
+  }
   void trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
                    NodeId node, bool is_map, const char* detail = "",
                    double value = 0.0);
@@ -324,7 +354,12 @@ class Runtime {
 
   std::vector<TaskTracker> trackers_;
   std::vector<Job> jobs_;
-  std::unordered_map<TaskId, TaskRef> task_refs_;
+  /// Dense id -> ref table (see find_task_ref above).
+  std::vector<TaskRef> task_refs_;
+  /// One incremental compute solver per worker node: across consecutive
+  /// ticks a node's occupancy and loads are usually unchanged, so the
+  /// per-tick solve is answered from the cache.
+  std::vector<cluster::ComputeModel> node_models_;
   TaskId next_task_id_ = 0;
   int unfinished_jobs_ = 0;
   int jobs_not_yet_submitted_ = 0;

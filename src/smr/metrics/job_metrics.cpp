@@ -46,6 +46,8 @@ RunResult average_trials(const std::vector<RunResult>& trials) {
     avg.completed = avg.completed && trial.completed;
     if (avg.failure_reason.empty()) avg.failure_reason = trial.failure_reason;
     avg.engine_events += trial.engine_events;
+    avg.solver_calls += trial.solver_calls;
+    avg.solver_full_solves += trial.solver_full_solves;
   }
   for (auto& job : avg.jobs) {
     job.submit_time /= n;

@@ -109,6 +109,12 @@ struct RunResult {
   /// Discrete events the sim engine dispatched for this run (summed over
   /// trials by average_trials) — the denominator of events/sec profiling.
   std::uint64_t engine_events = 0;
+  /// Max-min solver calls made by the run's compute/network models, and how
+  /// many actually ran the water-filling pass (the rest were answered from
+  /// the incremental solver's cache).  Summed over trials by
+  /// average_trials; perf instrumentation only, never part of report JSON.
+  std::uint64_t solver_calls = 0;
+  std::uint64_t solver_full_solves = 0;
 
   const JobResult& job(std::size_t index) const {
     SMR_CHECK(index < jobs.size());

@@ -5,16 +5,27 @@
 
 namespace smr::sim {
 
-void Engine::push(SimTime when, SimTime period, EventId id, std::function<void()> fn) {
-  heap_.push(Entry{when, next_seq_++, id, period, std::move(fn)});
+void Engine::push(SimTime when, EventId id, Generation gen) {
+  heap_.push_back(Entry{when, next_seq_++, id, gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   peak_pending_ = std::max(peak_pending_, heap_.size());
+}
+
+void Engine::compact() {
+  std::erase_if(heap_, [this](const Entry& e) {
+    const auto it = live_.find(e.id);
+    return it == live_.end() || it->second.gen != e.gen;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  stale_ = 0;
 }
 
 EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
   SMR_CHECK_MSG(when >= now_, "schedule_at in the past: " << when << " < " << now_);
   SMR_CHECK(fn != nullptr);
   const EventId id = next_id_++;
-  push(when, 0.0, id, std::move(fn));
+  live_.emplace(id, Live{0, 0.0, std::move(fn)});
+  push(when, id, 0);
   return id;
 }
 
@@ -28,36 +39,68 @@ EventId Engine::schedule_periodic(SimTime first, SimTime period, std::function<v
   SMR_CHECK_MSG(period > 0.0, "periodic period must be positive");
   SMR_CHECK(fn != nullptr);
   const EventId id = next_id_++;
-  push(first, period, id, std::move(fn));
+  live_.emplace(id, Live{0, period, std::move(fn)});
+  push(first, id, 0);
   return id;
 }
 
 bool Engine::cancel(EventId id) {
-  if (id == kInvalidEvent) return false;
-  // We cannot remove from the heap; mark the id dead and skip on pop.
-  return cancelled_.insert(id).second;
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  // Its single heap stub (invariant: one per live event) is now retired.
+  live_.erase(it);
+  ++stale_;
+  maybe_compact();
+  return true;
+}
+
+bool Engine::reschedule(EventId id, SimTime when) {
+  SMR_CHECK_MSG(when >= now_, "reschedule in the past: " << when << " < " << now_);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  // Retire the current stub by bumping the generation, then push a fresh
+  // one; the callback never moves.
+  ++it->second.gen;
+  ++stale_;
+  push(when, id, it->second.gen);
+  maybe_compact();
+  return true;
 }
 
 bool Engine::step(SimTime limit) {
   for (;;) {
     if (heap_.empty()) return false;
-    const Entry& top = heap_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      heap_.pop();
+    const Entry top = heap_.front();
+    const auto it = live_.find(top.id);
+    if (it == live_.end() || it->second.gen != top.gen) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      --stale_;
       continue;
     }
+    // Parked events never fire; they are only reachable again through
+    // reschedule().  The heap is time-ordered, so everything behind this
+    // stub is parked too.
+    if (top.when >= kTimeNever) return false;
     if (top.when > limit) return false;
-    // Copy out what we need before popping invalidates the reference.
-    Entry entry{top.when, top.seq, top.id, top.period, top.fn};
-    heap_.pop();
-    now_ = entry.when;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    now_ = top.when;
     ++dispatched_;
-    if (entry.period > 0.0) {
-      // Reschedule before running so the callback can cancel the series.
-      push(entry.when + entry.period, entry.period, entry.id, entry.fn);
+    if (it->second.period > 0.0) {
+      // Re-arm before running so the callback can cancel or move the
+      // series.  Same generation: the popped stub is gone, so the invariant
+      // of one stub per live event holds.
+      push(top.when + it->second.period, top.id, top.gen);
+      // The map node is stable, but step() can recurse through fn into
+      // another schedule_* that rehashes live_; don't hold `it` across it.
+      const auto fn = it->second.fn;
+      fn();
+    } else {
+      auto fn = std::move(it->second.fn);
+      live_.erase(it);
+      fn();
     }
-    entry.fn();
     return true;
   }
 }

@@ -3,13 +3,22 @@
 // Events are (time, sequence) ordered: two events at the same simulated time
 // fire in scheduling order, which makes every run bit-for-bit reproducible.
 // Events are cancellable via the EventId returned by schedule_*; periodic
-// events reschedule themselves until cancelled.
+// events reschedule themselves until cancelled, and reschedule() moves a
+// pending event (or the next firing of a periodic series) without consuming
+// a new id.
+//
+// Internally the heap holds lightweight generation-stamped stubs; callbacks
+// live in a side table keyed by EventId.  cancel() and reschedule() never
+// touch the heap — they retire the stamped stub lazily (it is skipped when
+// it surfaces) and the heap is compacted in one pass when retired stubs
+// outnumber live ones.  This keeps cancel/reschedule O(1) and pending()
+// exact, unlike the earlier tombstone-set scheme whose count underflowed
+// when an already-fired id was cancelled.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "smr/common/error.hpp"
@@ -43,16 +52,24 @@ class Engine {
   /// fired or unknown one-shot event is a no-op and returns false.
   bool cancel(EventId id);
 
+  /// Move a pending event to fire at `when` (>= now) instead.  For a
+  /// periodic series this moves the next firing; later firings follow at
+  /// `when + period`, `when + 2*period`, ...  Pass kTimeNever to park the
+  /// event indefinitely (a later reschedule can revive it).  Returns false
+  /// if the id is unknown or already fired.
+  bool reschedule(EventId id, SimTime when);
+
   /// Run until the queue is empty or `limit` is reached, whichever first.
-  /// Returns the final simulated time.
+  /// Events parked at kTimeNever never fire.  Returns the final time.
   SimTime run(SimTime limit = kTimeNever);
 
   /// Run a single event; returns false if the queue was empty or the next
   /// event lies beyond `limit` (time does not advance past `limit`).
   bool step(SimTime limit = kTimeNever);
 
-  /// Number of pending events (cancelled-but-not-popped entries excluded).
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Exact number of pending events (cancelled/rescheduled stubs excluded;
+  /// events parked at kTimeNever included).
+  std::size_t pending() const { return live_.size(); }
 
   bool empty() const { return pending() == 0; }
 
@@ -60,17 +77,23 @@ class Engine {
   std::uint64_t dispatched() const { return dispatched_; }
 
   /// High-water mark of the event heap (self-profiling: how deep the
-  /// queue ever got, cancelled-but-unpopped entries included).
+  /// queue ever got, retired-but-unpopped stubs included).
   std::size_t peak_pending() const { return peak_pending_; }
 
+  /// Heap entries currently retired (awaiting lazy skip or compaction).
+  /// Exposed for tests of the compaction policy.
+  std::size_t stale() const { return stale_; }
+
  private:
+  using Generation = std::uint32_t;
+
+  // Lightweight, trivially-copyable heap stub.  The callback and period
+  // stay in `live_` so reschedule() does not have to move them.
   struct Entry {
     SimTime when;
     std::uint64_t seq;
     EventId id;
-    // Periodic period; 0 means one-shot.
-    SimTime period;
-    std::function<void()> fn;
+    Generation gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -78,16 +101,30 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  struct Live {
+    Generation gen = 0;
+    // Periodic period; 0 means one-shot.
+    SimTime period = 0.0;
+    std::function<void()> fn;
+  };
 
-  void push(SimTime when, SimTime period, EventId id, std::function<void()> fn);
+  void push(SimTime when, EventId id, Generation gen);
+  /// Drop every retired stub from the heap in one pass.
+  void compact();
+  void maybe_compact() {
+    // Amortised: each compaction touches the whole heap, so only fire once
+    // retired stubs dominate and the heap is big enough to matter.
+    if (stale_ > live_.size() && heap_.size() >= 64) compact();
+  }
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
   std::size_t peak_pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t stale_ = 0;
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, Live> live_;
 };
 
 }  // namespace smr::sim

@@ -97,5 +97,101 @@ TEST(ParallelFor, NestedSubmitsFromTasksComplete) {
   EXPECT_EQ(counter.load(), 800);
 }
 
+TEST(ThreadPool, TryRunOneDrainsQueueFromCaller) {
+  // A 1-thread pool kept busy by a blocking task: the caller can still make
+  // progress by running queued tasks itself.
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the worker owns the blocking task; otherwise try_run_one
+  // below could pick it up itself and spin on `release` forever.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(ran.load(), 5);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, TryRunOneOnEmptyQueueIsFalse) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(TaskGroup, WaitBlocksOnOwnTasksOnly) {
+  ThreadPool pool(2);
+  std::atomic<int> group_done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 20; ++i) {
+    group.submit([&group_done] { group_done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(group_done.load(), 20);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(TaskGroup, DestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 10; ++i) {
+      group.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(TaskGroup, NestedGroupsOnSingleThreadPoolDoNotDeadlock) {
+  // The sweep shape: outer tasks each wait on an inner group running on the
+  // SAME pool.  With one worker this deadlocks unless waiters help drain
+  // the queue.
+  ThreadPool pool(1);
+  std::atomic<int> inner_done{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.submit([&pool, &inner_done] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 3; ++j) {
+        inner.submit([&inner_done] { inner_done.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_done.load(), 12);
+}
+
+TEST(ParallelFor, NestedParallelForOnSamePoolCompletes) {
+  // Regression for the sweep runner: run_sweep fans cells out with
+  // parallel_for and each cell fans its trials out on the same pool.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<int> out(6 * 5, 0);
+    parallel_for(pool, 0, 6, [&](std::size_t cell) {
+      parallel_for(pool, 0, 5, [&, cell](std::size_t trial) {
+        out[cell * 5 + trial] = static_cast<int>(cell * 5 + trial);
+      });
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i)) << "threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace smr

@@ -1,0 +1,154 @@
+// smr_perfbench — simulator performance harness (no google-benchmark).
+//
+//   smr_perfbench                 # full suite: fig3 benches + 16-pt sweep
+//   smr_perfbench --smoke         # seconds-long CI smoke subset
+//   smr_perfbench --out=BENCH_5.json
+//
+// Each entry runs real simulations through the driver and reports
+// wall-clock, engine events dispatched, events/sec, and the incremental
+// max-min solver's call/full-solve counters (full < calls means the
+// solver cache is doing its job).  Results go to stdout as a table and to
+// --out as JSON-lines, one {"type":"bench",...} object per entry plus one
+// {"type":"meta",...} header.  See docs/PERF.md.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "smr/common/flags.hpp"
+#include "smr/common/thread_pool.hpp"
+#include "smr/driver/sweep.hpp"
+#include "smr/obs/self_profile.hpp"
+#include "smr/workload/puma.hpp"
+
+using namespace smr;
+
+namespace {
+
+struct BenchResult {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t solver_calls = 0;
+  std::uint64_t solver_full_solves = 0;
+
+  double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+  /// Fraction of solver calls answered from the incremental cache.
+  double solver_hit_rate() const {
+    return solver_calls > 0
+               ? 1.0 - static_cast<double>(solver_full_solves) /
+                           static_cast<double>(solver_calls)
+               : 0.0;
+  }
+};
+
+/// Run one single-job experiment per (benchmark, engine) pair, timed as a
+/// single entry — the smr_perfbench equivalent of bench_fig3_benchmarks.
+BenchResult run_fig3(bool smoke) {
+  const std::vector<workload::Puma> benches =
+      smoke ? std::vector<workload::Puma>{workload::Puma::kGrep,
+                                          workload::Puma::kTerasort}
+            : workload::fig3_benchmarks();
+  const Bytes input = (smoke ? 4 : 30) * kGiB;
+  BenchResult result;
+  result.name = smoke ? "fig3_smoke" : "fig3";
+  obs::Stopwatch stopwatch;
+  for (workload::Puma bench : benches) {
+    for (driver::EngineKind engine : driver::all_engines()) {
+      driver::ExperimentConfig config = driver::ExperimentConfig::paper_default(engine);
+      config.trials = smoke ? 1 : 2;
+      const metrics::RunResult run =
+          driver::run_single_job(config, workload::make_puma_job(bench, input));
+      result.events += run.engine_events;
+      result.solver_calls += run.solver_calls;
+      result.solver_full_solves += run.solver_full_solves;
+    }
+  }
+  result.wall_seconds = stopwatch.seconds();
+  return result;
+}
+
+/// Terasort map-slots sweep across all engines — the smr_sweep workload
+/// (16 values in the full suite, 4 in smoke mode).
+BenchResult run_sweep_bench(bool smoke) {
+  driver::SweepConfig config;
+  config.dimension = driver::SweepDimension::kMapSlots;
+  const int points = smoke ? 4 : 16;
+  for (int v = 1; v <= points; ++v) config.values.push_back(v);
+  config.spec =
+      workload::make_puma_job(workload::Puma::kTerasort, (smoke ? 4 : 30) * kGiB);
+  config.base = driver::ExperimentConfig::paper_default(driver::EngineKind::kHadoopV1);
+  config.base.trials = smoke ? 1 : 2;
+
+  BenchResult result;
+  result.name = smoke ? "sweep4_smoke" : "sweep16";
+  obs::Stopwatch stopwatch;
+  const driver::SweepResult sweep = driver::run_sweep(config);
+  result.wall_seconds = stopwatch.seconds();
+  result.events = sweep.total_engine_events();
+  result.solver_calls = sweep.total_solver_calls();
+  result.solver_full_solves = sweep.total_solver_full_solves();
+  return result;
+}
+
+void write_json(const std::string& path, const std::vector<BenchResult>& results,
+                bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "smr_perfbench: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\"type\":\"meta\",\"tool\":\"smr_perfbench\",\"mode\":\""
+      << (smoke ? "smoke" : "full")
+      << "\",\"threads\":" << default_thread_pool().thread_count() << "}\n";
+  for (const BenchResult& r : results) {
+    out << "{\"type\":\"bench\",\"name\":\"" << r.name
+        << "\",\"wall_seconds\":" << r.wall_seconds << ",\"events\":" << r.events
+        << ",\"events_per_sec\":" << r.events_per_sec()
+        << ",\"solver_calls\":" << r.solver_calls
+        << ",\"solver_full_solves\":" << r.solver_full_solves
+        << ",\"solver_cache_hit_rate\":" << r.solver_hit_rate() << "}\n";
+  }
+  std::printf("\nperf json written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("Time the simulator's figure workloads and report engine/solver rates.");
+  flags.define_bool("smoke", false, "run the seconds-long CI subset");
+  flags.define_string("out", "BENCH_5.json", "JSON-lines output path ('' to skip)");
+  flags.define_bool("help", false, "print this help");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "smr_perfbench: %s\n\n%s", flags.error().c_str(),
+                 flags.usage("smr_perfbench").c_str());
+    return 1;
+  }
+  if (flags.get_bool("help")) {
+    std::fputs(flags.usage("smr_perfbench").c_str(), stdout);
+    return 0;
+  }
+
+  const bool smoke = flags.get_bool("smoke");
+  std::vector<BenchResult> results;
+  results.push_back(run_fig3(smoke));
+  results.push_back(run_sweep_bench(smoke));
+
+  std::printf("%-14s %12s %14s %14s %14s %14s %10s\n", "bench", "wall_s",
+              "events", "events/s", "solver_calls", "full_solves", "hit_rate");
+  for (const BenchResult& r : results) {
+    std::printf("%-14s %12.3f %14" PRIu64 " %14.0f %14" PRIu64 " %14" PRIu64
+                " %9.1f%%\n",
+                r.name.c_str(), r.wall_seconds, r.events, r.events_per_sec(),
+                r.solver_calls, r.solver_full_solves, 100.0 * r.solver_hit_rate());
+  }
+
+  if (const std::string path = flags.get_string("out"); !path.empty()) {
+    write_json(path, results, smoke);
+  }
+  return 0;
+}
