@@ -1,0 +1,79 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// The obs sinks *write* JSON with hand-rolled streaming code; this is the
+// other direction, used by smr_inspect (and its tests) to load the
+// artifacts back: metrics.jsonl, spans.jsonl, critpath.json, report.json,
+// alerts.jsonl.  It parses the full JSON grammar the writers emit —
+// objects, arrays, strings with the escapes we produce, numbers (as
+// double), booleans, null — and nothing exotic (no \uXXXX surrogate
+// pairs, no comments).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smr {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a);
+  explicit JsonValue(JsonObject o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors abort (SMR_CHECK) on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Member's number, or `fallback` when absent/null/not a number.
+  double number_or(const std::string& key, double fallback) const;
+  /// Member's string, or `fallback` when absent/not a string.
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirect so JsonValue stays movable while self-referential.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses exactly one JSON document from `text` (trailing whitespace
+/// allowed).  Returns nullopt with a message in *error on malformed input.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
+
+/// Parses one JSON value per non-empty line (JSONL); stops and returns
+/// nullopt on the first malformed line.
+std::optional<std::vector<JsonValue>> parse_jsonl(const std::string& text,
+                                                  std::string* error = nullptr);
+
+}  // namespace smr

@@ -261,6 +261,14 @@ metrics::RunResult Runtime::run() {
   } else {
     result_.makespan = config_.time_limit;
   }
+  if (spans_ != nullptr && run_span_ != obs::kInvalidSpan) {
+    // Close whatever the run left open: the run root always, plus phases
+    // and attempts when the time limit truncated it (abort_run already
+    // flushed its own spans at the abort instant).
+    spans_->close_open(result_.makespan, result_.completed
+                                             ? obs::SpanOutcome::kOk
+                                             : obs::SpanOutcome::kAborted);
+  }
   result_.engine_events = engine_.dispatched();
   const cluster::MaxMinSolver::Stats solver = solver_stats();
   result_.solver_calls = solver.calls;
@@ -671,8 +679,13 @@ void Runtime::complete_map(Job& job, MapTask& task, TaskId attempt_id) {
   }
   trace_event(metrics::TraceEventKind::kTaskFinished, job.id, task.id,
               task.node, true);
+  span_attempt_ended(attempt_id, obs::SpanOutcome::kOk);
   trackers_[static_cast<std::size_t>(task.node)].finish_map(attempt_id);
   ++job.maps_finished;
+  if (spans_ != nullptr && !job.maps.empty() &&
+      job.map_completion_fraction() >= config_.reduce_slowstart) {
+    span_reduce_eligible(job);
+  }
   job.map_output_produced += static_cast<double>(task.output_size);
   cum_map_output_ += static_cast<double>(task.output_size);
   node_map_output_[static_cast<std::size_t>(task.node)] +=
@@ -696,6 +709,7 @@ void Runtime::complete_map(Job& job, MapTask& task, TaskId attempt_id) {
     }
     trace_event(metrics::TraceEventKind::kBarrierCrossed, job.id, kInvalidTask,
                 kInvalidNode, true);
+    span_barrier_crossed(job);
     SMR_DEBUG("job " << job.spec.name << " crossed the barrier at "
                      << format_duration(engine_.now()));
   }
@@ -714,6 +728,7 @@ void Runtime::settle_reduce(Job& job, ReduceTask& task) {
   task.phase_done = 0.0;
   trace_event(metrics::TraceEventKind::kPhaseStarted, task.job, task.id,
               task.node, false, "SORT");
+  span_shuffle_settled(job, task.id);
   if (task.partition_size == 0) {
     // Nothing to sort or reduce; the task completes immediately (zero-size
     // partitions never have speculative shadows).
@@ -732,6 +747,7 @@ void Runtime::complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id) {
   }
   trace_event(metrics::TraceEventKind::kTaskFinished, job.id, task.id,
               task.node, false);
+  span_attempt_ended(attempt_id, obs::SpanOutcome::kOk);
   trackers_[static_cast<std::size_t>(task.node)].finish_reduce(attempt_id);
   ++job.reduces_finished;
   if (job.reduces_finished == static_cast<int>(job.reduces.size()) &&
@@ -740,6 +756,7 @@ void Runtime::complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id) {
     --unfinished_jobs_;
     trace_event(metrics::TraceEventKind::kJobFinished, job.id, kInvalidTask,
                 kInvalidNode, true);
+    span_job_finished(job, obs::SpanOutcome::kOk);
     SMR_INFO("job " << job.spec.name << " finished at "
                     << format_duration(engine_.now()));
     if (on_job_finished_) on_job_finished_(job);
@@ -780,6 +797,14 @@ void Runtime::abort_run(std::string reason) {
     if (id != sim::kInvalidEvent) engine_.cancel(id);
     id = sim::kInvalidEvent;
   }
+  // Graceful-degradation flush: the samplers above are dead, so leave the
+  // obs sinks complete as of the abort instant — one final metric sample,
+  // any policy decisions not yet mirrored into the trace, and every span
+  // closed (kAborted).  The decision/trace logs themselves are append-only
+  // and already consistent.
+  record_metric_samples(abort_time_);
+  span_refresh_decisions();
+  span_flush_aborted();
 }
 
 // ---------------------------------------------------------------------------
@@ -852,6 +877,8 @@ void Runtime::requeue_running_map(MapTask& task) {
   rollback_map_progress(task);
   trace_event(metrics::TraceEventKind::kTaskKilled, task.job, task.id,
               task.node, true);
+  span_mark_retry(task.id, task.id);
+  span_attempt_ended(task.id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(task.node)].finish_map(task.id);
   task.node = kInvalidNode;
   task.src_node = kInvalidNode;
@@ -873,6 +900,8 @@ void Runtime::requeue_running_reduce(ReduceTask& task) {
   node_shuffled_in_[static_cast<std::size_t>(task.node)] -= task.fetched;
   trace_event(metrics::TraceEventKind::kTaskKilled, task.job, task.id,
               task.node, false);
+  span_mark_retry(task.id, task.id);
+  span_attempt_ended(task.id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(task.node)].finish_reduce(task.id);
   task.node = kInvalidNode;
   task.phase = ReducePhase::kShuffling;
@@ -887,6 +916,10 @@ void Runtime::requeue_completed_map(Job& job, MapTask& task) {
   SMR_CHECK(task.phase == MapPhase::kDone);
   trace_event(metrics::TraceEventKind::kTaskKilled, task.job, task.id,
               task.node, true);
+  // The re-execution is causally a retry of the (successfully completed,
+  // then lost) attempt; its span is already closed, so link via the
+  // last-attempt record.
+  span_mark_retry(task.id, task.id);
   --job.maps_finished;
   --job.maps_assigned;
   job.map_input_processed -= static_cast<double>(task.input_size);
@@ -1112,6 +1145,10 @@ void Runtime::fail_map_attempt(TaskId id) {
   trace_event(metrics::TraceEventKind::kTaskAttemptFailed, job.id, id, node,
               true, ref.speculative ? "injected-speculative" : "injected",
               static_cast<double>(primary.failed_attempts));
+  // Close the span as kFailed before the requeue/kill path (whose own
+  // close would report kKilled); mark the retry link for a relaunch.
+  if (!ref.speculative) span_mark_retry(primary.id, id);
+  span_attempt_ended(id, obs::SpanOutcome::kFailed);
   if (ref.speculative) {
     // The shadow dies; the primary keeps running (but the failure counts
     // against the shared attempt budget, as in Hadoop).
@@ -1144,6 +1181,8 @@ void Runtime::fail_reduce_attempt(TaskId id) {
   trace_event(metrics::TraceEventKind::kTaskAttemptFailed, job.id, id, node,
               false, ref.speculative ? "injected-speculative" : "injected",
               static_cast<double>(primary.failed_attempts));
+  if (!ref.speculative) span_mark_retry(primary.id, id);
+  span_attempt_ended(id, obs::SpanOutcome::kFailed);
   if (ref.speculative) {
     kill_reduce_shadow(primary);
   } else if (primary.failed_attempts < config_.max_attempts) {
@@ -1202,6 +1241,7 @@ void Runtime::fail_job(Job& job, std::string reason) {
   ++failed_jobs_;
   trace_event(metrics::TraceEventKind::kJobFailed, job.id, kInvalidTask,
               kInvalidNode, true, job.failure_reason.c_str());
+  span_job_finished(job, obs::SpanOutcome::kFailed);
   if (metrics_ != nullptr) metrics_->counter("jobs.failed").inc();
   if (on_job_finished_) on_job_finished_(job);
   check_all_done();  // this may have been the last unfinished job
@@ -1217,6 +1257,7 @@ void Runtime::on_policy_period() {
 
   policy_->on_period(trackers(), snapshot());
 
+  span_refresh_decisions();
   if (metrics_ != nullptr) metrics_->counter("policy.periods").inc();
   if (trace_ != nullptr) {
     trace_slot_targets(prev_map_total, prev_reduce_total);
@@ -1342,6 +1383,8 @@ bool Runtime::assign_one_map(TaskTracker& tracker) {
                 tracker.node(), true);
     trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, chosen->id,
                 tracker.node(), true, "MAP");
+    span_attempt_launched(chosen->id, job, tracker.node(), /*is_map=*/true,
+                          /*speculative=*/false, chosen->id);
     return true;
   }
   if (config_.speculative_execution && launch_speculative(tracker)) return true;
@@ -1413,6 +1456,8 @@ bool Runtime::launch_speculative(TaskTracker& tracker) {
                 tracker.node(), true, "speculative");
     trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, shadow_id,
                 tracker.node(), true, "MAP");
+    span_attempt_launched(shadow_id, job, tracker.node(), /*is_map=*/true,
+                          /*speculative=*/true, straggler->id);
     return true;
   }
   return false;
@@ -1426,6 +1471,7 @@ void Runtime::kill_shadow(MapTask& primary) {
   rollback_map_progress(shadow);
   trace_event(metrics::TraceEventKind::kTaskKilled, shadow.job, shadow_id,
               shadow.node, true, "speculative");
+  span_attempt_ended(shadow_id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(shadow.node)].finish_map(shadow_id);
   shadow_of_.erase(it);
   shadow_attempts_.erase(shadow_id);
@@ -1444,6 +1490,7 @@ void Runtime::win_speculative(TaskId shadow_id) {
   rollback_map_progress(primary);
   trace_event(metrics::TraceEventKind::kTaskKilled, job.id, primary.id,
               primary.node, true, "lost-race");
+  span_attempt_ended(primary.id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(primary.node)].finish_map(primary.id);
 
   // The task completes where the shadow ran.
@@ -1481,6 +1528,8 @@ bool Runtime::assign_one_reduce(TaskTracker& tracker) {
                   tracker.node(), false);
       trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, task.id,
                   tracker.node(), false, "SHUFFLE");
+      span_attempt_launched(task.id, job, tracker.node(), /*is_map=*/false,
+                            /*speculative=*/false, task.id);
       return true;
     }
   }
@@ -1545,6 +1594,8 @@ bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
                 tracker.node(), false, "speculative");
     trace_event(metrics::TraceEventKind::kPhaseStarted, job.id, shadow_id,
                 tracker.node(), false, "SHUFFLE");
+    span_attempt_launched(shadow_id, job, tracker.node(), /*is_map=*/false,
+                          /*speculative=*/true, straggler->id);
     return true;
   }
   return false;
@@ -1562,6 +1613,7 @@ void Runtime::kill_reduce_shadow(ReduceTask& primary) {
   node_shuffled_in_[static_cast<std::size_t>(shadow.node)] -= shadow.fetched;
   trace_event(metrics::TraceEventKind::kTaskKilled, shadow.job, shadow_id,
               shadow.node, false, "speculative");
+  span_attempt_ended(shadow_id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(shadow.node)].finish_reduce(shadow_id);
   reduce_shadow_of_.erase(it);
   reduce_shadow_attempts_.erase(shadow_id);
@@ -1582,6 +1634,7 @@ void Runtime::win_speculative_reduce(TaskId shadow_id) {
   node_shuffled_in_[static_cast<std::size_t>(primary.node)] -= primary.fetched;
   trace_event(metrics::TraceEventKind::kTaskKilled, job.id, primary.id,
               primary.node, false, "lost-race");
+  span_attempt_ended(primary.id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(primary.node)].finish_reduce(primary.id);
 
   primary.node = shadow.node;
@@ -1616,37 +1669,48 @@ void Runtime::on_sample() {
     slot_sample.running_maps += tracker.running_maps();
     slot_sample.running_reduces += tracker.running_reduces();
   }
-  if (metrics_ != nullptr) {
-    // Cluster totals (before the per-node averaging below).
-    metrics_->series("slots.map_target").append(now, slot_sample.map_target);
-    metrics_->series("slots.reduce_target")
-        .append(now, slot_sample.reduce_target);
-    metrics_->series("tasks.running_maps").append(now, slot_sample.running_maps);
-    metrics_->series("tasks.running_reduces")
-        .append(now, slot_sample.running_reduces);
-    double pending_maps = 0.0;
-    double pending_reduces = 0.0;
-    double shuffle_backlog = 0.0;
-    for (const Job& job : jobs_) {
-      if (job.submit_time > now || job.finished()) continue;
-      pending_maps += job.maps_pending();
-      pending_reduces += job.reduces_pending();
-      for (const ReduceTask& task : job.reduces) {
-        if (task.running() && task.phase == ReducePhase::kShuffling) {
-          shuffle_backlog += task.backlog();
-        }
-      }
-    }
-    metrics_->series("queue.pending_maps").append(now, pending_maps);
-    metrics_->series("queue.pending_reduces").append(now, pending_reduces);
-    metrics_->series("shuffle.bytes_in_flight").append(now, shuffle_backlog);
-  }
+  record_metric_samples(now);
   const double nt = static_cast<double>(trackers_.size());
   slot_sample.map_target /= nt;
   slot_sample.reduce_target /= nt;
   slot_sample.running_maps /= nt;
   slot_sample.running_reduces /= nt;
   result_.slots.push_back(slot_sample);
+}
+
+void Runtime::record_metric_samples(SimTime now) {
+  if (metrics_ == nullptr) return;
+  // Cluster totals (the per-node averages land in result_.slots instead).
+  double map_target = 0.0;
+  double reduce_target = 0.0;
+  double running_maps = 0.0;
+  double running_reduces = 0.0;
+  for (const auto& tracker : trackers_) {
+    map_target += tracker.map_target();
+    reduce_target += tracker.reduce_target();
+    running_maps += tracker.running_maps();
+    running_reduces += tracker.running_reduces();
+  }
+  metrics_->series("slots.map_target").append(now, map_target);
+  metrics_->series("slots.reduce_target").append(now, reduce_target);
+  metrics_->series("tasks.running_maps").append(now, running_maps);
+  metrics_->series("tasks.running_reduces").append(now, running_reduces);
+  double pending_maps = 0.0;
+  double pending_reduces = 0.0;
+  double shuffle_backlog = 0.0;
+  for (const Job& job : jobs_) {
+    if (job.submit_time > now || job.finished()) continue;
+    pending_maps += job.maps_pending();
+    pending_reduces += job.reduces_pending();
+    for (const ReduceTask& task : job.reduces) {
+      if (task.running() && task.phase == ReducePhase::kShuffling) {
+        shuffle_backlog += task.backlog();
+      }
+    }
+  }
+  metrics_->series("queue.pending_maps").append(now, pending_maps);
+  metrics_->series("queue.pending_reduces").append(now, pending_reduces);
+  metrics_->series("shuffle.bytes_in_flight").append(now, shuffle_backlog);
 }
 
 void Runtime::trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
@@ -1679,6 +1743,225 @@ void Runtime::trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
   event.detail = detail;
   event.value = value;
   trace_->record(event);
+}
+
+// ---------------------------------------------------------------------------
+// Span recording.  Everything here is purely observational: no RNG draws,
+// no events, no reads that feed back into scheduling — a run with a
+// SpanLog attached is bit-identical to one without.
+// ---------------------------------------------------------------------------
+
+obs::SpanId Runtime::span_run_root() {
+  if (run_span_ == obs::kInvalidSpan) {
+    run_span_ = spans_->open(obs::SpanKind::kRun, "run", 0.0);
+  }
+  return run_span_;
+}
+
+Runtime::JobSpanState* Runtime::span_job_state(const Job& job) {
+  if (spans_ == nullptr) return nullptr;
+  auto [it, inserted] = job_spans_.try_emplace(job.id);
+  JobSpanState& state = it->second;
+  if (inserted) {
+    state.job = spans_->open(obs::SpanKind::kJob, job.spec.name,
+                             job.submit_time, span_run_root());
+    spans_->at(state.job).job = job.id;
+    // The map phase opens with the job: its tasks are runnable (and
+    // usually waiting for slots) from submission on.
+    state.maps_phase = spans_->open(obs::SpanKind::kPhase, "maps",
+                                    job.submit_time, state.job);
+  }
+  return &state;
+}
+
+void Runtime::span_attempt_launched(TaskId attempt, const Job& job,
+                                    NodeId node, bool is_map, bool speculative,
+                                    TaskId primary) {
+  if (spans_ == nullptr) return;
+  JobSpanState* state = span_job_state(job);
+  const SimTime now = engine_.now();
+  obs::SpanId parent;
+  if (is_map) {
+    if (state->maps_phase == obs::kInvalidSpan) {
+      // The barrier re-opened (a completed map was lost to a node
+      // failure): a fresh map phase carries the re-execution.
+      ++state->maps_phases;
+      state->maps_phase =
+          spans_->open(obs::SpanKind::kPhase,
+                       "maps-" + std::to_string(state->maps_phases), now,
+                       state->job);
+    }
+    if (state->open_map_attempts == 0) {
+      ++state->waves;
+      state->wave = spans_->open(obs::SpanKind::kWave,
+                                 "wave-" + std::to_string(state->waves), now,
+                                 state->maps_phase);
+    }
+    ++state->open_map_attempts;
+    parent = state->wave;
+  } else {
+    if (state->shuffle_phase == obs::kInvalidSpan) {
+      state->shuffle_phase =
+          spans_->open(obs::SpanKind::kPhase, "shuffle", now, state->job);
+      spans_->at(state->shuffle_phase).is_map = false;
+    }
+    parent = state->reduce_phase != obs::kInvalidSpan ? state->reduce_phase
+                                                      : state->shuffle_phase;
+  }
+
+  std::string name = speculative ? "spec-" : "";
+  name += is_map ? "map-" : "reduce-";
+  name += std::to_string(primary);
+  const obs::SpanId id = spans_->open(obs::SpanKind::kAttempt,
+                                      std::move(name), now, parent);
+  obs::Span& span = spans_->at(id);
+  span.task = attempt;
+  span.node = node;
+  span.is_map = is_map;
+  span.speculative = speculative;
+  span.decision_id = last_decision_id_;
+  span.decision_time = last_decision_time_;
+  if (!speculative) {
+    if (auto rp = retry_parent_.find(primary); rp != retry_parent_.end()) {
+      span.retry_of = rp->second;
+      retry_parent_.erase(rp);
+    }
+    last_attempt_span_[primary] = id;
+  }
+  attempt_spans_[attempt] = id;
+}
+
+void Runtime::span_attempt_ended(TaskId attempt, obs::SpanOutcome outcome) {
+  if (spans_ == nullptr) return;
+  const auto it = attempt_spans_.find(attempt);
+  if (it == attempt_spans_.end()) return;  // already closed by an earlier path
+  const obs::SpanId id = it->second;
+  attempt_spans_.erase(it);
+  spans_->close(id, engine_.now(), outcome);
+  const obs::Span& span = spans_->at(id);
+  if (span.is_map) {
+    if (auto jt = job_spans_.find(span.job); jt != job_spans_.end()) {
+      JobSpanState& state = jt->second;
+      if (--state.open_map_attempts == 0 &&
+          state.wave != obs::kInvalidSpan) {
+        spans_->close(state.wave, engine_.now());
+        state.wave = obs::kInvalidSpan;
+      }
+    }
+  }
+}
+
+void Runtime::span_mark_retry(TaskId primary, TaskId failed_attempt) {
+  if (spans_ == nullptr) return;
+  if (auto it = attempt_spans_.find(failed_attempt);
+      it != attempt_spans_.end()) {
+    retry_parent_[primary] = it->second;
+  } else if (auto lt = last_attempt_span_.find(primary);
+             lt != last_attempt_span_.end()) {
+    // The attempt span is already closed (e.g. a *completed* map lost to
+    // a node failure): link the re-execution to its last recorded span.
+    retry_parent_[primary] = lt->second;
+  }
+}
+
+void Runtime::span_barrier_crossed(const Job& job) {
+  if (spans_ == nullptr) return;
+  JobSpanState* state = span_job_state(job);
+  const SimTime now = engine_.now();
+  if (state->wave != obs::kInvalidSpan) {
+    spans_->close(state->wave, now);
+    state->wave = obs::kInvalidSpan;
+  }
+  if (state->maps_phase != obs::kInvalidSpan) {
+    spans_->close(state->maps_phase, now);
+    state->maps_phase = obs::kInvalidSpan;
+  }
+  if (state->reduce_phase == obs::kInvalidSpan) {
+    state->reduce_phase =
+        spans_->open(obs::SpanKind::kPhase, "reduce", now, state->job);
+    spans_->at(state->reduce_phase).is_map = false;
+  }
+}
+
+void Runtime::span_reduce_eligible(const Job& job) {
+  if (spans_ == nullptr) return;
+  JobSpanState* state = span_job_state(job);
+  obs::Span& job_span = spans_->at(state->job);
+  if (job_span.reduce_eligible == kTimeNever) {
+    job_span.reduce_eligible = engine_.now();
+  }
+}
+
+void Runtime::span_shuffle_settled(const Job& job, TaskId attempt) {
+  if (spans_ == nullptr) return;
+  const SimTime now = engine_.now();
+  if (auto it = attempt_spans_.find(attempt); it != attempt_spans_.end()) {
+    spans_->at(it->second).shuffle_end = now;
+  }
+  if (auto jt = job_spans_.find(job.id); jt != job_spans_.end()) {
+    jt->second.last_shuffle_end = now;
+  }
+}
+
+void Runtime::span_job_finished(const Job& job, obs::SpanOutcome outcome) {
+  if (spans_ == nullptr) return;
+  JobSpanState* state = span_job_state(job);
+  const SimTime now = engine_.now();
+  const obs::SpanOutcome phase_outcome =
+      outcome == obs::SpanOutcome::kOk ? obs::SpanOutcome::kOk
+                                       : obs::SpanOutcome::kKilled;
+  if (state->wave != obs::kInvalidSpan) {
+    spans_->close(state->wave, now, phase_outcome);
+    state->wave = obs::kInvalidSpan;
+  }
+  if (state->maps_phase != obs::kInvalidSpan) {
+    spans_->close(state->maps_phase, now, phase_outcome);
+    state->maps_phase = obs::kInvalidSpan;
+  }
+  if (state->shuffle_phase != obs::kInvalidSpan) {
+    // A clean finish dates the shuffle's end at the last settle; a
+    // teardown cuts it off at the teardown instant.
+    const SimTime end = outcome == obs::SpanOutcome::kOk &&
+                                state->last_shuffle_end != kTimeNever
+                            ? state->last_shuffle_end
+                            : now;
+    spans_->close(state->shuffle_phase, end, phase_outcome);
+    state->shuffle_phase = obs::kInvalidSpan;
+  }
+  if (state->reduce_phase != obs::kInvalidSpan) {
+    spans_->close(state->reduce_phase, now, phase_outcome);
+    state->reduce_phase = obs::kInvalidSpan;
+  }
+  spans_->close(state->job, now, outcome);
+}
+
+void Runtime::span_flush_aborted() {
+  if (spans_ == nullptr) return;
+  spans_->close_open(engine_.now(), obs::SpanOutcome::kAborted);
+  attempt_spans_.clear();
+  for (auto& [id, state] : job_spans_) {
+    state.wave = obs::kInvalidSpan;
+    state.maps_phase = obs::kInvalidSpan;
+    state.shuffle_phase = obs::kInvalidSpan;
+    state.reduce_phase = obs::kInvalidSpan;
+    state.open_map_attempts = 0;
+  }
+}
+
+void Runtime::span_refresh_decisions() {
+  if (spans_ == nullptr) return;
+  const obs::DecisionLog* log = policy_->decision_log();
+  if (log == nullptr) return;
+  const auto& decisions = log->decisions();
+  for (; decisions_seen_ < decisions.size(); ++decisions_seen_) {
+    const obs::SlotDecision& d = decisions[decisions_seen_];
+    // Only decisions that moved slot targets can enable a launch; holds
+    // keep the previous annotation current.
+    if (d.changed_slots()) {
+      last_decision_id_ = d.id;
+      last_decision_time_ = d.time;
+    }
+  }
 }
 
 }  // namespace smr::mapreduce

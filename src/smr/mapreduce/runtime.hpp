@@ -37,6 +37,7 @@
 #include "smr/metrics/job_metrics.hpp"
 #include "smr/metrics/trace.hpp"
 #include "smr/obs/metrics_registry.hpp"
+#include "smr/obs/span_log.hpp"
 #include "smr/sim/engine.hpp"
 
 namespace smr::mapreduce {
@@ -194,6 +195,16 @@ class Runtime {
   /// documented in docs/OBSERVABILITY.md.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attach a span log (optional; must outlive run()).  The runtime then
+  /// records the causal span tree — run > job > phase (map waves, shuffle,
+  /// reduce) > task attempt — with retries linked to the attempt whose
+  /// failure caused them and every launch annotated with the most recent
+  /// slot-changing policy decision (when the policy keeps a DecisionLog).
+  /// Recording is purely observational (no RNG draws, no events): a run
+  /// is bit-identical with or without a log attached, and with none the
+  /// hooks reduce to a null-pointer test.
+  void set_spans(obs::SpanLog* spans) { spans_ = spans; }
+
   // --- Observers (tests and policies) ---------------------------------
   const RuntimeConfig& config() const { return config_; }
   ClusterStats snapshot() const;
@@ -257,6 +268,10 @@ class Runtime {
   void on_heartbeat(std::size_t tracker_index);
   void on_policy_period();
   void on_sample();
+  /// Append one sample of every cluster-level metric series.  Called from
+  /// on_sample() on the sampling period and once more from abort_run() so
+  /// an aborted run's metrics end at the abort instant, not mid-period.
+  void record_metric_samples(SimTime now);
   void assign_tasks(TaskTracker& tracker);
   void eager_shrink(TaskTracker& tracker);
   void requeue_running_map(MapTask& task);
@@ -337,6 +352,48 @@ class Runtime {
   void trace_event(metrics::TraceEventKind kind, JobId job, TaskId task,
                    NodeId node, bool is_map, const char* detail = "",
                    double value = 0.0);
+
+  // --- Span recording (every helper is a no-op when spans_ == nullptr) --
+  /// Per-job span bookkeeping; lives beside the Job so the Job struct
+  /// stays observation-free.
+  struct JobSpanState {
+    obs::SpanId job = obs::kInvalidSpan;
+    obs::SpanId maps_phase = obs::kInvalidSpan;
+    obs::SpanId shuffle_phase = obs::kInvalidSpan;
+    obs::SpanId reduce_phase = obs::kInvalidSpan;
+    obs::SpanId wave = obs::kInvalidSpan;
+    int open_map_attempts = 0;
+    int waves = 0;        // waves opened so far (names wave-1, wave-2, ...)
+    int maps_phases = 1;  // re-opened barriers name maps-2, maps-3, ...
+    SimTime last_shuffle_end = kTimeNever;
+  };
+  /// The run-root span (created on first use).
+  obs::SpanId span_run_root();
+  /// This job's span state, creating the job span (and, before the
+  /// barrier, its map phase) on first use.
+  JobSpanState* span_job_state(const Job& job);
+  /// An attempt launched: open its span under the right phase, stamp the
+  /// enabling policy decision, and link it to the failed attempt it
+  /// retries (if any).  `primary` is the task whose work this attempt
+  /// carries (== attempt for non-speculative attempts).
+  void span_attempt_launched(TaskId attempt, const Job& job, NodeId node,
+                             bool is_map, bool speculative, TaskId primary);
+  /// An attempt ended; closes its span (idempotent: later calls for the
+  /// same attempt are ignored, so teardown paths may overlap).
+  void span_attempt_ended(TaskId attempt, obs::SpanOutcome outcome);
+  /// Remember that `primary`'s next launch is a retry caused by this
+  /// (failed/killed/lost) attempt.
+  void span_mark_retry(TaskId primary, TaskId failed_attempt);
+  /// Phase transitions.
+  void span_barrier_crossed(const Job& job);
+  void span_reduce_eligible(const Job& job);
+  void span_shuffle_settled(const Job& job, TaskId attempt);
+  void span_job_finished(const Job& job, obs::SpanOutcome outcome);
+  /// Abort-path flush: close every open span at the abort time.
+  void span_flush_aborted();
+  /// Latest slot-changing decision from the policy's DecisionLog (span
+  /// launch annotations); refreshed each policy period.
+  void span_refresh_decisions();
   /// Cluster-total slot targets over all trackers (telemetry).
   int total_map_target() const;
   int total_reduce_target() const;
@@ -411,6 +468,23 @@ class Runtime {
   metrics::RunResult result_;
   metrics::TraceLog* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // --- Span-recording state (inert while spans_ == nullptr) ------------
+  obs::SpanLog* spans_ = nullptr;
+  obs::SpanId run_span_ = obs::kInvalidSpan;
+  std::unordered_map<JobId, JobSpanState> job_spans_;
+  /// Open attempt spans by attempt TaskId.
+  std::unordered_map<TaskId, obs::SpanId> attempt_spans_;
+  /// Last (open or closed) non-speculative attempt span of each primary
+  /// task; retry links for re-executions of *completed* attempts.
+  std::unordered_map<TaskId, obs::SpanId> last_attempt_span_;
+  /// Primary task -> span of the failed/killed attempt its next launch
+  /// retries; consumed at that launch.
+  std::unordered_map<TaskId, obs::SpanId> retry_parent_;
+  /// Most recent slot-changing policy decision (launch annotations).
+  int last_decision_id_ = -1;
+  SimTime last_decision_time_ = kTimeNever;
+  /// Decision-log rows already scanned by span_refresh_decisions.
+  std::size_t decisions_seen_ = 0;
   std::function<void(const Job&)> on_job_finished_;
   std::vector<sim::EventId> periodic_events_;
   bool ran_ = false;

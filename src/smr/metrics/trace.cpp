@@ -6,6 +6,7 @@
 #include <set>
 
 #include "smr/common/csv.hpp"
+#include "smr/obs/span_log.hpp"
 
 namespace smr::metrics {
 
@@ -25,6 +26,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kNodeRecovered: return "NODE_RECOVERED";
     case TraceEventKind::kNodeBlacklisted: return "NODE_BLACKLISTED";
     case TraceEventKind::kJobFailed: return "JOB_FAILED";
+    case TraceEventKind::kSloAlert: return "SLO_ALERT";
   }
   return "UNKNOWN";
 }
@@ -80,9 +82,19 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 void TraceLog::write_chrome_trace(std::ostream& out) const {
+  write_chrome_trace(out, nullptr);
+}
+
+void TraceLog::write_chrome_trace(std::ostream& out,
+                                  const obs::SpanLog* spans) const {
   // The control plane (counters, instants, policy decisions) renders as
   // its own trace-viewer process, away from any real node pid.
   constexpr long long kControlPid = 1000000;
+  // The span tree gets its own pid range, clear of node pids and the
+  // control plane: the run span and decision anchors live on kSpanPid,
+  // each job's subtree on kSpanJobPidBase + job.
+  constexpr long long kSpanPid = 2000000;
+  constexpr long long kSpanJobPidBase = 2000001;
 
   // Pair each phase start with the start of the next phase of the same
   // task, or with the task's finish/kill.
@@ -202,6 +214,14 @@ void TraceLog::write_chrome_trace(std::ostream& out) const {
         // the requeue emits, so the running-task counters stay balanced.
         emit_instant(e, "task-attempt-failed");
         break;
+      case TraceEventKind::kSloAlert: {
+        comma();
+        out << "\n{\"name\":\"slo-alert\",\"ph\":\"i\",\"s\":\"g\",\"pid\":"
+            << kControlPid << ",\"tid\":2,\"ts\":" << e.time * 1e6
+            << ",\"args\":{\"tenant\":\"" << json_escape(e.detail)
+            << "\",\"burn_rate\":" << e.value << "}}";
+        break;
+      }
       default:
         break;
     }
@@ -212,6 +232,117 @@ void TraceLog::write_chrome_trace(std::ostream& out) const {
   // last event time, so the viewer shows them instead of dropping them.
   for (const auto& [task, phase] : open) {
     emit(phase, task, std::max(last_time, phase.start));
+  }
+
+  if (spans != nullptr && !spans->empty()) {
+    // Open spans (aborted/truncated logs) render up to the latest time
+    // anything in either log saw.
+    SimTime flush_time = last_time;
+    for (const auto& s : spans->spans()) {
+      flush_time = std::max(flush_time, s.start);
+      if (s.closed()) flush_time = std::max(flush_time, s.end);
+    }
+    auto span_end = [&](const obs::Span& s) {
+      return s.closed() ? s.end : flush_time;
+    };
+    auto span_pid = [&](const obs::Span& s) {
+      return s.kind == obs::SpanKind::kRun || s.job == kInvalidJob
+                 ? kSpanPid
+                 : kSpanJobPidBase + s.job;
+    };
+    auto span_tid = [&](const obs::Span& s) -> long long {
+      switch (s.kind) {
+        case obs::SpanKind::kRun:
+        case obs::SpanKind::kJob: return 0;
+        case obs::SpanKind::kPhase:
+          if (s.name.rfind("maps", 0) == 0) return 1;
+          if (s.name == "shuffle") return 2;
+          return 3;
+        case obs::SpanKind::kWave: return 1;  // nested inside the map phase
+        case obs::SpanKind::kAttempt: return 10 + s.task;
+      }
+      return 0;
+    };
+
+    // Process names for the span processes.
+    comma();
+    out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSpanPid
+        << ",\"args\":{\"name\":\"spans\"}}";
+    for (const auto& s : spans->spans()) {
+      if (s.kind != obs::SpanKind::kJob) continue;
+      comma();
+      out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+          << kSpanJobPidBase + s.job << ",\"args\":{\"name\":\"job-" << s.job
+          << "-spans\"}}";
+    }
+
+    // One zero-duration anchor slice per slot-policy decision cited by a
+    // launch, on the spans process, so decision->launch flows have a
+    // slice to start from.
+    std::map<int, SimTime> decision_anchors;
+    for (const auto& s : spans->spans()) {
+      if (s.kind == obs::SpanKind::kAttempt && s.decision_id >= 0 &&
+          s.decision_time != kTimeNever) {
+        decision_anchors.emplace(s.decision_id, s.decision_time);
+      }
+    }
+    for (const auto& [id, time] : decision_anchors) {
+      comma();
+      out << "\n{\"name\":\"decision-" << id
+          << "\",\"ph\":\"X\",\"pid\":" << kSpanPid << ",\"tid\":1,\"ts\":"
+          << time * 1e6 << ",\"dur\":0,\"args\":{\"decision_id\":" << id
+          << "}}";
+    }
+
+    // The slices themselves, nested by (pid, tid, containment).
+    for (const auto& s : spans->spans()) {
+      comma();
+      out << "\n{\"name\":\"" << json_escape(s.name)
+          << "\",\"ph\":\"X\",\"pid\":" << span_pid(s)
+          << ",\"tid\":" << span_tid(s) << ",\"ts\":" << s.start * 1e6
+          << ",\"dur\":" << (span_end(s) - s.start) * 1e6
+          << ",\"args\":{\"span\":" << s.id << ",\"outcome\":\""
+          << obs::to_string(s.outcome) << "\"";
+      if (s.kind == obs::SpanKind::kAttempt) {
+        out << ",\"node\":" << s.node << ",\"decision_id\":" << s.decision_id
+            << ",\"retry_of\":" << s.retry_of << ",\"speculative\":"
+            << (s.speculative ? "true" : "false");
+      }
+      out << "}}";
+    }
+
+    // Flow arrows.  Ids must be unique per arrow; retry flows use the
+    // retrying span's id, decision flows an offset range above every
+    // span id.
+    const long long decision_flow_base =
+        static_cast<long long>(spans->size()) + 1;
+    long long decision_flow = decision_flow_base;
+    for (const auto& s : spans->spans()) {
+      if (s.kind != obs::SpanKind::kAttempt) continue;
+      if (s.retry_of != obs::kInvalidSpan) {
+        const obs::Span& failed = spans->at(s.retry_of);
+        comma();
+        out << "\n{\"name\":\"retry\",\"ph\":\"s\",\"id\":" << s.id
+            << ",\"pid\":" << span_pid(failed) << ",\"tid\":"
+            << span_tid(failed) << ",\"ts\":" << span_end(failed) * 1e6
+            << "}";
+        comma();
+        out << "\n{\"name\":\"retry\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+            << s.id << ",\"pid\":" << span_pid(s) << ",\"tid\":" << span_tid(s)
+            << ",\"ts\":" << s.start * 1e6 << "}";
+      }
+      if (s.decision_id >= 0 && s.decision_time != kTimeNever) {
+        comma();
+        out << "\n{\"name\":\"decision\",\"ph\":\"s\",\"id\":" << decision_flow
+            << ",\"pid\":" << kSpanPid << ",\"tid\":1,\"ts\":"
+            << s.decision_time * 1e6 << "}";
+        comma();
+        out << "\n{\"name\":\"decision\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+            << decision_flow << ",\"pid\":" << span_pid(s) << ",\"tid\":"
+            << span_tid(s) << ",\"ts\":" << s.start * 1e6 << "}";
+        ++decision_flow;
+      }
+    }
   }
 
   out << "\n]\n";

@@ -11,6 +11,10 @@
 
 #include "smr/common/types.hpp"
 
+namespace smr::obs {
+class SpanLog;
+}
+
 namespace smr::metrics {
 
 enum class TraceEventKind {
@@ -28,6 +32,7 @@ enum class TraceEventKind {
   kNodeRecovered,      // node = the worker whose tracker rejoined
   kNodeBlacklisted,    // node = the tracker taken out of assignment rotation
   kJobFailed,          // a task exhausted max_attempts; detail = reason
+  kSloAlert,           // serve burn-rate alert; detail = tenant; value = burn
 };
 
 const char* to_string(TraceEventKind kind);
@@ -75,6 +80,16 @@ class TraceLog {
   ///    runs) are flushed as slices ending at the last event time.
   /// Durations are in microseconds of simulated time.
   void write_chrome_trace(std::ostream& out) const;
+
+  /// Same, plus the causal span tree when `spans` is non-null:
+  ///  * one extra trace-viewer process per job ("job-N-spans") with nested
+  ///    slices — job on tid 0, map phase/waves on tid 1, shuffle on tid 2,
+  ///    reduce on tid 3, attempts on tid 10+task;
+  ///  * a "spans" process carrying the run span and one zero-duration
+  ///    anchor slice per slot-policy decision cited by a launch;
+  ///  * flow arrows from each failed/killed attempt to the retry it
+  ///    caused, and from each decision anchor to the launches it enabled.
+  void write_chrome_trace(std::ostream& out, const obs::SpanLog* spans) const;
 
  private:
   std::vector<TraceEvent> events_;

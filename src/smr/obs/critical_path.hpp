@@ -1,0 +1,85 @@
+// Critical-path attribution over a completed span DAG.
+//
+// For every finished job the analyzer walks backward from the job's end
+// through the attempt chain that determined it — the last-finishing
+// reduce attempt, its retry predecessors, the eligibility crossing that
+// let reduces launch, and the map attempt chain behind that crossing —
+// and attributes every second of the makespan to one of five segments:
+//
+//   * compute            — attempt time spent in CPU/disk-bound phases
+//                          (map/combine/spill, sort/reduce);
+//   * data_transfer      — reduce attempt time up to the shuffle end
+//                          (fetching map output over the network);
+//   * retry              — time burned by failed or killed predecessor
+//                          attempts on the path;
+//   * scheduler_overhead — the first heartbeat-period's worth of every
+//                          launch gap (a task cannot launch before a
+//                          tracker heartbeats) plus control-plane timing
+//                          residue;
+//   * wait_for_slot      — the rest of every launch gap: the task was
+//                          runnable but no slot was free.
+//
+// The segments of one job sum to its makespan exactly (finish - submit),
+// which is what makes diffs of two runs meaningful: a slot-policy change
+// moves seconds between wait_for_slot and compute, a fault-rate change
+// grows retry.  smr_sim emits the report via --critpath-out; smr_inspect
+// diffs it between runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+#include "smr/obs/span_log.hpp"
+
+namespace smr::obs {
+
+struct CriticalPathSegments {
+  double wait_for_slot = 0.0;
+  double data_transfer = 0.0;
+  double compute = 0.0;
+  double retry = 0.0;
+  double scheduler_overhead = 0.0;
+
+  double total() const {
+    return wait_for_slot + data_transfer + compute + retry + scheduler_overhead;
+  }
+  CriticalPathSegments& operator+=(const CriticalPathSegments& other) {
+    wait_for_slot += other.wait_for_slot;
+    data_transfer += other.data_transfer;
+    compute += other.compute;
+    retry += other.retry;
+    scheduler_overhead += other.scheduler_overhead;
+    return *this;
+  }
+};
+
+struct JobCriticalPath {
+  JobId job = kInvalidJob;
+  std::string name;
+  SimTime submit = 0.0;
+  SimTime finish = 0.0;
+  double makespan = 0.0;
+  CriticalPathSegments segments;
+  int attempts_on_path = 0;
+  int retries_on_path = 0;
+};
+
+struct CriticalPathReport {
+  std::vector<JobCriticalPath> jobs;
+  CriticalPathSegments aggregate;
+  /// Jobs in the log that could not be analyzed (failed, aborted, still
+  /// open); their time is not in the aggregate.
+  int skipped_jobs = 0;
+
+  /// {"type":"critpath", "jobs":[...], "aggregate":{...}} on one stream.
+  void write_json(std::ostream& out) const;
+};
+
+/// Walk every successfully finished job in `log`.  `heartbeat_period`
+/// bounds the per-launch scheduler-overhead share of each gap.
+CriticalPathReport analyze_critical_path(const SpanLog& log,
+                                         SimTime heartbeat_period);
+
+}  // namespace smr::obs

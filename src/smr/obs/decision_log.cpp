@@ -28,12 +28,12 @@ std::vector<SlotDecision> DecisionLog::of_action(SlotAction action) const {
 }
 
 void write_decisions_csv(const DecisionLog& log, std::ostream& out) {
-  out << "time,action,map_output_rate,shuffle_rate,running_reduces,"
+  out << "id,time,action,map_output_rate,shuffle_rate,running_reduces,"
          "total_reduces,balance_factor,slow_start_passed,thrash_suspected,"
          "thrash_confirmed,thrash_strikes,thrash_ceiling,map_slots_before,"
          "map_slots_after,reduce_slots_before,reduce_slots_after,reason\n";
   for (const auto& d : log.decisions()) {
-    out << d.time << ',' << to_string(d.action) << ',' << d.map_output_rate
+    out << d.id << ',' << d.time << ',' << to_string(d.action) << ',' << d.map_output_rate
         << ',' << d.shuffle_rate << ',' << d.running_reduces << ','
         << d.total_reduces << ',';
     if (d.balance_factor) out << *d.balance_factor;

@@ -33,6 +33,10 @@ enum class SlotAction {
 const char* to_string(SlotAction action);
 
 struct SlotDecision {
+  /// Dense per-log index, assigned by DecisionLog::record.  Stable across
+  /// a run, so span attempts can cite the decision that enabled their
+  /// launch (Span::decision_id) and smr_inspect can join the two logs.
+  int id = -1;
   SimTime time = 0.0;
 
   // What the manager saw (paper §III-C statistics).
@@ -67,7 +71,10 @@ struct SlotDecision {
 
 class DecisionLog {
  public:
-  void record(SlotDecision decision) { decisions_.push_back(std::move(decision)); }
+  void record(SlotDecision decision) {
+    decision.id = static_cast<int>(decisions_.size());
+    decisions_.push_back(std::move(decision));
+  }
   const std::vector<SlotDecision>& decisions() const { return decisions_; }
   std::size_t size() const { return decisions_.size(); }
   bool empty() const { return decisions_.empty(); }
@@ -81,7 +88,7 @@ class DecisionLog {
 };
 
 /// One CSV row per decision (header included; reason CSV-quoted):
-/// time,action,map_output_rate,shuffle_rate,running_reduces,total_reduces,
+/// id,time,action,map_output_rate,shuffle_rate,running_reduces,total_reduces,
 /// balance_factor,slow_start_passed,thrash_suspected,thrash_confirmed,
 /// thrash_strikes,thrash_ceiling,map_slots_before,map_slots_after,
 /// reduce_slots_before,reduce_slots_after,reason.

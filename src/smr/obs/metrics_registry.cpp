@@ -1,6 +1,7 @@
 #include "smr/obs/metrics_registry.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 
 #include "smr/common/csv.hpp"
@@ -59,6 +60,31 @@ std::int64_t Histogram::bucket_count(std::size_t i) const {
 }
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  SMR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  const std::int64_t total = total_count();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Target rank in [1, total]; the smallest bucket whose cumulative count
+  // reaches it holds the quantile.
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::int64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const std::int64_t before = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double into_bucket =
+        (rank - static_cast<double>(before)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(into_bucket, 0.0, 1.0);
+  }
+  // Rank landed in the overflow bucket: no upper bound to interpolate
+  // against, so report the largest finite bound (a known underestimate).
+  return bounds_.back();
+}
 
 void Series::append(double time, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -181,7 +207,12 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
         if (i) out << ',';
         out << h.bucket_count(i);
       }
-      out << "]}\n";
+      out << "]";
+      if (h.total_count() > 0) {
+        out << ",\"p50\":" << h.p50() << ",\"p95\":" << h.p95()
+            << ",\"p99\":" << h.p99();
+      }
+      out << "}\n";
     } else if (inst.series) {
       for (const auto& sample : inst.series->samples()) {
         out << "{\"type\":\"series\",\"name\":";

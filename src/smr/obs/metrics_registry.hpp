@@ -63,6 +63,15 @@ class Histogram {
   std::int64_t total_count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
 
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank, Prometheus histogram_quantile-style:
+  /// the lowest bucket interpolates from 0, and any rank landing in the
+  /// overflow bucket clamps to the largest finite bound.  NaN when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
  private:
   std::vector<double> bounds_;  // ascending upper bounds
   std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds.size() + 1

@@ -1,0 +1,97 @@
+// Rolling-window SLO burn-rate alerting for the serving path.
+//
+// The end-of-run ServeReport tells you attainment after the fact; an
+// operator needs to know *while the run is degrading*.  Standard SRE
+// burn-rate framing: with an attainment target T, the error budget is
+// 1 - T.  Over a trailing window the burn rate is
+//
+//   burn = miss_fraction_in_window / (1 - T)
+//
+// burn == 1 means the tenant is consuming budget exactly at the rate the
+// SLO allows; burn == threshold (default 2x) fires an alert.  Alerts are
+// edge-triggered per tenant with a cooldown so a sustained burn produces
+// a bounded alert stream, and require a minimum sample count so the first
+// missed deadline after warmup does not page.
+//
+// ServeSession feeds every measured deadline-carrying departure into the
+// tracker; alerts land in the serve.slo_alerts counter, the alert JSONL
+// (`smr_serve --alerts-out`) and — when a TraceLog is attached — as
+// kSloAlert trace instants.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/common/types.hpp"
+
+namespace smr::serve {
+
+struct BurnRateConfig {
+  /// Trailing window the miss fraction is computed over.
+  SimTime window = 600.0;
+  /// Attainment target T; budget is 1 - T.  Must be < 1.
+  double target = 0.9;
+  /// Alert when burn >= threshold (2.0 = burning budget twice as fast as
+  /// the SLO allows).
+  double threshold = 2.0;
+  /// Outcomes required in the window before alerts can fire.
+  std::size_t min_samples = 10;
+  /// Per-tenant refractory period between alerts.
+  SimTime cooldown = 300.0;
+
+  void validate() const;
+};
+
+struct BurnAlert {
+  SimTime time = 0.0;
+  int tenant = 0;
+  std::string tenant_name;
+  double burn_rate = 0.0;
+  double miss_fraction = 0.0;
+  std::size_t window_samples = 0;
+};
+
+/// Per-tenant rolling miss-fraction monitor.  Deterministic: state is a
+/// pure function of the (tenant, time, met) call sequence.
+class BurnRateTracker {
+ public:
+  BurnRateTracker(BurnRateConfig config, std::vector<std::string> tenant_names);
+
+  /// Record one deadline-carrying departure; returns an alert when this
+  /// outcome pushes the tenant's burn rate over threshold (and the
+  /// cooldown has elapsed).  The alert is also retained internally.
+  std::optional<BurnAlert> record(int tenant, SimTime now, bool slo_met);
+
+  /// Current burn rate of `tenant` (0 when its window is empty).
+  double burn_rate(int tenant) const;
+
+  const std::vector<BurnAlert>& alerts() const { return alerts_; }
+
+  /// One {"type":"slo_alert",...} JSON object per alert, in order.
+  void write_alerts_jsonl(std::ostream& out) const;
+
+ private:
+  struct Outcome {
+    SimTime time;
+    bool met;
+  };
+  struct PerTenant {
+    std::string name;
+    std::deque<Outcome> window;
+    std::size_t misses = 0;
+    SimTime last_alert = -kTimeNever;  // -inf: first alert never suppressed
+  };
+
+  void evict(PerTenant& t, SimTime now);
+  double miss_fraction(const PerTenant& t) const;
+
+  BurnRateConfig config_;
+  std::vector<PerTenant> tenants_;
+  std::vector<BurnAlert> alerts_;
+};
+
+}  // namespace smr::serve

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "smr/common/error.hpp"
+#include "smr/metrics/trace.hpp"
 
 namespace smr::serve {
 
@@ -22,6 +23,7 @@ void ServeConfig::validate() const {
   SMR_CHECK(horizon > 0.0);
   SMR_CHECK(warmup >= 0.0 && warmup < horizon);
   SMR_CHECK(drain_limit >= 0.0);
+  burn.validate();
   admission.validate();
   for (const auto& tenant : tenants) tenant.validate();
 }
@@ -32,6 +34,17 @@ ServeSession::ServeSession(ServeConfig config)
 }
 
 ServeSession::~ServeSession() = default;
+
+const std::vector<BurnAlert>& ServeSession::burn_alerts() const {
+  SMR_CHECK_MSG(burn_ != nullptr, "burn_alerts() before run()/replay()");
+  return burn_->alerts();
+}
+
+void ServeSession::write_burn_alerts_jsonl(std::ostream& out) const {
+  SMR_CHECK_MSG(burn_ != nullptr,
+                "write_burn_alerts_jsonl() before run()/replay()");
+  burn_->write_alerts_jsonl(out);
+}
 
 ServeReport ServeSession::run(obs::MetricsRegistry* metrics) {
   // Arrival streams get their own seed domain so they never correlate
@@ -63,11 +76,14 @@ ServeReport ServeSession::execute(ArrivalTrace trace,
       driver::make_scheduler(experiment));
   runtime_->keep_open();
   runtime_->set_metrics(metrics_);
+  if (trace_log_ != nullptr) runtime_->set_trace(trace_log_);
+  if (spans_ != nullptr) runtime_->set_spans(spans_);
   runtime_->set_job_finished_callback(
       [this](const mapreduce::Job& job) { on_job_finished(job); });
 
   tracker_ = std::make_unique<SloTracker>(config_.warmup, config_.horizon,
                                           trace_.tenants);
+  burn_ = std::make_unique<BurnRateTracker>(config_.burn, trace_.tenants);
 
   sim::Engine& engine = runtime_->engine();
   for (std::size_t i = 0; i < trace_.arrivals.size(); ++i) {
@@ -182,8 +198,32 @@ void ServeSession::on_job_finished(const mapreduce::Job& job) {
           .inc();
     }
   }
+  if (job.deadline != kTimeNever) {
+    // Every deadline-carrying departure feeds the burn-rate monitor; a
+    // failed job is a miss by definition.
+    record_burn(info.tenant, job.finish_time,
+                !job.failed && job.finish_time <= job.deadline);
+  }
 
   runtime_->engine().schedule_in(0.0, [this] { process_departure(); });
+}
+
+void ServeSession::record_burn(int tenant, SimTime now, bool slo_met) {
+  const std::optional<BurnAlert> alert = burn_->record(tenant, now, slo_met);
+  metrics_
+      ->series("serve.burn_rate",
+               {{"tenant", trace_.tenants[static_cast<std::size_t>(tenant)]}})
+      .append(now, burn_->burn_rate(tenant));
+  if (!alert) return;
+  metrics_->counter("serve.slo_alerts").inc();
+  if (trace_log_ != nullptr) {
+    metrics::TraceEvent event;
+    event.time = alert->time;
+    event.kind = metrics::TraceEventKind::kSloAlert;
+    event.detail = alert->tenant_name;
+    event.value = alert->burn_rate;
+    trace_log_->record(event);
+  }
 }
 
 void ServeSession::process_departure() {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -20,7 +21,16 @@
 #include "smr/obs/metrics_registry.hpp"
 #include "smr/serve/admission.hpp"
 #include "smr/serve/arrivals.hpp"
+#include "smr/serve/burn_rate.hpp"
 #include "smr/serve/slo.hpp"
+
+namespace smr::metrics {
+class TraceLog;
+}
+
+namespace smr::obs {
+class SpanLog;
+}
 
 namespace smr::serve {
 
@@ -48,6 +58,9 @@ struct ServeConfig {
   /// Seeds both the arrival streams and the runtime.
   std::uint64_t seed = 1;
 
+  /// Rolling-window burn-rate alerting over deadline-carrying departures.
+  BurnRateConfig burn;
+
   void validate() const;
 };
 
@@ -70,6 +83,21 @@ class ServeSession {
   /// valid after run()/replay() returned.
   const metrics::RunResult& run_result() const { return result_; }
 
+  /// Attach a trace log (optional; must outlive the run; call before
+  /// run()/replay()).  Receives the runtime's task events plus kSloAlert
+  /// instants from the burn-rate tracker.
+  void set_trace(metrics::TraceLog* trace) { trace_log_ = trace; }
+
+  /// Attach a span log (optional; forwarded to the runtime).
+  void set_spans(obs::SpanLog* spans) { spans_ = spans; }
+
+  /// Burn-rate alerts fired during the run, in time order.  Valid after
+  /// run()/replay() returned.
+  const std::vector<BurnAlert>& burn_alerts() const;
+
+  /// One {"type":"slo_alert",...} JSON object per alert, in order.
+  void write_burn_alerts_jsonl(std::ostream& out) const;
+
  private:
   struct JobInfo {
     int tenant = 0;
@@ -82,14 +110,20 @@ class ServeSession {
   /// its relative deadline to the original arrival instant.
   void submit_arrival(std::size_t index);
   void on_job_finished(const mapreduce::Job& job);
+  /// Feed one deadline-carrying departure into the burn-rate tracker,
+  /// surfacing any alert as a counter bump and a kSloAlert trace instant.
+  void record_burn(int tenant, SimTime now, bool slo_met);
   void process_departure();
   void maybe_close();
   double utilization_from_slots() const;
 
   ServeConfig config_;
   ArrivalTrace trace_;
+  metrics::TraceLog* trace_log_ = nullptr;
+  obs::SpanLog* spans_ = nullptr;
   std::unique_ptr<mapreduce::Runtime> runtime_;
   std::unique_ptr<SloTracker> tracker_;
+  std::unique_ptr<BurnRateTracker> burn_;
   AdmissionController admission_;
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;

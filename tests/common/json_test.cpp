@@ -1,0 +1,109 @@
+#include "smr/common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "smr/obs/metrics_registry.hpp"
+#include "smr/obs/span_log.hpp"
+
+namespace smr {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const auto value = parse_json(
+      R"({"name":"run","count":3,"ratio":-1.5e2,"ok":true,"gone":null,)"
+      R"("tags":["a","b"],"nested":{"x":1}})");
+  ASSERT_TRUE(value.has_value());
+  ASSERT_TRUE(value->is_object());
+  EXPECT_EQ(value->string_or("name", ""), "run");
+  EXPECT_DOUBLE_EQ(value->number_or("count", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(value->number_or("ratio", 0.0), -150.0);
+  EXPECT_TRUE(value->find("ok")->as_bool());
+  EXPECT_TRUE(value->find("gone")->is_null());
+  ASSERT_TRUE(value->find("tags")->is_array());
+  EXPECT_EQ(value->find("tags")->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(value->find("nested")->number_or("x", 0.0), 1.0);
+  // Absent members fall back instead of aborting.
+  EXPECT_DOUBLE_EQ(value->number_or("missing", 7.0), 7.0);
+  EXPECT_EQ(value->find("missing"), nullptr);
+}
+
+TEST(Json, ParsesTheEscapesTheWritersEmit) {
+  const auto value = parse_json(R"({"reason":"said \"grow\", then\nheld \\"})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->string_or("reason", ""), "said \"grow\", then\nheld \\");
+}
+
+TEST(Json, RejectsMalformedInputWithAMessage) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"a\":", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(parse_json("{'single':1}", &error).has_value());
+}
+
+TEST(Jsonl, OneValuePerLineSkippingEmpties) {
+  const auto values = parse_jsonl("{\"a\":1}\n\n{\"a\":2}\n");
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_DOUBLE_EQ((*values)[1].number_or("a", 0.0), 2.0);
+
+  std::string error;
+  EXPECT_FALSE(parse_jsonl("{\"a\":1}\nnot json\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Jsonl, RoundTripsTheMetricsWriter) {
+  // The parser must accept everything the obs writers produce.
+  obs::MetricsRegistry registry;
+  registry.counter("c").inc(7);
+  registry.gauge("g").set(-2.5);
+  auto& h = registry.histogram("h", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(100.0);
+  registry.series("s", {{"tenant", "t0"}}).append(1.0, 9.0);
+  std::ostringstream out;
+  registry.write_jsonl(out);
+
+  std::string error;
+  const auto lines = parse_jsonl(out.str(), &error);
+  ASSERT_TRUE(lines.has_value()) << error;
+  ASSERT_EQ(lines->size(), 4u);
+  EXPECT_EQ((*lines)[0].string_or("type", ""), "counter");
+  EXPECT_DOUBLE_EQ((*lines)[0].number_or("value", 0.0), 7.0);
+  const JsonValue& histogram = (*lines)[2];
+  EXPECT_EQ(histogram.string_or("type", ""), "histogram");
+  EXPECT_DOUBLE_EQ(histogram.number_or("count", 0.0), 2.0);
+  ASSERT_NE(histogram.find("buckets"), nullptr);
+  EXPECT_EQ(histogram.find("buckets")->as_array().size(), 3u);
+  EXPECT_GT(histogram.number_or("p99", 0.0), 0.0);
+  // The labeled series key parses back intact.
+  EXPECT_EQ((*lines)[3].string_or("name", ""), "s{tenant=\"t0\"}");
+}
+
+TEST(Jsonl, RoundTripsTheSpanWriter) {
+  obs::SpanLog log;
+  const auto run = log.open(obs::SpanKind::kRun, "run", 0.0);
+  const auto attempt = log.open(obs::SpanKind::kAttempt, "map-0", 1.0, run);
+  log.at(attempt).retry_of = 0;
+  log.close(attempt, 2.0, obs::SpanOutcome::kFailed);
+  std::ostringstream out;
+  log.write_jsonl(out);
+
+  std::string error;
+  const auto lines = parse_jsonl(out.str(), &error);
+  ASSERT_TRUE(lines.has_value()) << error;
+  ASSERT_EQ(lines->size(), 2u);
+  // The open run span writes "end":null — parsed as an explicit null.
+  ASSERT_NE((*lines)[0].find("end"), nullptr);
+  EXPECT_TRUE((*lines)[0].find("end")->is_null());
+  EXPECT_DOUBLE_EQ((*lines)[0].number_or("end", -1.0), -1.0);
+  EXPECT_EQ((*lines)[1].string_or("outcome", ""), "failed");
+  EXPECT_DOUBLE_EQ((*lines)[1].number_or("retry_of", -1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,121 @@
+// Abort-path observability: when the run dies (all worker nodes lost),
+// every attached sink must still be flushed — spans closed as kAborted,
+// a final metrics sample stamped at the abort time, and the slot-decision
+// annotations caught up — so a post-mortem of a crashed run sees the
+// state at the moment of death, not a truncated stream.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smr/core/slot_policy.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/obs/decision_log.hpp"
+#include "smr/obs/metrics_registry.hpp"
+#include "smr/obs/span_log.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::mapreduce {
+namespace {
+
+RuntimeConfig doomed_config() {
+  RuntimeConfig config;
+  config.cluster = cluster::ClusterSpec::paper_testbed(3);
+  config.seed = 31;
+  config.failures.push_back({0, 20.0});
+  config.failures.push_back({1, 30.0});
+  config.failures.push_back({2, 40.0});
+  return config;
+}
+
+JobSpec small_job() {
+  auto spec = workload::make_puma_job(workload::Puma::kTerasort, kGiB);
+  spec.reduce_tasks = 4;
+  return spec;
+}
+
+TEST(AbortFlush, SpansAreClosedAtTheAbortTime) {
+  obs::SpanLog spans;
+  Runtime runtime(doomed_config(), std::make_unique<StaticSlotPolicy>());
+  runtime.set_spans(&spans);
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  ASSERT_FALSE(result.completed);
+  EXPECT_DOUBLE_EQ(result.makespan, 40.0);
+
+  // Nothing is left open, and nothing outlived the abort.
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.open_count(), 0u);
+  for (const obs::Span& span : spans.spans()) {
+    EXPECT_TRUE(span.closed());
+    EXPECT_LE(span.end, 40.0);
+  }
+  // The run and job spans report the aborted outcome at the abort time.
+  const auto runs = spans.of_kind(obs::SpanKind::kRun);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].outcome, obs::SpanOutcome::kAborted);
+  EXPECT_DOUBLE_EQ(runs[0].end, 40.0);
+  const auto jobs = spans.of_kind(obs::SpanKind::kJob);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].outcome, obs::SpanOutcome::kAborted);
+  // Attempts on the dead nodes were killed (node failure) or flushed as
+  // aborted; none claim to have completed after the cluster died.
+  for (const obs::Span& span : spans.of_kind(obs::SpanKind::kAttempt)) {
+    EXPECT_NE(span.outcome, obs::SpanOutcome::kOpen);
+  }
+}
+
+TEST(AbortFlush, MetricsGetAFinalSampleAtAbort) {
+  obs::MetricsRegistry registry;
+  Runtime runtime(doomed_config(), std::make_unique<StaticSlotPolicy>());
+  runtime.set_metrics(&registry);
+  runtime.submit(small_job(), 0.0);
+  ASSERT_FALSE(runtime.run().completed);
+
+  // The abort path stamps one last sample at the abort time, so the
+  // series do not end at the previous sampling tick.
+  const auto samples = registry.series("tasks.running_maps").samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_DOUBLE_EQ(samples.back().time, 40.0);
+  const auto pending = registry.series("queue.pending_maps").samples();
+  ASSERT_FALSE(pending.empty());
+  EXPECT_DOUBLE_EQ(pending.back().time, 40.0);
+}
+
+TEST(AbortFlush, DecisionAnnotationsSurviveTheAbort) {
+  // A policy that keeps a decision log: the flush refreshes the span
+  // annotations so decisions from the final period are not lost.
+  auto policy = std::make_unique<core::SmrSlotPolicy>();
+  obs::DecisionLog decisions;
+  policy->set_decision_log(&decisions);
+  obs::SpanLog spans;
+  Runtime runtime(doomed_config(), std::move(policy));
+  runtime.set_spans(&spans);
+  runtime.submit(small_job(), 0.0);
+  ASSERT_FALSE(runtime.run().completed);
+
+  EXPECT_EQ(spans.open_count(), 0u);
+  // Any decision annotation on a span indexes a real decision row.
+  for (const obs::Span& span : spans.of_kind(obs::SpanKind::kAttempt)) {
+    if (span.decision_id < 0) continue;
+    ASSERT_LT(static_cast<std::size_t>(span.decision_id), decisions.size());
+  }
+}
+
+TEST(AbortFlush, FlushIsIdempotentAcrossSinks) {
+  // Both sinks attached at once: the abort flush must handle spans and
+  // metrics in one pass without double-closing anything (close() of a
+  // closed span aborts the process, so surviving this run is the test).
+  obs::SpanLog spans;
+  obs::MetricsRegistry registry;
+  Runtime runtime(doomed_config(), std::make_unique<StaticSlotPolicy>());
+  runtime.set_spans(&spans);
+  runtime.set_metrics(&registry);
+  runtime.submit(small_job(), 0.0);
+  const auto result = runtime.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(spans.open_count(), 0u);
+  EXPECT_FALSE(registry.names().empty());
+}
+
+}  // namespace
+}  // namespace smr::mapreduce

@@ -173,14 +173,22 @@ TEST(DecisionLog, CsvHasHeaderAndOneRowPerDecision) {
   for (std::string line; std::getline(in, line);) lines.push_back(line);
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0],
-            "time,action,map_output_rate,shuffle_rate,running_reduces,"
+            "id,time,action,map_output_rate,shuffle_rate,running_reduces,"
             "total_reduces,balance_factor,slow_start_passed,thrash_suspected,"
             "thrash_confirmed,thrash_strikes,thrash_ceiling,map_slots_before,"
             "map_slots_after,reduce_slots_before,reduce_slots_after,reason");
   // The reason contains a comma, so RFC 4180 requires it quoted.
   EXPECT_EQ(
       lines[1],
-      "12,GROW_MAPS,100,90,4,8,0.9,1,0,0,1,-1,3,4,2,2,\"map-heavy, grew\"");
+      "0,12,GROW_MAPS,100,90,4,8,0.9,1,0,0,1,-1,3,4,2,2,\"map-heavy, grew\"");
+}
+
+TEST(DecisionLog, RecordAssignsDenseIds) {
+  DecisionLog log;
+  for (int i = 0; i < 3; ++i) log.record(SlotDecision{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log.decisions()[static_cast<std::size_t>(i)].id, i);
+  }
 }
 
 TEST(DecisionLog, CsvQuotesReasonsWithCommas) {

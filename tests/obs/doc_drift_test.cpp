@@ -1,0 +1,112 @@
+// Drift guard for docs/OBSERVABILITY.md: every metric an instrumented
+// run registers must appear (in backticks) in the catalog, so adding an
+// instrument without documenting it fails CI.  The reverse direction is
+// spot-checked for the load-bearing names.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "smr/obs/metrics_registry.hpp"
+#include "smr/serve/session.hpp"
+
+namespace smr::obs {
+namespace {
+
+std::string doc_path() {
+  return std::string(SMR_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
+}
+
+/// Every `backticked` token in the file.
+std::set<std::string> backticked_tokens(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::set<std::string> tokens;
+  std::size_t pos = 0;
+  while ((pos = text.find('`', pos)) != std::string::npos) {
+    const std::size_t end = text.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    tokens.insert(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return tokens;
+}
+
+/// The registry key with any `{label="..."}` suffix stripped.
+std::string base_name(const std::string& name) {
+  return name.substr(0, name.find('{'));
+}
+
+/// One serving run instruments both the serve layer and the underlying
+/// runtime (they share the registry), covering the whole catalog.
+serve::ServeConfig serving_config() {
+  serve::ServeConfig config;
+  config.experiment =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kSMapReduce);
+  config.experiment.runtime.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.experiment.scheduler = driver::SchedulerKind::kDeadline;
+  config.horizon = 1800.0;
+  config.warmup = 300.0;
+  config.drain_limit = 3600.0;
+  config.seed = 11;
+  serve::TenantConfig tenant;
+  tenant.name = "t0";
+  tenant.jobs_per_hour = 25.0;
+  tenant.shape.candidates = {workload::Puma::kGrep};
+  tenant.shape.min_input = 1 * kGiB;
+  tenant.shape.max_input = 2 * kGiB;
+  tenant.shape.reduce_tasks = 4;
+  workload::SyntheticMixConfig::SloClass slo;
+  slo.base_deadline_s = 600.0;
+  slo.per_gib_s = 60.0;
+  tenant.shape.slo_classes = {slo};
+  config.tenants.push_back(tenant);
+  return config;
+}
+
+TEST(DocDrift, EveryRegisteredMetricIsCatalogued) {
+  const auto documented = backticked_tokens(doc_path());
+  ASSERT_FALSE(documented.empty());
+
+  MetricsRegistry registry;
+  serve::ServeSession session(serving_config());
+  const auto report = session.run(&registry);
+  ASSERT_TRUE(report.completed) << report.failure_reason;
+  ASSERT_FALSE(registry.names().empty());
+
+  for (const std::string& name : registry.names()) {
+    EXPECT_TRUE(documented.count(base_name(name)))
+        << "metric `" << base_name(name)
+        << "` is registered by an instrumented run but not documented in "
+        << "docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(DocDrift, LoadBearingNamesStillExist) {
+  // The reverse direction for the names other tooling keys on: if one of
+  // these is renamed, the doc (and this list) must move with it.
+  const auto documented = backticked_tokens(doc_path());
+  for (const char* name :
+       {"slots.map_target", "slots.reduce_target", "tasks.running_maps",
+        "queue.pending_maps", "shuffle.bytes_in_flight",
+        "heartbeats.processed", "policy.periods", "task.map_duration_s",
+        "serve.latency_s", "serve.jobs_in_system", "serve.slo_alerts",
+        "serve.burn_rate"}) {
+    EXPECT_TRUE(documented.count(name))
+        << "`" << name << "` missing from docs/OBSERVABILITY.md";
+  }
+  // And the artifact flags the CI smokes drive.
+  for (const char* flag : {"--metrics-out", "--decisions-out", "--trace-out",
+                           "--spans-out", "--critpath-out", "--alerts-out"}) {
+    EXPECT_TRUE(documented.count(flag))
+        << "`" << flag << "` missing from docs/OBSERVABILITY.md";
+  }
+}
+
+}  // namespace
+}  // namespace smr::obs

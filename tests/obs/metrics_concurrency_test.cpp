@@ -1,0 +1,103 @@
+// Concurrency regression tests for the metrics registry, meant to run
+// under TSan (SMR_SANITIZE=thread) as well as plain builds: ThreadPool
+// workers hammer labeled series, counters and histograms through the
+// registry's lookup path while other workers create new instruments.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "smr/common/thread_pool.hpp"
+#include "smr/obs/metrics_registry.hpp"
+
+namespace smr::obs {
+namespace {
+
+TEST(MetricsConcurrency, LabeledSeriesAppendsFromThreadPool) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  constexpr std::size_t kWorkers = 16;
+  constexpr int kAppends = 500;
+  // Four distinct tenant labels, four workers per label, all appending
+  // through the registry lookup (not a cached reference) so the creation
+  // path races with the append path.
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    const std::string tenant = "t" + std::to_string(w % 4);
+    pool.submit([&registry, tenant] {
+      for (int i = 0; i < kAppends; ++i) {
+        registry.series("serve.burn_rate", {{"tenant", tenant}})
+            .append(static_cast<double>(i), 1.0);
+      }
+    });
+  }
+  pool.wait_idle();
+  for (int t = 0; t < 4; ++t) {
+    const std::string tenant = "t" + std::to_string(t);
+    // 4 workers per tenant label, kAppends samples each.
+    EXPECT_EQ(registry.series("serve.burn_rate", {{"tenant", tenant}}).size(),
+              static_cast<std::size_t>(4 * kAppends));
+  }
+  EXPECT_EQ(registry.names().size(), 4u);
+}
+
+TEST(MetricsConcurrency, MixedInstrumentsShareOneRegistry) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  constexpr std::size_t kWorkers = 12;
+  constexpr int kOps = 400;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    pool.submit([&registry, w] {
+      for (int i = 0; i < kOps; ++i) {
+        registry.counter("ops").inc();
+        registry.histogram("lat", kDurationBounds)
+            .observe(static_cast<double>(i % 50));
+        registry.gauge("depth").set(static_cast<double>(w));
+        registry.series("load", {{"worker", std::to_string(w % 3)}})
+            .append(static_cast<double>(i), static_cast<double>(w));
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(registry.counter("ops").value(),
+            static_cast<std::int64_t>(kWorkers) * kOps);
+  EXPECT_EQ(registry.histogram("lat", kDurationBounds).total_count(),
+            static_cast<std::int64_t>(kWorkers) * kOps);
+  std::size_t series_samples = 0;
+  for (int s = 0; s < 3; ++s) {
+    series_samples +=
+        registry.series("load", {{"worker", std::to_string(s)}}).size();
+  }
+  EXPECT_EQ(series_samples, kWorkers * static_cast<std::size_t>(kOps));
+  // Snapshot export is safe while the registry is quiescent afterwards.
+  std::vector<std::string> names = registry.names();
+  EXPECT_EQ(names.size(), 6u);  // ops, lat, depth, 3 load labels
+}
+
+TEST(MetricsConcurrency, SamplesSnapshotWhileAppending) {
+  // samples() copies under the series mutex, so a reader racing appends
+  // sees a consistent prefix, never a torn vector.
+  MetricsRegistry registry;
+  Series& series = registry.series("hot");
+  ThreadPool pool(2);
+  pool.submit([&series] {
+    for (int i = 0; i < 2000; ++i) {
+      series.append(static_cast<double>(i), static_cast<double>(i));
+    }
+  });
+  pool.submit([&series] {
+    for (int i = 0; i < 200; ++i) {
+      const auto snapshot = series.samples();
+      // Each sample was written whole: time == value by construction.
+      for (const auto& sample : snapshot) {
+        ASSERT_EQ(sample.time, sample.value);
+      }
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(series.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace smr::obs

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "smr/common/error.hpp"
 #include "smr/common/thread_pool.hpp"
 
 namespace smr::obs {
@@ -48,6 +50,40 @@ TEST(Histogram, BucketsByUpperBound) {
   // Bounds are fixed on first creation; a second lookup ignores its bounds.
   EXPECT_EQ(&registry.histogram("lat", {99.0}), &h);
   EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket (10, 20]
+  // Rank 10 of 20 lands exactly at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(h.p50(), 10.0);
+  // Rank 5 sits halfway into the first bucket, interpolated from 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  // Ranks 19 and 19.8 interpolate inside the second bucket (10..20).
+  EXPECT_DOUBLE_EQ(h.p95(), 19.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 19.8);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileClampsOverflowToLargestBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 5.0});
+  h.observe(100.0);  // overflow bucket only
+  // No finite upper bound to interpolate against: report the largest
+  // finite bound (a known underestimate) rather than inventing a value.
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+}
+
+TEST(Histogram, QuantileEmptyIsNaNAndRangeChecked) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0});
+  EXPECT_TRUE(std::isnan(h.p50()));
+  h.observe(0.5);
+  EXPECT_THROW(h.quantile(-0.1), SmrError);
+  EXPECT_THROW(h.quantile(1.1), SmrError);
 }
 
 TEST(Series, AppendsInOrder) {
@@ -132,6 +168,9 @@ TEST(MetricsRegistry, WriteJsonlOneObjectPerLine) {
   EXPECT_EQ(lines[1], "{\"type\":\"gauge\",\"name\":\"g\",\"value\":2.5}");
   EXPECT_NE(lines[2].find("\"type\":\"histogram\""), std::string::npos);
   EXPECT_NE(lines[2].find("\"buckets\":[1,0]"), std::string::npos);
+  // Non-empty histograms export interpolated quantiles.
+  EXPECT_NE(lines[2].find("\"p50\":0.5"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"p99\":"), std::string::npos);
   EXPECT_EQ(lines[3],
             "{\"type\":\"series\",\"name\":\"s\",\"t\":1,\"v\":9}");
   EXPECT_EQ(lines[4],

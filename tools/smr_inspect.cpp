@@ -1,0 +1,442 @@
+// smr_inspect — load the observability artifacts of one or two runs.
+//
+//   # what happened in this run?
+//   smr_inspect summary out/baseline
+//
+//   # did the candidate regress against the baseline?
+//   smr_inspect diff out/baseline out/candidate --makespan-threshold=0.05
+//
+// A "run dir" is any directory holding some of the conventional artifact
+// files the other tools write (all optional; absent files are skipped):
+//
+//   metrics.jsonl    smr_sim/smr_serve --metrics-out
+//   spans.jsonl      smr_sim --spans-out
+//   critpath.json    smr_sim --critpath-out
+//   decisions.csv    smr_sim --decisions-out
+//   report.json      smr_serve --report-out
+//   alerts.jsonl     smr_serve --alerts-out
+//
+// `summary` prints one digest per artifact.  `diff` compares the shared
+// artifacts and exits 2 when the candidate regresses past the thresholds:
+// aggregate critical-path growth, per-segment growth (e.g. the retry
+// segment after cranking --task-fail-rate), or new SLO burn alerts.
+// Identical dirs always diff clean (regressions require strict growth),
+// so `smr_inspect diff run run` is a cheap self-check.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "smr/common/flags.hpp"
+#include "smr/common/json.hpp"
+
+using namespace smr;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "smr_inspect: %s\n", message.c_str());
+  return 1;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Everything smr_inspect knows about one run dir.  Absent artifacts stay
+/// empty/nullopt; malformed ones are a hard error (corrupt output should
+/// fail loudly, not read as "no regression").
+struct RunData {
+  std::string dir;
+  bool any = false;
+
+  // metrics.jsonl
+  std::map<std::string, double> counters;
+  std::map<std::string, JsonValue> histograms;
+  std::map<std::string, std::size_t> series_samples;
+
+  // spans.jsonl
+  std::size_t spans = 0;
+  std::size_t attempts = 0;
+  std::size_t failed_attempts = 0;
+  std::size_t retries = 0;  // attempts with retry_of set
+
+  // critpath.json
+  std::optional<JsonValue> critpath;
+
+  // decisions.csv
+  std::size_t decisions = 0;
+  std::map<std::string, std::size_t> decision_actions;
+
+  // report.json / alerts.jsonl
+  std::optional<JsonValue> report;
+  std::size_t alerts = 0;
+  double max_burn = 0.0;
+};
+
+bool load_run(const std::string& dir, RunData& run, std::string& error) {
+  run.dir = dir;
+
+  if (const auto text = slurp(dir + "/metrics.jsonl")) {
+    const auto lines = parse_jsonl(*text, &error);
+    if (!lines) {
+      error = dir + "/metrics.jsonl: " + error;
+      return false;
+    }
+    run.any = true;
+    for (const JsonValue& line : *lines) {
+      const std::string type = line.string_or("type", "");
+      const std::string name = line.string_or("name", "");
+      if (type == "counter" || type == "gauge") {
+        run.counters[name] = line.number_or("value", 0.0);
+      } else if (type == "histogram") {
+        run.histograms[name] = line;
+      } else if (type == "series") {
+        ++run.series_samples[name];
+      }
+    }
+  }
+
+  if (const auto text = slurp(dir + "/spans.jsonl")) {
+    const auto lines = parse_jsonl(*text, &error);
+    if (!lines) {
+      error = dir + "/spans.jsonl: " + error;
+      return false;
+    }
+    run.any = true;
+    run.spans = lines->size();
+    for (const JsonValue& line : *lines) {
+      if (line.string_or("kind", "") != "attempt") continue;
+      ++run.attempts;
+      if (line.string_or("outcome", "") == "failed") ++run.failed_attempts;
+      if (line.number_or("retry_of", -1.0) >= 0.0) ++run.retries;
+    }
+  }
+
+  if (const auto text = slurp(dir + "/critpath.json")) {
+    const auto doc = parse_json(*text, &error);
+    if (!doc) {
+      error = dir + "/critpath.json: " + error;
+      return false;
+    }
+    run.any = true;
+    run.critpath = *doc;
+  }
+
+  if (const auto text = slurp(dir + "/decisions.csv")) {
+    run.any = true;
+    std::istringstream in(*text);
+    std::string line;
+    bool header = true;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (header) {  // id,time,action,...
+        header = false;
+        continue;
+      }
+      ++run.decisions;
+      const std::size_t first = line.find(',');
+      const std::size_t second =
+          first == std::string::npos ? first : line.find(',', first + 1);
+      const std::size_t third =
+          second == std::string::npos ? second : line.find(',', second + 1);
+      if (second != std::string::npos) {
+        ++run.decision_actions[line.substr(second + 1,
+                                           third - second - 1)];
+      }
+    }
+  }
+
+  if (const auto text = slurp(dir + "/report.json")) {
+    const auto doc = parse_json(*text, &error);
+    if (!doc) {
+      error = dir + "/report.json: " + error;
+      return false;
+    }
+    run.any = true;
+    run.report = *doc;
+  }
+
+  if (const auto text = slurp(dir + "/alerts.jsonl")) {
+    const auto lines = parse_jsonl(*text, &error);
+    if (!lines) {
+      error = dir + "/alerts.jsonl: " + error;
+      return false;
+    }
+    run.any = true;
+    run.alerts = lines->size();
+    for (const JsonValue& line : *lines) {
+      run.max_burn = std::max(run.max_burn, line.number_or("burn_rate", 0.0));
+    }
+  }
+
+  if (!run.any) {
+    error = dir + ": no artifacts found (expected metrics.jsonl, "
+                  "spans.jsonl, critpath.json, decisions.csv, report.json "
+                  "or alerts.jsonl)";
+    return false;
+  }
+  return true;
+}
+
+const char* kSegments[] = {"wait_for_slot", "data_transfer", "compute",
+                           "retry", "scheduler_overhead"};
+
+int summarize(const RunData& run) {
+  std::printf("run: %s\n", run.dir.c_str());
+
+  if (!run.counters.empty() || !run.histograms.empty()) {
+    std::printf("\nmetrics.jsonl: %zu counters/gauges, %zu histograms, "
+                "%zu series\n",
+                run.counters.size(), run.histograms.size(),
+                run.series_samples.size());
+    for (const auto& [name, value] : run.counters) {
+      std::printf("  %-28s %12.0f\n", name.c_str(), value);
+    }
+    for (const auto& [name, h] : run.histograms) {
+      std::printf("  %-28s count=%.0f p50=%.1f p95=%.1f p99=%.1f\n",
+                  name.c_str(), h.number_or("count", 0.0),
+                  h.number_or("p50", 0.0), h.number_or("p95", 0.0),
+                  h.number_or("p99", 0.0));
+    }
+  }
+
+  if (run.spans > 0) {
+    std::printf("\nspans.jsonl: %zu spans, %zu attempts "
+                "(%zu failed, %zu retries)\n",
+                run.spans, run.attempts, run.failed_attempts, run.retries);
+  }
+
+  if (run.critpath) {
+    const JsonValue* jobs = run.critpath->find("jobs");
+    const JsonValue* agg = run.critpath->find("aggregate");
+    std::printf("\ncritpath.json: %zu jobs on the critical path\n",
+                jobs != nullptr ? jobs->as_array().size() : 0);
+    if (agg != nullptr) {
+      const double total = agg->number_or("total", 0.0);
+      for (const char* segment : kSegments) {
+        const double value = agg->number_or(segment, 0.0);
+        std::printf("  %-20s %10.1fs  %5.1f%%\n", segment, value,
+                    total > 0.0 ? 100.0 * value / total : 0.0);
+      }
+      std::printf("  %-20s %10.1fs\n", "total", total);
+    }
+  }
+
+  if (run.decisions > 0) {
+    std::printf("\ndecisions.csv: %zu decisions\n", run.decisions);
+    for (const auto& [action, count] : run.decision_actions) {
+      std::printf("  %-20s %6zu\n", action.c_str(), count);
+    }
+  }
+
+  if (run.report) {
+    const JsonValue* agg = run.report->find("aggregate");
+    std::printf("\nreport.json: engine=%s makespan=%.0fs utilization=%.2f\n",
+                run.report->string_or("engine", "?").c_str(),
+                run.report->number_or("makespan_s", 0.0),
+                run.report->number_or("utilization", 0.0));
+    if (agg != nullptr) {
+      const JsonValue* latency = agg->find("latency");
+      std::printf("  completed=%.0f failed=%.0f shed=%.0f slo_met=%.0f\n",
+                  agg->number_or("completed", 0.0),
+                  agg->number_or("failed", 0.0), agg->number_or("shed", 0.0),
+                  agg->number_or("slo_met", 0.0));
+      if (latency != nullptr) {
+        std::printf("  latency p50=%.1fs p95=%.1fs p99=%.1fs\n",
+                    latency->number_or("p50", 0.0),
+                    latency->number_or("p95", 0.0),
+                    latency->number_or("p99", 0.0));
+      }
+    }
+  }
+
+  std::printf("\nalerts.jsonl: %zu burn-rate alerts", run.alerts);
+  if (run.alerts > 0) std::printf(" (max burn %.2fx)", run.max_burn);
+  std::printf("\n");
+  return 0;
+}
+
+struct DiffLine {
+  std::string what;
+  double base = 0.0;
+  double cand = 0.0;
+  bool regression = false;
+  std::string note;
+};
+
+/// Strict-growth check: regression iff the candidate exceeds the baseline
+/// by more than `rel_threshold` *and* by more than `abs_floor` seconds (or
+/// units).  delta == 0 is never a regression, so self-diffs exit clean.
+bool regressed(double base, double cand, double rel_threshold,
+               double abs_floor) {
+  const double delta = cand - base;
+  if (delta <= abs_floor) return false;
+  if (base <= 0.0) return true;  // grew from nothing past the floor
+  return delta / base > rel_threshold;
+}
+
+int diff(const RunData& base, const RunData& cand, const FlagSet& flags) {
+  const double makespan_threshold = flags.get_double("makespan-threshold");
+  const double segment_threshold = flags.get_double("segment-threshold");
+  const double segment_floor = flags.get_double("segment-floor");
+
+  std::vector<DiffLine> lines;
+
+  if (base.critpath && cand.critpath) {
+    const JsonValue* base_agg = base.critpath->find("aggregate");
+    const JsonValue* cand_agg = cand.critpath->find("aggregate");
+    if (base_agg != nullptr && cand_agg != nullptr) {
+      DiffLine total;
+      total.what = "critpath.total_s";
+      total.base = base_agg->number_or("total", 0.0);
+      total.cand = cand_agg->number_or("total", 0.0);
+      total.regression = regressed(total.base, total.cand, makespan_threshold,
+                                   segment_floor);
+      lines.push_back(total);
+      for (const char* segment : kSegments) {
+        DiffLine line;
+        line.what = std::string("critpath.") + segment + "_s";
+        line.base = base_agg->number_or(segment, 0.0);
+        line.cand = cand_agg->number_or(segment, 0.0);
+        line.regression = regressed(line.base, line.cand, segment_threshold,
+                                    segment_floor);
+        lines.push_back(line);
+      }
+    }
+  }
+
+  if (base.spans > 0 && cand.spans > 0) {
+    DiffLine retries;
+    retries.what = "spans.retries";
+    retries.base = static_cast<double>(base.retries);
+    retries.cand = static_cast<double>(cand.retries);
+    retries.note = "informational";
+    lines.push_back(retries);
+    DiffLine failed;
+    failed.what = "spans.failed_attempts";
+    failed.base = static_cast<double>(base.failed_attempts);
+    failed.cand = static_cast<double>(cand.failed_attempts);
+    failed.note = "informational";
+    lines.push_back(failed);
+  }
+
+  // Counters both runs emitted, skipping the pure bookkeeping ones.
+  for (const auto& [name, base_value] : base.counters) {
+    const auto found = cand.counters.find(name);
+    if (found == cand.counters.end()) continue;
+    if (base_value == found->second) continue;
+    DiffLine line;
+    line.what = "counter." + name;
+    line.base = base_value;
+    line.cand = found->second;
+    line.note = "informational";
+    lines.push_back(line);
+  }
+
+  if (base.report && cand.report) {
+    DiffLine makespan;
+    makespan.what = "report.makespan_s";
+    makespan.base = base.report->number_or("makespan_s", 0.0);
+    makespan.cand = cand.report->number_or("makespan_s", 0.0);
+    makespan.regression = regressed(makespan.base, makespan.cand,
+                                    makespan_threshold, segment_floor);
+    lines.push_back(makespan);
+  }
+
+  {
+    DiffLine alerts;
+    alerts.what = "alerts.count";
+    alerts.base = static_cast<double>(base.alerts);
+    alerts.cand = static_cast<double>(cand.alerts);
+    alerts.regression = cand.alerts > base.alerts;
+    if (alerts.regression) alerts.note = "new burn-rate alerts";
+    lines.push_back(alerts);
+  }
+
+  std::printf("diff: %s -> %s\n", base.dir.c_str(), cand.dir.c_str());
+  std::printf("%-28s %12s %12s %9s  %s\n", "metric", "baseline", "candidate",
+              "delta", "");
+  bool any_regression = false;
+  for (const DiffLine& line : lines) {
+    const double delta = line.cand - line.base;
+    const char* marker =
+        line.regression ? "REGRESSION" : line.note.c_str();
+    std::printf("%-28s %12.1f %12.1f %+9.1f  %s\n", line.what.c_str(),
+                line.base, line.cand, delta, marker);
+    any_regression = any_regression || line.regression;
+  }
+  if (any_regression) {
+    std::printf("\nverdict: REGRESSION (thresholds: makespan %.0f%%, "
+                "segment %.0f%%, floor %.1fs)\n",
+                100.0 * makespan_threshold, 100.0 * segment_threshold,
+                segment_floor);
+    return 2;
+  }
+  std::printf("\nverdict: no regression\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(
+      "Summarise one run's observability artifacts, or diff two runs and "
+      "fail on regression.\n"
+      "  smr_inspect summary <run-dir>\n"
+      "  smr_inspect diff <baseline-dir> <candidate-dir>");
+  flags.define_double("makespan-threshold", 0.05,
+                      "diff: tolerated relative growth of the aggregate "
+                      "critical path / serve makespan");
+  flags.define_double("segment-threshold", 0.25,
+                      "diff: tolerated relative growth of any one "
+                      "critical-path segment");
+  flags.define_double("segment-floor", 1.0,
+                      "diff: absolute growth (s) below which a segment "
+                      "change is ignored");
+  flags.define_bool("help", false, "print this help");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "smr_inspect: %s\n\n%s", flags.error().c_str(),
+                 flags.usage("smr_inspect").c_str());
+    return 1;
+  }
+  if (flags.get_bool("help")) {
+    std::fputs(flags.usage("smr_inspect").c_str(), stdout);
+    return 0;
+  }
+
+  const auto& args = flags.positional();
+  if (args.empty()) {
+    std::fputs(flags.usage("smr_inspect").c_str(), stderr);
+    return 1;
+  }
+  const std::string& command = args[0];
+  std::string error;
+
+  if (command == "summary") {
+    if (args.size() != 2) return fail("summary takes exactly one run dir");
+    RunData run;
+    if (!load_run(args[1], run, error)) return fail(error);
+    return summarize(run);
+  }
+  if (command == "diff") {
+    if (args.size() != 3) {
+      return fail("diff takes a baseline dir and a candidate dir");
+    }
+    RunData base;
+    RunData cand;
+    if (!load_run(args[1], base, error)) return fail(error);
+    if (!load_run(args[2], cand, error)) return fail(error);
+    return diff(base, cand, flags);
+  }
+  return fail("unknown command '" + command + "' (summary | diff)");
+}

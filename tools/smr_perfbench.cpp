@@ -19,7 +19,9 @@
 #include "smr/common/flags.hpp"
 #include "smr/common/thread_pool.hpp"
 #include "smr/driver/sweep.hpp"
+#include "smr/mapreduce/runtime.hpp"
 #include "smr/obs/self_profile.hpp"
+#include "smr/obs/span_log.hpp"
 #include "smr/workload/puma.hpp"
 
 using namespace smr;
@@ -94,6 +96,48 @@ BenchResult run_sweep_bench(bool smoke) {
   return result;
 }
 
+/// Span-recording overhead: the same terasort run with and without a
+/// SpanLog attached.  The spans_off/spans_on pair quantifies the cost of
+/// the causal span tree; the two runs must agree on makespan (recording is
+/// purely observational) or the bench aborts.
+std::vector<BenchResult> run_span_overhead(bool smoke) {
+  driver::ExperimentConfig config =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kSMapReduce);
+  const mapreduce::JobSpec spec = workload::make_puma_job(
+      workload::Puma::kTerasort, (smoke ? 4 : 30) * kGiB);
+  const int reps = smoke ? 1 : 3;
+
+  std::vector<BenchResult> results;
+  double makespans[2] = {0.0, 0.0};
+  for (int with_spans = 0; with_spans < 2; ++with_spans) {
+    BenchResult result;
+    result.name = with_spans != 0 ? "spans_on" : "spans_off";
+    obs::Stopwatch stopwatch;
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::SpanLog spans;
+      mapreduce::Runtime runtime(config.runtime, driver::make_policy(config),
+                                 driver::make_scheduler(config));
+      if (with_spans != 0) runtime.set_spans(&spans);
+      runtime.submit(spec, 0.0);
+      const metrics::RunResult run = runtime.run();
+      makespans[with_spans] = run.makespan;
+      result.events += run.engine_events;
+      result.solver_calls += run.solver_calls;
+      result.solver_full_solves += run.solver_full_solves;
+    }
+    result.wall_seconds = stopwatch.seconds();
+    results.push_back(result);
+  }
+  if (makespans[0] != makespans[1]) {
+    std::fprintf(stderr,
+                 "smr_perfbench: span recording perturbed the simulation "
+                 "(makespan %f != %f)\n",
+                 makespans[0], makespans[1]);
+    std::exit(1);
+  }
+  return results;
+}
+
 void write_json(const std::string& path, const std::vector<BenchResult>& results,
                 bool smoke) {
   std::ofstream out(path);
@@ -120,7 +164,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
 int main(int argc, char** argv) {
   FlagSet flags("Time the simulator's figure workloads and report engine/solver rates.");
   flags.define_bool("smoke", false, "run the seconds-long CI subset");
-  flags.define_string("out", "BENCH_5.json", "JSON-lines output path ('' to skip)");
+  flags.define_string("out", "BENCH_6.json", "JSON-lines output path ('' to skip)");
   flags.define_bool("help", false, "print this help");
 
   if (!flags.parse(argc, argv)) {
@@ -137,6 +181,7 @@ int main(int argc, char** argv) {
   std::vector<BenchResult> results;
   results.push_back(run_fig3(smoke));
   results.push_back(run_sweep_bench(smoke));
+  for (BenchResult& r : run_span_overhead(smoke)) results.push_back(std::move(r));
 
   std::printf("%-14s %12s %14s %14s %14s %14s %10s\n", "bench", "wall_s",
               "events", "events/s", "solver_calls", "full_solves", "hit_rate");

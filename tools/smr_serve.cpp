@@ -20,6 +20,7 @@
 #include "smr/common/error.hpp"
 #include "smr/common/flags.hpp"
 #include "smr/driver/experiment.hpp"
+#include "smr/metrics/trace.hpp"
 #include "smr/obs/metrics_registry.hpp"
 #include "smr/serve/capacity.hpp"
 #include "smr/serve/session.hpp"
@@ -118,6 +119,21 @@ int main(int argc, char** argv) {
   flags.define_string("report-out", "", "write the serve report JSON here");
   flags.define_string("metrics-out", "",
                       "write runtime + serve.* telemetry as JSON lines");
+  flags.define_string("trace-out", "",
+                      "write a chrome://tracing JSON of the serving run "
+                      "(task slices + SLO_ALERT instants)");
+  flags.define_string("alerts-out", "",
+                      "write burn-rate SLO alerts as JSON lines");
+  flags.define_double("burn-window", 600.0,
+                      "burn-rate: trailing window over deadline outcomes (s)");
+  flags.define_double("burn-target", 0.9,
+                      "burn-rate: SLO attainment target (budget = 1-target)");
+  flags.define_double("burn-threshold", 2.0,
+                      "burn-rate: alert when burn >= this multiple of budget");
+  flags.define_int("burn-min-samples", 10,
+                   "burn-rate: outcomes required in window before alerting");
+  flags.define_double("burn-cooldown", 300.0,
+                      "burn-rate: per-tenant seconds between alerts");
   flags.define_string("sweep", "",
                       "capacity sweep over these aggregate rates (jobs/hour, "
                       "comma list, ascending)");
@@ -160,6 +176,12 @@ int main(int argc, char** argv) {
   config.warmup = flags.get_double("warmup");
   config.drain_limit = flags.get_double("drain-limit");
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.burn.window = flags.get_double("burn-window");
+  config.burn.target = flags.get_double("burn-target");
+  config.burn.threshold = flags.get_double("burn-threshold");
+  config.burn.min_samples =
+      static_cast<std::size_t>(flags.get_int("burn-min-samples"));
+  config.burn.cooldown = flags.get_double("burn-cooldown");
 
   const std::string admission = flags.get_string("admission");
   if (admission == "none") {
@@ -271,9 +293,14 @@ int main(int argc, char** argv) {
     }
 
     obs::MetricsRegistry registry;
+    metrics::TraceLog trace_log;
     serve::ServeSession session(config);
+    if (!flags.get_string("trace-out").empty()) session.set_trace(&trace_log);
     const serve::ServeReport report = session.replay(std::move(trace), &registry);
     print_report(report);
+    if (const std::size_t alerts = session.burn_alerts().size(); alerts > 0) {
+      std::printf("burn-rate alerts fired: %zu (see --alerts-out)\n", alerts);
+    }
 
     if (const std::string path = flags.get_string("report-out"); !path.empty()) {
       std::ofstream out(path);
@@ -286,6 +313,18 @@ int main(int argc, char** argv) {
       std::ofstream out(path);
       if (!out) return fail("cannot write " + path);
       registry.write_jsonl(out);
+    }
+    if (const std::string path = flags.get_string("trace-out"); !path.empty()) {
+      std::ofstream out(path);
+      if (!out) return fail("cannot write " + path);
+      trace_log.write_chrome_trace(out);
+      std::printf("chrome trace (%zu events) written to %s\n", trace_log.size(),
+                  path.c_str());
+    }
+    if (const std::string path = flags.get_string("alerts-out"); !path.empty()) {
+      std::ofstream out(path);
+      if (!out) return fail("cannot write " + path);
+      session.write_burn_alerts_jsonl(out);
     }
     return report.completed ? 0 : 2;
   } catch (const SmrError& e) {

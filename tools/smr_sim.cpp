@@ -20,9 +20,11 @@
 #include "smr/driver/experiment.hpp"
 #include "smr/metrics/reporter.hpp"
 #include "smr/metrics/trace.hpp"
+#include "smr/obs/critical_path.hpp"
 #include "smr/obs/decision_log.hpp"
 #include "smr/obs/metrics_registry.hpp"
 #include "smr/obs/self_profile.hpp"
+#include "smr/obs/span_log.hpp"
 #include "smr/workload/puma.hpp"
 #include "smr/workload/jobs_file.hpp"
 #include "smr/workload/synthetic.hpp"
@@ -151,6 +153,12 @@ int main(int argc, char** argv) {
   flags.define_string("decisions-out", "",
                       "write the slot manager's decision audit log as CSV "
                       "(smapreduce engine only)");
+  flags.define_string("spans-out", "",
+                      "write the causal span tree (run/job/phase/attempt) "
+                      "as JSON lines; also nests the spans into --trace-out");
+  flags.define_string("critpath-out", "",
+                      "write the per-job critical-path attribution "
+                      "(wait/transfer/compute/retry/overhead) as JSON");
   flags.define_bool("help", false, "print this help");
 
   if (!flags.parse(argc, argv)) {
@@ -241,10 +249,15 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) trace_path = flags.get_string("chrome-trace");
   const std::string metrics_path = flags.get_string("metrics-out");
   const std::string decisions_path = flags.get_string("decisions-out");
-  if (!trace_path.empty() || !metrics_path.empty() || !decisions_path.empty()) {
+  const std::string spans_path = flags.get_string("spans-out");
+  const std::string critpath_path = flags.get_string("critpath-out");
+  const bool want_spans = !spans_path.empty() || !critpath_path.empty();
+  if (!trace_path.empty() || !metrics_path.empty() || !decisions_path.empty() ||
+      want_spans) {
     metrics::TraceLog trace;
     obs::MetricsRegistry registry;
     obs::DecisionLog decisions;
+    obs::SpanLog spans;
     obs::Stopwatch stopwatch;
 
     mapreduce::RuntimeConfig runtime_config = config.runtime;
@@ -260,6 +273,7 @@ int main(int argc, char** argv) {
     mapreduce::Runtime runtime(runtime_config, std::move(policy),
                                driver::make_scheduler(config));
     if (!trace_path.empty()) runtime.set_trace(&trace);
+    if (want_spans) runtime.set_spans(&spans);
     runtime.set_metrics(&registry);
     for (const auto& submission : submissions) {
       runtime.submit(submission.spec, submission.submit_at);
@@ -275,12 +289,31 @@ int main(int argc, char** argv) {
     profile.trace_bytes = trace.memory_bytes();
 
     if (!trace_path.empty()) {
-      if (!write_file(trace_path,
-                      [&](std::ostream& out) { trace.write_chrome_trace(out); })) {
+      if (!write_file(trace_path, [&](std::ostream& out) {
+            trace.write_chrome_trace(out, want_spans ? &spans : nullptr);
+          })) {
         return fail("cannot write " + trace_path);
       }
       std::printf("chrome trace (%zu events) written to %s\n", trace.size(),
                   trace_path.c_str());
+    }
+    if (!spans_path.empty()) {
+      if (!write_file(spans_path,
+                      [&](std::ostream& out) { spans.write_jsonl(out); })) {
+        return fail("cannot write " + spans_path);
+      }
+      std::printf("span log (%zu spans) written to %s\n", spans.size(),
+                  spans_path.c_str());
+    }
+    if (!critpath_path.empty()) {
+      const obs::CriticalPathReport report =
+          obs::analyze_critical_path(spans, runtime_config.heartbeat_period);
+      if (!write_file(critpath_path,
+                      [&](std::ostream& out) { report.write_json(out); })) {
+        return fail("cannot write " + critpath_path);
+      }
+      std::printf("critical path (%zu jobs) written to %s\n",
+                  report.jobs.size(), critpath_path.c_str());
     }
     if (!metrics_path.empty()) {
       if (!write_file(metrics_path, [&](std::ostream& out) {
