@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -90,13 +91,29 @@ class ComputeModel {
   /// Same result as solve(), but via a per-instance incremental MaxMinSolver:
   /// when a node's occupancy and loads are unchanged between ticks (the
   /// common steady-execution case) the water-filling pass is skipped
-  /// entirely.  Keep one instance per simulated node; NOT thread-safe.
-  /// The returned reference is invalidated by the next call.
+  /// entirely.  A raw-input memo short-circuits even earlier: if occupancy,
+  /// background and every PhaseLoad compare bit-equal to the previous call,
+  /// the cached rates are returned without converting loads to flows at all
+  /// (identical raw inputs provably produce identical capacities and flows,
+  /// hence the identical cached result).  Assumes the same NodeSpec on
+  /// every call, which holds for the runtime's one-model-per-node layout.
+  /// Keep one instance per simulated node; NOT thread-safe.  The returned
+  /// reference is invalidated by the next call.
   const std::vector<double>& solve_cached(const NodeSpec& node, const Occupancy& occ,
                                           const BackgroundLoad& background,
                                           std::span<const PhaseLoad> loads);
 
-  const MaxMinSolver::Stats& solver_stats() const { return solver_.stats(); }
+  /// Solver counters with raw-input memo hits folded back in as calls +
+  /// cache hits, so the totals match what the pre-memo path reported (a
+  /// memo hit is exactly a call the solver would have answered from its
+  /// own identical-inputs cache).
+  MaxMinSolver::Stats solver_stats() const;
+
+  /// Count an externally short-circuited call as a memo hit: the caller
+  /// proved the raw inputs unchanged (e.g. the runtime's quiescent-node
+  /// tick path) without materialising them, so the stats must read as if
+  /// solve_cached had been called and hit.
+  void count_memo_hit() { ++memo_hits_; }
 
  private:
   /// Translate one sub-phase load into a max-min flow (shared by the oracle
@@ -110,6 +127,13 @@ class ComputeModel {
   MaxMinSolver solver_;
   std::vector<FlowDemand> flows_scratch_;
   std::vector<double> empty_;
+  // Raw-input memo (see solve_cached).
+  bool memo_valid_ = false;
+  Occupancy memo_occ_;
+  BackgroundLoad memo_background_;
+  std::vector<PhaseLoad> memo_loads_;
+  std::vector<double> memo_rates_;
+  std::uint64_t memo_hits_ = 0;
 };
 
 }  // namespace smr::cluster

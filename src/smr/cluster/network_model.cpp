@@ -1,5 +1,7 @@
 #include "smr/cluster/network_model.hpp"
 
+#include <algorithm>
+
 #include "smr/common/error.hpp"
 
 namespace smr::cluster {
@@ -55,11 +57,38 @@ std::vector<double> NetworkModel::allocate(
   return max_min_allocate(capacities, demands);
 }
 
+namespace {
+
+bool same_flow(const NetFlow& a, const NetFlow& b) {
+  return a.dst == b.dst && a.src == b.src && a.rate_cap == b.rate_cap;
+}
+
+}  // namespace
+
 const std::vector<double>& NetworkModel::allocate_cached(
     std::span<const NetFlow> flows, std::span<const int> fetch_streams_per_node) {
   if (flows.empty()) return empty_;
+
+  // Raw-input memo: capacities and demands are pure functions of (flows,
+  // fetch_streams) for the instance's fixed cluster spec, so bit-equal raw
+  // inputs are guaranteed to reproduce the previous result without
+  // rebuilding the problem or running the solver's own input comparison.
+  if (memo_valid_ && flows.size() == memo_flows_.size() &&
+      fetch_streams_per_node.size() == memo_streams_.size() &&
+      std::equal(flows.begin(), flows.end(), memo_flows_.begin(), same_flow) &&
+      std::equal(fetch_streams_per_node.begin(), fetch_streams_per_node.end(),
+                 memo_streams_.begin())) {
+    ++memo_hits_;
+    return memo_rates_;
+  }
+
   build_problem(flows, fetch_streams_per_node, caps_scratch_, demands_scratch_);
-  return solver_.solve(caps_scratch_, demands_scratch_);
+  const std::vector<double>& rates = solver_.solve(caps_scratch_, demands_scratch_);
+  memo_flows_.assign(flows.begin(), flows.end());
+  memo_streams_.assign(fetch_streams_per_node.begin(), fetch_streams_per_node.end());
+  memo_rates_ = rates;
+  memo_valid_ = true;
+  return memo_rates_;
 }
 
 }  // namespace smr::cluster

@@ -14,6 +14,7 @@
 // jam" (Sections III-B3, IV-A2, V-C).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -51,12 +52,23 @@ class NetworkModel {
   /// MaxMinSolver: unchanged flow sets are answered from the cache, and
   /// shuffle ticks where only the (non-binding, backlog-tracking) rate caps
   /// moved while the network stayed the bottleneck skip the water-filling
-  /// pass too.  NOT thread-safe; the returned reference is invalidated by
-  /// the next call.
+  /// pass too.  A raw-input memo short-circuits even earlier: bit-equal
+  /// (flows, fetch_streams) skip the problem build entirely — the common
+  /// steady-shuffle tick, where every cap is pinned at the fetch cap.
+  /// NOT thread-safe; the returned reference is invalidated by the next
+  /// call.
   const std::vector<double>& allocate_cached(std::span<const NetFlow> flows,
                                              std::span<const int> fetch_streams_per_node);
 
-  const MaxMinSolver::Stats& solver_stats() const { return solver_.stats(); }
+  /// Solver counters with raw-input memo hits folded back in as calls +
+  /// cache hits (a memo hit is exactly a call the solver would have
+  /// answered from its own identical-inputs cache).
+  MaxMinSolver::Stats solver_stats() const {
+    MaxMinSolver::Stats stats = solver_.stats();
+    stats.calls += memo_hits_;
+    stats.cache_hits += memo_hits_;
+    return stats;
+  }
 
  private:
   /// Build the (capacities, demands) max-min problem into the given
@@ -72,6 +84,12 @@ class NetworkModel {
   std::vector<double> caps_scratch_;
   std::vector<FlowDemand> demands_scratch_;
   std::vector<double> empty_;
+  // Raw-input memo (see allocate_cached).
+  bool memo_valid_ = false;
+  std::vector<NetFlow> memo_flows_;
+  std::vector<int> memo_streams_;
+  std::vector<double> memo_rates_;
+  std::uint64_t memo_hits_ = 0;
 };
 
 }  // namespace smr::cluster

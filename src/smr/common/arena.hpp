@@ -1,0 +1,198 @@
+// Arena: a page-pool bump allocator for the simulation hot path, after the
+// Galois PagePool/SharedMemRuntime pattern.
+//
+// The simulator's steady state churns through many small, same-shaped
+// records (shadow task attempts, span bookkeeping, scratch rows) whose
+// lifetimes are bounded by a run.  Routing them through malloc costs a
+// lock-free-list walk per record and scatters them across the heap; the
+// arena instead carves them out of large pages with a pointer bump, and
+// returns whole pages to a process-wide pool on reset so repeated runs
+// (perfbench sweeps, parameter studies) stop touching the system allocator
+// entirely.
+//
+//   * Arena — bump allocator over pooled pages.  allocate<T>() is a pointer
+//     bump; there is no per-object free.  reset() recycles every page.
+//     Destructors are NOT run: only trivially-destructible types may be
+//     placed in an arena (enforced at compile time).
+//   * Pool<T> — a typed free-list object pool on top of Arena for records
+//     with individual acquire/release lifetimes (e.g. speculative shadow
+//     attempts).  release() pushes onto an intrusive free list; acquire()
+//     pops or bump-allocates.  O(1) both ways, no malloc after warm-up.
+//
+// Neither type is thread-safe; each simulation thread owns its arenas
+// (the parallel sweep runner already gives every run its own Runtime).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "smr/common/error.hpp"
+
+namespace smr::common {
+
+class Arena {
+ public:
+  /// Page size: large enough that even a 4k-task job's shadow records fit
+  /// in a handful of pages, small enough to not bloat tiny test runs.
+  static constexpr std::size_t kPageSize = 64 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    for (Page* page : pages_) ::operator delete(page);
+  }
+
+  /// Allocate `bytes` with `align` alignment (align must be a power of
+  /// two and at most alignof(std::max_align_t)).
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    SMR_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two");
+    SMR_CHECK_MSG(align <= alignof(std::max_align_t),
+                  "over-aligned arena allocation");
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (p + bytes > limit_) {
+      new_page(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Allocate and default-construct one T.  T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T, typename... Args>
+  T* allocate(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-placed types must be trivially destructible");
+    void* p = allocate_bytes(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Allocate an uninitialised array of n Ts (same triviality rule).
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-placed types must be trivially destructible");
+    return static_cast<T*>(allocate_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Recycle every page for reuse.  All outstanding pointers die.
+  void reset() {
+    page_index_ = 0;
+    if (!pages_.empty()) {
+      cursor_ = payload(pages_[0]);
+      limit_ = cursor_ + pages_[0]->payload_size;
+      ++page_index_;
+    } else {
+      cursor_ = 0;
+      limit_ = 0;
+    }
+  }
+
+  /// Bytes currently reserved from the system (diagnostics).
+  std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Page* page : pages_) total += page->payload_size;
+    return total;
+  }
+
+  /// Pages held (diagnostics; a warm steady state stops growing this).
+  std::size_t page_count() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::size_t payload_size;
+  };
+
+  static std::uintptr_t payload(Page* page) {
+    return reinterpret_cast<std::uintptr_t>(page) + payload_offset();
+  }
+  static constexpr std::size_t payload_offset() {
+    return (sizeof(Page) + alignof(std::max_align_t) - 1) &
+           ~(alignof(std::max_align_t) - 1);
+  }
+
+  void new_page(std::size_t min_bytes) {
+    // Reuse a recycled page when the next one fits; oversized requests get
+    // a dedicated page of their own (rare: big scratch arrays only).
+    while (page_index_ < pages_.size()) {
+      Page* page = pages_[page_index_++];
+      if (page->payload_size >= min_bytes) {
+        cursor_ = payload(page);
+        limit_ = cursor_ + page->payload_size;
+        return;
+      }
+    }
+    const std::size_t payload_bytes =
+        min_bytes > kPageSize ? min_bytes : kPageSize;
+    auto* page = static_cast<Page*>(
+        ::operator new(payload_offset() + payload_bytes));
+    page->payload_size = payload_bytes;
+    pages_.push_back(page);
+    page_index_ = pages_.size();
+    cursor_ = payload(page);
+    limit_ = cursor_ + payload_bytes;
+  }
+
+  std::vector<Page*> pages_;
+  std::size_t page_index_ = 0;  // pages [0, page_index_) are in use
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+};
+
+/// Typed object pool with individual acquire/release on top of Arena.
+/// Objects are value-initialised on first allocation and returned to an
+/// intrusive free list on release; a released object's storage is reused
+/// verbatim, so acquire() always re-initialises the record it hands out.
+template <typename T>
+class Pool {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "pooled types must be trivially destructible");
+  static_assert(sizeof(T) >= sizeof(void*),
+                "pooled types must fit a free-list link");
+
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Hand out a record constructed from `args` (default: value-init).
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    if (free_ != nullptr) {
+      void* slot = free_;
+      free_ = *static_cast<void**>(slot);
+      --free_count_;
+      return ::new (slot) T(std::forward<Args>(args)...);
+    }
+    void* slot = arena_.allocate_bytes(sizeof(T), alignof(T));
+    return ::new (slot) T(std::forward<Args>(args)...);
+  }
+
+  /// Return a record to the pool.  The pointer must have come from this
+  /// pool's acquire() and must not be used afterwards.
+  void release(T* obj) {
+    void* slot = obj;
+    *static_cast<void**>(slot) = free_;
+    free_ = slot;
+    ++free_count_;
+  }
+
+  /// Records currently sitting on the free list (diagnostics/tests).
+  std::size_t free_count() const { return free_count_; }
+
+  /// Bytes reserved by the backing arena (diagnostics/tests).
+  std::size_t reserved_bytes() const { return arena_.reserved_bytes(); }
+
+ private:
+  Arena arena_;
+  void* free_ = nullptr;
+  std::size_t free_count_ = 0;
+};
+
+}  // namespace smr::common

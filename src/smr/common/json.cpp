@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <ostream>
 #include <sstream>
 #include <string_view>
 
@@ -174,11 +175,76 @@ class Parser {
         case 't': out.push_back('\t'); break;
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (!parse_hex4(&code)) return fail("malformed \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must be chained with \uDC00–\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(&low)) return fail("malformed \\u escape");
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            const unsigned cp =
+                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            append_utf8(out, cp);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          } else {
+            append_utf8(out, code);
+          }
+          break;
+        }
         default:
           return fail("unsupported string escape");
       }
     }
     return fail("unterminated string");
+  }
+
+  bool parse_hex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      value = (value << 4) | digit;
+    }
+    pos_ += 4;
+    *code = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
   }
 
   std::optional<JsonValue> parse_number() {
@@ -234,6 +300,42 @@ class Parser {
 std::optional<JsonValue> parse_json(const std::string& text,
                                     std::string* error) {
   return Parser(text).parse(error);
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
+          // Remaining C0 controls have no named escape.
+          out += "\\u00";
+          out.push_back(kHex[byte >> 4]);
+          out.push_back(kHex[byte & 0xF]);
+        } else {
+          // UTF-8 payload bytes pass through; the parser's \uXXXX decoder
+          // produces the same bytes, so round-trips are exact.
+          out.push_back(c);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"' << escape_json(s) << '"';
 }
 
 std::optional<std::vector<JsonValue>> parse_jsonl(const std::string& text,

@@ -1,18 +1,27 @@
-// Minimal JSON value + recursive-descent parser.
+// Minimal JSON value + recursive-descent parser, plus the one string
+// escaper every writer shares.
 //
-// The obs sinks *write* JSON with hand-rolled streaming code; this is the
-// other direction, used by smr_inspect (and its tests) to load the
+// The obs sinks *write* JSON with hand-rolled streaming code; the parser
+// is the other direction, used by smr_inspect (and its tests) to load the
 // artifacts back: metrics.jsonl, spans.jsonl, critpath.json, report.json,
 // alerts.jsonl.  It parses the full JSON grammar the writers emit —
-// objects, arrays, strings with the escapes we produce, numbers (as
-// double), booleans, null — and nothing exotic (no \uXXXX surrogate
-// pairs, no comments).
+// objects, arrays, strings (all escapes, including \uXXXX with surrogate
+// pairs, decoded to UTF-8), numbers (as double), booleans, null — and no
+// extensions (no comments, no trailing commas).
+//
+// escape_json/write_json_string are the symmetric writer half: named
+// escapes for the common controls, \uXXXX for the rest of the C0 range,
+// raw pass-through for UTF-8 payload bytes.  Every sink routes through
+// them so non-ASCII tenant and job names survive a write→inspect
+// round-trip byte-for-byte.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace smr {
@@ -75,5 +84,13 @@ std::optional<JsonValue> parse_json(const std::string& text,
 /// nullopt on the first malformed line.
 std::optional<std::vector<JsonValue>> parse_jsonl(const std::string& text,
                                                   std::string* error = nullptr);
+
+/// Returns `s` with JSON string escaping applied (no surrounding quotes):
+/// named escapes for " \ and \n \r \t \b \f, \u00XX for remaining control
+/// characters, all other bytes (UTF-8 payload included) passed through.
+std::string escape_json(std::string_view s);
+
+/// Streams `"` + escape_json(s) + `"` — the shared writer for every sink.
+void write_json_string(std::ostream& out, std::string_view s);
 
 }  // namespace smr

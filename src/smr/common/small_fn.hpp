@@ -1,0 +1,84 @@
+// SmallFn: a small-buffer replacement for std::function<void()> on the
+// simulation hot path.
+//
+// Event callbacks are almost always tiny capture packs ([this], [this, i]);
+// std::function heap-allocates many of them and deep-copies on every
+// periodic dispatch.  SmallFn stores trivially-copyable callables up to
+// kInlineSize bytes directly in the object (no allocation, copies are
+// memcpy) and spills everything else to a shared_ptr, so copying a spilled
+// callable is a refcount bump, never a second allocation.  The copy
+// cheapness is load-bearing: the engine invokes periodic callbacks through
+// a stack copy so a callback may cancel (and thereby destroy) its own
+// registration mid-call without invalidating the frame it is running in.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smr::common {
+
+class SmallFn {
+ public:
+  /// Inline storage for the captured state.  48 bytes fits every callback
+  /// the runtime schedules today with room to spare; bigger callables fall
+  /// back to one shared heap block.
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](SmallFn& self) {
+        (*std::launder(reinterpret_cast<Fn*>(self.buf_)))();
+      };
+    } else {
+      heap_ = std::make_shared<Fn>(std::forward<F>(f));
+      invoke_ = [](SmallFn& self) { (*static_cast<Fn*>(self.heap_.get()))(); };
+    }
+  }
+
+  // Inline callables are restricted to trivially copyable + destructible
+  // types, so byte-wise copies and the defaulted special members are
+  // correct for both representations (rule of zero).
+  SmallFn(const SmallFn&) = default;
+  SmallFn(SmallFn&&) = default;
+  SmallFn& operator=(const SmallFn&) = default;
+  SmallFn& operator=(SmallFn&&) = default;
+
+  void operator()() { invoke_(*this); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  bool operator==(std::nullptr_t) const { return invoke_ == nullptr; }
+  bool operator!=(std::nullptr_t) const { return invoke_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (tests/diagnostics).
+  bool is_inline() const { return invoke_ != nullptr && heap_ == nullptr; }
+
+ private:
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_trivially_copyable_v<Fn> &&
+           std::is_trivially_destructible_v<Fn>;
+  }
+
+  using Invoke = void (*)(SmallFn&);
+
+  Invoke invoke_ = nullptr;
+  std::shared_ptr<void> heap_;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize] = {};
+};
+
+}  // namespace smr::common

@@ -67,6 +67,10 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<AllocationPolicy> policy,
   node_attempt_failures_.assign(node_alive_.size(), 0);
   heartbeat_events_.assign(node_alive_.size(), sim::kInvalidEvent);
   node_models_.resize(node_alive_.size());
+  node_dirty_.assign(node_alive_.size(), 1);
+  node_solve_version_.assign(node_alive_.size(), 0);
+  node_bg_prev_.assign(node_alive_.size(), cluster::BackgroundLoad{});
+  node_rates_cache_.resize(node_alive_.size());
 }
 
 cluster::MaxMinSolver::Stats Runtime::solver_stats() const {
@@ -278,6 +282,20 @@ metrics::RunResult Runtime::run() {
 
 ClusterStats Runtime::snapshot() const {
   ClusterStats stats;
+  snapshot_into(stats);
+  return stats;
+}
+
+void Runtime::snapshot_into(ClusterStats& stats) const {
+  // Reset to defaults while keeping the vectors' capacity: the heartbeat
+  // path reuses one scratch instance instead of reallocating per beat.
+  auto active_jobs = std::move(stats.active_jobs);
+  auto per_node = std::move(stats.per_node);
+  active_jobs.clear();
+  per_node.clear();
+  stats = ClusterStats{};
+  stats.active_jobs = std::move(active_jobs);
+  stats.per_node = std::move(per_node);
   stats.now = engine_.now();
   stats.nodes = config_.cluster.worker_count();
   stats.cum_map_input = cum_map_input_;
@@ -316,21 +334,14 @@ ClusterStats Runtime::snapshot() const {
     node.cum_shuffled_in = node_shuffled_in_[n];
     stats.per_node.push_back(node);
   }
-  return stats;
-}
-
-Job& Runtime::job_of(JobId id) {
-  SMR_CHECK(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
-  return jobs_[static_cast<std::size_t>(id)];
 }
 
 MapTask& Runtime::map_task(TaskId id) {
   const TaskRef* ref = find_task_ref(id);
   SMR_CHECK_MSG(ref != nullptr && ref->is_map, "unknown map task " << id);
   if (ref->speculative) {
-    const auto shadow = shadow_attempts_.find(id);
-    SMR_CHECK_MSG(shadow != shadow_attempts_.end(), "dangling shadow " << id);
-    return shadow->second;
+    SMR_CHECK_MSG(ref->shadow_slot >= 0, "dangling shadow " << id);
+    return map_shadow_pool_[static_cast<std::size_t>(ref->shadow_slot)];
   }
   return job_of(ref->job).maps[static_cast<std::size_t>(ref->index)];
 }
@@ -339,11 +350,49 @@ ReduceTask& Runtime::reduce_task(TaskId id) {
   const TaskRef* ref = find_task_ref(id);
   SMR_CHECK_MSG(ref != nullptr && !ref->is_map, "unknown reduce task " << id);
   if (ref->speculative) {
-    const auto shadow = reduce_shadow_attempts_.find(id);
-    SMR_CHECK_MSG(shadow != reduce_shadow_attempts_.end(), "dangling reduce shadow " << id);
-    return shadow->second;
+    SMR_CHECK_MSG(ref->shadow_slot >= 0, "dangling reduce shadow " << id);
+    return reduce_shadow_pool_[static_cast<std::size_t>(ref->shadow_slot)];
   }
   return job_of(ref->job).reduces[static_cast<std::size_t>(ref->index)];
+}
+
+// --- Shadow-pool slot management -------------------------------------------
+
+void Runtime::set_shadow_link(TaskId primary, TaskId shadow) {
+  if (static_cast<std::size_t>(primary) >= shadow_link_.size()) {
+    shadow_link_.resize(static_cast<std::size_t>(primary) + 1, kInvalidTask);
+  }
+  shadow_link_[static_cast<std::size_t>(primary)] = shadow;
+}
+
+std::int32_t Runtime::acquire_map_shadow_slot() {
+  if (!map_shadow_free_.empty()) {
+    const std::int32_t slot = map_shadow_free_.back();
+    map_shadow_free_.pop_back();
+    return slot;
+  }
+  map_shadow_pool_.emplace_back();
+  return static_cast<std::int32_t>(map_shadow_pool_.size() - 1);
+}
+
+void Runtime::release_map_shadow_slot(std::int32_t slot) {
+  map_shadow_pool_[static_cast<std::size_t>(slot)].id = kInvalidTask;
+  map_shadow_free_.push_back(slot);
+}
+
+std::int32_t Runtime::acquire_reduce_shadow_slot() {
+  if (!reduce_shadow_free_.empty()) {
+    const std::int32_t slot = reduce_shadow_free_.back();
+    reduce_shadow_free_.pop_back();
+    return slot;
+  }
+  reduce_shadow_pool_.emplace_back();
+  return static_cast<std::int32_t>(reduce_shadow_pool_.size() - 1);
+}
+
+void Runtime::release_reduce_shadow_slot(std::int32_t slot) {
+  reduce_shadow_pool_[static_cast<std::size_t>(slot)].id = kInvalidTask;
+  reduce_shadow_free_.push_back(slot);
 }
 
 // ---------------------------------------------------------------------------
@@ -352,142 +401,345 @@ ReduceTask& Runtime::reduce_task(TaskId id) {
 
 void Runtime::on_tick() {
   if (stopping_) return;
-  // Injected attempt failures fire at the tick boundary, before the census:
-  // an attempt whose progress crossed its doom threshold last tick dies now,
-  // freeing its slot for the next heartbeat's assignment round.
-  inject_attempt_failures();
-  if (stopping_) return;  // the last failure may have failed the last job
   const double dt = config_.tick;
   const int n = config_.cluster.worker_count();
+  TickScratch& t = tick_;
 
-  // --- 1. Census -------------------------------------------------------
-  std::vector<cluster::Occupancy> occ(static_cast<std::size_t>(n));
-  for (int d = 0; d < n; ++d) {
-    auto& tracker = trackers_[static_cast<std::size_t>(d)];
-    auto& o = occ[static_cast<std::size_t>(d)];
-    for (TaskId id : tracker.running_map_tasks()) {
-      const MapTask& task = map_task(id);
-      const JobSpec& spec = job_of(task.job).spec;
-      o.threads += 1;
-      o.io_streams += (task.phase == MapPhase::kMapping && !task.local) ? 0 : 1;
-      o.memory_demand += spec.map_task_memory;
+  // --- 0. Resolve every running attempt once ---------------------------
+  // One pass over the tracker lists and the dense task-ref table builds
+  // SoA views (ids / task pointers / job pointers / specs, node order).
+  // Every later stage of the tick indexes these instead of re-resolving
+  // attempt ids, which used to cost a ref lookup plus a hash probe (for
+  // shadows) per touch, several touches per task per tick.  Pointers stay
+  // valid for the whole tick: no attempt launches happen outside
+  // heartbeats, and teardown paths run after the stages that use them.
+  //
+  // Doom detection rides the same pass: an attempt whose progress crossed
+  // its injected-failure threshold last tick dies at this tick boundary,
+  // before the census (freeing its slot for the next heartbeat's
+  // assignment round).  Firing failures mutates the tracker lists, so the
+  // scratch is rebuilt afterwards — a rare second pass.
+  bool detect_doom = config_.task_fail_rate > 0.0;
+  t.doomed_maps.clear();
+  t.doomed_reduces.clear();
+  for (;;) {
+    // The id/pointer/range arrays only change when some tracker's running
+    // list does (or a serving-path submit reallocates jobs_); between such
+    // changes the full rebuild is skipped and only the phase-dependent
+    // census is re-swept over the cached dense arrays.  When additionally
+    // no phase changed since the last sweep and no fault injection is
+    // armed, even the sweep is skipped: the scratch still holds the
+    // previous tick's census, which is bit-identical by construction (the
+    // settle stage only sorts its candidate lists in place — idempotent).
+    std::uint64_t vsum = 0;
+    for (const auto& tracker : trackers_) vsum += tracker.version();
+    const bool same_membership =
+        vsum == resolve_version_sum_ && jobs_.size() == resolve_jobs_size_;
+    if (same_membership && !census_phase_dirty_ && !detect_doom) break;
+    census_phase_dirty_ = false;
+    // The occupancy census rides this pass too: every field is a pure
+    // function of the task state being touched anyway, and fusing it saves
+    // a full second sweep over the running set.
+    t.settle_primaries.clear();
+    t.settle_shadows.clear();
+    t.shuffle_entries.clear();
+    t.remote_entries.clear();
+    t.occ.assign(static_cast<std::size_t>(n), cluster::Occupancy{});
+    t.node_has_remote.assign(static_cast<std::size_t>(n), 0);
+    if (!same_membership) {
+      resolve_version_sum_ = vsum;
+      resolve_jobs_size_ = jobs_.size();
+      t.map_id.clear();
+      t.map_task.clear();
+      t.map_job.clear();
+      t.map_spec.clear();
+      t.red_id.clear();
+      t.red_task.clear();
+      t.red_job.clear();
+      t.red_spec.clear();
+      t.map_range.clear();
+      t.red_range.clear();
+      for (int d = 0; d < n; ++d) {
+        const auto& tracker = trackers_[static_cast<std::size_t>(d)];
+        auto& o = t.occ[static_cast<std::size_t>(d)];
+        const auto map_begin = static_cast<std::uint32_t>(t.map_id.size());
+        for (TaskId id : tracker.running_map_tasks()) {
+          const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+          Job* job = &jobs_[static_cast<std::size_t>(ref.job)];
+          MapTask* task =
+              ref.speculative
+                  ? &map_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)]
+                  : &job->maps[static_cast<std::size_t>(ref.index)];
+          const auto entry = static_cast<std::uint32_t>(t.map_id.size());
+          t.map_id.push_back(id);
+          t.map_task.push_back(task);
+          t.map_job.push_back(job);
+          t.map_spec.push_back(&job->spec);
+          const bool remote_mapping =
+              task->phase == MapPhase::kMapping && !task->local;
+          o.threads += 1;
+          o.io_streams += remote_mapping ? 0 : 1;
+          o.memory_demand += job->spec.map_task_memory;
+          if (remote_mapping) {
+            t.node_has_remote[static_cast<std::size_t>(d)] = 1;
+            t.remote_entries.push_back(entry);
+          }
+          if (detect_doom && task->progress() >= task->fail_at_progress) {
+            t.doomed_maps.push_back(id);
+          }
+        }
+        t.map_range.emplace_back(map_begin,
+                                 static_cast<std::uint32_t>(t.map_id.size()));
+        const auto red_begin = static_cast<std::uint32_t>(t.red_id.size());
+        for (TaskId id : tracker.running_reduce_tasks()) {
+          const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+          Job* job = &jobs_[static_cast<std::size_t>(ref.job)];
+          ReduceTask* task =
+              ref.speculative
+                  ? &reduce_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)]
+                  : &job->reduces[static_cast<std::size_t>(ref.index)];
+          const auto entry = static_cast<std::uint32_t>(t.red_id.size());
+          t.red_id.push_back(id);
+          t.red_task.push_back(task);
+          t.red_job.push_back(job);
+          t.red_spec.push_back(&job->spec);
+          const bool shuffling = task->phase == ReducePhase::kShuffling;
+          o.threads += shuffling ? 2 : 1;
+          o.io_streams += 1;
+          o.memory_demand += job->spec.reduce_task_memory;
+          // Collect the shuffle-settle candidates here so the settle stage
+          // no longer scans every reduce of every job each tick.  Conditions
+          // are re-checked at settle time; phases can only *enter*
+          // kShuffling via requeues, which never happen inside a tick.
+          if (shuffling) {
+            t.shuffle_entries.push_back(entry);
+            (ref.speculative ? t.settle_shadows : t.settle_primaries)
+                .push_back(id);
+          }
+          if (detect_doom && task->progress() >= task->fail_at_progress) {
+            t.doomed_reduces.push_back(id);
+          }
+        }
+        t.red_range.emplace_back(red_begin,
+                                 static_cast<std::uint32_t>(t.red_id.size()));
+      }
+    } else {
+      // Membership unchanged: sweep the cached arrays for the
+      // phase-dependent census only.  Field-for-field this repeats the
+      // rebuild path above over identical tasks in identical order.
+      for (int d = 0; d < n; ++d) {
+        auto& o = t.occ[static_cast<std::size_t>(d)];
+        const auto [mb, me] = t.map_range[static_cast<std::size_t>(d)];
+        for (std::uint32_t i = mb; i < me; ++i) {
+          const MapTask* task = t.map_task[i];
+          const bool remote_mapping =
+              task->phase == MapPhase::kMapping && !task->local;
+          o.threads += 1;
+          o.io_streams += remote_mapping ? 0 : 1;
+          o.memory_demand += t.map_spec[i]->map_task_memory;
+          if (remote_mapping) {
+            t.node_has_remote[static_cast<std::size_t>(d)] = 1;
+            t.remote_entries.push_back(i);
+          }
+          if (detect_doom && task->progress() >= task->fail_at_progress) {
+            t.doomed_maps.push_back(t.map_id[i]);
+          }
+        }
+        const auto [rb, re] = t.red_range[static_cast<std::size_t>(d)];
+        for (std::uint32_t i = rb; i < re; ++i) {
+          const ReduceTask* task = t.red_task[i];
+          const bool shuffling = task->phase == ReducePhase::kShuffling;
+          o.threads += shuffling ? 2 : 1;
+          o.io_streams += 1;
+          o.memory_demand += t.red_spec[i]->reduce_task_memory;
+          if (shuffling) {
+            const TaskId id = t.red_id[i];
+            t.shuffle_entries.push_back(i);
+            (task_refs_[static_cast<std::size_t>(id)].speculative
+                 ? t.settle_shadows
+                 : t.settle_primaries)
+                .push_back(id);
+          }
+          if (detect_doom && task->progress() >= task->fail_at_progress) {
+            t.doomed_reduces.push_back(t.red_id[i]);
+          }
+        }
+      }
     }
-    for (TaskId id : tracker.running_reduce_tasks()) {
-      const ReduceTask& task = reduce_task(id);
-      const JobSpec& spec = job_of(task.job).spec;
-      o.threads += (task.phase == ReducePhase::kShuffling) ? 2 : 1;
-      o.io_streams += 1;
-      o.memory_demand += spec.reduce_task_memory;
+    if (!detect_doom || (t.doomed_maps.empty() && t.doomed_reduces.empty())) {
+      break;
     }
+    detect_doom = false;  // one detection round per tick, as ever
+    fail_doomed_attempts();
+    if (stopping_) return;  // the last failure may have failed the last job
   }
 
   // --- 2. Network allocation -------------------------------------------
-  std::vector<cluster::NetFlow> flows;
-  std::vector<TaskId> flow_task;      // parallel to flows
-  std::vector<bool> flow_is_shuffle;  // parallel to flows
-  std::vector<int> fetch_streams(static_cast<std::size_t>(n), 0);
+  t.flows.clear();
+  t.flow_entry.clear();
+  t.flow_is_shuffle.clear();
+  t.fetch_streams.assign(static_cast<std::size_t>(n), 0);
 
-  for (auto& tracker : trackers_) {
-    for (TaskId id : tracker.running_reduce_tasks()) {
-      const ReduceTask& task = reduce_task(id);
-      if (task.phase != ReducePhase::kShuffling) continue;
+  // Walk only the network participants collected in the resolve sweep.
+  // Both lists are in node order, so advancing each cursor to the end of
+  // the node's SoA range reproduces the historic per-node scan exactly:
+  // shuffling reduces first, then remote-reading maps.
+  std::size_t sp = 0;
+  std::size_t rp = 0;
+  for (int d = 0; d < n; ++d) {
+    const NodeId dst = trackers_[static_cast<std::size_t>(d)].node();
+    const std::uint32_t re = t.red_range[static_cast<std::size_t>(d)].second;
+    for (; sp < t.shuffle_entries.size() && t.shuffle_entries[sp] < re; ++sp) {
+      const std::uint32_t i = t.shuffle_entries[sp];
+      const ReduceTask& task = *t.red_task[i];
       if (task.backlog() <= kByteEps) continue;
-      fetch_streams[static_cast<std::size_t>(tracker.node())] +=
+      t.fetch_streams[static_cast<std::size_t>(dst)] +=
           std::min(config_.parallel_copies, n);
-      const JobSpec& spec = job_of(task.job).spec;
+      const JobSpec& spec = *t.red_spec[i];
       cluster::NetFlow flow;
-      flow.dst = tracker.node();
+      flow.dst = dst;
       flow.src = kInvalidNode;  // diffuse pull from every node
       flow.rate_cap = std::min(task.backlog() / dt, spec.shuffle_fetch_cap);
-      flows.push_back(flow);
-      flow_task.push_back(id);
-      flow_is_shuffle.push_back(true);
+      t.flows.push_back(flow);
+      t.flow_entry.push_back(i);
+      t.flow_is_shuffle.push_back(true);
     }
-    for (TaskId id : tracker.running_map_tasks()) {
-      const MapTask& task = map_task(id);
-      if (task.phase != MapPhase::kMapping || task.local) continue;
-      const JobSpec& spec = job_of(task.job).spec;
-      const auto& node_spec =
-          config_.cluster.workers[static_cast<std::size_t>(tracker.node())];
+    const std::uint32_t me = t.map_range[static_cast<std::size_t>(d)].second;
+    for (; rp < t.remote_entries.size() && t.remote_entries[rp] < me; ++rp) {
+      const std::uint32_t i = t.remote_entries[rp];
+      const MapTask& task = *t.map_task[i];
+      const JobSpec& spec = *t.map_spec[i];
+      const auto& node_spec = config_.cluster.workers[static_cast<std::size_t>(dst)];
       const double cpu_per_byte =
           per_mib_to_per_byte(spec.map_cpu_per_mib) * task.cost_factor;
       const double cpu_rate = node_spec.cpu_speed / cpu_per_byte;
       cluster::NetFlow flow;
-      flow.dst = tracker.node();
+      flow.dst = dst;
       flow.src = task.src_node;
       flow.rate_cap = std::min(task.phase_remaining() / dt, cpu_rate);
-      flows.push_back(flow);
-      flow_task.push_back(id);
-      flow_is_shuffle.push_back(false);
+      t.flows.push_back(flow);
+      t.flow_entry.push_back(i);
+      t.flow_is_shuffle.push_back(false);
     }
   }
   // Copy out of the solver cache: shuffle rates are rescaled in place below.
-  std::vector<double> net_rates = network_.allocate_cached(flows, fetch_streams);
+  {
+    const std::vector<double>& granted =
+        network_.allocate_cached(t.flows, t.fetch_streams);
+    t.net_rates.assign(granted.begin(), granted.end());
+  }
 
   // --- 3. Cap shuffle ingest by each receiver's disk share --------------
-  std::vector<double> shuffle_disk_demand(static_cast<std::size_t>(n), 0.0);
-  for (std::size_t f = 0; f < flows.size(); ++f) {
-    if (!flow_is_shuffle[f]) continue;
-    const ReduceTask& task = reduce_task(flow_task[f]);
-    const JobSpec& spec = job_of(task.job).spec;
-    shuffle_disk_demand[static_cast<std::size_t>(flows[f].dst)] +=
-        net_rates[f] * spec.shuffle_disk_factor;
+  t.shuffle_disk_demand.assign(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    if (!t.flow_is_shuffle[f]) continue;
+    const JobSpec& spec = *t.red_spec[t.flow_entry[f]];
+    t.shuffle_disk_demand[static_cast<std::size_t>(t.flows[f].dst)] +=
+        t.net_rates[f] * spec.shuffle_disk_factor;
   }
-  std::vector<double> shuffle_scale(static_cast<std::size_t>(n), 1.0);
+  t.shuffle_scale.assign(static_cast<std::size_t>(n), 1.0);
   for (int d = 0; d < n; ++d) {
     const auto& node_spec = config_.cluster.workers[static_cast<std::size_t>(d)];
     const double allowed =
         config_.shuffle_disk_share *
-        cluster::ComputeModel::effective_disk(node_spec, occ[static_cast<std::size_t>(d)]);
-    const double demand = shuffle_disk_demand[static_cast<std::size_t>(d)];
+        cluster::ComputeModel::effective_disk(node_spec, t.occ[static_cast<std::size_t>(d)]);
+    const double demand = t.shuffle_disk_demand[static_cast<std::size_t>(d)];
     if (demand > allowed && demand > 0.0) {
-      shuffle_scale[static_cast<std::size_t>(d)] = allowed / demand;
+      t.shuffle_scale[static_cast<std::size_t>(d)] = allowed / demand;
     }
   }
-  for (std::size_t f = 0; f < flows.size(); ++f) {
-    if (flow_is_shuffle[f]) {
-      net_rates[f] *= shuffle_scale[static_cast<std::size_t>(flows[f].dst)];
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    if (t.flow_is_shuffle[f]) {
+      t.net_rates[f] *= t.shuffle_scale[static_cast<std::size_t>(t.flows[f].dst)];
     }
   }
 
   // --- 4. Background load from shuffle ingest ---------------------------
-  std::vector<cluster::BackgroundLoad> background(static_cast<std::size_t>(n));
-  for (std::size_t f = 0; f < flows.size(); ++f) {
-    if (!flow_is_shuffle[f]) continue;
-    const ReduceTask& task = reduce_task(flow_task[f]);
-    const JobSpec& spec = job_of(task.job).spec;
-    auto& bg = background[static_cast<std::size_t>(flows[f].dst)];
-    bg.cpu_cores += net_rates[f] * per_mib_to_per_byte(spec.shuffle_cpu_per_mib);
-    bg.disk_rate += net_rates[f] * spec.shuffle_disk_factor;
+  t.background.assign(static_cast<std::size_t>(n), cluster::BackgroundLoad{});
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    if (!t.flow_is_shuffle[f]) continue;
+    const JobSpec& spec = *t.red_spec[t.flow_entry[f]];
+    auto& bg = t.background[static_cast<std::size_t>(t.flows[f].dst)];
+    bg.cpu_cores += t.net_rates[f] * per_mib_to_per_byte(spec.shuffle_cpu_per_mib);
+    bg.disk_rate += t.net_rates[f] * spec.shuffle_disk_factor;
   }
 
   // --- 5. Per-node compute solve ----------------------------------------
-  // Remote-read map grants, keyed by task, feed the compute caps.
-  std::unordered_map<TaskId, double> net_grant;
-  for (std::size_t f = 0; f < flows.size(); ++f) {
-    if (!flow_is_shuffle[f]) net_grant[flow_task[f]] = net_rates[f];
+  // Remote-read map grants, keyed by task id in an epoch-stamped dense
+  // table (no per-tick clearing, no hashing).
+  ++net_grant_cur_epoch_;
+  if (net_grant_rate_.size() < static_cast<std::size_t>(next_task_id_)) {
+    net_grant_rate_.resize(static_cast<std::size_t>(next_task_id_), 0.0);
+    net_grant_epoch_.resize(static_cast<std::size_t>(next_task_id_), 0);
+  }
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    if (t.flow_is_shuffle[f]) continue;
+    const auto id = static_cast<std::size_t>(t.map_id[t.flow_entry[f]]);
+    net_grant_rate_[id] = t.net_rates[f];
+    net_grant_epoch_[id] = net_grant_cur_epoch_;
   }
 
-  std::vector<TaskId> compute_ids;
-  std::vector<cluster::PhaseLoad> loads;
   // Node-ordered (task, rate) pairs: iteration order below is deterministic,
   // which keeps floating-point accumulation bit-for-bit reproducible.
-  std::vector<std::pair<TaskId, double>> compute_rate;
+  t.compute.clear();
   for (int d = 0; d < n; ++d) {
-    auto& tracker = trackers_[static_cast<std::size_t>(d)];
-    const auto& node_spec = config_.cluster.workers[static_cast<std::size_t>(d)];
-    compute_ids.clear();
-    loads.clear();
-    for (TaskId id : tracker.running_map_tasks()) {
-      const MapTask& task = map_task(id);
-      const JobSpec& spec = job_of(task.job).spec;
+    const auto di = static_cast<std::size_t>(d);
+    const auto& node_spec = config_.cluster.workers[di];
+    const auto& tracker = trackers_[di];
+    const cluster::BackgroundLoad& bg = t.background[di];
+    // Quiescent-node fast path.  A node's solve inputs (occupancy,
+    // background, per-load coefficients) are pure functions of its running
+    // set, each task's phase/local/cost_factor, the background shuffle
+    // ingest, and — for remote-read maps only — the per-tick network grant.
+    // The running set is covered by the tracker version counter (bumped on
+    // every launch/finish), pure phase transitions by the explicit dirty
+    // marks in the integration and settle stages, background by a bit
+    // compare, and grant-capped loads by excluding any node hosting a
+    // remote kMapping map.  When all four say "unchanged", the previous
+    // rates are provably bit-identical and are replayed from the cache
+    // without rebuilding loads; the skipped solver call is recorded as a
+    // memo hit so the reported solver stats stay byte-identical.
+    const bool quiet = !node_dirty_[di] &&
+                       tracker.version() == node_solve_version_[di] &&
+                       !t.node_has_remote[di] &&
+                       bg.cpu_cores == node_bg_prev_[di].cpu_cores &&
+                       bg.disk_rate == node_bg_prev_[di].disk_rate;
+    if (quiet) {
+      const std::vector<double>& cache = node_rates_cache_[di];
+      if (cache.empty()) continue;  // no loads last tick, none now
+      std::size_t k = 0;
+      const auto [mb, me] = t.map_range[di];
+      for (std::uint32_t i = mb; i < me; ++i) {
+        t.compute.push_back({i, true, cache[k++]});
+      }
+      const auto [rb, re] = t.red_range[di];
+      for (std::uint32_t i = rb; i < re; ++i) {
+        if (t.red_task[i]->phase == ReducePhase::kShuffling) continue;
+        t.compute.push_back({i, false, cache[k++]});
+      }
+      SMR_CHECK(k == cache.size());
+      node_models_[di].count_memo_hit();
+      continue;
+    }
+    node_dirty_[di] = 0;
+    node_solve_version_[di] = tracker.version();
+    node_bg_prev_[di] = bg;
+    t.loads.clear();
+    t.load_entry.clear();
+    t.load_is_map.clear();
+    const auto [mb, me] = t.map_range[static_cast<std::size_t>(d)];
+    for (std::uint32_t i = mb; i < me; ++i) {
+      const MapTask& task = *t.map_task[i];
+      const JobSpec& spec = *t.map_spec[i];
       cluster::PhaseLoad load;
       if (task.phase == MapPhase::kMapping) {
         load.cpu_per_byte = per_mib_to_per_byte(spec.map_cpu_per_mib) * task.cost_factor;
         load.disk_per_byte = task.local ? 1.0 : 0.0;
         if (!task.local) {
-          const auto it = net_grant.find(id);
-          load.rate_cap = (it != net_grant.end()) ? it->second : 0.0;
+          const auto id = static_cast<std::size_t>(t.map_id[i]);
+          load.rate_cap = net_grant_epoch_[id] == net_grant_cur_epoch_
+                              ? net_grant_rate_[id]
+                              : 0.0;
         }
       } else if (task.phase == MapPhase::kCombining) {
         // In-memory aggregation over the pre-combine output: CPU-bound with
@@ -499,12 +751,14 @@ void Runtime::on_tick() {
         load.cpu_per_byte = per_mib_to_per_byte(spec.spill_cpu_per_mib) * task.cost_factor;
         load.disk_per_byte = spec.spill_disk_factor;
       }
-      compute_ids.push_back(id);
-      loads.push_back(load);
+      t.loads.push_back(load);
+      t.load_entry.push_back(i);
+      t.load_is_map.push_back(true);
     }
-    for (TaskId id : tracker.running_reduce_tasks()) {
-      const ReduceTask& task = reduce_task(id);
-      const JobSpec& spec = job_of(task.job).spec;
+    const auto [rb, re] = t.red_range[static_cast<std::size_t>(d)];
+    for (std::uint32_t i = rb; i < re; ++i) {
+      const ReduceTask& task = *t.red_task[i];
+      const JobSpec& spec = *t.red_spec[i];
       if (task.phase == ReducePhase::kShuffling) continue;  // network-driven
       cluster::PhaseLoad load;
       if (task.phase == ReducePhase::kSorting) {
@@ -514,44 +768,47 @@ void Runtime::on_tick() {
         load.cpu_per_byte = per_mib_to_per_byte(spec.reduce_cpu_per_mib) * task.cost_factor;
         load.disk_per_byte = 1.0 + spec.reduce_selectivity * spec.output_disk_factor;
       }
-      compute_ids.push_back(id);
-      loads.push_back(load);
+      t.loads.push_back(load);
+      t.load_entry.push_back(i);
+      t.load_is_map.push_back(false);
     }
-    if (loads.empty()) continue;
-    const std::vector<double>& rates = node_models_[static_cast<std::size_t>(d)].solve_cached(
-        node_spec, occ[static_cast<std::size_t>(d)], background[static_cast<std::size_t>(d)],
-        loads);
-    for (std::size_t i = 0; i < compute_ids.size(); ++i) {
-      compute_rate.emplace_back(compute_ids[i], rates[i]);
+    if (t.loads.empty()) {
+      node_rates_cache_[di].clear();
+      continue;
+    }
+    const std::vector<double>& rates =
+        node_models_[di].solve_cached(node_spec, t.occ[di], bg, t.loads);
+    node_rates_cache_[di].assign(rates.begin(), rates.end());
+    for (std::size_t i = 0; i < t.loads.size(); ++i) {
+      t.compute.push_back({t.load_entry[i], t.load_is_map[i] != 0, rates[i]});
     }
   }
 
   // --- 6. Integrate progress and fire transitions ------------------------
   // Shuffle progress first (jumps in `available` only happen via map
   // completions below, so ordering within the tick is consistent).
-  for (std::size_t f = 0; f < flows.size(); ++f) {
-    if (!flow_is_shuffle[f]) continue;
-    ReduceTask& task = reduce_task(flow_task[f]);
-    Job& job = job_of(task.job);
-    const double delta = std::min(net_rates[f] * dt, task.backlog());
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    if (!t.flow_is_shuffle[f]) continue;
+    ReduceTask& task = *t.red_task[t.flow_entry[f]];
+    Job& job = *t.red_job[t.flow_entry[f]];
+    const double delta = std::min(t.net_rates[f] * dt, task.backlog());
     if (delta <= 0.0) continue;
     task.fetched += delta;
     job.bytes_shuffled += delta;
     cum_shuffled_ += delta;
-    node_shuffled_in_[static_cast<std::size_t>(flows[f].dst)] += delta;
+    node_shuffled_in_[static_cast<std::size_t>(t.flows[f].dst)] += delta;
   }
 
   // Compute-phase progress, with completions collected and applied after
   // the sweep (map completions mutate reduce backlogs; reduce completions
   // mutate tracker lists we are not iterating here).
-  std::vector<TaskId> finished_maps;
-  std::vector<TaskId> finished_reduces;
-  for (const auto& [id, rate] : compute_rate) {
-    const TaskRef& ref = task_ref_at(id);
-    if (ref.is_map) {
-      MapTask& task = map_task(id);
-      Job& job = job_of(task.job);
-      double advance = std::min(rate * dt, task.phase_remaining());
+  t.finished_maps.clear();
+  t.finished_reduces.clear();
+  for (const auto& c : t.compute) {
+    if (c.is_map) {
+      MapTask& task = *t.map_task[c.entry];
+      Job& job = *t.map_job[c.entry];
+      double advance = std::min(c.rate * dt, task.phase_remaining());
       if (task.phase == MapPhase::kMapping) {
         task.phase_done += advance;
         job.map_input_processed += advance;
@@ -562,15 +819,17 @@ void Runtime::on_tick() {
           if (task.combine_total > 0) {
             task.phase = MapPhase::kCombining;
             task.phase_done = 0.0;
+            mark_node_dirty(task.node);
             trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
                         task.id, task.node, true, "COMBINE");
           } else if (task.output_size > 0) {
             task.phase = MapPhase::kSpilling;
             task.phase_done = 0.0;
+            mark_node_dirty(task.node);
             trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
                         task.id, task.node, true, "SPILL");
           } else {
-            finished_maps.push_back(id);
+            t.finished_maps.push_back(t.map_id[c.entry]);
           }
         }
       } else if (task.phase == MapPhase::kCombining) {
@@ -579,43 +838,45 @@ void Runtime::on_tick() {
           if (task.output_size > 0) {
             task.phase = MapPhase::kSpilling;
             task.phase_done = 0.0;
+            mark_node_dirty(task.node);
             trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
                         task.id, task.node, true, "SPILL");
           } else {
-            finished_maps.push_back(id);
+            t.finished_maps.push_back(t.map_id[c.entry]);
           }
         }
       } else if (task.phase == MapPhase::kSpilling) {
         task.phase_done += advance;
         if (task.phase_remaining() <= kByteEps) {
-          finished_maps.push_back(id);
+          t.finished_maps.push_back(t.map_id[c.entry]);
         }
       }
     } else {
-      ReduceTask& task = reduce_task(id);
-      double advance = rate * dt;
+      ReduceTask& task = *t.red_task[c.entry];
+      double advance = c.rate * dt;
       const double total = static_cast<double>(task.partition_size);
       if (task.phase == ReducePhase::kSorting) {
         task.phase_done = std::min(task.phase_done + advance, total);
         if (total - task.phase_done <= kByteEps) {
           task.phase = ReducePhase::kReducing;
           task.phase_done = 0.0;
+          mark_node_dirty(task.node);
           trace_event(metrics::TraceEventKind::kPhaseStarted, task.job,
                       task.id, task.node, false, "REDUCE");
         }
       } else if (task.phase == ReducePhase::kReducing) {
         task.phase_done = std::min(task.phase_done + advance, total);
         if (total - task.phase_done <= kByteEps) {
-          finished_reduces.push_back(id);
+          t.finished_reduces.push_back(t.red_id[c.entry]);
         }
       }
     }
   }
-  // Deterministic completion order (compute_rate is in node order, not id
-  // order).
-  std::sort(finished_maps.begin(), finished_maps.end());
-  std::sort(finished_reduces.begin(), finished_reduces.end());
-  for (TaskId id : finished_maps) {
+  // Deterministic completion order (the compute sweep is in node order, not
+  // id order).
+  std::sort(t.finished_maps.begin(), t.finished_maps.end());
+  std::sort(t.finished_reduces.begin(), t.finished_reduces.end());
+  for (TaskId id : t.finished_maps) {
     const TaskRef* ref_it = find_task_ref(id);
     if (ref_it == nullptr) continue;  // shadow retired this tick
     const TaskRef& ref = *ref_it;
@@ -627,7 +888,7 @@ void Runtime::on_tick() {
     if (task.phase == MapPhase::kDone) continue;  // shadow won this tick
     complete_map(job_of(task.job), task, id);
   }
-  for (TaskId id : finished_reduces) {
+  for (TaskId id : t.finished_reduces) {
     const TaskRef* ref_it = find_task_ref(id);
     if (ref_it == nullptr) continue;  // shadow retired this tick
     if (ref_it->speculative) {
@@ -640,27 +901,29 @@ void Runtime::on_tick() {
   }
 
   // Settle shuffle completions and zero-size phases (must run after map
-  // completions so the barrier state is current).
-  for (auto& job : jobs_) {
-    if (job.finished()) continue;
-    for (auto& task : job.reduces) {
-      if (task.running() && task.phase == ReducePhase::kShuffling) {
-        settle_reduce(job, task);
-      }
-    }
+  // completions so the barrier state is current).  Candidates were
+  // collected in the resolve pass; ascending-id order reproduces the
+  // historic jobs-then-partitions scan order, primaries before shadows.
+  std::sort(t.settle_primaries.begin(), t.settle_primaries.end());
+  for (TaskId id : t.settle_primaries) {
+    const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+    Job& job = jobs_[static_cast<std::size_t>(ref.job)];
+    ReduceTask& task = job.reduces[static_cast<std::size_t>(ref.index)];
+    // Re-check: a speculative win above may have completed (and thereby
+    // de-scheduled) the primary since the census.
+    if (!task.running() || task.phase != ReducePhase::kShuffling) continue;
+    settle_reduce(job, task);
   }
-  if (!reduce_shadow_attempts_.empty()) {
-    std::vector<TaskId> shadow_ids;
-    shadow_ids.reserve(reduce_shadow_attempts_.size());
-    for (const auto& [id, shadow] : reduce_shadow_attempts_) {
-      if (shadow.phase == ReducePhase::kShuffling) shadow_ids.push_back(id);
-    }
-    std::sort(shadow_ids.begin(), shadow_ids.end());
-    for (TaskId id : shadow_ids) {
+  if (!t.settle_shadows.empty()) {
+    std::sort(t.settle_shadows.begin(), t.settle_shadows.end());
+    for (TaskId id : t.settle_shadows) {
       // The shadow may have been retired by a primary completing above.
-      const auto it = reduce_shadow_attempts_.find(id);
-      if (it == reduce_shadow_attempts_.end()) continue;
-      settle_reduce(job_of(it->second.job), it->second);
+      const TaskRef* ref = find_task_ref(id);
+      if (ref == nullptr) continue;
+      ReduceTask& task =
+          reduce_shadow_pool_[static_cast<std::size_t>(ref->shadow_slot)];
+      if (task.phase != ReducePhase::kShuffling) continue;
+      settle_reduce(job_of(task.job), task);
     }
   }
 
@@ -726,6 +989,7 @@ void Runtime::settle_reduce(Job& job, ReduceTask& task) {
   task.shuffle_end_time = engine_.now();
   task.phase = ReducePhase::kSorting;
   task.phase_done = 0.0;
+  mark_node_dirty(task.node);
   trace_event(metrics::TraceEventKind::kPhaseStarted, task.job, task.id,
               task.node, false, "SORT");
   span_shuffle_settled(job, task.id);
@@ -815,7 +1079,11 @@ void Runtime::on_heartbeat(std::size_t tracker_index) {
   if (stopping_) return;
   if (!node_alive_[tracker_index]) return;
   TaskTracker& tracker = trackers_[tracker_index];
-  const ClusterStats stats = snapshot();
+  // Stagger offsets keep heartbeat instants distinct, so every heartbeat
+  // needs a fresh snapshot; snapshot_into reuses the scratch's vector
+  // capacity instead of reallocating per-job / per-node arrays each time.
+  snapshot_into(hb_stats_);
+  const ClusterStats& stats = hb_stats_;
   // Heartbeat-level policies (YARN's capacity accounting) adjust targets
   // here; watch the cluster totals so the counter tracks stay truthful.
   const int prev_map_total = trace_ != nullptr ? total_map_target() : 0;
@@ -1109,26 +1377,14 @@ double Runtime::draw_fail_threshold() {
   return fault_rng_.uniform(0.05, 0.95);
 }
 
-void Runtime::inject_attempt_failures() {
-  if (config_.task_fail_rate <= 0.0) return;
-  // Collect first: failing an attempt mutates the tracker lists (and a job
-  // teardown may retire other doomed attempts mid-sweep).
-  std::vector<TaskId> doomed_maps;
-  std::vector<TaskId> doomed_reduces;
-  for (const auto& tracker : trackers_) {
-    for (TaskId id : tracker.running_map_tasks()) {
-      const MapTask& task = map_task(id);
-      if (task.progress() >= task.fail_at_progress) doomed_maps.push_back(id);
-    }
-    for (TaskId id : tracker.running_reduce_tasks()) {
-      const ReduceTask& task = reduce_task(id);
-      if (task.progress() >= task.fail_at_progress) doomed_reduces.push_back(id);
-    }
-  }
-  std::sort(doomed_maps.begin(), doomed_maps.end());
-  std::sort(doomed_reduces.begin(), doomed_reduces.end());
-  for (TaskId id : doomed_maps) fail_map_attempt(id);
-  for (TaskId id : doomed_reduces) fail_reduce_attempt(id);
+void Runtime::fail_doomed_attempts() {
+  // Fail in id order: the collection order (tracker lists) is launch
+  // history, not deterministic rank.  A failure can tear a job down and
+  // retire other doomed attempts mid-sweep; fail_*_attempt re-checks.
+  std::sort(tick_.doomed_maps.begin(), tick_.doomed_maps.end());
+  std::sort(tick_.doomed_reduces.begin(), tick_.doomed_reduces.end());
+  for (TaskId id : tick_.doomed_maps) fail_map_attempt(id);
+  for (TaskId id : tick_.doomed_reduces) fail_reduce_attempt(id);
 }
 
 void Runtime::fail_map_attempt(TaskId id) {
@@ -1445,11 +1701,12 @@ bool Runtime::launch_speculative(TaskTracker& tracker) {
     }
     shadow.fail_at_progress = draw_fail_threshold();
     shadow.failed_attempts = 0;  // the budget lives on the primary
-    set_task_ref(shadow.id,
-                 TaskRef{job.id, straggler->split_index, true, /*speculative=*/true});
-    shadow_of_[straggler->id] = shadow.id;
+    const std::int32_t slot = acquire_map_shadow_slot();
     const TaskId shadow_id = shadow.id;
-    shadow_attempts_.emplace(shadow_id, std::move(shadow));
+    set_task_ref(shadow_id, TaskRef{job.id, straggler->split_index, true,
+                                    /*speculative=*/true, slot});
+    set_shadow_link(straggler->id, shadow_id);
+    map_shadow_pool_[static_cast<std::size_t>(slot)] = std::move(shadow);
     tracker.launch_map(shadow_id);
     ++speculative_launches_;
     trace_event(metrics::TraceEventKind::kTaskLaunched, job.id, shadow_id,
@@ -1464,17 +1721,17 @@ bool Runtime::launch_speculative(TaskTracker& tracker) {
 }
 
 void Runtime::kill_shadow(MapTask& primary) {
-  const auto it = shadow_of_.find(primary.id);
-  SMR_CHECK(it != shadow_of_.end());
-  const TaskId shadow_id = it->second;
-  MapTask& shadow = shadow_attempts_.at(shadow_id);
+  const TaskId shadow_id = shadow_id_of(primary.id);
+  SMR_CHECK(shadow_id != kInvalidTask);
+  const TaskRef ref = task_ref_at(shadow_id);
+  MapTask& shadow = map_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)];
   rollback_map_progress(shadow);
   trace_event(metrics::TraceEventKind::kTaskKilled, shadow.job, shadow_id,
               shadow.node, true, "speculative");
   span_attempt_ended(shadow_id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(shadow.node)].finish_map(shadow_id);
-  shadow_of_.erase(it);
-  shadow_attempts_.erase(shadow_id);
+  set_shadow_link(primary.id, kInvalidTask);
+  release_map_shadow_slot(ref.shadow_slot);
   erase_task_ref(shadow_id);
 }
 
@@ -1483,7 +1740,7 @@ void Runtime::win_speculative(TaskId shadow_id) {
   SMR_CHECK(ref.speculative);
   Job& job = job_of(ref.job);
   MapTask& primary = job.maps[static_cast<std::size_t>(ref.index)];
-  MapTask shadow = shadow_attempts_.at(shadow_id);
+  MapTask shadow = map_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)];
   SMR_CHECK(primary.phase != MapPhase::kDone);
 
   // The original attempt loses: discard its partial work.
@@ -1500,8 +1757,8 @@ void Runtime::win_speculative(TaskId shadow_id) {
   primary.phase = shadow.phase == MapPhase::kDone ? MapPhase::kSpilling
                                                   : shadow.phase;
   primary.phase_done = shadow.phase_done;
-  shadow_of_.erase(primary.id);
-  shadow_attempts_.erase(shadow_id);
+  set_shadow_link(primary.id, kInvalidTask);
+  release_map_shadow_slot(ref.shadow_slot);
   erase_task_ref(shadow_id);
   ++speculative_wins_;
   complete_map(job, primary, shadow_id);
@@ -1583,11 +1840,12 @@ bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
     shadow.cost_factor = rng_.jitter(job.spec.duration_cv);
     shadow.fail_at_progress = draw_fail_threshold();
     shadow.failed_attempts = 0;  // the budget lives on the primary
-    set_task_ref(shadow.id,
-                 TaskRef{job.id, straggler->partition, false, /*speculative=*/true});
-    reduce_shadow_of_[straggler->id] = shadow.id;
+    const std::int32_t slot = acquire_reduce_shadow_slot();
     const TaskId shadow_id = shadow.id;
-    reduce_shadow_attempts_.emplace(shadow_id, std::move(shadow));
+    set_task_ref(shadow_id, TaskRef{job.id, straggler->partition, false,
+                                    /*speculative=*/true, slot});
+    set_shadow_link(straggler->id, shadow_id);
+    reduce_shadow_pool_[static_cast<std::size_t>(slot)] = std::move(shadow);
     tracker.launch_reduce(shadow_id);
     ++speculative_reduce_launches_;
     trace_event(metrics::TraceEventKind::kTaskLaunched, job.id, shadow_id,
@@ -1602,10 +1860,11 @@ bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
 }
 
 void Runtime::kill_reduce_shadow(ReduceTask& primary) {
-  const auto it = reduce_shadow_of_.find(primary.id);
-  SMR_CHECK(it != reduce_shadow_of_.end());
-  const TaskId shadow_id = it->second;
-  ReduceTask& shadow = reduce_shadow_attempts_.at(shadow_id);
+  const TaskId shadow_id = shadow_id_of(primary.id);
+  SMR_CHECK(shadow_id != kInvalidTask);
+  const TaskRef ref = task_ref_at(shadow_id);
+  ReduceTask& shadow =
+      reduce_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)];
   Job& job = job_of(shadow.job);
   // The shadow's fetched bytes were duplicate work: back them out.
   job.bytes_shuffled -= shadow.fetched;
@@ -1615,8 +1874,8 @@ void Runtime::kill_reduce_shadow(ReduceTask& primary) {
               shadow.node, false, "speculative");
   span_attempt_ended(shadow_id, obs::SpanOutcome::kKilled);
   trackers_[static_cast<std::size_t>(shadow.node)].finish_reduce(shadow_id);
-  reduce_shadow_of_.erase(it);
-  reduce_shadow_attempts_.erase(shadow_id);
+  set_shadow_link(primary.id, kInvalidTask);
+  release_reduce_shadow_slot(ref.shadow_slot);
   erase_task_ref(shadow_id);
 }
 
@@ -1625,7 +1884,8 @@ void Runtime::win_speculative_reduce(TaskId shadow_id) {
   SMR_CHECK(ref.speculative && !ref.is_map);
   Job& job = job_of(ref.job);
   ReduceTask& primary = job.reduces[static_cast<std::size_t>(ref.index)];
-  ReduceTask shadow = reduce_shadow_attempts_.at(shadow_id);
+  ReduceTask shadow =
+      reduce_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)];
   SMR_CHECK(primary.phase != ReducePhase::kDone);
 
   // The original attempt loses: back its fetched bytes out and free it.
@@ -1642,8 +1902,8 @@ void Runtime::win_speculative_reduce(TaskId shadow_id) {
   primary.phase_done = shadow.phase_done;
   primary.shuffle_end_time = shadow.shuffle_end_time;
   primary.phase = ReducePhase::kReducing;  // completing momentarily
-  reduce_shadow_of_.erase(primary.id);
-  reduce_shadow_attempts_.erase(shadow_id);
+  set_shadow_link(primary.id, kInvalidTask);
+  release_reduce_shadow_slot(ref.shadow_slot);
   erase_task_ref(shadow_id);
   ++speculative_reduce_wins_;
   complete_reduce(job, primary, shadow_id);
@@ -1760,9 +2020,10 @@ obs::SpanId Runtime::span_run_root() {
 
 Runtime::JobSpanState* Runtime::span_job_state(const Job& job) {
   if (spans_ == nullptr) return nullptr;
-  auto [it, inserted] = job_spans_.try_emplace(job.id);
-  JobSpanState& state = it->second;
-  if (inserted) {
+  const auto slot = static_cast<std::size_t>(job.id);
+  if (slot >= job_spans_.size()) job_spans_.resize(slot + 1);
+  JobSpanState& state = job_spans_[slot];
+  if (state.job == obs::kInvalidSpan) {
     state.job = spans_->open(obs::SpanKind::kJob, job.spec.name,
                              job.submit_time, span_run_root());
     spans_->at(state.job).job = job.id;
@@ -1822,26 +2083,28 @@ void Runtime::span_attempt_launched(TaskId attempt, const Job& job,
   span.decision_id = last_decision_id_;
   span.decision_time = last_decision_time_;
   if (!speculative) {
-    if (auto rp = retry_parent_.find(primary); rp != retry_parent_.end()) {
-      span.retry_of = rp->second;
-      retry_parent_.erase(rp);
+    const obs::SpanId retry_of = span_slot_get(retry_parent_, primary);
+    if (retry_of != obs::kInvalidSpan) {
+      span.retry_of = retry_of;
+      span_slot_set(retry_parent_, primary, obs::kInvalidSpan);
     }
-    last_attempt_span_[primary] = id;
+    span_slot_set(last_attempt_span_, primary, id);
   }
-  attempt_spans_[attempt] = id;
+  span_slot_set(attempt_spans_, attempt, id);
 }
 
 void Runtime::span_attempt_ended(TaskId attempt, obs::SpanOutcome outcome) {
   if (spans_ == nullptr) return;
-  const auto it = attempt_spans_.find(attempt);
-  if (it == attempt_spans_.end()) return;  // already closed by an earlier path
-  const obs::SpanId id = it->second;
-  attempt_spans_.erase(it);
+  const obs::SpanId id = span_slot_get(attempt_spans_, attempt);
+  if (id == obs::kInvalidSpan) return;  // already closed by an earlier path
+  span_slot_set(attempt_spans_, attempt, obs::kInvalidSpan);
   spans_->close(id, engine_.now(), outcome);
   const obs::Span& span = spans_->at(id);
   if (span.is_map) {
-    if (auto jt = job_spans_.find(span.job); jt != job_spans_.end()) {
-      JobSpanState& state = jt->second;
+    const auto slot = static_cast<std::size_t>(span.job);
+    if (span.job >= 0 && slot < job_spans_.size() &&
+        job_spans_[slot].job != obs::kInvalidSpan) {
+      JobSpanState& state = job_spans_[slot];
       if (--state.open_map_attempts == 0 &&
           state.wave != obs::kInvalidSpan) {
         spans_->close(state.wave, engine_.now());
@@ -1853,14 +2116,16 @@ void Runtime::span_attempt_ended(TaskId attempt, obs::SpanOutcome outcome) {
 
 void Runtime::span_mark_retry(TaskId primary, TaskId failed_attempt) {
   if (spans_ == nullptr) return;
-  if (auto it = attempt_spans_.find(failed_attempt);
-      it != attempt_spans_.end()) {
-    retry_parent_[primary] = it->second;
-  } else if (auto lt = last_attempt_span_.find(primary);
-             lt != last_attempt_span_.end()) {
-    // The attempt span is already closed (e.g. a *completed* map lost to
-    // a node failure): link the re-execution to its last recorded span.
-    retry_parent_[primary] = lt->second;
+  const obs::SpanId open_span = span_slot_get(attempt_spans_, failed_attempt);
+  if (open_span != obs::kInvalidSpan) {
+    span_slot_set(retry_parent_, primary, open_span);
+    return;
+  }
+  // The attempt span is already closed (e.g. a *completed* map lost to
+  // a node failure): link the re-execution to its last recorded span.
+  const obs::SpanId last = span_slot_get(last_attempt_span_, primary);
+  if (last != obs::kInvalidSpan) {
+    span_slot_set(retry_parent_, primary, last);
   }
 }
 
@@ -1895,11 +2160,11 @@ void Runtime::span_reduce_eligible(const Job& job) {
 void Runtime::span_shuffle_settled(const Job& job, TaskId attempt) {
   if (spans_ == nullptr) return;
   const SimTime now = engine_.now();
-  if (auto it = attempt_spans_.find(attempt); it != attempt_spans_.end()) {
-    spans_->at(it->second).shuffle_end = now;
-  }
-  if (auto jt = job_spans_.find(job.id); jt != job_spans_.end()) {
-    jt->second.last_shuffle_end = now;
+  const obs::SpanId id = span_slot_get(attempt_spans_, attempt);
+  if (id != obs::kInvalidSpan) spans_->at(id).shuffle_end = now;
+  const auto slot = static_cast<std::size_t>(job.id);
+  if (slot < job_spans_.size() && job_spans_[slot].job != obs::kInvalidSpan) {
+    job_spans_[slot].last_shuffle_end = now;
   }
 }
 
@@ -1938,8 +2203,9 @@ void Runtime::span_job_finished(const Job& job, obs::SpanOutcome outcome) {
 void Runtime::span_flush_aborted() {
   if (spans_ == nullptr) return;
   spans_->close_open(engine_.now(), obs::SpanOutcome::kAborted);
-  attempt_spans_.clear();
-  for (auto& [id, state] : job_spans_) {
+  attempt_spans_.assign(attempt_spans_.size(), obs::kInvalidSpan);
+  for (auto& state : job_spans_) {
+    if (state.job == obs::kInvalidSpan) continue;
     state.wave = obs::kInvalidSpan;
     state.maps_phase = obs::kInvalidSpan;
     state.shuffle_phase = obs::kInvalidSpan;

@@ -21,10 +21,10 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "smr/cluster/compute_model.hpp"
+#include "smr/common/error.hpp"
 #include "smr/cluster/network_model.hpp"
 #include "smr/cluster/node.hpp"
 #include "smr/common/rng.hpp"
@@ -208,6 +208,9 @@ class Runtime {
   // --- Observers (tests and policies) ---------------------------------
   const RuntimeConfig& config() const { return config_; }
   ClusterStats snapshot() const;
+  /// Fill `stats` in place, reusing its vector capacity (the per-heartbeat
+  /// path; identical contents to snapshot()).
+  void snapshot_into(ClusterStats& stats) const;
   std::span<TaskTracker> trackers() { return trackers_; }
   std::span<const TaskTracker> trackers() const { return trackers_; }
   const std::vector<Job>& jobs() const { return jobs_; }
@@ -260,8 +263,10 @@ class Runtime {
     int index = -1;
     bool is_map = true;
     /// True for speculative shadow attempts; `index` then names the
-    /// primary task the shadow duplicates.
+    /// primary task the shadow duplicates and `shadow_slot` its record in
+    /// the map/reduce shadow pool.
     bool speculative = false;
+    std::int32_t shadow_slot = -1;
   };
 
   void on_tick();
@@ -283,8 +288,10 @@ class Runtime {
   /// report completed == false with `reason`.
   void abort_run(std::string reason);
   /// Fault injection: per-attempt failure draws and mid-phase checks.
+  /// Doom detection itself rides the tick's resolve pass (the scratch's
+  /// doomed_* lists); this fails the collected attempts in id order.
   double draw_fail_threshold();
-  void inject_attempt_failures();
+  void fail_doomed_attempts();
   void fail_map_attempt(TaskId id);
   void fail_reduce_attempt(TaskId id);
   /// Count an attempt failure against `node`, blacklisting it at the
@@ -304,13 +311,27 @@ class Runtime {
   /// The shadow attempt `shadow_id` finished first: kill the primary
   /// attempt and complete the task on the shadow's node.
   void win_speculative(TaskId shadow_id);
-  bool has_shadow(TaskId primary) const { return shadow_of_.count(primary) > 0; }
+  /// Shadow attempt id of `primary` (kInvalidTask when none).  Maps and
+  /// reduces share the TaskId space, so one dense table serves both.
+  TaskId shadow_id_of(TaskId primary) const {
+    return static_cast<std::size_t>(primary) < shadow_link_.size()
+               ? shadow_link_[static_cast<std::size_t>(primary)]
+               : kInvalidTask;
+  }
+  void set_shadow_link(TaskId primary, TaskId shadow);
+  bool has_shadow(TaskId primary) const {
+    return shadow_id_of(primary) != kInvalidTask;
+  }
   bool launch_speculative_reduce(TaskTracker& tracker);
   void kill_reduce_shadow(ReduceTask& primary);
   void win_speculative_reduce(TaskId shadow_id);
-  bool has_reduce_shadow(TaskId primary) const {
-    return reduce_shadow_of_.count(primary) > 0;
-  }
+  bool has_reduce_shadow(TaskId primary) const { return has_shadow(primary); }
+  /// Pool slot management for shadow attempt records (dense, free-listed;
+  /// slots are stable for the lifetime of the attempt).
+  std::int32_t acquire_map_shadow_slot();
+  void release_map_shadow_slot(std::int32_t slot);
+  std::int32_t acquire_reduce_shadow_slot();
+  void release_reduce_shadow_slot(std::int32_t slot);
   bool assign_one_map(TaskTracker& tracker);
   bool assign_one_reduce(TaskTracker& tracker);
   /// `attempt_id` is the tracker-list entry of the finishing attempt (the
@@ -320,7 +341,10 @@ class Runtime {
   void settle_reduce(Job& job, ReduceTask& task);
   void check_all_done();
 
-  Job& job_of(JobId id);
+  Job& job_of(JobId id) {
+    SMR_CHECK(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+    return jobs_[static_cast<std::size_t>(id)];
+  }
   MapTask& map_task(TaskId id);
   ReduceTask& reduce_task(TaskId id);
   /// Task ids are allocated densely from 0, so the ref table is a plain
@@ -417,6 +441,92 @@ class Runtime {
   /// ticks a node's occupancy and loads are usually unchanged, so the
   /// per-tick solve is answered from the cache.
   std::vector<cluster::ComputeModel> node_models_;
+  /// Per-tick scratch, hoisted so the fluid tick allocates nothing in
+  /// steady state.  The SoA ref arrays are rebuilt once per tick in node
+  /// order (the "one pass over the dense task-ref vector"): every later
+  /// tick stage indexes them instead of re-resolving ids through hash maps
+  /// — hot fields (task/job pointers) split from cold spec data.
+  struct TickScratch {
+    // Running tasks, resolved once, node order (SoA).
+    std::vector<TaskId> map_id, red_id;
+    std::vector<MapTask*> map_task;
+    std::vector<ReduceTask*> red_task;
+    std::vector<Job*> map_job, red_job;
+    std::vector<const JobSpec*> map_spec, red_spec;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> map_range, red_range;
+    // Census + network + solve stages.
+    std::vector<cluster::Occupancy> occ;
+    /// Nodes hosting a remote-reading map this tick: their load rate caps
+    /// track the per-tick network grant, so the solve can never be skipped.
+    std::vector<std::uint8_t> node_has_remote;
+    /// SoA indices of the tick's network participants, collected during the
+    /// resolve sweep (node order): reduces mid-shuffle and maps reading a
+    /// remote split.  The network stage walks these instead of re-scanning
+    /// every running task.
+    std::vector<std::uint32_t> shuffle_entries, remote_entries;
+    std::vector<cluster::NetFlow> flows;
+    std::vector<std::uint32_t> flow_entry;  // index into map_* / red_* SoA
+    std::vector<bool> flow_is_shuffle;
+    std::vector<int> fetch_streams;
+    std::vector<double> net_rates;
+    std::vector<double> shuffle_disk_demand;
+    std::vector<double> shuffle_scale;
+    std::vector<cluster::BackgroundLoad> background;
+    std::vector<cluster::PhaseLoad> loads;          // per node
+    std::vector<std::uint32_t> load_entry;          // per node, SoA index
+    std::vector<bool> load_is_map;                  // per node
+    struct ComputeRate {
+      std::uint32_t entry;
+      bool is_map;
+      double rate;
+    };
+    std::vector<ComputeRate> compute;  // node-ordered, all nodes
+    // Completion / settle stages.
+    std::vector<TaskId> finished_maps, finished_reduces;
+    std::vector<TaskId> settle_primaries, settle_shadows;
+    // Fault injection (collected during the resolve pass).
+    std::vector<TaskId> doomed_maps, doomed_reduces;
+  };
+  TickScratch tick_;
+  /// Guard for reusing the tick's SoA ref arrays across ticks: the arrays
+  /// are a pure function of the tracker running lists (membership + order)
+  /// and of the job/shadow storage those ids resolve into.  The summed
+  /// tracker versions change on every launch/finish (versions only ever
+  /// increment, so the sum cannot alias), and jobs_.size() catches the one
+  /// pointer-invalidating mutation that bumps no version: a serving-path
+  /// submit() growing jobs_.  While both match, only the phase-dependent
+  /// census is re-swept; ids, pointers and ranges are reused as-is.
+  std::uint64_t resolve_version_sum_ = ~std::uint64_t{0};
+  std::size_t resolve_jobs_size_ = ~std::size_t{0};
+  /// True when some running task's phase changed since the last census
+  /// sweep (set alongside the per-node dirty marks).  While membership and
+  /// every phase are unchanged and no fault injection is armed, the whole
+  /// census output (occupancy, network participants, settle candidates) is
+  /// provably identical to the previous tick's and the sweep is skipped.
+  bool census_phase_dirty_ = true;
+  /// Per-node quiescence tracking for the tick's compute solve: a node
+  /// whose tracker version is unchanged (no launch/finish), with no pure
+  /// phase transition flagged (node_dirty_), no remote-reading map, and
+  /// bit-identical shuffle background since its last solve provably
+  /// presents the same raw inputs — the cached rates are replayed without
+  /// rebuilding the loads (counted as a memo hit to keep stats identical).
+  std::vector<std::uint8_t> node_dirty_;
+  std::vector<std::uint32_t> node_solve_version_;
+  std::vector<cluster::BackgroundLoad> node_bg_prev_;
+  std::vector<std::vector<double>> node_rates_cache_;
+  void mark_node_dirty(NodeId node) {
+    census_phase_dirty_ = true;
+    if (node >= 0 && static_cast<std::size_t>(node) < node_dirty_.size()) {
+      node_dirty_[static_cast<std::size_t>(node)] = 1;
+    }
+  }
+  /// Remote-read network grants, epoch-stamped by tick so the table never
+  /// needs clearing (PR 7: formerly an unordered_map rebuilt every tick).
+  std::vector<double> net_grant_rate_;
+  std::vector<std::uint64_t> net_grant_epoch_;
+  std::uint64_t net_grant_cur_epoch_ = 0;
+  /// Heartbeat-path snapshot scratch (capacity reused across heartbeats).
+  ClusterStats hb_stats_;
   TaskId next_task_id_ = 0;
   int unfinished_jobs_ = 0;
   int jobs_not_yet_submitted_ = 0;
@@ -457,11 +567,15 @@ class Runtime {
   std::vector<double> node_map_input_;
   std::vector<double> node_map_output_;
   std::vector<double> node_shuffled_in_;
-  /// Shadow attempts by their own TaskId, and primary -> shadow id.
-  std::unordered_map<TaskId, MapTask> shadow_attempts_;
-  std::unordered_map<TaskId, TaskId> shadow_of_;
-  std::unordered_map<TaskId, ReduceTask> reduce_shadow_attempts_;
-  std::unordered_map<TaskId, TaskId> reduce_shadow_of_;
+  /// Shadow attempt records in dense free-listed pools (PR 7: formerly
+  /// unordered_maps keyed by attempt id).  A free slot is marked by
+  /// `id == kInvalidTask`; TaskRef::shadow_slot points at the live slot.
+  std::vector<MapTask> map_shadow_pool_;
+  std::vector<std::int32_t> map_shadow_free_;
+  std::vector<ReduceTask> reduce_shadow_pool_;
+  std::vector<std::int32_t> reduce_shadow_free_;
+  /// Dense primary-task -> shadow-attempt id links (kInvalidTask = none).
+  std::vector<TaskId> shadow_link_;
   int speculative_reduce_launches_ = 0;
   int speculative_reduce_wins_ = 0;
 
@@ -471,15 +585,31 @@ class Runtime {
   // --- Span-recording state (inert while spans_ == nullptr) ------------
   obs::SpanLog* spans_ = nullptr;
   obs::SpanId run_span_ = obs::kInvalidSpan;
-  std::unordered_map<JobId, JobSpanState> job_spans_;
-  /// Open attempt spans by attempt TaskId.
-  std::unordered_map<TaskId, obs::SpanId> attempt_spans_;
+  /// Per-job span state, dense by JobId (state.job == kInvalidSpan means
+  /// not yet created).  PR 7: formerly unordered_maps keyed by id.
+  std::vector<JobSpanState> job_spans_;
+  /// Open attempt spans, dense by attempt TaskId (kInvalidSpan = closed).
+  std::vector<obs::SpanId> attempt_spans_;
   /// Last (open or closed) non-speculative attempt span of each primary
   /// task; retry links for re-executions of *completed* attempts.
-  std::unordered_map<TaskId, obs::SpanId> last_attempt_span_;
+  std::vector<obs::SpanId> last_attempt_span_;
   /// Primary task -> span of the failed/killed attempt its next launch
-  /// retries; consumed at that launch.
-  std::unordered_map<TaskId, obs::SpanId> retry_parent_;
+  /// retries; consumed at that launch (kInvalidSpan = none pending).
+  std::vector<obs::SpanId> retry_parent_;
+  /// Dense-vector accessors: read without growing, write grows on demand.
+  static obs::SpanId span_slot_get(const std::vector<obs::SpanId>& table,
+                                   TaskId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < table.size()
+               ? table[static_cast<std::size_t>(id)]
+               : obs::kInvalidSpan;
+  }
+  static void span_slot_set(std::vector<obs::SpanId>& table, TaskId id,
+                            obs::SpanId value) {
+    if (static_cast<std::size_t>(id) >= table.size()) {
+      table.resize(static_cast<std::size_t>(id) + 1, obs::kInvalidSpan);
+    }
+    table[static_cast<std::size_t>(id)] = value;
+  }
   /// Most recent slot-changing policy decision (launch annotations).
   int last_decision_id_ = -1;
   SimTime last_decision_time_ = kTimeNever;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "smr/common/csv.hpp"
+#include "smr/common/json.hpp"
 #include "smr/obs/span_log.hpp"
 
 namespace smr::metrics {
@@ -62,22 +63,9 @@ void TraceLog::write_csv(std::ostream& out) const {
 
 namespace {
 
-/// JSON string escaping for event details (free text may carry quotes).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+/// JSON string escaping for event details (free text may carry quotes);
+/// the shared escaper keeps writers symmetric with the common/json parser.
+std::string json_escape(const std::string& s) { return escape_json(s); }
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 
 #include "smr/common/csv.hpp"
 #include "smr/common/error.hpp"
+#include "smr/common/json.hpp"
 
 namespace smr::obs {
 
@@ -18,24 +19,6 @@ void add_to_atomic_double(std::atomic<double>& target, double delta) {
   }
 }
 
-/// JSON string escaping for metric names and label values (they may carry
-/// quotes via labeled_name, and future free-text names must not break the
-/// output).
-void write_json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default: out << c;
-    }
-  }
-  out << '"';
-}
-
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -46,12 +29,44 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
 }
 
+namespace {
+
+void atomic_min_double(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto index = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   add_to_atomic_double(sum_, value);
+  atomic_min_double(min_, value);
+  atomic_max_double(max_, value);
+}
+
+double Histogram::min() const {
+  if (total_count() == 0) return std::numeric_limits<double>::quiet_NaN();
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  if (total_count() == 0) return std::numeric_limits<double>::quiet_NaN();
+  return max_.load(std::memory_order_relaxed);
 }
 
 std::int64_t Histogram::bucket_count(std::size_t i) const {
@@ -65,6 +80,14 @@ double Histogram::quantile(double q) const {
   SMR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
   const std::int64_t total = total_count();
   if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  // The exact-agreement points with stats::percentile: the edges and the
+  // degenerate single-sample histogram (where every quantile IS the
+  // sample).  Without these, smr_inspect run diffs flagged phantom p99
+  // regressions whenever one side's tail landed in the overflow bucket.
+  if (q == 0.0) return lo;
+  if (q == 1.0 || total == 1) return hi;
   // Target rank in [1, total]; the smallest bucket whose cumulative count
   // reaches it holds the quantile.
   const double rank = q * static_cast<double>(total);
@@ -79,11 +102,21 @@ double Histogram::quantile(double q) const {
     const double upper = bounds_[i];
     const double into_bucket =
         (rank - static_cast<double>(before)) / static_cast<double>(in_bucket);
-    return lower + (upper - lower) * std::clamp(into_bucket, 0.0, 1.0);
+    const double estimate =
+        lower + (upper - lower) * std::clamp(into_bucket, 0.0, 1.0);
+    // Bucket edges can lie outside the observed range; never report a
+    // value no sample could have had.
+    return std::clamp(estimate, lo, hi);
   }
-  // Rank landed in the overflow bucket: no upper bound to interpolate
-  // against, so report the largest finite bound (a known underestimate).
-  return bounds_.back();
+  // Rank landed in the overflow bucket: interpolate between the largest
+  // finite bound and the observed max instead of flatlining at the bound
+  // (which understated every tail quantile).
+  const std::int64_t overflow = bucket_count(bounds_.size());
+  const std::int64_t before = total - overflow;
+  const double lower = std::clamp(bounds_.back(), lo, hi);
+  const double into_bucket =
+      (rank - static_cast<double>(before)) / static_cast<double>(overflow);
+  return lower + (hi - lower) * std::clamp(into_bucket, 0.0, 1.0);
 }
 
 void Series::append(double time, double value) {

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,10 +64,19 @@ class Histogram {
   std::int64_t total_count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
 
+  /// Smallest / largest value ever observed (NaN when empty).  Tracked so
+  /// quantile() can stay consistent with stats::percentile at the edges.
+  double min() const;
+  double max() const;
+
   /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
-  /// bucket holding the target rank, Prometheus histogram_quantile-style:
-  /// the lowest bucket interpolates from 0, and any rank landing in the
-  /// overflow bucket clamps to the largest finite bound.  NaN when empty.
+  /// bucket holding the target rank, Prometheus histogram_quantile-style.
+  /// Agrees exactly with stats::percentile at the points a diff tool
+  /// compares: q=0 is the observed min, q=1 the observed max, a
+  /// single-sample histogram returns that sample for every q, and every
+  /// interpolated estimate is clamped to [min, max] (the overflow bucket
+  /// interpolates between the largest finite bound and the observed max
+  /// instead of flatlining at the bound).  NaN when empty.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
@@ -77,6 +87,8 @@ class Histogram {
   std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds.size() + 1
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// An append-only (time, value) series.

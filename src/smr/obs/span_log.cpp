@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "smr/common/error.hpp"
+#include "smr/common/json.hpp"
 
 namespace smr::obs {
 
@@ -103,21 +104,6 @@ void SpanLog::close_open(SimTime end, SpanOutcome outcome) {
 }
 
 namespace {
-
-void write_json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default: out << c;
-    }
-  }
-  out << '"';
-}
 
 /// kTimeNever is not representable in JSON; open spans emit null.
 void write_time(std::ostream& out, SimTime t) {

@@ -5,100 +5,263 @@
 
 namespace smr::sim {
 
-void Engine::push(SimTime when, EventId id, Generation gen) {
-  heap_.push_back(Entry{when, next_seq_++, id, gen});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  peak_pending_ = std::max(peak_pending_, heap_.size());
+namespace {
+
+// Buckets above this are treated as "effectively forever" so that
+// bucket arithmetic (cur_bucket_ + ring size) can never overflow even for
+// events scheduled at astronomically large but finite times.
+constexpr std::int64_t kMaxBucket =
+    std::numeric_limits<std::int64_t>::max() / 2;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Engine::Engine(const CalendarConfig& calendar) {
+  SMR_CHECK_MSG(calendar.bucket_width > 0.0, "bucket width must be positive");
+  SMR_CHECK_MSG(calendar.bucket_count >= 2, "need at least two buckets");
+  width_ = calendar.bucket_width;
+  inv_width_ = 1.0 / width_;
+  const std::size_t n = round_up_pow2(calendar.bucket_count);
+  ring_.resize(n);
+  mask_ = n - 1;
+}
+
+std::uint32_t Engine::alloc_slot(SimTime when, SimTime period, Callback fn) {
+  std::uint32_t index;
+  if (free_head_ != kNullSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    SMR_CHECK_MSG(slots_.size() < 0xffffffffu, "event slot table exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[index];
+  s.occupied = true;
+  // Bump first so any stray stub a former tenant left behind can never
+  // match this tenant's pushes.
+  ++s.stub_gen;
+  s.when = when;
+  s.period = period;
+  s.fn = std::move(fn);
+  ++live_;
+  return index;
+}
+
+void Engine::free_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn = Callback{};
+  s.occupied = false;
+  s.when = kTimeNever;
+  s.period = 0.0;
+  if (++s.id_gen == 0) s.id_gen = 1;  // keep ids distinct from kInvalidEvent
+  s.next_free = free_head_;
+  free_head_ = index;
+  --live_;
+}
+
+void Engine::push_stub(SimTime when, std::uint32_t slot, Generation gen) {
+  const Stub stub{when, next_seq_++, slot, gen};
+  const double scaled = when * inv_width_;
+  const std::int64_t b =
+      scaled >= static_cast<double>(kMaxBucket)
+          ? kMaxBucket
+          : std::max<std::int64_t>(static_cast<std::int64_t>(scaled), 0);
+  if (b <= cur_bucket_) {
+    // Present (or a window that already advanced past the stub's bucket);
+    // the active heap keeps full (when, seq) order, so this stays exact.
+    current_.push_back(stub);
+    std::push_heap(current_.begin(), current_.end(), Later{});
+  } else if (b - cur_bucket_ <= static_cast<std::int64_t>(mask_)) {
+    ring_[static_cast<std::size_t>(b) & mask_].push_back(stub);
+    ++ring_stubs_;
+  } else {
+    ladder_.push_back(stub);
+    ladder_min_bucket_ = std::min(ladder_min_bucket_, b);
+  }
+  ++stub_count_;
+  peak_pending_ = std::max(peak_pending_, stub_count_);
+}
+
+void Engine::drain_ladder() {
+  // Single pass: keep far stubs in place, move the rest into the window.
+  const std::int64_t horizon = cur_bucket_ + static_cast<std::int64_t>(mask_);
+  std::size_t keep = 0;
+  std::int64_t new_min = kNoLadder;
+  for (const Stub& stub : ladder_) {
+    const double scaled = stub.when * inv_width_;
+    const std::int64_t b = scaled >= static_cast<double>(kMaxBucket)
+                               ? kMaxBucket
+                               : static_cast<std::int64_t>(scaled);
+    if (b > horizon) {
+      new_min = std::min(new_min, b);
+      ladder_[keep++] = stub;
+    } else if (b <= cur_bucket_) {
+      current_.push_back(stub);
+      std::push_heap(current_.begin(), current_.end(), Later{});
+    } else {
+      ring_[static_cast<std::size_t>(b) & mask_].push_back(stub);
+      ++ring_stubs_;
+    }
+  }
+  ladder_.resize(keep);
+  ladder_min_bucket_ = new_min;
+}
+
+bool Engine::advance() {
+  while (current_.empty()) {
+    if (stub_count_ == 0) return false;
+    if (ring_stubs_ == 0) {
+      // Everything pending sits beyond the horizon: jump the window
+      // straight to the ladder's earliest bucket instead of stepping
+      // through (possibly billions of) empty buckets.
+      cur_bucket_ = std::max(cur_bucket_, ladder_min_bucket_);
+      drain_ladder();
+      continue;
+    }
+    ++cur_bucket_;
+    if (ladder_min_bucket_ - static_cast<std::int64_t>(mask_) <= cur_bucket_) {
+      // The ladder's earliest bucket just entered the window; sweep it in.
+      // Stubs landing at cur_bucket_ go straight into current_, so the
+      // ring slot below must still be merged (same bucket, same instant).
+      drain_ladder();
+    }
+    std::vector<Stub>& bucket = ring_[static_cast<std::size_t>(cur_bucket_) & mask_];
+    if (!bucket.empty()) {
+      ring_stubs_ -= bucket.size();
+      if (current_.empty()) {
+        // Swap instead of copy: the emptied current_ hands its capacity to
+        // the ring slot, so the steady state allocates nothing.
+        current_.swap(bucket);
+      } else {
+        current_.insert(current_.end(), bucket.begin(), bucket.end());
+        bucket.clear();
+      }
+      std::make_heap(current_.begin(), current_.end(), Later{});
+    } else if (!current_.empty()) {
+      // drain_ladder() above already heapified what it pushed.
+      break;
+    }
+  }
+  return true;
 }
 
 void Engine::compact() {
-  std::erase_if(heap_, [this](const Entry& e) {
-    const auto it = live_.find(e.id);
-    return it == live_.end() || it->second.gen != e.gen;
-  });
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  const auto retired = [this](const Stub& stub) {
+    return slots_[stub.slot].stub_gen != stub.gen;
+  };
+  std::erase_if(current_, retired);
+  std::make_heap(current_.begin(), current_.end(), Later{});
+  for (std::vector<Stub>& bucket : ring_) {
+    std::erase_if(bucket, retired);
+  }
+  std::erase_if(ladder_, retired);
+  ring_stubs_ = 0;
+  for (const std::vector<Stub>& bucket : ring_) ring_stubs_ += bucket.size();
+  ladder_min_bucket_ = kNoLadder;
+  for (const Stub& stub : ladder_) {
+    const double scaled = stub.when * inv_width_;
+    const std::int64_t b = scaled >= static_cast<double>(kMaxBucket)
+                               ? kMaxBucket
+                               : static_cast<std::int64_t>(scaled);
+    ladder_min_bucket_ = std::min(ladder_min_bucket_, b);
+  }
+  stub_count_ = current_.size() + ring_stubs_ + ladder_.size();
   stale_ = 0;
 }
 
-EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
+EventId Engine::schedule_at(SimTime when, Callback fn) {
   SMR_CHECK_MSG(when >= now_, "schedule_at in the past: " << when << " < " << now_);
   SMR_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  live_.emplace(id, Live{0, 0.0, std::move(fn)});
-  push(when, id, 0);
-  return id;
+  const std::uint32_t slot = alloc_slot(when, 0.0, std::move(fn));
+  // Events born parked (when == kTimeNever) hold no calendar stub at all;
+  // reschedule() revives them.
+  if (when < kTimeNever) push_stub(when, slot, slots_[slot].stub_gen);
+  return pack_id(slot, slots_[slot].id_gen);
 }
 
-EventId Engine::schedule_in(SimTime delay, std::function<void()> fn) {
+EventId Engine::schedule_in(SimTime delay, Callback fn) {
   SMR_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Engine::schedule_periodic(SimTime first, SimTime period, std::function<void()> fn) {
+EventId Engine::schedule_periodic(SimTime first, SimTime period, Callback fn) {
   SMR_CHECK_MSG(first >= now_, "periodic first firing in the past");
   SMR_CHECK_MSG(period > 0.0, "periodic period must be positive");
   SMR_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  live_.emplace(id, Live{0, period, std::move(fn)});
-  push(first, id, 0);
-  return id;
+  const std::uint32_t slot = alloc_slot(first, period, std::move(fn));
+  if (first < kTimeNever) push_stub(first, slot, slots_[slot].stub_gen);
+  return pack_id(slot, slots_[slot].id_gen);
 }
 
 bool Engine::cancel(EventId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  // Its single heap stub (invariant: one per live event) is now retired.
-  live_.erase(it);
-  ++stale_;
+  Slot* s = lookup(id);
+  if (s == nullptr) return false;
+  if (s->when < kTimeNever) {
+    // Retire the in-flight stub; it is skipped when it surfaces.
+    ++s->stub_gen;
+    ++stale_;
+  }
+  free_slot(static_cast<std::uint32_t>(id >> 32));
   maybe_compact();
   return true;
 }
 
 bool Engine::reschedule(EventId id, SimTime when) {
   SMR_CHECK_MSG(when >= now_, "reschedule in the past: " << when << " < " << now_);
-  const auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  // Retire the current stub by bumping the generation, then push a fresh
-  // one; the callback never moves.
-  ++it->second.gen;
-  ++stale_;
-  push(when, id, it->second.gen);
+  Slot* s = lookup(id);
+  if (s == nullptr) return false;
+  if (s->when < kTimeNever) {
+    ++s->stub_gen;
+    ++stale_;
+  }
+  s->when = when;
+  if (when < kTimeNever) {
+    push_stub(when, static_cast<std::uint32_t>(id >> 32), s->stub_gen);
+  }
   maybe_compact();
   return true;
 }
 
 bool Engine::step(SimTime limit) {
   for (;;) {
-    if (heap_.empty()) return false;
-    const Entry top = heap_.front();
-    const auto it = live_.find(top.id);
-    if (it == live_.end() || it->second.gen != top.gen) {
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      heap_.pop_back();
+    if (current_.empty() && !advance()) return false;
+    const Stub top = current_.front();
+    Slot& s = slots_[top.slot];
+    if (s.stub_gen != top.gen) {
+      std::pop_heap(current_.begin(), current_.end(), Later{});
+      current_.pop_back();
       --stale_;
+      --stub_count_;
       continue;
     }
-    // Parked events never fire; they are only reachable again through
-    // reschedule().  The heap is time-ordered, so everything behind this
-    // stub is parked too.
-    if (top.when >= kTimeNever) return false;
+    // Live stubs always carry finite times (parked events hold none), so a
+    // bare bound check suffices.
     if (top.when > limit) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    std::pop_heap(current_.begin(), current_.end(), Later{});
+    current_.pop_back();
+    --stub_count_;
     now_ = top.when;
     ++dispatched_;
-    if (it->second.period > 0.0) {
+    if (s.period > 0.0) {
       // Re-arm before running so the callback can cancel or move the
-      // series.  Same generation: the popped stub is gone, so the invariant
-      // of one stub per live event holds.
-      push(top.when + it->second.period, top.id, top.gen);
-      // The map node is stable, but step() can recurse through fn into
-      // another schedule_* that rehashes live_; don't hold `it` across it.
-      const auto fn = it->second.fn;
+      // series.  Same generation: the popped stub is gone, so the
+      // invariant of one stub per scheduled event holds.
+      s.when = top.when + s.period;
+      push_stub(s.when, top.slot, top.gen);
+      // Invoke through a stack copy (cheap: memcpy or refcount bump) so a
+      // callback that cancels its own registration cannot free the frame
+      // it is running in.
+      Callback fn = s.fn;
       fn();
     } else {
-      auto fn = std::move(it->second.fn);
-      live_.erase(it);
+      Callback fn = std::move(s.fn);
+      free_slot(top.slot);
       fn();
     }
     return true;

@@ -7,21 +7,39 @@
 // pending event (or the next firing of a periodic series) without consuming
 // a new id.
 //
-// Internally the heap holds lightweight generation-stamped stubs; callbacks
-// live in a side table keyed by EventId.  cancel() and reschedule() never
-// touch the heap — they retire the stamped stub lazily (it is skipped when
-// it surfaces) and the heap is compacted in one pass when retired stubs
-// outnumber live ones.  This keeps cancel/reschedule O(1) and pending()
-// exact, unlike the earlier tombstone-set scheme whose count underflowed
-// when an already-fired id was cancelled.
+// Internally the pending set is a two-tier calendar queue holding
+// lightweight generation-stamped stubs:
+//
+//   * `current_` — a small binary heap over the bucket being dispatched,
+//     so callbacks may schedule into the present without breaking order;
+//   * `ring_` — a power-of-two ring of near-future buckets, one bucket per
+//     `bucket_width` seconds of simulated time (heartbeat granularity), each
+//     an unsorted vector that is heapified only when its time arrives;
+//   * `ladder_` — an overflow spill for stubs beyond the ring's horizon,
+//     swept on demand when the window advances (a cached minimum bucket
+//     skips the sweep entirely while the window stays short of it).
+//
+// Scheduling and popping are therefore O(1) amortised instead of the
+// O(log n) of the old global binary heap, which matters under serving
+// workloads with millions of pending events.  Callbacks and per-event state
+// live in a dense slot table indexed by the EventId itself (slot | id
+// generation), with a free list recycling slots; callbacks use
+// common::SmallFn, so the steady state allocates nothing.  cancel() and
+// reschedule() never search the calendar — they retire the stamped stub
+// lazily (it is skipped when it surfaces) and the calendar is compacted in
+// one pass when retired stubs outnumber live ones (or when *every* stub is
+// retired, so park/cancel churn on a small queue cannot leak stubs).  This
+// keeps cancel/reschedule O(1) and pending() exact.  Events parked at
+// kTimeNever hold no stub at all: a million parked events cost nothing per
+// dispatch.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 #include "smr/common/error.hpp"
+#include "smr/common/small_fn.hpp"
 #include "smr/common/types.hpp"
 
 namespace smr::sim {
@@ -31,7 +49,19 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Engine {
  public:
-  Engine() = default;
+  /// Callback type for scheduled events (small-buffer; see small_fn.hpp).
+  using Callback = common::SmallFn;
+
+  /// Calendar geometry.  The defaults put one bucket per fluid tick and a
+  /// ~4-minute near-future window; tests shrink them to force ladder and
+  /// window-wrap traffic.
+  struct CalendarConfig {
+    SimTime bucket_width = 0.25;
+    std::size_t bucket_count = 1024;  // rounded up to a power of two
+  };
+
+  Engine() : Engine(CalendarConfig{}) {}
+  explicit Engine(const CalendarConfig& calendar);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -39,14 +69,14 @@ class Engine {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `when` (>= now).
-  EventId schedule_at(SimTime when, std::function<void()> fn);
+  EventId schedule_at(SimTime when, Callback fn);
 
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  EventId schedule_in(SimTime delay, std::function<void()> fn);
+  EventId schedule_in(SimTime delay, Callback fn);
 
   /// Schedule `fn` to run every `period` seconds, first firing at
   /// `first` (absolute).  Returns an id that cancels the whole series.
-  EventId schedule_periodic(SimTime first, SimTime period, std::function<void()> fn);
+  EventId schedule_periodic(SimTime first, SimTime period, Callback fn);
 
   /// Cancel a pending event (or a periodic series).  Cancelling an already
   /// fired or unknown one-shot event is a no-op and returns false.
@@ -69,62 +99,121 @@ class Engine {
 
   /// Exact number of pending events (cancelled/rescheduled stubs excluded;
   /// events parked at kTimeNever included).
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_; }
 
   bool empty() const { return pending() == 0; }
 
   /// Total events dispatched so far (for tests / instrumentation).
   std::uint64_t dispatched() const { return dispatched_; }
 
-  /// High-water mark of the event heap (self-profiling: how deep the
-  /// queue ever got, retired-but-unpopped stubs included).
+  /// High-water mark of the calendar (self-profiling: how deep the queue
+  /// ever got, retired-but-unswept stubs included).
   std::size_t peak_pending() const { return peak_pending_; }
 
-  /// Heap entries currently retired (awaiting lazy skip or compaction).
+  /// Calendar entries currently retired (awaiting lazy skip or compaction).
   /// Exposed for tests of the compaction policy.
   std::size_t stale() const { return stale_; }
 
  private:
   using Generation = std::uint32_t;
+  static constexpr std::uint32_t kNullSlot = 0xffffffffu;
 
-  // Lightweight, trivially-copyable heap stub.  The callback and period
-  // stay in `live_` so reschedule() does not have to move them.
-  struct Entry {
+  // Lightweight, trivially-copyable calendar stub.  The callback and
+  // per-event state stay in the slot table so reschedule() never has to
+  // move them.
+  struct Stub {
     SimTime when;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
     Generation gen;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const Stub& a, const Stub& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
-  struct Live {
-    Generation gen = 0;
-    // Periodic period; 0 means one-shot.
+  struct Slot {
+    /// Embedded in the EventId; bumped when the slot is freed so a stale
+    /// id from a previous tenant never resolves.
+    Generation id_gen = 1;
+    /// Generation of the live stub; bumped on every reschedule/park so the
+    /// retired stub is skipped when it surfaces.  Monotonic across slot
+    /// reuse (never reset), so stubs of former tenants stay dead too.
+    Generation stub_gen = 0;
+    /// Current firing time; kTimeNever while parked (no stub in flight).
+    SimTime when = kTimeNever;
+    /// Periodic period; 0 means one-shot.
     SimTime period = 0.0;
-    std::function<void()> fn;
+    Callback fn;
+    std::uint32_t next_free = kNullSlot;
+    bool occupied = false;
   };
 
-  void push(SimTime when, EventId id, Generation gen);
-  /// Drop every retired stub from the heap in one pass.
+  static EventId pack_id(std::uint32_t slot, Generation gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+  Slot* lookup(EventId id) {
+    const auto slot = static_cast<std::uint32_t>(id >> 32);
+    const auto gen = static_cast<Generation>(id & 0xffffffffu);
+    if (slot >= slots_.size()) return nullptr;
+    Slot& s = slots_[slot];
+    return (s.occupied && s.id_gen == gen) ? &s : nullptr;
+  }
+  std::uint32_t alloc_slot(SimTime when, SimTime period, Callback fn);
+  void free_slot(std::uint32_t index);
+
+  std::int64_t bucket_of(SimTime when) const {
+    return static_cast<std::int64_t>(when * inv_width_);
+  }
+  void push_stub(SimTime when, std::uint32_t slot, Generation gen);
+  /// Refill current_ from the earliest nonempty bucket; false when no stub
+  /// remains anywhere (parked events hold none).
+  bool advance();
+  /// Sweep ladder stubs that entered the ring's window into the calendar.
+  void drain_ladder();
+  /// Live (non-retired) stubs across all tiers.
+  std::size_t live_stubs() const { return stub_count_ - stale_; }
+  /// Drop every retired stub from the calendar in one pass.
   void compact();
   void maybe_compact() {
-    // Amortised: each compaction touches the whole heap, so only fire once
-    // retired stubs dominate and the heap is big enough to matter.
-    if (stale_ > live_.size() && heap_.size() >= 64) compact();
+    // Amortised: each compaction touches the whole calendar, so only fire
+    // once retired stubs dominate and the calendar is big enough to matter
+    // — or once every stub is retired, where "compaction" is a cheap clear
+    // and skipping it would leak stubs forever on small park/cancel-heavy
+    // queues (and overcount peak_pending).
+    if (stale_ == 0) return;
+    if (live_stubs() == 0 || (stale_ > live_stubs() && stub_count_ >= 64)) {
+      compact();
+    }
   }
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
   std::size_t peak_pending_ = 0;
-  std::size_t stale_ = 0;
-  std::vector<Entry> heap_;
-  std::unordered_map<EventId, Live> live_;
+
+  // --- Calendar geometry -------------------------------------------------
+  SimTime width_;
+  double inv_width_;
+  std::size_t mask_;  // bucket_count - 1 (power of two)
+  std::int64_t cur_bucket_ = 0;
+
+  // --- The three tiers ---------------------------------------------------
+  std::vector<Stub> current_;             // heap over the active bucket
+  std::vector<std::vector<Stub>> ring_;   // near-future buckets
+  std::vector<Stub> ladder_;              // beyond-horizon spill
+  std::size_t ring_stubs_ = 0;
+  std::int64_t ladder_min_bucket_ = kNoLadder;
+  static constexpr std::int64_t kNoLadder =
+      std::numeric_limits<std::int64_t>::max();
+
+  // --- Event state -------------------------------------------------------
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNullSlot;
+  std::size_t live_ = 0;        // occupied slots (parked included)
+  std::size_t stub_count_ = 0;  // stubs across all tiers (stale included)
+  std::size_t stale_ = 0;       // retired stubs awaiting skip/compaction
 };
 
 }  // namespace smr::sim

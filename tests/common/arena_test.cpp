@@ -1,0 +1,132 @@
+#include "smr/common/arena.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smr/common/error.hpp"
+
+namespace smr::common {
+namespace {
+
+TEST(Arena, BumpAllocatesDistinctAlignedBlocks) {
+  Arena arena;
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto* p = arena.allocate<std::uint64_t>(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(*p, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t), 0u);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+  EXPECT_GE(arena.reserved_bytes(), 1000 * sizeof(std::uint64_t));
+}
+
+TEST(Arena, MixedAlignmentsStayAligned) {
+  Arena arena;
+  for (int i = 0; i < 200; ++i) {
+    auto* c = static_cast<char*>(arena.allocate_bytes(1, 1));
+    *c = 'x';
+    auto* d = arena.allocate<double>(1.5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    EXPECT_DOUBLE_EQ(*d, 1.5);
+  }
+}
+
+TEST(Arena, SpillsToNewPagesAndWritesEveryByte) {
+  // Cross several page boundaries and touch every byte so ASan sees the
+  // whole reservation exercised.
+  Arena arena;
+  std::vector<unsigned char*> blocks;
+  constexpr std::size_t kBlock = 4096;
+  constexpr int kCount = 64;  // 256 KiB total > several 64 KiB pages
+  for (int i = 0; i < kCount; ++i) {
+    auto* p = arena.allocate_array<unsigned char>(kBlock);
+    std::memset(p, i, kBlock);
+    blocks.push_back(p);
+  }
+  EXPECT_GE(arena.page_count(), 4u);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(blocks[static_cast<std::size_t>(i)][0], i);
+    EXPECT_EQ(blocks[static_cast<std::size_t>(i)][kBlock - 1], i);
+  }
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedPage) {
+  Arena arena;
+  constexpr std::size_t kBig = Arena::kPageSize * 3;
+  auto* p = arena.allocate_array<unsigned char>(kBig);
+  std::memset(p, 0xab, kBig);
+  EXPECT_EQ(p[kBig - 1], 0xab);
+  EXPECT_GE(arena.reserved_bytes(), kBig);
+}
+
+TEST(Arena, ResetRecyclesPagesWithoutNewReservations) {
+  Arena arena;
+  for (int i = 0; i < 10000; ++i) arena.allocate<std::uint64_t>();
+  const std::size_t warm = arena.reserved_bytes();
+  const std::size_t pages = arena.page_count();
+  for (int round = 0; round < 8; ++round) {
+    arena.reset();
+    for (int i = 0; i < 10000; ++i) arena.allocate<std::uint64_t>();
+    EXPECT_EQ(arena.reserved_bytes(), warm);
+    EXPECT_EQ(arena.page_count(), pages);
+  }
+}
+
+TEST(Arena, RejectsBadAlignment) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate_bytes(8, 3), SmrError);
+  EXPECT_THROW(arena.allocate_bytes(8, 0), SmrError);
+  EXPECT_THROW(arena.allocate_bytes(8, alignof(std::max_align_t) * 2),
+               SmrError);
+}
+
+struct Record {
+  std::uint64_t id;
+  double value;
+};
+
+TEST(Pool, AcquireReleaseReusesStorage) {
+  Pool<Record> pool;
+  Record* a = pool.acquire(Record{1, 1.0});
+  Record* b = pool.acquire(Record{2, 2.0});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->id, 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.free_count(), 1u);
+  Record* c = pool.acquire(Record{3, 3.0});
+  EXPECT_EQ(c, a);  // LIFO reuse of the released slot
+  EXPECT_EQ(c->id, 3u);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(b);
+  pool.release(c);
+}
+
+TEST(Pool, ChurnDoesNotGrowPastWorkingSet) {
+  Pool<Record> pool;
+  std::vector<Record*> live;
+  for (int i = 0; i < 512; ++i) {
+    live.push_back(pool.acquire());
+  }
+  const std::size_t warm = pool.reserved_bytes();
+  for (int round = 0; round < 100; ++round) {
+    for (Record* r : live) pool.release(r);
+    live.clear();
+    for (int i = 0; i < 512; ++i) {
+      Record* r = pool.acquire();
+      r->id = static_cast<std::uint64_t>(round);
+      live.push_back(r);
+    }
+  }
+  EXPECT_EQ(pool.reserved_bytes(), warm);
+  for (Record* r : live) {
+    EXPECT_EQ(r->id, 99u);
+    pool.release(r);
+  }
+}
+
+}  // namespace
+}  // namespace smr::common

@@ -36,6 +36,61 @@ TEST(Json, ParsesTheEscapesTheWritersEmit) {
   EXPECT_EQ(value->string_or("reason", ""), "said \"grow\", then\nheld \\");
 }
 
+TEST(Json, DecodesUnicodeEscapesToUtf8) {
+  // Regression: \uXXXX used to fail with "unsupported string escape", so
+  // smr_inspect choked on any run dir with non-ASCII tenant or job names.
+  const auto value = parse_json(R"({"tenant":"caf\u00e9 \u2603"})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->string_or("tenant", ""), "caf\xC3\xA9 \xE2\x98\x83");
+  // ASCII through \u works too (upper and lower hex), and \u0000 embeds a
+  // real NUL.
+  const auto ascii = parse_json(R"(["\u0041\u007A\u007a"])");
+  ASSERT_TRUE(ascii.has_value());
+  EXPECT_EQ(ascii->as_array()[0].as_string(), "Azz");
+  const auto nul = parse_json(R"(["a\u0000b"])");
+  ASSERT_TRUE(nul.has_value());
+  EXPECT_EQ(nul->as_array()[0].as_string(), std::string("a\0b", 3));
+}
+
+TEST(Json, DecodesSurrogatePairs) {
+  // U+1F600 (grinning face) as a \uD83D\uDE00 pair = F0 9F 98 80.
+  const auto value = parse_json(R"(["\uD83D\uDE00"])");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->as_array()[0].as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsLoneAndMalformedSurrogates) {
+  std::string error;
+  EXPECT_FALSE(parse_json(R"(["\uD83D"])", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+  EXPECT_FALSE(parse_json(R"(["\uDE00"])", &error).has_value());
+  EXPECT_FALSE(parse_json(R"(["\uD83DA"])", &error).has_value());
+  EXPECT_FALSE(parse_json(R"(["\uZZZZ"])", &error).has_value());
+  EXPECT_FALSE(parse_json(R"(["\u00"])", &error).has_value());
+}
+
+TEST(Json, EscapeIsSymmetricWithTheParser) {
+  // Everything a sink can emit — controls, quotes, UTF-8 payload, exotic
+  // C0 bytes — must survive escape → parse unchanged.
+  const std::string raw =
+      std::string("caf\xC3\xA9 \"x\"\n\t\\ \xE2\x98\x83 ") +
+      std::string("\x01\x1f\x7f", 3) + "\xF0\x9F\x98\x80";
+  const std::string doc = "[\"" + escape_json(raw) + "\"]";
+  std::string error;
+  const auto value = parse_json(doc, &error);
+  ASSERT_TRUE(value.has_value()) << error << " for " << doc;
+  EXPECT_EQ(value->as_array()[0].as_string(), raw);
+  // Bare C0 controls are escaped as \u00XX, named ones by name.
+  EXPECT_EQ(escape_json(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(escape_json("\n"), "\\n");
+  EXPECT_EQ(escape_json("\f"), "\\f");
+  EXPECT_EQ(escape_json("\b"), "\\b");
+
+  std::ostringstream out;
+  write_json_string(out, "a\"b");
+  EXPECT_EQ(out.str(), "\"a\\\"b\"");
+}
+
 TEST(Json, RejectsMalformedInputWithAMessage) {
   std::string error;
   EXPECT_FALSE(parse_json("{\"a\":", &error).has_value());

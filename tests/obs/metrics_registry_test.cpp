@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "smr/common/error.hpp"
+#include "smr/common/stats.hpp"
 #include "smr/common/thread_pool.hpp"
 
 namespace smr::obs {
@@ -61,20 +62,70 @@ TEST(Histogram, QuantileInterpolatesWithinBucket) {
   EXPECT_DOUBLE_EQ(h.p50(), 10.0);
   // Rank 5 sits halfway into the first bucket, interpolated from 0.
   EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
-  // Ranks 19 and 19.8 interpolate inside the second bucket (10..20).
-  EXPECT_DOUBLE_EQ(h.p95(), 19.0);
-  EXPECT_DOUBLE_EQ(h.p99(), 19.8);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // Tail estimates clamp to the observed max (15): no bucket-edge value
+  // above anything actually sampled is ever reported.
+  EXPECT_DOUBLE_EQ(h.p95(), 15.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 15.0);
 }
 
-TEST(Histogram, QuantileClampsOverflowToLargestBound) {
+TEST(Histogram, OverflowBucketInterpolatesTowardObservedMax) {
+  // Regression: tail quantiles used to flatline at the largest finite
+  // bound, so a single overflow sample reported p99 = 5 for a 100s
+  // latency and smr_inspect diffs flagged phantom regressions.
   MetricsRegistry registry;
   Histogram& h = registry.histogram("lat", {1.0, 5.0});
   h.observe(100.0);  // overflow bucket only
-  // No finite upper bound to interpolate against: report the largest
-  // finite bound (a known underestimate) rather than inventing a value.
-  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
-  EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 100.0);  // single sample: every q is it
+  EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+
+  // With company in the finite buckets, overflow ranks interpolate
+  // between the largest bound and the observed max instead of sticking
+  // at the bound.
+  Histogram& mixed = registry.histogram("lat2", {1.0, 5.0});
+  mixed.observe(0.5);
+  mixed.observe(50.0);
+  mixed.observe(100.0);
+  EXPECT_DOUBLE_EQ(mixed.quantile(1.0), 100.0);
+  const double p80 = mixed.quantile(0.8);  // rank 2.4, 1.4 into overflow
+  EXPECT_GT(p80, 5.0);
+  EXPECT_LE(p80, 100.0);
+}
+
+TEST(Histogram, QuantileEdgesAgreeWithStatsPercentile) {
+  // Differential audit against stats::percentile on identical samples:
+  // the two must agree exactly wherever a diff tool compares them —
+  // q=0, q=1, and single-sample inputs.
+  const std::vector<std::vector<double>> sample_sets = {
+      {42.0},
+      {0.5, 3.0, 7.5, 12.0, 99.0},
+      {100.0, 200.0, 300.0},  // all overflow
+      {0.1, 0.2, 0.3},        // all first bucket
+  };
+  for (const auto& samples : sample_sets) {
+    MetricsRegistry registry;
+    Histogram& h = registry.histogram("lat", {1.0, 5.0, 10.0});
+    std::vector<double> sorted = samples;
+    for (double s : samples) h.observe(s);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), percentile(sorted, 0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), percentile(sorted, 100.0));
+    if (samples.size() == 1) {
+      EXPECT_DOUBLE_EQ(h.p50(), percentile(sorted, 50.0));
+      EXPECT_DOUBLE_EQ(h.p99(), percentile(sorted, 99.0));
+    }
+    // Interior estimates stay inside the observed range, like any
+    // order-statistic does.
+    for (double q : {0.25, 0.5, 0.9, 0.99}) {
+      const double estimate = h.quantile(q);
+      EXPECT_GE(estimate, h.min());
+      EXPECT_LE(estimate, h.max());
+    }
+  }
 }
 
 TEST(Histogram, QuantileEmptyIsNaNAndRangeChecked) {

@@ -346,17 +346,57 @@ TEST(Engine, SameTimeOrderingSurvivesCompaction) {
   }
 }
 
-TEST(Engine, SmallHeapsSkipCompaction) {
+TEST(Engine, FullyStaleSmallQueuesCompactEagerly) {
+  // Regression: the old policy only compacted at >= 64 stubs, so a workload
+  // that parks/cancels its few periodic events leaked retired stubs forever
+  // and peak_pending overcounted.  Now a queue whose stubs are ALL retired
+  // compacts immediately regardless of size.
   Engine engine;
   const EventId a = engine.schedule_at(1.0, [] {});
   const EventId b = engine.schedule_at(2.0, [] {});
   engine.cancel(a);
   engine.cancel(b);
-  // Below the 64-entry floor the stubs are retired lazily, not compacted.
-  EXPECT_EQ(engine.stale(), 2u);
+  EXPECT_EQ(engine.stale(), 0u);  // compacted: every stub was retired
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_FALSE(engine.step());
-  EXPECT_EQ(engine.stale(), 0u);  // step() popped the stale stubs
+}
+
+TEST(Engine, SmallMixedQueuesStillRetireLazily) {
+  // With live stubs around, small queues keep the lazy scheme: one retired
+  // stub next to one live stub is not worth a sweep.
+  Engine engine;
+  const EventId a = engine.schedule_at(1.0, [] {});
+  (void)engine.schedule_at(2.0, [] {});
+  engine.cancel(a);
+  EXPECT_EQ(engine.stale(), 1u);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.stale(), 0u);  // the stale stub surfaced and was skipped
+}
+
+TEST(Engine, ParkCancelChurnDoesNotLeakStubs) {
+  // The ISSUE 7 leak scenario end-to-end: a handful of periodic events
+  // repeatedly parked (kTimeNever) and revived must not accumulate retired
+  // stubs, and peak_pending must stay bounded by the real queue depth.
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(engine.schedule_periodic(1.0 + i, 10.0, [] {}));
+  }
+  for (int round = 0; round < 1000; ++round) {
+    for (const EventId id : ids) EXPECT_TRUE(engine.reschedule(id, kTimeNever));
+    for (const EventId id : ids) {
+      EXPECT_TRUE(engine.reschedule(id, engine.now() + 5.0));
+    }
+  }
+  EXPECT_EQ(engine.pending(), 4u);
+  // Parked events hold no stub and fully-stale queues compact, so churn
+  // cannot pile up: at most one live + a few unswept stubs per event.
+  EXPECT_LE(engine.stale(), 8u);
+  EXPECT_LE(engine.peak_pending(), 16u);
+  for (const EventId id : ids) EXPECT_TRUE(engine.cancel(id));
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_FALSE(engine.step());
 }
 
 TEST(Engine, RescheduleStormStaysExact) {

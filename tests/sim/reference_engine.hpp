@@ -1,0 +1,177 @@
+// Test-only reference engine: the pre-calendar-queue binary-heap
+// implementation of sim::Engine, kept verbatim (modulo header-only
+// packaging) as the oracle for the differential determinism suite.  The
+// production calendar queue must dispatch the exact same events in the
+// exact same order with the same pending()/dispatched() counts for any
+// schedule/cancel/reschedule/park sequence.
+//
+// Do not "fix" or optimise this file — its value is that it does not
+// change.  The one intentional divergence from history is noted inline:
+// the maybe_compact small-heap guard bug was fixed in production, so the
+// differential tests compare dispatch behaviour, not stale().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "smr/common/error.hpp"
+#include "smr/common/types.hpp"
+
+namespace smr::sim::ref {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class ReferenceEngine {
+ public:
+  ReferenceEngine() = default;
+  ReferenceEngine(const ReferenceEngine&) = delete;
+  ReferenceEngine& operator=(const ReferenceEngine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime when, std::function<void()> fn) {
+    SMR_CHECK_MSG(when >= now_, "schedule_at in the past: " << when << " < " << now_);
+    SMR_CHECK(fn != nullptr);
+    const EventId id = next_id_++;
+    live_.emplace(id, Live{0, 0.0, std::move(fn)});
+    push(when, id, 0);
+    return id;
+  }
+
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    SMR_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  EventId schedule_periodic(SimTime first, SimTime period, std::function<void()> fn) {
+    SMR_CHECK_MSG(first >= now_, "periodic first firing in the past");
+    SMR_CHECK_MSG(period > 0.0, "periodic period must be positive");
+    SMR_CHECK(fn != nullptr);
+    const EventId id = next_id_++;
+    live_.emplace(id, Live{0, period, std::move(fn)});
+    push(first, id, 0);
+    return id;
+  }
+
+  bool cancel(EventId id) {
+    const auto it = live_.find(id);
+    if (it == live_.end()) return false;
+    live_.erase(it);
+    ++stale_;
+    maybe_compact();
+    return true;
+  }
+
+  bool reschedule(EventId id, SimTime when) {
+    SMR_CHECK_MSG(when >= now_, "reschedule in the past: " << when << " < " << now_);
+    const auto it = live_.find(id);
+    if (it == live_.end()) return false;
+    ++it->second.gen;
+    ++stale_;
+    push(when, id, it->second.gen);
+    maybe_compact();
+    return true;
+  }
+
+  SimTime run(SimTime limit = kTimeNever) {
+    while (step(limit)) {
+    }
+    if (limit != kTimeNever) {
+      now_ = std::max(now_, limit);
+    }
+    return now_;
+  }
+
+  bool step(SimTime limit = kTimeNever) {
+    for (;;) {
+      if (heap_.empty()) return false;
+      const Entry top = heap_.front();
+      const auto it = live_.find(top.id);
+      if (it == live_.end() || it->second.gen != top.gen) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        --stale_;
+        continue;
+      }
+      if (top.when >= kTimeNever) return false;
+      if (top.when > limit) return false;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      now_ = top.when;
+      ++dispatched_;
+      if (it->second.period > 0.0) {
+        push(top.when + it->second.period, top.id, top.gen);
+        const auto fn = it->second.fn;
+        fn();
+      } else {
+        auto fn = std::move(it->second.fn);
+        live_.erase(it);
+        fn();
+      }
+      return true;
+    }
+  }
+
+  std::size_t pending() const { return live_.size(); }
+  bool empty() const { return pending() == 0; }
+  std::uint64_t dispatched() const { return dispatched_; }
+  std::size_t peak_pending() const { return peak_pending_; }
+  std::size_t stale() const { return stale_; }
+
+ private:
+  using Generation = std::uint32_t;
+
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    Generation gen;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct Live {
+    Generation gen = 0;
+    SimTime period = 0.0;
+    std::function<void()> fn;
+  };
+
+  void push(SimTime when, EventId id, Generation gen) {
+    heap_.push_back(Entry{when, next_seq_++, id, gen});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    peak_pending_ = std::max(peak_pending_, heap_.size());
+  }
+
+  void compact() {
+    std::erase_if(heap_, [this](const Entry& e) {
+      const auto it = live_.find(e.id);
+      return it == live_.end() || it->second.gen != e.gen;
+    });
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    stale_ = 0;
+  }
+
+  void maybe_compact() {
+    // Historic policy, small-heap leak included (fixed in production).
+    if (stale_ > live_.size() && heap_.size() >= 64) compact();
+  }
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::size_t peak_pending_ = 0;
+  std::size_t stale_ = 0;
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, Live> live_;
+};
+
+}  // namespace smr::sim::ref

@@ -2,7 +2,7 @@
 //
 //   smr_perfbench                 # full suite: fig3 benches + 16-pt sweep
 //   smr_perfbench --smoke         # seconds-long CI smoke subset
-//   smr_perfbench --out=BENCH_5.json
+//   smr_perfbench --out=BENCH_7.json
 //
 // Each entry runs real simulations through the driver and reports
 // wall-clock, engine events dispatched, events/sec, and the incremental
@@ -164,7 +164,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
 int main(int argc, char** argv) {
   FlagSet flags("Time the simulator's figure workloads and report engine/solver rates.");
   flags.define_bool("smoke", false, "run the seconds-long CI subset");
-  flags.define_string("out", "BENCH_6.json", "JSON-lines output path ('' to skip)");
+  flags.define_string("out", "BENCH_7.json", "JSON-lines output path ('' to skip)");
   flags.define_bool("help", false, "print this help");
 
   if (!flags.parse(argc, argv)) {
