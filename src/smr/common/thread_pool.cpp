@@ -13,6 +13,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  threads_ = threads;
+  // A 1-thread pool is fully inline: no workers, submit() executes the
+  // task on the calling thread.  This makes SMR_THREADS=1 runs exactly
+  // serial (FIFO at submission), which the determinism suite relies on.
+  if (threads_ <= 1) return;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -30,6 +35,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   SMR_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    // Inline pool: run synchronously, in submission order, on this thread.
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SMR_CHECK(!stop_);

@@ -25,17 +25,28 @@ namespace smr {
 
 class ThreadPool {
  public:
-  /// `threads == 0` means hardware_concurrency (at least 1).
+  /// `threads == 0` means hardware_concurrency (at least 1).  A pool of one
+  /// thread spawns *no* workers: it runs every task inline on the submitting
+  /// thread (see submit()), so a 1-thread pool is exactly serial execution.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t thread_count() const { return threads_; }
+
+  /// Number of tasks the pool can execute simultaneously (>= 1).  An inline
+  /// pool reports 1: the submitting thread is the only executor.
+  std::size_t concurrency() const { return threads_; }
+
+  /// True when the pool spawned no workers and submit() executes the task
+  /// synchronously on the calling thread, in submission order.
+  bool inline_mode() const { return workers_.empty(); }
 
   /// Enqueue a task.  Tasks must not throw; exceptions escaping a task
-  /// terminate the process (same policy as std::thread).
+  /// terminate the process (same policy as std::thread).  On an inline pool
+  /// the task runs to completion before submit() returns.
   void submit(std::function<void()> task);
 
   /// Pop and run one queued task on the calling thread.  Returns false if
@@ -49,6 +60,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  std::size_t threads_ = 1;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;

@@ -44,6 +44,11 @@ class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
 
   std::string name() const override { return "SMapReduce"; }
 
+  /// The slot manager aggregates statistics per policy period (on_period);
+  /// its on_heartbeat is the inherited no-op, so heartbeats need no
+  /// snapshot.
+  bool wants_heartbeat_stats() const override { return false; }
+
   void on_start(std::span<mapreduce::TaskTracker> trackers) override;
   void on_period(std::span<mapreduce::TaskTracker> trackers,
                  const mapreduce::ClusterStats& stats) override;

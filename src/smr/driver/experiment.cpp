@@ -101,11 +101,12 @@ std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig&
 
 metrics::RunResult run_trial(const ExperimentConfig& config,
                              const std::vector<JobSubmission>& jobs,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, ThreadPool* pool) {
   SMR_CHECK(!jobs.empty());
   mapreduce::RuntimeConfig runtime_config = config.runtime;
   runtime_config.seed = seed;
   mapreduce::Runtime runtime(runtime_config, make_policy(config), make_scheduler(config));
+  if (pool != nullptr) runtime.set_thread_pool(pool);
   for (const auto& submission : jobs) {
     runtime.submit(submission.spec, submission.submit_at);
   }
@@ -120,13 +121,14 @@ metrics::RunResult run_experiment(const ExperimentConfig& config,
   // result is bit-identical whatever the pool size or completion order.
   std::vector<metrics::RunResult> trials(static_cast<std::size_t>(config.trials));
   if (config.trials == 1) {
-    trials[0] = run_trial(config, jobs, config.runtime.seed);
+    trials[0] = run_trial(config, jobs, config.runtime.seed, &pool);
   } else {
     TaskGroup group(pool);
     for (int t = 0; t < config.trials; ++t) {
-      group.submit([&config, &jobs, &trials, t] {
+      group.submit([&config, &jobs, &trials, &pool, t] {
         trials[static_cast<std::size_t>(t)] =
-            run_trial(config, jobs, config.runtime.seed + static_cast<std::uint64_t>(t));
+            run_trial(config, jobs, config.runtime.seed + static_cast<std::uint64_t>(t),
+                      &pool);
       });
     }
     group.wait();

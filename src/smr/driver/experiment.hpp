@@ -66,10 +66,13 @@ std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig&
 /// Build the job scheduler for `config`.
 std::unique_ptr<mapreduce::JobScheduler> make_scheduler(const ExperimentConfig& config);
 
-/// Run one trial with the given seed.
+/// Run one trial with the given seed.  When `pool` is non-null and the
+/// runtime config asks for shards, the sharded tick fans out on that pool
+/// (nullptr falls back to the process default pool; the output is byte-
+/// identical either way).
 metrics::RunResult run_trial(const ExperimentConfig& config,
                              const std::vector<JobSubmission>& jobs,
-                             std::uint64_t seed);
+                             std::uint64_t seed, ThreadPool* pool = nullptr);
 
 /// Run `config.trials` trials (seeds seed, seed+1, ...) and average.
 /// Trials are independent simulations; they run concurrently on `pool`

@@ -91,6 +91,13 @@ class AllocationPolicy {
   /// Called when `tracker` heartbeats.  May adjust that tracker's targets.
   virtual void on_heartbeat(TaskTracker& /*tracker*/, const ClusterStats& /*stats*/) {}
 
+  /// Whether on_heartbeat() reads its ClusterStats argument.  Defaults to
+  /// true (safe for any subclass); policies whose on_heartbeat is the
+  /// inherited no-op return false so the runtime can skip the per-heartbeat
+  /// cluster snapshot — the dominant control-plane cost on large clusters.
+  /// Periodic on_period() snapshots are unaffected.
+  virtual bool wants_heartbeat_stats() const { return true; }
+
   /// Called every policy period with all trackers (the slot manager thread
   /// in the paper's job tracker, Section IV-A).
   virtual void on_period(std::span<TaskTracker> /*trackers*/, const ClusterStats& /*stats*/) {}
@@ -105,6 +112,7 @@ class AllocationPolicy {
 class StaticSlotPolicy final : public AllocationPolicy {
  public:
   std::string name() const override { return "HadoopV1"; }
+  bool wants_heartbeat_stats() const override { return false; }
 };
 
 }  // namespace smr::mapreduce

@@ -14,6 +14,13 @@ constexpr double kByteEps = 1.0;  // one byte of slack on fluid comparisons
 double per_mib_to_per_byte(double per_mib) {
   return per_mib / static_cast<double>(kMiB);
 }
+
+// Min-heap comparator for the pending-job heap: "later" on (submit_time,
+// index), so the earliest submission (ties by id) sits at the front.
+bool pending_later(const std::pair<SimTime, std::size_t>& a,
+                   const std::pair<SimTime, std::size_t>& b) {
+  return a.first > b.first || (a.first == b.first && a.second > b.second);
+}
 }  // namespace
 
 void RuntimeConfig::validate() const {
@@ -21,6 +28,7 @@ void RuntimeConfig::validate() const {
   SMR_CHECK(initial_map_slots >= 0 && initial_reduce_slots >= 0);
   SMR_CHECK(initial_map_slots + initial_reduce_slots >= 1);
   SMR_CHECK(tick > 0.0);
+  SMR_CHECK(shard_count >= 1);
   SMR_CHECK(heartbeat_period > 0.0 && policy_period > 0.0 && sample_period > 0.0);
   SMR_CHECK(reduce_slowstart >= 0.0 && reduce_slowstart <= 1.0);
   SMR_CHECK(shuffle_disk_share > 0.0 && shuffle_disk_share <= 1.0);
@@ -149,6 +157,8 @@ JobId Runtime::submit(const JobSpec& spec, SimTime at) {
   jobs_.push_back(std::move(job));
   ++unfinished_jobs_;
   ++jobs_not_yet_submitted_;
+  pending_jobs_.emplace_back(at, jobs_.size() - 1);
+  std::push_heap(pending_jobs_.begin(), pending_jobs_.end(), pending_later);
   if (ran_) {
     // run() has already sized the progress table and scheduled the batch's
     // arrival events; do both for this late job now.
@@ -169,6 +179,7 @@ metrics::RunResult Runtime::run() {
   // An open (serving) runtime may start empty: arrivals stream in later.
   SMR_CHECK_MSG(!jobs_.empty() || open_, "no jobs submitted");
 
+  setup_shards();
   policy_->on_start(trackers());
   // Seed the slot-target counter tracks at their initial values so the
   // trace timeline starts at t = 0 rather than the first change.
@@ -286,6 +297,34 @@ ClusterStats Runtime::snapshot() const {
   return stats;
 }
 
+std::span<const std::size_t> Runtime::active_jobs_now(SimTime now) const {
+  // Drain every pending job whose submit time has been reached into the
+  // id-sorted active list.  Draining at read time (rather than from the
+  // arrival events) keeps the set identical to the historic filter even
+  // when a reader fires at the same instant as, but before, the arrival
+  // event.  Each job is drained exactly once, so the lazy inserts are
+  // amortised O(log n + shift) over the whole run.
+  while (!pending_jobs_.empty() && pending_jobs_.front().first <= now) {
+    std::pop_heap(pending_jobs_.begin(), pending_jobs_.end(), pending_later);
+    const std::size_t idx = pending_jobs_.back().second;
+    pending_jobs_.pop_back();
+    // A job can leave the system (teardown on failure) at the very instant
+    // it was due; never resurrect it into the active set.
+    if (jobs_[idx].finished()) continue;
+    active_job_ids_.insert(
+        std::lower_bound(active_job_ids_.begin(), active_job_ids_.end(), idx),
+        idx);
+  }
+  return active_job_ids_;
+}
+
+void Runtime::deactivate_job(JobId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  const auto it =
+      std::lower_bound(active_job_ids_.begin(), active_job_ids_.end(), idx);
+  if (it != active_job_ids_.end() && *it == idx) active_job_ids_.erase(it);
+}
+
 void Runtime::snapshot_into(ClusterStats& stats) const {
   // Reset to defaults while keeping the vectors' capacity: the heartbeat
   // path reuses one scratch instance instead of reallocating per beat.
@@ -303,8 +342,8 @@ void Runtime::snapshot_into(ClusterStats& stats) const {
   stats.cum_shuffled = cum_shuffled_;
 
   const Job* front = nullptr;
-  for (const auto& job : jobs_) {
-    if (job.submit_time > stats.now || job.finished()) continue;
+  for (const std::size_t j : active_jobs_now(stats.now)) {
+    const Job& job = jobs_[j];
     if (front == nullptr) front = &job;
     stats.has_active_job = true;
     stats.active_jobs.push_back(job.id);
@@ -401,6 +440,10 @@ void Runtime::release_reduce_shadow_slot(std::int32_t slot) {
 
 void Runtime::on_tick() {
   if (stopping_) return;
+  if (shards_.size() > 1) {
+    on_tick_sharded();
+    return;
+  }
   const double dt = config_.tick;
   const int n = config_.cluster.worker_count();
   TickScratch& t = tick_;
@@ -1018,6 +1061,7 @@ void Runtime::complete_reduce(Job& job, ReduceTask& task, TaskId attempt_id) {
       job.maps_all_finished()) {
     job.finish_time = engine_.now();
     --unfinished_jobs_;
+    deactivate_job(job.id);
     trace_event(metrics::TraceEventKind::kJobFinished, job.id, kInvalidTask,
                 kInvalidNode, true);
     span_job_finished(job, obs::SpanOutcome::kOk);
@@ -1080,9 +1124,12 @@ void Runtime::on_heartbeat(std::size_t tracker_index) {
   if (!node_alive_[tracker_index]) return;
   TaskTracker& tracker = trackers_[tracker_index];
   // Stagger offsets keep heartbeat instants distinct, so every heartbeat
-  // needs a fresh snapshot; snapshot_into reuses the scratch's vector
+  // would need a fresh snapshot; snapshot_into reuses the scratch's vector
   // capacity instead of reallocating per-job / per-node arrays each time.
-  snapshot_into(hb_stats_);
+  // Policies whose on_heartbeat ignores its stats argument (the static
+  // policy, the slot manager) declare so and skip the snapshot entirely —
+  // the dominant per-heartbeat cost on large clusters.
+  if (policy_->wants_heartbeat_stats()) snapshot_into(hb_stats_);
   const ClusterStats& stats = hb_stats_;
   // Heartbeat-level policies (YARN's capacity accounting) adjust targets
   // here; watch the cluster totals so the counter tracks stay truthful.
@@ -1273,8 +1320,8 @@ void Runtime::fail_node(NodeId node) {
   // Completed map outputs on this node are gone; re-execute them for any
   // job whose shuffle still needs them (Hadoop's map re-execution on
   // tracker loss).
-  for (auto& job : jobs_) {
-    if (job.finished() || job.submit_time > engine_.now()) continue;
+  for (const std::size_t j : active_jobs_now(engine_.now())) {
+    Job& job = jobs_[j];
     bool shuffle_outstanding = false;
     for (const auto& reduce : job.reduces) {
       if (reduce.phase == ReducePhase::kShuffling) {
@@ -1494,6 +1541,7 @@ void Runtime::fail_job(Job& job, std::string reason) {
   job.failure_reason = std::move(reason);
   job.finish_time = engine_.now();
   --unfinished_jobs_;
+  deactivate_job(job.id);
   ++failed_jobs_;
   trace_event(metrics::TraceEventKind::kJobFailed, job.id, kInvalidTask,
               kInvalidNode, true, job.failure_reason.c_str());
@@ -1578,7 +1626,8 @@ void Runtime::assign_tasks(TaskTracker& tracker) {
 
 bool Runtime::assign_one_map(TaskTracker& tracker) {
   const SimTime now = engine_.now();
-  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/true)) {
+  for (std::size_t job_index :
+       scheduler_->job_order(jobs_, active_jobs_now(now), /*for_map=*/true)) {
     Job& job = jobs_[job_index];
     if (job.maps_pending() == 0) continue;
     const auto& file = dfs_.file(job.input_file);
@@ -1649,7 +1698,8 @@ bool Runtime::assign_one_map(TaskTracker& tracker) {
 
 bool Runtime::launch_speculative(TaskTracker& tracker) {
   const SimTime now = engine_.now();
-  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/true)) {
+  for (std::size_t job_index :
+       scheduler_->job_order(jobs_, active_jobs_now(now), /*for_map=*/true)) {
     Job& job = jobs_[job_index];
     // Hadoop speculates only once a job has no pending maps left.
     if (job.maps_pending() != 0 || job.maps_all_finished()) continue;
@@ -1766,7 +1816,8 @@ void Runtime::win_speculative(TaskId shadow_id) {
 
 bool Runtime::assign_one_reduce(TaskTracker& tracker) {
   const SimTime now = engine_.now();
-  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/false)) {
+  for (std::size_t job_index :
+       scheduler_->job_order(jobs_, active_jobs_now(now), /*for_map=*/false)) {
     Job& job = jobs_[job_index];
     if (job.reduces_pending() == 0) continue;
     if (!job.maps.empty() &&
@@ -1799,7 +1850,8 @@ bool Runtime::assign_one_reduce(TaskTracker& tracker) {
 
 bool Runtime::launch_speculative_reduce(TaskTracker& tracker) {
   const SimTime now = engine_.now();
-  for (std::size_t job_index : scheduler_->job_order(jobs_, now, /*for_map=*/false)) {
+  for (std::size_t job_index :
+       scheduler_->job_order(jobs_, active_jobs_now(now), /*for_map=*/false)) {
     Job& job = jobs_[job_index];
     // Only past the barrier with every reduce assigned: the partition is
     // fully available, so a backup can re-fetch independently.
@@ -1912,9 +1964,8 @@ void Runtime::win_speculative_reduce(TaskId shadow_id) {
 void Runtime::on_sample() {
   if (stopping_) return;
   const SimTime now = engine_.now();
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+  for (const std::size_t j : active_jobs_now(now)) {
     const Job& job = jobs_[j];
-    if (job.submit_time > now || job.finished()) continue;
     metrics::ProgressSample sample;
     sample.time = now;
     sample.map_pct = 100.0 * job.map_progress();
@@ -1936,6 +1987,24 @@ void Runtime::on_sample() {
   slot_sample.running_maps /= nt;
   slot_sample.running_reduces /= nt;
   result_.slots.push_back(slot_sample);
+
+  // Per-shard window-occupancy / barrier-stall series (shards.json only;
+  // the occupancy numbers are deterministic, the stall is wall-clock).
+  if (shards_.size() > 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ShardScratch& shard = shards_[s];
+      ShardStats& stats = shard_stats_[s];
+      const double mean =
+          shard.stat_windows > 0
+              ? static_cast<double>(shard.stat_entries) /
+                    static_cast<double>(shard.stat_windows)
+              : 0.0;
+      stats.occupancy_series.emplace_back(now, mean);
+      stats.stall_series.emplace_back(now, stats.barrier_stall_s);
+      shard.stat_entries = 0;
+      shard.stat_windows = 0;
+    }
+  }
 }
 
 void Runtime::record_metric_samples(SimTime now) {
@@ -1958,8 +2027,8 @@ void Runtime::record_metric_samples(SimTime now) {
   double pending_maps = 0.0;
   double pending_reduces = 0.0;
   double shuffle_backlog = 0.0;
-  for (const Job& job : jobs_) {
-    if (job.submit_time > now || job.finished()) continue;
+  for (const std::size_t j : active_jobs_now(now)) {
+    const Job& job = jobs_[j];
     pending_maps += job.maps_pending();
     pending_reduces += job.reduces_pending();
     for (const ReduceTask& task : job.reduces) {

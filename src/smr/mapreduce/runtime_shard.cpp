@@ -1,0 +1,750 @@
+// The sharded parallel tick: conservative time-window execution of the
+// fluid data plane over node shards (docs/PERF.md §7).
+//
+// The cluster's worker nodes are partitioned into contiguous shards.  Each
+// tick is one conservative window: the fluid step's lookahead is the tick
+// itself, which is strictly below the minimum cross-shard interaction
+// latency (control-plane effects — assignments, requeues — only happen on
+// heartbeats, and data-plane coupling inside the tick is mediated by the
+// single global network solve at the window edge).  Within the window every
+// shard advances its own nodes on the thread pool; at the barrier the
+// cross-shard effects are applied serially in shard order.
+//
+// Byte-identity with the serial tick is by construction, not by tolerance:
+//   * Shards are contiguous node ranges, so concatenating per-shard output
+//     in shard order reproduces the serial node order exactly — flows for
+//     the network solve, compute entries, trace events.
+//   * Job-level floating-point accumulators (bytes_shuffled,
+//     map_input_processed, the cluster cum_* totals) are never touched
+//     inside the window.  Each shard records one (job, delta) mailbox entry
+//     per task touch; the barrier replays the mailboxes in (shard, seq)
+//     order, which is the serial accumulation order, so every sum is
+//     bit-for-bit the serial sum.
+//   * Completions, settles and doomed attempts are merged and sorted by
+//     task id before the serial application loop — exactly what the serial
+//     path does with its own node-ordered lists.
+//   * The per-node solver instances and their memo caches are owned by the
+//     node's shard, so solver call/hit counters are identical too.
+// None of this depends on the pool size: a 1-thread (inline) pool runs the
+// shards serially in shard order with the same merge, so any thread count
+// produces the same bytes for a fixed shard count.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "smr/common/thread_pool.hpp"
+#include "smr/mapreduce/runtime.hpp"
+
+namespace smr::mapreduce {
+
+namespace {
+constexpr double kByteEps = 1.0;  // one byte of slack on fluid comparisons
+
+double per_mib_to_per_byte(double per_mib) {
+  return per_mib / static_cast<double>(kMiB);
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void Runtime::setup_shards() {
+  const int n = config_.cluster.worker_count();
+  const int requested = config_.shard_count;
+  const int count = std::min(requested, n);
+  if (count <= 1) return;  // serial tick path
+  shards_.clear();
+  shards_.resize(static_cast<std::size_t>(count));
+  shard_stats_.assign(static_cast<std::size_t>(count), ShardStats{});
+  node_shard_.assign(static_cast<std::size_t>(n), 0);
+  shard_phase_dirty_.assign(static_cast<std::size_t>(count), 1);
+  for (int s = 0; s < count; ++s) {
+    ShardScratch& shard = shards_[static_cast<std::size_t>(s)];
+    shard.index = s;
+    shard.node_lo = static_cast<NodeId>(s * n / count);
+    shard.node_hi = static_cast<NodeId>((s + 1) * n / count);
+    ShardStats& stats = shard_stats_[static_cast<std::size_t>(s)];
+    stats.shard = s;
+    stats.node_begin = shard.node_lo;
+    stats.node_end = shard.node_hi;
+    for (NodeId d = shard.node_lo; d < shard.node_hi; ++d) {
+      node_shard_[static_cast<std::size_t>(d)] = static_cast<std::uint16_t>(s);
+    }
+  }
+  if (pool_ == nullptr) pool_ = &default_thread_pool();
+}
+
+// --- Stage A: per-shard census (the serial resolve pass over one shard) ----
+
+void Runtime::shard_census(ShardScratch& s, bool detect_doom) {
+  const auto lo = static_cast<std::size_t>(s.node_lo);
+  const auto hi = static_cast<std::size_t>(s.node_hi);
+  const std::size_t local_n = hi - lo;
+  if (detect_doom) {
+    s.doomed_maps.clear();
+    s.doomed_reduces.clear();
+  }
+  std::uint64_t vsum = 0;
+  for (std::size_t d = lo; d < hi; ++d) vsum += trackers_[d].version();
+  const bool same_membership =
+      vsum == s.resolve_version_sum && jobs_.size() == s.resolve_jobs_size;
+  const bool dirty = shard_phase_dirty_[static_cast<std::size_t>(s.index)] != 0;
+  // Shard-level quiescence, mirroring the serial skip: unchanged running
+  // lists, no phase change on any owned node, no doom scan pending — the
+  // scratch still holds this shard's previous census, which is identical.
+  if (same_membership && !dirty && !detect_doom) return;
+  shard_phase_dirty_[static_cast<std::size_t>(s.index)] = 0;
+  s.settle_primaries.clear();
+  s.settle_shadows.clear();
+  s.shuffle_entries.clear();
+  s.remote_entries.clear();
+  s.occ.assign(local_n, cluster::Occupancy{});
+  s.node_has_remote.assign(local_n, 0);
+  if (!same_membership) {
+    s.resolve_version_sum = vsum;
+    s.resolve_jobs_size = jobs_.size();
+    s.map_id.clear();
+    s.map_task.clear();
+    s.map_job.clear();
+    s.map_spec.clear();
+    s.red_id.clear();
+    s.red_task.clear();
+    s.red_job.clear();
+    s.red_spec.clear();
+    s.map_range.clear();
+    s.red_range.clear();
+    for (std::size_t d = lo; d < hi; ++d) {
+      const auto li = d - lo;
+      const auto& tracker = trackers_[d];
+      auto& o = s.occ[li];
+      const auto map_begin = static_cast<std::uint32_t>(s.map_id.size());
+      for (TaskId id : tracker.running_map_tasks()) {
+        const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+        Job* job = &jobs_[static_cast<std::size_t>(ref.job)];
+        MapTask* task =
+            ref.speculative
+                ? &map_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)]
+                : &job->maps[static_cast<std::size_t>(ref.index)];
+        const auto entry = static_cast<std::uint32_t>(s.map_id.size());
+        s.map_id.push_back(id);
+        s.map_task.push_back(task);
+        s.map_job.push_back(job);
+        s.map_spec.push_back(&job->spec);
+        const bool remote_mapping =
+            task->phase == MapPhase::kMapping && !task->local;
+        o.threads += 1;
+        o.io_streams += remote_mapping ? 0 : 1;
+        o.memory_demand += job->spec.map_task_memory;
+        if (remote_mapping) {
+          s.node_has_remote[li] = 1;
+          s.remote_entries.push_back(entry);
+        }
+        if (detect_doom && task->progress() >= task->fail_at_progress) {
+          s.doomed_maps.push_back(id);
+        }
+      }
+      s.map_range.emplace_back(map_begin,
+                               static_cast<std::uint32_t>(s.map_id.size()));
+      const auto red_begin = static_cast<std::uint32_t>(s.red_id.size());
+      for (TaskId id : tracker.running_reduce_tasks()) {
+        const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+        Job* job = &jobs_[static_cast<std::size_t>(ref.job)];
+        ReduceTask* task =
+            ref.speculative
+                ? &reduce_shadow_pool_[static_cast<std::size_t>(ref.shadow_slot)]
+                : &job->reduces[static_cast<std::size_t>(ref.index)];
+        const auto entry = static_cast<std::uint32_t>(s.red_id.size());
+        s.red_id.push_back(id);
+        s.red_task.push_back(task);
+        s.red_job.push_back(job);
+        s.red_spec.push_back(&job->spec);
+        const bool shuffling = task->phase == ReducePhase::kShuffling;
+        o.threads += shuffling ? 2 : 1;
+        o.io_streams += 1;
+        o.memory_demand += job->spec.reduce_task_memory;
+        if (shuffling) {
+          s.shuffle_entries.push_back(entry);
+          (ref.speculative ? s.settle_shadows : s.settle_primaries)
+              .push_back(id);
+        }
+        if (detect_doom && task->progress() >= task->fail_at_progress) {
+          s.doomed_reduces.push_back(id);
+        }
+      }
+      s.red_range.emplace_back(red_begin,
+                               static_cast<std::uint32_t>(s.red_id.size()));
+    }
+  } else {
+    // Membership unchanged: phase-dependent sweep over the cached arrays.
+    for (std::size_t d = lo; d < hi; ++d) {
+      const auto li = d - lo;
+      auto& o = s.occ[li];
+      const auto [mb, me] = s.map_range[li];
+      for (std::uint32_t i = mb; i < me; ++i) {
+        const MapTask* task = s.map_task[i];
+        const bool remote_mapping =
+            task->phase == MapPhase::kMapping && !task->local;
+        o.threads += 1;
+        o.io_streams += remote_mapping ? 0 : 1;
+        o.memory_demand += s.map_spec[i]->map_task_memory;
+        if (remote_mapping) {
+          s.node_has_remote[li] = 1;
+          s.remote_entries.push_back(i);
+        }
+        if (detect_doom && task->progress() >= task->fail_at_progress) {
+          s.doomed_maps.push_back(s.map_id[i]);
+        }
+      }
+      const auto [rb, re] = s.red_range[li];
+      for (std::uint32_t i = rb; i < re; ++i) {
+        const ReduceTask* task = s.red_task[i];
+        const bool shuffling = task->phase == ReducePhase::kShuffling;
+        o.threads += shuffling ? 2 : 1;
+        o.io_streams += 1;
+        o.memory_demand += s.red_spec[i]->reduce_task_memory;
+        if (shuffling) {
+          const TaskId id = s.red_id[i];
+          s.shuffle_entries.push_back(i);
+          (task_refs_[static_cast<std::size_t>(id)].speculative
+               ? s.settle_shadows
+               : s.settle_primaries)
+              .push_back(id);
+        }
+        if (detect_doom && task->progress() >= task->fail_at_progress) {
+          s.doomed_reduces.push_back(s.red_id[i]);
+        }
+      }
+    }
+  }
+}
+
+// --- Stage B: per-shard flow collection ------------------------------------
+
+void Runtime::shard_collect_flows(ShardScratch& s) {
+  const double dt = config_.tick;
+  const int n = config_.cluster.worker_count();
+  const auto lo = static_cast<std::size_t>(s.node_lo);
+  const auto hi = static_cast<std::size_t>(s.node_hi);
+  s.flows.clear();
+  s.flow_entry.clear();
+  s.flow_is_shuffle.clear();
+  for (std::size_t d = lo; d < hi; ++d) tick_.fetch_streams[d] = 0;
+  std::size_t sp = 0;
+  std::size_t rp = 0;
+  for (std::size_t d = lo; d < hi; ++d) {
+    const auto li = d - lo;
+    const NodeId dst = trackers_[d].node();
+    const std::uint32_t re = s.red_range[li].second;
+    for (; sp < s.shuffle_entries.size() && s.shuffle_entries[sp] < re; ++sp) {
+      const std::uint32_t i = s.shuffle_entries[sp];
+      const ReduceTask& task = *s.red_task[i];
+      if (task.backlog() <= kByteEps) continue;
+      tick_.fetch_streams[static_cast<std::size_t>(dst)] +=
+          std::min(config_.parallel_copies, n);
+      const JobSpec& spec = *s.red_spec[i];
+      cluster::NetFlow flow;
+      flow.dst = dst;
+      flow.src = kInvalidNode;  // diffuse pull from every node
+      flow.rate_cap = std::min(task.backlog() / dt, spec.shuffle_fetch_cap);
+      s.flows.push_back(flow);
+      s.flow_entry.push_back(i);
+      s.flow_is_shuffle.push_back(1);
+    }
+    const std::uint32_t me = s.map_range[li].second;
+    for (; rp < s.remote_entries.size() && s.remote_entries[rp] < me; ++rp) {
+      const std::uint32_t i = s.remote_entries[rp];
+      const MapTask& task = *s.map_task[i];
+      const JobSpec& spec = *s.map_spec[i];
+      const auto& node_spec = config_.cluster.workers[static_cast<std::size_t>(dst)];
+      const double cpu_per_byte =
+          per_mib_to_per_byte(spec.map_cpu_per_mib) * task.cost_factor;
+      const double cpu_rate = node_spec.cpu_speed / cpu_per_byte;
+      cluster::NetFlow flow;
+      flow.dst = dst;
+      flow.src = task.src_node;
+      flow.rate_cap = std::min(task.phase_remaining() / dt, cpu_rate);
+      s.flows.push_back(flow);
+      s.flow_entry.push_back(i);
+      s.flow_is_shuffle.push_back(0);
+    }
+  }
+}
+
+// --- Stage C: per-shard disk cap, background, solves, integration ----------
+
+void Runtime::shard_solve_integrate(ShardScratch& s) {
+  const double dt = config_.tick;
+  TickScratch& t = tick_;
+  const auto lo = static_cast<std::size_t>(s.node_lo);
+  const auto hi = static_cast<std::size_t>(s.node_hi);
+  const std::size_t local_n = hi - lo;
+
+  // 3. Cap shuffle ingest by each owned receiver's disk share.  Every flow
+  // into an owned node was collected by this shard, so the local demand is
+  // the full demand.
+  s.shuffle_disk_demand.assign(local_n, 0.0);
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    if (!s.flow_is_shuffle[f]) continue;
+    const JobSpec& spec = *s.red_spec[s.flow_entry[f]];
+    s.shuffle_disk_demand[static_cast<std::size_t>(s.flows[f].dst) - lo] +=
+        t.net_rates[s.flow_base + f] * spec.shuffle_disk_factor;
+  }
+  s.shuffle_scale.assign(local_n, 1.0);
+  for (std::size_t d = lo; d < hi; ++d) {
+    const auto li = d - lo;
+    const auto& node_spec = config_.cluster.workers[d];
+    const double allowed =
+        config_.shuffle_disk_share *
+        cluster::ComputeModel::effective_disk(node_spec, s.occ[li]);
+    const double demand = s.shuffle_disk_demand[li];
+    if (demand > allowed && demand > 0.0) {
+      s.shuffle_scale[li] = allowed / demand;
+    }
+  }
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    if (s.flow_is_shuffle[f]) {
+      t.net_rates[s.flow_base + f] *=
+          s.shuffle_scale[static_cast<std::size_t>(s.flows[f].dst) - lo];
+    }
+  }
+
+  // 4. Background load from shuffle ingest on owned nodes.
+  s.background.assign(local_n, cluster::BackgroundLoad{});
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    if (!s.flow_is_shuffle[f]) continue;
+    const JobSpec& spec = *s.red_spec[s.flow_entry[f]];
+    auto& bg = s.background[static_cast<std::size_t>(s.flows[f].dst) - lo];
+    bg.cpu_cores +=
+        t.net_rates[s.flow_base + f] * per_mib_to_per_byte(spec.shuffle_cpu_per_mib);
+    bg.disk_rate += t.net_rates[s.flow_base + f] * spec.shuffle_disk_factor;
+  }
+
+  // 5. Per-node compute solve over owned nodes (the node models, their memo
+  // caches and the per-node quiescence state are all owned by this shard).
+  s.compute.clear();
+  for (std::size_t d = lo; d < hi; ++d) {
+    const auto li = d - lo;
+    const auto& node_spec = config_.cluster.workers[d];
+    const auto& tracker = trackers_[d];
+    const cluster::BackgroundLoad& bg = s.background[li];
+    const bool quiet = !node_dirty_[d] &&
+                       tracker.version() == node_solve_version_[d] &&
+                       !s.node_has_remote[li] &&
+                       bg.cpu_cores == node_bg_prev_[d].cpu_cores &&
+                       bg.disk_rate == node_bg_prev_[d].disk_rate;
+    if (quiet) {
+      const std::vector<double>& cache = node_rates_cache_[d];
+      if (cache.empty()) continue;  // no loads last tick, none now
+      std::size_t k = 0;
+      const auto [mb, me] = s.map_range[li];
+      for (std::uint32_t i = mb; i < me; ++i) {
+        s.compute.push_back({i, true, cache[k++]});
+      }
+      const auto [rb, re] = s.red_range[li];
+      for (std::uint32_t i = rb; i < re; ++i) {
+        if (s.red_task[i]->phase == ReducePhase::kShuffling) continue;
+        s.compute.push_back({i, false, cache[k++]});
+      }
+      SMR_CHECK(k == cache.size());
+      node_models_[d].count_memo_hit();
+      continue;
+    }
+    node_dirty_[d] = 0;
+    node_solve_version_[d] = tracker.version();
+    node_bg_prev_[d] = bg;
+    s.loads.clear();
+    s.load_entry.clear();
+    s.load_is_map.clear();
+    const auto [mb, me] = s.map_range[li];
+    for (std::uint32_t i = mb; i < me; ++i) {
+      const MapTask& task = *s.map_task[i];
+      const JobSpec& spec = *s.map_spec[i];
+      cluster::PhaseLoad load;
+      if (task.phase == MapPhase::kMapping) {
+        load.cpu_per_byte = per_mib_to_per_byte(spec.map_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = task.local ? 1.0 : 0.0;
+        if (!task.local) {
+          const auto id = static_cast<std::size_t>(s.map_id[i]);
+          load.rate_cap = net_grant_epoch_[id] == net_grant_cur_epoch_
+                              ? net_grant_rate_[id]
+                              : 0.0;
+        }
+      } else if (task.phase == MapPhase::kCombining) {
+        load.cpu_per_byte =
+            per_mib_to_per_byte(spec.combine_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = 0.3;
+      } else {  // kSpilling: progress in output bytes
+        load.cpu_per_byte = per_mib_to_per_byte(spec.spill_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = spec.spill_disk_factor;
+      }
+      s.loads.push_back(load);
+      s.load_entry.push_back(i);
+      s.load_is_map.push_back(1);
+    }
+    const auto [rb, re] = s.red_range[li];
+    for (std::uint32_t i = rb; i < re; ++i) {
+      const ReduceTask& task = *s.red_task[i];
+      const JobSpec& spec = *s.red_spec[i];
+      if (task.phase == ReducePhase::kShuffling) continue;  // network-driven
+      cluster::PhaseLoad load;
+      if (task.phase == ReducePhase::kSorting) {
+        load.cpu_per_byte = per_mib_to_per_byte(spec.sort_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = spec.sort_disk_factor;
+      } else {  // kReducing
+        load.cpu_per_byte = per_mib_to_per_byte(spec.reduce_cpu_per_mib) * task.cost_factor;
+        load.disk_per_byte = 1.0 + spec.reduce_selectivity * spec.output_disk_factor;
+      }
+      s.loads.push_back(load);
+      s.load_entry.push_back(i);
+      s.load_is_map.push_back(0);
+    }
+    if (s.loads.empty()) {
+      node_rates_cache_[d].clear();
+      continue;
+    }
+    const std::vector<double>& rates =
+        node_models_[d].solve_cached(node_spec, s.occ[li], bg, s.loads);
+    node_rates_cache_[d].assign(rates.begin(), rates.end());
+    for (std::size_t i = 0; i < s.loads.size(); ++i) {
+      s.compute.push_back({s.load_entry[i], s.load_is_map[i] != 0, rates[i]});
+    }
+  }
+
+  // 6. Integrate progress on owned tasks; cross-shard (job-level) float
+  // accumulation and trace events go to the mailboxes.
+  s.shuffle_deltas.clear();
+  s.map_input_deltas.clear();
+  s.trace_events.clear();
+  s.finished_maps.clear();
+  s.finished_reduces.clear();
+  const bool tracing = trace_ != nullptr;
+  auto mark_owned_dirty = [&](NodeId node) {
+    s.phase_dirty = true;
+    node_dirty_[static_cast<std::size_t>(node)] = 1;
+  };
+  auto buffer_trace = [&](JobId job, TaskId task, NodeId node, bool is_map,
+                          const char* detail) {
+    if (tracing) {
+      s.trace_events.push_back({metrics::TraceEventKind::kPhaseStarted, job,
+                                task, node, is_map, detail});
+    }
+  };
+
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    if (!s.flow_is_shuffle[f]) continue;
+    ReduceTask& task = *s.red_task[s.flow_entry[f]];
+    Job* job = s.red_job[s.flow_entry[f]];
+    const double delta =
+        std::min(t.net_rates[s.flow_base + f] * dt, task.backlog());
+    if (delta <= 0.0) continue;
+    task.fetched += delta;
+    node_shuffled_in_[static_cast<std::size_t>(s.flows[f].dst)] += delta;
+    s.shuffle_deltas.push_back({job, delta});
+  }
+
+  for (const auto& c : s.compute) {
+    if (c.is_map) {
+      MapTask& task = *s.map_task[c.entry];
+      Job* job = s.map_job[c.entry];
+      double advance = std::min(c.rate * dt, task.phase_remaining());
+      if (task.phase == MapPhase::kMapping) {
+        task.phase_done += advance;
+        node_map_input_[static_cast<std::size_t>(task.node)] += advance;
+        s.map_input_deltas.push_back({job, advance});
+        if (task.phase_remaining() <= kByteEps) {
+          task.phase_done = task.phase_total();
+          if (task.combine_total > 0) {
+            task.phase = MapPhase::kCombining;
+            task.phase_done = 0.0;
+            mark_owned_dirty(task.node);
+            buffer_trace(task.job, task.id, task.node, true, "COMBINE");
+          } else if (task.output_size > 0) {
+            task.phase = MapPhase::kSpilling;
+            task.phase_done = 0.0;
+            mark_owned_dirty(task.node);
+            buffer_trace(task.job, task.id, task.node, true, "SPILL");
+          } else {
+            s.finished_maps.push_back(s.map_id[c.entry]);
+          }
+        }
+      } else if (task.phase == MapPhase::kCombining) {
+        task.phase_done += advance;
+        if (task.phase_remaining() <= kByteEps) {
+          if (task.output_size > 0) {
+            task.phase = MapPhase::kSpilling;
+            task.phase_done = 0.0;
+            mark_owned_dirty(task.node);
+            buffer_trace(task.job, task.id, task.node, true, "SPILL");
+          } else {
+            s.finished_maps.push_back(s.map_id[c.entry]);
+          }
+        }
+      } else if (task.phase == MapPhase::kSpilling) {
+        task.phase_done += advance;
+        if (task.phase_remaining() <= kByteEps) {
+          s.finished_maps.push_back(s.map_id[c.entry]);
+        }
+      }
+    } else {
+      ReduceTask& task = *s.red_task[c.entry];
+      double advance = c.rate * dt;
+      const double total = static_cast<double>(task.partition_size);
+      if (task.phase == ReducePhase::kSorting) {
+        task.phase_done = std::min(task.phase_done + advance, total);
+        if (total - task.phase_done <= kByteEps) {
+          task.phase = ReducePhase::kReducing;
+          task.phase_done = 0.0;
+          mark_owned_dirty(task.node);
+          buffer_trace(task.job, task.id, task.node, false, "REDUCE");
+        }
+      } else if (task.phase == ReducePhase::kReducing) {
+        task.phase_done = std::min(task.phase_done + advance, total);
+        if (total - task.phase_done <= kByteEps) {
+          s.finished_reduces.push_back(s.red_id[c.entry]);
+        }
+      }
+    }
+  }
+
+  // Window-occupancy accounting (deterministic; shard-owned stats row).
+  const std::uint64_t entries =
+      static_cast<std::uint64_t>(s.map_id.size() + s.red_id.size());
+  s.stat_entries += entries;
+  ++s.stat_windows;
+  ShardStats& stats = shard_stats_[static_cast<std::size_t>(s.index)];
+  stats.entries += entries;
+  ++stats.windows;
+  stats.entries_peak = std::max(stats.entries_peak, entries);
+}
+
+// --- The window driver ------------------------------------------------------
+
+void Runtime::on_tick_sharded() {
+  const int n = config_.cluster.worker_count();
+  TickScratch& t = tick_;
+
+  // Fan a stage out over the shards and account barrier stall: the gap
+  // between a shard finishing its work and the slowest shard closing the
+  // window.  An inline pool runs the shards serially in shard order, which
+  // changes only the stall numbers, never the simulation output.
+  TaskGroup group(*pool_);
+  auto run_window = [&](const std::function<void(ShardScratch&)>& stage) {
+    for (ShardScratch& s : shards_) {
+      ShardScratch* sp = &s;
+      group.submit([sp, &stage] {
+        stage(*sp);
+        sp->stage_end = wall_seconds();
+      });
+    }
+    group.wait();
+    double window_end = 0.0;
+    for (const ShardScratch& s : shards_) {
+      window_end = std::max(window_end, s.stage_end);
+    }
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shard_stats_[i].barrier_stall_s += window_end - shards_[i].stage_end;
+    }
+  };
+
+  // --- A. Census windows (re-run after doomed-attempt teardown) ----------
+  bool detect_doom = config_.task_fail_rate > 0.0;
+  for (;;) {
+    run_window([this, detect_doom](ShardScratch& s) {
+      shard_census(s, detect_doom);
+    });
+    if (!detect_doom) break;
+    t.doomed_maps.clear();
+    t.doomed_reduces.clear();
+    for (const ShardScratch& s : shards_) {
+      t.doomed_maps.insert(t.doomed_maps.end(), s.doomed_maps.begin(),
+                           s.doomed_maps.end());
+      t.doomed_reduces.insert(t.doomed_reduces.end(), s.doomed_reduces.begin(),
+                              s.doomed_reduces.end());
+    }
+    if (t.doomed_maps.empty() && t.doomed_reduces.empty()) break;
+    detect_doom = false;  // one detection round per tick, as in the serial path
+    fail_doomed_attempts();
+    if (stopping_) return;  // the last failure may have failed the last job
+  }
+
+  // --- B. Flow collection window + the single global network solve -------
+  if (t.fetch_streams.size() != static_cast<std::size_t>(n)) {
+    t.fetch_streams.assign(static_cast<std::size_t>(n), 0);
+  }
+  run_window([this](ShardScratch& s) { shard_collect_flows(s); });
+  t.flows.clear();
+  for (ShardScratch& s : shards_) {
+    s.flow_base = t.flows.size();
+    t.flows.insert(t.flows.end(), s.flows.begin(), s.flows.end());
+  }
+  {
+    const std::vector<double>& granted =
+        network_.allocate_cached(t.flows, t.fetch_streams);
+    t.net_rates.assign(granted.begin(), granted.end());
+  }
+  // Remote-read map grants (epoch-stamped, exactly the serial stage-5
+  // prologue; shuffle rescaling never touches non-shuffle rates, so
+  // stamping before the disk-cap stage reads identical values).
+  ++net_grant_cur_epoch_;
+  if (net_grant_rate_.size() < static_cast<std::size_t>(next_task_id_)) {
+    net_grant_rate_.resize(static_cast<std::size_t>(next_task_id_), 0.0);
+    net_grant_epoch_.resize(static_cast<std::size_t>(next_task_id_), 0);
+  }
+  for (const ShardScratch& s : shards_) {
+    for (std::size_t f = 0; f < s.flows.size(); ++f) {
+      if (s.flow_is_shuffle[f]) continue;
+      const auto id = static_cast<std::size_t>(s.map_id[s.flow_entry[f]]);
+      net_grant_rate_[id] = t.net_rates[s.flow_base + f];
+      net_grant_epoch_[id] = net_grant_cur_epoch_;
+    }
+  }
+
+  // --- C. Solve + integrate window ---------------------------------------
+  run_window([this](ShardScratch& s) { shard_solve_integrate(s); });
+
+  // --- D. Barrier: drain the mailboxes in shard order ---------------------
+  // (shard, seq) order equals node order equals the serial accumulation
+  // order, so the job-level and cluster-level sums are bit-identical.
+  for (ShardScratch& s : shards_) {
+    for (const ShardScratch::FpDelta& e : s.shuffle_deltas) {
+      e.job->bytes_shuffled += e.delta;
+      cum_shuffled_ += e.delta;
+    }
+  }
+  for (ShardScratch& s : shards_) {
+    for (const ShardScratch::FpDelta& e : s.map_input_deltas) {
+      e.job->map_input_processed += e.delta;
+      cum_map_input_ += e.delta;
+    }
+  }
+  for (ShardScratch& s : shards_) {
+    if (s.phase_dirty) {
+      s.phase_dirty = false;
+      census_phase_dirty_ = true;
+      shard_phase_dirty_[static_cast<std::size_t>(s.index)] = 1;
+    }
+    for (const ShardScratch::TraceBuf& ev : s.trace_events) {
+      trace_event(ev.kind, ev.job, ev.task, ev.node, ev.is_map, ev.detail);
+    }
+    s.trace_events.clear();
+  }
+
+  // Completions: merge, sort by id, apply — the serial tail verbatim.
+  t.finished_maps.clear();
+  t.finished_reduces.clear();
+  for (const ShardScratch& s : shards_) {
+    t.finished_maps.insert(t.finished_maps.end(), s.finished_maps.begin(),
+                           s.finished_maps.end());
+    t.finished_reduces.insert(t.finished_reduces.end(),
+                              s.finished_reduces.begin(),
+                              s.finished_reduces.end());
+  }
+  std::sort(t.finished_maps.begin(), t.finished_maps.end());
+  std::sort(t.finished_reduces.begin(), t.finished_reduces.end());
+  for (TaskId id : t.finished_maps) {
+    const TaskRef* ref_it = find_task_ref(id);
+    if (ref_it == nullptr) continue;  // shadow retired this tick
+    const TaskRef& ref = *ref_it;
+    if (ref.speculative) {
+      win_speculative(id);
+      continue;
+    }
+    MapTask& task = map_task(id);
+    if (task.phase == MapPhase::kDone) continue;  // shadow won this tick
+    complete_map(job_of(task.job), task, id);
+  }
+  for (TaskId id : t.finished_reduces) {
+    const TaskRef* ref_it = find_task_ref(id);
+    if (ref_it == nullptr) continue;  // shadow retired this tick
+    if (ref_it->speculative) {
+      win_speculative_reduce(id);
+      continue;
+    }
+    ReduceTask& task = reduce_task(id);
+    if (task.phase == ReducePhase::kDone) continue;  // shadow won this tick
+    complete_reduce(job_of(task.job), task, id);
+  }
+
+  // Settles: merge the shard candidate lists, sort, apply (primaries before
+  // shadows, ascending id — the serial order).
+  t.settle_primaries.clear();
+  t.settle_shadows.clear();
+  for (const ShardScratch& s : shards_) {
+    t.settle_primaries.insert(t.settle_primaries.end(),
+                              s.settle_primaries.begin(),
+                              s.settle_primaries.end());
+    t.settle_shadows.insert(t.settle_shadows.end(), s.settle_shadows.begin(),
+                            s.settle_shadows.end());
+  }
+  std::sort(t.settle_primaries.begin(), t.settle_primaries.end());
+  for (TaskId id : t.settle_primaries) {
+    const TaskRef& ref = task_refs_[static_cast<std::size_t>(id)];
+    Job& job = jobs_[static_cast<std::size_t>(ref.job)];
+    ReduceTask& task = job.reduces[static_cast<std::size_t>(ref.index)];
+    if (!task.running() || task.phase != ReducePhase::kShuffling) continue;
+    settle_reduce(job, task);
+  }
+  if (!t.settle_shadows.empty()) {
+    std::sort(t.settle_shadows.begin(), t.settle_shadows.end());
+    for (TaskId id : t.settle_shadows) {
+      const TaskRef* ref = find_task_ref(id);
+      if (ref == nullptr) continue;
+      ReduceTask& task =
+          reduce_shadow_pool_[static_cast<std::size_t>(ref->shadow_slot)];
+      if (task.phase != ReducePhase::kShuffling) continue;
+      settle_reduce(job_of(task.job), task);
+    }
+  }
+
+  check_all_done();
+}
+
+void write_shard_stats_json(const Runtime& runtime, std::ostream& out) {
+  // Fixed-precision decimals throughout (never scientific notation): the
+  // consumers are smr_inspect and ad-hoc scripts, neither of which should
+  // have to parse "1.4e+06".
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out << std::fixed;
+  const auto series = [&out](const std::vector<std::pair<SimTime, double>>& s) {
+    out << '[';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '[' << std::setprecision(3) << s[i].first << ','
+          << std::setprecision(6) << s[i].second << ']';
+    }
+    out << ']';
+  };
+  out << "{\"shard_count\":" << runtime.shard_count() << ",\"shards\":[";
+  bool first = true;
+  for (const Runtime::ShardStats& s : runtime.shard_stats()) {
+    if (!first) out << ',';
+    first = false;
+    const double mean_occupancy =
+        s.windows > 0 ? static_cast<double>(s.entries) /
+                            static_cast<double>(s.windows)
+                      : 0.0;
+    out << "{\"shard\":" << s.shard << ",\"node_begin\":" << s.node_begin
+        << ",\"node_end\":" << s.node_end << ",\"windows\":" << s.windows
+        << ",\"entries\":" << s.entries
+        << ",\"entries_peak\":" << s.entries_peak << ",\"mean_occupancy\":"
+        << std::setprecision(6) << mean_occupancy << ",\"barrier_stall_s\":"
+        << std::setprecision(6) << s.barrier_stall_s
+        << ",\"occupancy_series\":";
+    series(s.occupancy_series);
+    out << ",\"stall_series\":";
+    series(s.stall_series);
+    out << '}';
+  }
+  out << "]}\n";
+  out.flags(flags);
+  out.precision(precision);
+}
+
+}  // namespace smr::mapreduce

@@ -6,23 +6,21 @@
 
 namespace smr::mapreduce {
 
-namespace {
-
-std::vector<std::size_t> active_jobs(const std::vector<Job>& jobs, SimTime now) {
-  std::vector<std::size_t> order;
-  order.reserve(jobs.size());
+std::vector<std::size_t> JobScheduler::job_order(const std::vector<Job>& jobs,
+                                                 SimTime now, bool for_map) const {
+  std::vector<std::size_t> active;
+  active.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].submit_time <= now && !jobs[i].finished()) order.push_back(i);
+    if (jobs[i].submit_time <= now && !jobs[i].finished()) active.push_back(i);
   }
-  return order;
+  return job_order(jobs, active, for_map);
 }
 
-}  // namespace
-
-std::vector<std::size_t> FifoScheduler::job_order(const std::vector<Job>& jobs,
-                                                  SimTime now, bool /*for_map*/) const {
-  // jobs_ is stored in submission order, so the active filter is the order.
-  return active_jobs(jobs, now);
+std::vector<std::size_t> FifoScheduler::job_order(
+    const std::vector<Job>& /*jobs*/, std::span<const std::size_t> active,
+    bool /*for_map*/) const {
+  // jobs_ is stored in submission order, so the active set is the order.
+  return {active.begin(), active.end()};
 }
 
 FairScheduler::FairScheduler(std::vector<double> weights)
@@ -30,9 +28,10 @@ FairScheduler::FairScheduler(std::vector<double> weights)
   for (double w : weights_) SMR_CHECK(w > 0.0);
 }
 
-std::vector<std::size_t> FairScheduler::job_order(const std::vector<Job>& jobs,
-                                                  SimTime now, bool for_map) const {
-  std::vector<std::size_t> order = active_jobs(jobs, now);
+std::vector<std::size_t> FairScheduler::job_order(
+    const std::vector<Job>& jobs, std::span<const std::size_t> active,
+    bool for_map) const {
+  std::vector<std::size_t> order(active.begin(), active.end());
   auto weight = [this](std::size_t i) {
     return i < weights_.size() ? weights_[i] : 1.0;
   };
@@ -47,10 +46,10 @@ std::vector<std::size_t> FairScheduler::job_order(const std::vector<Job>& jobs,
   return order;
 }
 
-std::vector<std::size_t> DeadlineScheduler::job_order(const std::vector<Job>& jobs,
-                                                      SimTime now,
-                                                      bool /*for_map*/) const {
-  std::vector<std::size_t> order = active_jobs(jobs, now);
+std::vector<std::size_t> DeadlineScheduler::job_order(
+    const std::vector<Job>& jobs, std::span<const std::size_t> active,
+    bool /*for_map*/) const {
+  std::vector<std::size_t> order(active.begin(), active.end());
   // kTimeNever is +inf, so undated jobs naturally sort last; stable keeps
   // submission order within equal deadlines.
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,19 +24,31 @@ class JobScheduler {
   virtual std::string name() const = 0;
 
   /// Indices into `jobs` in the order they should be offered a free slot of
-  /// the given kind.  Jobs that are unsubmitted (submit_time > now) or
-  /// finished must be omitted; the runtime applies per-kind eligibility
-  /// (pending tasks, reduce slow start) on top.
+  /// the given kind.  `active` lists the indices of the active jobs —
+  /// submitted, unfinished — in submission (id) order; the scheduler only
+  /// reorders it.  The runtime applies per-kind eligibility (pending tasks,
+  /// reduce slow start) on top.  The runtime maintains the active set
+  /// incrementally, so implementations must not rescan `jobs`.
   virtual std::vector<std::size_t> job_order(const std::vector<Job>& jobs,
-                                             SimTime now, bool for_map) const = 0;
+                                             std::span<const std::size_t> active,
+                                             bool for_map) const = 0;
+
+  /// Convenience overload: scans `jobs` for the active set (submit_time <=
+  /// now, unfinished), then orders it.  O(jobs); tests and one-shot callers
+  /// only — the runtime passes its incrementally-maintained active span.
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs,
+                                     SimTime now, bool for_map) const;
 };
 
 /// Strict submission order (Hadoop's default).  A later job only receives
 /// slots the earlier jobs cannot use.
 class FifoScheduler final : public JobScheduler {
  public:
+  using JobScheduler::job_order;
+
   std::string name() const override { return "fifo"; }
-  std::vector<std::size_t> job_order(const std::vector<Job>& jobs, SimTime now,
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs,
+                                     std::span<const std::size_t> active,
                                      bool for_map) const override;
 };
 
@@ -48,8 +61,11 @@ class FairScheduler final : public JobScheduler {
   /// `weights[i]` scales job i's fair share (default 1.0 for all).
   explicit FairScheduler(std::vector<double> weights = {});
 
+  using JobScheduler::job_order;
+
   std::string name() const override { return "fair"; }
-  std::vector<std::size_t> job_order(const std::vector<Job>& jobs, SimTime now,
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs,
+                                     std::span<const std::size_t> active,
                                      bool for_map) const override;
 
  private:
@@ -64,8 +80,11 @@ class FairScheduler final : public JobScheduler {
 /// job-driven scheduling) applied at the slot-offer level.
 class DeadlineScheduler final : public JobScheduler {
  public:
+  using JobScheduler::job_order;
+
   std::string name() const override { return "deadline"; }
-  std::vector<std::size_t> job_order(const std::vector<Job>& jobs, SimTime now,
+  std::vector<std::size_t> job_order(const std::vector<Job>& jobs,
+                                     std::span<const std::size_t> active,
                                      bool for_map) const override;
 };
 

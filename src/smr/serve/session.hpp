@@ -95,6 +95,10 @@ class ServeSession {
   /// run()/replay() returned.
   const std::vector<BurnAlert>& burn_alerts() const;
 
+  /// The underlying runtime (per-shard window stats, engine counters).
+  /// Valid after run()/replay() returned; nullptr before.
+  const mapreduce::Runtime* runtime() const { return runtime_.get(); }
+
   /// One {"type":"slo_alert",...} JSON object per alert, in order.
   void write_burn_alerts_jsonl(std::ostream& out) const;
 

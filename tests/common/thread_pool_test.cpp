@@ -98,18 +98,21 @@ TEST(ParallelFor, NestedSubmitsFromTasksComplete) {
 }
 
 TEST(ThreadPool, TryRunOneDrainsQueueFromCaller) {
-  // A 1-thread pool kept busy by a blocking task: the caller can still make
-  // progress by running queued tasks itself.
-  ThreadPool pool(1);
-  std::atomic<bool> started{false};
+  // A pool with every worker kept busy by a blocking task: the caller can
+  // still make progress by running queued tasks itself.  (A 1-thread pool
+  // runs submit() inline nowadays, so two workers are blocked instead.)
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
   std::atomic<bool> release{false};
-  pool.submit([&started, &release] {
-    started.store(true);
-    while (!release.load()) std::this_thread::yield();
-  });
-  // Wait until the worker owns the blocking task; otherwise try_run_one
-  // below could pick it up itself and spin on `release` forever.
-  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&started, &release] {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  // Wait until the workers own the blocking tasks; otherwise try_run_one
+  // below could pick one up itself and spin on `release` forever.
+  while (started.load() < 2) std::this_thread::yield();
   std::atomic<int> ran{0};
   for (int i = 0; i < 5; ++i) {
     pool.submit([&ran] { ran.fetch_add(1); });
@@ -119,6 +122,46 @@ TEST(ThreadPool, TryRunOneDrainsQueueFromCaller) {
   EXPECT_EQ(ran.load(), 5);
   release.store(true);
   pool.wait_idle();
+}
+
+TEST(ThreadPool, OneThreadPoolRunsInline) {
+  // satellite: SMR_THREADS=1 (or an explicit 1-thread pool) must execute
+  // every task synchronously on the submitting thread, in submission order.
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.inline_mode());
+  EXPECT_EQ(pool.concurrency(), 1u);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto self = std::this_thread::get_id();
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&order, &self, i] {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      order.push_back(i);  // no synchronisation needed: same thread
+    });
+    // Inline pools run the task to completion before submit() returns.
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(i) + 1);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, MultiThreadPoolReportsConcurrency) {
+  ThreadPool pool(3);
+  EXPECT_FALSE(pool.inline_mode());
+  EXPECT_EQ(pool.concurrency(), 3u);
+}
+
+TEST(TaskGroup, InlinePoolRunsGroupTasksInShardOrder) {
+  // The sharded tick relies on this: with an inline pool, TaskGroup::submit
+  // runs each shard's window body immediately, so shard order == submission
+  // order and the simulation output cannot depend on the thread count.
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    group.submit([&order, i] { order.push_back(i); });
+  }
+  group.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
 TEST(ThreadPool, TryRunOneOnEmptyQueueIsFalse) {
