@@ -1,0 +1,57 @@
+// Deterministic integer apportionment shared by the arena's allocators.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace smr::alloc {
+
+/// Largest-remainder apportionment: split `total` integer slots over
+/// `weights` proportionally, ties broken by lower index.  Non-positive
+/// weights get nothing; an all-non-positive weight vector returns zeros.
+/// Deterministic: plain double arithmetic and index-ordered stable sort.
+inline std::vector<int> largest_remainder(int total,
+                                          const std::vector<double>& weights) {
+  std::vector<int> shares(weights.size(), 0);
+  if (total <= 0 || weights.empty()) return shares;
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) weight_sum += w;
+  }
+  if (weight_sum <= 0.0) return shares;
+
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(weights.size());
+  int assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double exact = static_cast<double>(total) * weights[i] / weight_sum;
+    const int floor_share = static_cast<int>(std::floor(exact));
+    shares[i] = floor_share;
+    assigned += floor_share;
+    remainders.emplace_back(exact - static_cast<double>(floor_share), i);
+  }
+  // Hand the leftover slots to the largest fractional remainders; stable
+  // sort + index tiebreak keeps the result independent of sort internals.
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  for (std::size_t k = 0; assigned < total && k < remainders.size(); ++k) {
+    ++shares[remainders[k].second];
+    ++assigned;
+  }
+  // More slots than positive-weight entries can absorb fractionally:
+  // round-robin the rest (keeps the sum exact when total > entries).
+  for (std::size_t k = 0; assigned < total && !remainders.empty(); ++k) {
+    ++shares[remainders[k % remainders.size()].second];
+    ++assigned;
+  }
+  return shares;
+}
+
+}  // namespace smr::alloc

@@ -1,0 +1,121 @@
+// Fairness accounting for multi-tenant serving runs.
+//
+// A FairnessTracker is sampled every policy period (the serving session
+// schedules the sampling event): each sample carries the live slot
+// capacity, every tenant's running task count (usage) and outstanding
+// task count (demand), and — for credit-based allocators — the current
+// credit balances.  Between consecutive samples usage/demand/capacity are
+// integrated into slot-seconds; a tenant's *entitlement* accrues as an
+// equal split of capacity over the tenants demanding at that instant.
+//
+// report() condenses the integrals into a FairnessReport:
+//   * Jain's fairness index over normalised allocations
+//     x_i = used_i / min(demand_i, entitlement_i) — 1.0 means every
+//     tenant got the same fraction of what it could justly use;
+//   * per-tenant envy: the fraction of a tenant's justified claim
+//     (min(demand, entitlement)) it did not receive;
+//   * utilitarian welfare (mean demand satisfaction) and Nash welfare
+//     (geometric mean) over tenants that demanded anything;
+//   * credit-balance trajectories (Karma), thinned for the JSON artifact.
+//
+// Purely observational and RNG-free: attaching a tracker never perturbs
+// the simulation, so instrumented runs stay byte-identical.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smr/common/types.hpp"
+
+namespace smr::alloc {
+
+/// One tenant's state at a sampling instant.
+struct TenantUsageSample {
+  std::string tenant;
+  double running = 0.0;  // tasks currently running (usage)
+  double demand = 0.0;   // tasks running + pending (justified claim)
+};
+
+struct TenantFairness {
+  std::string tenant;
+  double used_slot_seconds = 0.0;
+  double demand_slot_seconds = 0.0;
+  double entitlement_slot_seconds = 0.0;
+  /// used / min(demand, entitlement), clamped to [0, 1] — the normalised
+  /// allocation Jain's index runs over.
+  double normalized_allocation = 1.0;
+  /// Unserved fraction of the justified claim: max(0, min(demand, ent) −
+  /// used) / ent.
+  double envy = 0.0;
+  /// min(1, used / demand) — demand satisfaction.
+  double satisfaction = 1.0;
+  double final_credits = 0.0;
+  bool has_credits = false;
+};
+
+struct FairnessReport {
+  std::string policy;
+  double duration = 0.0;  // accounted sim-time span (post-warmup)
+  double capacity_slot_seconds = 0.0;
+  double jain = 1.0;
+  double max_envy = 0.0;
+  double utilitarian_welfare = 1.0;
+  double nash_welfare = 1.0;
+  std::vector<TenantFairness> tenants;  // tenant-name order
+  /// (tenant, [(time, balance), ...]) — empty for credit-less policies.
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      credit_series;
+};
+
+class FairnessTracker {
+ public:
+  /// Display name of the policy under measurement (report metadata).
+  void set_policy(std::string policy) { policy_ = std::move(policy); }
+
+  /// Record one sampling instant.  `now` must not decrease across calls;
+  /// the interval since the previous sample is integrated with the
+  /// *previous* sample's rates (left Riemann sum, so a run's integrals
+  /// are independent of when sampling stops mid-interval).
+  void record(SimTime now, double capacity_slots,
+              const std::vector<TenantUsageSample>& tenants,
+              const std::vector<std::pair<std::string, double>>& credits);
+
+  FairnessReport report() const;
+
+  int samples() const { return samples_; }
+
+ private:
+  struct Accum {
+    double used = 0.0;
+    double demand = 0.0;
+    double entitlement = 0.0;
+    double last_running = 0.0;
+    double last_demand = 0.0;
+    double final_credits = 0.0;
+    bool has_credits = false;
+    std::vector<std::pair<double, double>> credit_series;
+  };
+
+  std::string policy_;
+  std::map<std::string, Accum> tenants_;
+  SimTime last_time_ = kTimeNever;
+  double last_capacity_ = 0.0;
+  double capacity_slot_seconds_ = 0.0;
+  double duration_ = 0.0;
+  int samples_ = 0;
+};
+
+/// Serialise one report as a fairness.json object (fixed-precision
+/// decimals; trajectories thinned to at most `max_trajectory_points`).
+void write_fairness_json(const FairnessReport& report, std::ostream& out,
+                         int max_trajectory_points = 200);
+
+/// Serialise several reports (the frontier's per-policy-per-mix runs) as
+/// {"tool":"smr_serve","reports":[...]}.
+void write_fairness_json(const std::vector<FairnessReport>& reports,
+                         std::ostream& out, int max_trajectory_points = 200);
+
+}  // namespace smr::alloc

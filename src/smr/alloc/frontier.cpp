@@ -1,0 +1,219 @@
+#include "smr/alloc/frontier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "smr/common/error.hpp"
+#include "smr/serve/session.hpp"
+
+namespace smr::alloc {
+
+void FrontierConfig::validate() const {
+  SMR_CHECK_MSG(offered_jobs_per_hour > 0.0, "frontier needs a positive rate");
+  SMR_CHECK(horizon > 0.0);
+  SMR_CHECK(warmup >= 0.0 && warmup < horizon);
+  SMR_CHECK(drain_limit >= 0.0);
+  admission.validate();
+}
+
+namespace {
+
+/// Shape templates.  Inputs stay small so a full frontier (5 policies x 3
+/// mixes) finishes in CI-smoke time; every job carries an SLO class so
+/// goodput (SLO-met completions) is meaningful.
+workload::SyntheticMixConfig normal_shape() {
+  workload::SyntheticMixConfig shape;
+  shape.candidates = {workload::Puma::kWordCount, workload::Puma::kGrep};
+  shape.min_input = 4 * kGiB;
+  shape.max_input = 16 * kGiB;
+  shape.reduce_tasks = 16;
+  shape.slo_classes = {{"batch", 600.0, 60.0}};
+  return shape;
+}
+
+workload::SyntheticMixConfig tiny_shape() {
+  workload::SyntheticMixConfig shape;
+  shape.candidates = {workload::Puma::kGrep};
+  shape.min_input = 1 * kGiB;
+  shape.max_input = 2 * kGiB;
+  shape.reduce_tasks = 4;
+  shape.slo_classes = {{"interactive", 300.0, 60.0}};
+  return shape;
+}
+
+serve::TenantConfig tenant(std::string name, double jobs_per_hour,
+                           workload::SyntheticMixConfig shape) {
+  serve::TenantConfig config;
+  config.name = std::move(name);
+  config.jobs_per_hour = jobs_per_hour;
+  config.shape = std::move(shape);
+  return config;
+}
+
+/// Compress one tenant's arrival times into the leading `duty` fraction
+/// of every `period`-second window: t' = floor(t/P)*P + (t mod P)*duty.
+/// Order within the tenant's stream is preserved (the map is monotone),
+/// so only the cross-tenant merge needs re-sorting.
+void compress_bursts(serve::ArrivalTrace& trace, int tenant_index,
+                     double period, double duty) {
+  for (serve::Arrival& arrival : trace.arrivals) {
+    if (arrival.tenant != tenant_index) continue;
+    const double t = arrival.job.submit_at;
+    const double window = std::floor(t / period) * period;
+    arrival.job.submit_at = window + (t - window) * duty;
+  }
+  std::stable_sort(trace.arrivals.begin(), trace.arrivals.end(),
+                   [](const serve::Arrival& a, const serve::Arrival& b) {
+                     if (a.job.submit_at != b.job.submit_at) {
+                       return a.job.submit_at < b.job.submit_at;
+                     }
+                     return a.tenant < b.tenant;
+                   });
+}
+
+}  // namespace
+
+const std::vector<std::string>& frontier_mix_names() {
+  static const std::vector<std::string> names = {
+      "selfish_spike", "bursty_vs_steady", "free_rider"};
+  return names;
+}
+
+FrontierMix make_frontier_mix(const std::string& name,
+                              const FrontierConfig& config) {
+  config.validate();
+  const double rate = config.offered_jobs_per_hour;
+  FrontierMix mix;
+  mix.name = name;
+
+  if (name == "selfish_spike") {
+    // One tenant holds half the offered load and releases it only inside
+    // short windows (15% duty over 30-minute periods); three steady
+    // tenants split the rest.
+    std::vector<serve::TenantConfig> tenants = {
+        tenant("spiker", rate / 2.0, normal_shape()),
+        tenant("steady-1", rate / 6.0, normal_shape()),
+        tenant("steady-2", rate / 6.0, normal_shape()),
+        tenant("steady-3", rate / 6.0, normal_shape()),
+    };
+    mix.trace = serve::generate_arrivals(tenants, config.horizon,
+                                         config.seed ^ 0x5e1f5ULL);
+    compress_bursts(mix.trace, 0, 1800.0, 0.15);
+    return mix;
+  }
+  if (name == "bursty_vs_steady") {
+    // Two duty-cycled tenants against two steady ones at equal rates.
+    std::vector<serve::TenantConfig> tenants = {
+        tenant("bursty-1", rate / 4.0, normal_shape()),
+        tenant("bursty-2", rate / 4.0, normal_shape()),
+        tenant("steady-1", rate / 4.0, normal_shape()),
+        tenant("steady-2", rate / 4.0, normal_shape()),
+    };
+    mix.trace = serve::generate_arrivals(tenants, config.horizon,
+                                         config.seed ^ 0xb5757ULL);
+    compress_bursts(mix.trace, 0, 900.0, 0.25);
+    compress_bursts(mix.trace, 1, 900.0, 0.25);
+    return mix;
+  }
+  if (name == "free_rider") {
+    // One tenant floods tiny jobs at half the aggregate rate — under
+    // Karma a perpetual borrower that never earns donation credits —
+    // while three honest tenants run normal jobs.
+    std::vector<serve::TenantConfig> tenants = {
+        tenant("freerider", rate / 2.0, tiny_shape()),
+        tenant("honest-1", rate / 6.0, normal_shape()),
+        tenant("honest-2", rate / 6.0, normal_shape()),
+        tenant("honest-3", rate / 6.0, normal_shape()),
+    };
+    mix.trace = serve::generate_arrivals(tenants, config.horizon,
+                                         config.seed ^ 0xf4eeeULL);
+    return mix;
+  }
+  SMR_CHECK_MSG(false, "unknown frontier mix '" << name << "'");
+  return mix;
+}
+
+FrontierResult run_frontier(const FrontierConfig& config,
+                            const std::vector<PolicySpec>& policies) {
+  config.validate();
+  SMR_CHECK_MSG(!policies.empty(), "frontier needs at least one policy");
+
+  std::vector<FrontierMix> mixes;
+  mixes.reserve(frontier_mix_names().size());
+  for (const std::string& name : frontier_mix_names()) {
+    mixes.push_back(make_frontier_mix(name, config));
+  }
+
+  FrontierResult result;
+  for (const PolicySpec& spec : policies) {
+    for (const FrontierMix& mix : mixes) {
+      serve::ServeConfig serve;
+      serve.experiment = config.experiment;
+      serve.experiment.policy = spec;
+      serve.admission = config.admission;
+      serve.horizon = config.horizon;
+      serve.warmup = config.warmup;
+      serve.drain_limit = config.drain_limit;
+      serve.seed = config.seed;
+
+      serve::ServeSession session(serve);
+      FairnessTracker fairness;
+      session.set_fairness(&fairness);
+      const serve::ServeReport report = session.replay(mix.trace);
+
+      FrontierPoint point;
+      point.policy = report.engine;
+      point.mix = mix.name;
+      point.offered_jobs_per_hour = report.offered_jobs_per_hour;
+      point.goodput_per_hour = report.aggregate.goodput_per_hour;
+      point.p99_latency_s = report.aggregate.latency.p99;
+      point.shed_fraction =
+          report.aggregate.arrived > 0
+              ? static_cast<double>(report.aggregate.shed) /
+                    static_cast<double>(report.aggregate.arrived)
+              : 0.0;
+      point.utilization = report.utilization;
+
+      FairnessReport fairness_report = fairness.report();
+      fairness_report.policy = point.policy + "/" + mix.name;
+      point.jain = fairness_report.jain;
+      point.max_envy = fairness_report.max_envy;
+      point.utilitarian_welfare = fairness_report.utilitarian_welfare;
+      point.nash_welfare = fairness_report.nash_welfare;
+
+      result.points.push_back(std::move(point));
+      result.reports.push_back(std::move(fairness_report));
+    }
+  }
+  return result;
+}
+
+void write_frontier_csv(const FrontierResult& result, std::ostream& out) {
+  out << "policy,mix,offered_jobs_per_hour,goodput_per_hour,p99_latency_s,"
+         "shed_fraction,utilization,jain,max_envy,utilitarian_welfare,"
+         "nash_welfare\n";
+  const auto cell = [&out](double value) {
+    out << ',';
+    if (std::isnan(value)) return;  // empty cell, not "nan"
+    out << value;
+  };
+  out << std::fixed;
+  out.precision(6);
+  for (const FrontierPoint& point : result.points) {
+    out << point.policy << ',' << point.mix;
+    cell(point.offered_jobs_per_hour);
+    cell(point.goodput_per_hour);
+    cell(point.p99_latency_s);
+    cell(point.shed_fraction);
+    cell(point.utilization);
+    cell(point.jain);
+    cell(point.max_envy);
+    cell(point.utilitarian_welfare);
+    cell(point.nash_welfare);
+    out << '\n';
+  }
+}
+
+}  // namespace smr::alloc

@@ -1,0 +1,113 @@
+// Fairness-vs-goodput frontier over adversarial tenant mixes.
+//
+// A fairness index means little on a polite workload: every allocator
+// looks fair when tenants ask for their share and no more.  The frontier
+// driver stresses each registry policy with tenant mixes built to create
+// allocation conflicts —
+//
+//   * selfish_spike:    one tenant periodically dumps its whole (3x-sized)
+//                       offered load into short spike windows while three
+//                       steady tenants keep a constant trickle;
+//   * bursty_vs_steady: two duty-cycled bursty tenants against two steady
+//                       ones, the classic case credit schemes (Karma,
+//                       arXiv:2305.17222-style) are built for;
+//   * free_rider:       one tenant floods the cluster with many tiny jobs
+//                       (perpetual borrower, never a donor) while three
+//                       tenants run normal-sized jobs at modest rates —
+//
+// and records, per (policy, mix) run, the goodput side (SLO-met
+// completions/hour, p99 sojourn, shed fraction, utilization) next to the
+// fairness side (Jain index, max envy, utilitarian and Nash welfare).
+// Plotting goodput against Jain across policies is the fairness-vs-
+// goodput frontier; the CSV is one row per run.
+//
+// Everything is deterministic in FrontierConfig::seed: mixes come from
+// generate_arrivals (per-tenant substreams) with burst tenants' arrival
+// times compressed by a fixed duty-cycle map, and every run goes through
+// the same ServeSession::replay path the capacity sweep uses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smr/alloc/fairness.hpp"
+#include "smr/alloc/registry.hpp"
+#include "smr/driver/experiment.hpp"
+#include "smr/serve/admission.hpp"
+#include "smr/serve/arrivals.hpp"
+
+namespace smr::alloc {
+
+struct FrontierConfig {
+  /// Cluster / scheduler template.  `experiment.policy` is overridden per
+  /// swept policy (and `engine` is ignored whenever a spec is set).
+  driver::ExperimentConfig experiment;
+
+  /// Aggregate offered rate (jobs/hour) across each mix's tenants.
+  double offered_jobs_per_hour = 48.0;
+
+  /// Serving window (see ServeConfig): arrivals in [0, horizon), the
+  /// measurement window starts at `warmup`, and in-flight jobs may drain
+  /// for `drain_limit` past the horizon.
+  SimTime horizon = 2.0 * 3600.0;
+  SimTime warmup = 900.0;
+  SimTime drain_limit = 2.0 * 3600.0;
+
+  serve::AdmissionConfig admission;
+
+  /// Seeds the arrival streams (per mix) and every runtime.
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// One named adversarial tenant mix: a deterministic, fully materialised
+/// arrival trace ready for ServeSession::replay.
+struct FrontierMix {
+  std::string name;
+  serve::ArrivalTrace trace;
+};
+
+/// One (policy, mix) run condensed to its frontier coordinates.
+struct FrontierPoint {
+  std::string policy;  ///< Display label (policy name()).
+  std::string mix;
+  double offered_jobs_per_hour = 0.0;
+  double goodput_per_hour = 0.0;  ///< SLO-met completions / measured hour.
+  double p99_latency_s = 0.0;     ///< NaN when nothing completed.
+  double shed_fraction = 0.0;
+  double utilization = 0.0;
+  double jain = 1.0;
+  double max_envy = 0.0;
+  double utilitarian_welfare = 1.0;
+  double nash_welfare = 1.0;
+};
+
+struct FrontierResult {
+  /// Policy-major, mix order within each policy.
+  std::vector<FrontierPoint> points;
+  /// Full fairness reports, parallel to `points` (report.policy is
+  /// "<policy>/<mix>"); feeds the aggregated fairness.json artifact.
+  std::vector<FairnessReport> reports;
+};
+
+/// The built-in adversarial mix names, in sweep order.
+const std::vector<std::string>& frontier_mix_names();
+
+/// Materialise one built-in mix (throws SmrError on an unknown name).
+FrontierMix make_frontier_mix(const std::string& name,
+                              const FrontierConfig& config);
+
+/// Run every policy through every built-in mix.
+FrontierResult run_frontier(const FrontierConfig& config,
+                            const std::vector<PolicySpec>& policies);
+
+/// One CSV row per (policy, mix) run:
+///   policy,mix,offered_jobs_per_hour,goodput_per_hour,p99_latency_s,
+///   shed_fraction,utilization,jain,max_envy,utilitarian_welfare,
+///   nash_welfare
+void write_frontier_csv(const FrontierResult& result, std::ostream& out);
+
+}  // namespace smr::alloc

@@ -1,0 +1,271 @@
+#include "smr/alloc/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "smr/alloc/game_capacity.hpp"
+#include "smr/alloc/hybrid_job_driven.hpp"
+#include "smr/alloc/karma.hpp"
+#include "smr/common/error.hpp"
+#include "smr/core/slot_policy.hpp"
+#include "smr/yarn/capacity_policy.hpp"
+
+namespace smr::alloc {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t");
+  std::size_t end = s.find_last_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string PolicySpec::to_string() const {
+  std::ostringstream out;
+  out << name;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    out << (i == 0 ? ':' : ',') << options[i].first << '='
+        << options[i].second;
+  }
+  return out.str();
+}
+
+PolicySpec parse_policy_spec(const std::string& text) {
+  PolicySpec spec;
+  const std::string trimmed = trim(text);
+  const std::size_t colon = trimmed.find(':');
+  spec.name = to_lower(trim(trimmed.substr(0, colon)));
+  if (spec.name.empty()) {
+    throw SmrError("policy spec '" + text + "' has no policy name");
+  }
+  if (colon == std::string::npos) return spec;
+  std::string rest = trimmed.substr(colon + 1);
+  std::istringstream stream(rest);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw SmrError("policy option '" + item + "' in spec '" + text +
+                     "' is not key=value");
+    }
+    spec.options.emplace_back(to_lower(trim(item.substr(0, eq))),
+                              trim(item.substr(eq + 1)));
+  }
+  return spec;
+}
+
+std::vector<PolicySpec> parse_policy_list(const std::string& text) {
+  std::vector<PolicySpec> specs;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ';')) {
+    if (trim(item).empty()) continue;
+    specs.push_back(parse_policy_spec(item));
+  }
+  return specs;
+}
+
+PolicyOptions::PolicyOptions(const PolicySpec& spec)
+    : policy_(spec.name), pending_(spec.options) {}
+
+std::optional<std::string> PolicyOptions::take(const std::string& key) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->first == key) {
+      std::string value = it->second;
+      pending_.erase(it);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+double PolicyOptions::get_double(const std::string& key, double fallback) {
+  const auto value = take(key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*value, &used);
+    if (used != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw SmrError("policy '" + policy_ + "': option " + key + "=" + *value +
+                   " is not a number");
+  }
+}
+
+int PolicyOptions::get_int(const std::string& key, int fallback) {
+  const auto value = take(key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const int parsed = std::stoi(*value, &used);
+    if (used != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw SmrError("policy '" + policy_ + "': option " + key + "=" + *value +
+                   " is not an integer");
+  }
+}
+
+bool PolicyOptions::get_bool(const std::string& key, bool fallback) {
+  const auto value = take(key);
+  if (!value) return fallback;
+  const std::string lower = to_lower(*value);
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") {
+    return false;
+  }
+  throw SmrError("policy '" + policy_ + "': option " + key + "=" + *value +
+                 " is not a boolean");
+}
+
+std::string PolicyOptions::get_string(const std::string& key,
+                                      std::string fallback) {
+  const auto value = take(key);
+  return value ? *value : std::move(fallback);
+}
+
+void PolicyOptions::finish() const {
+  if (pending_.empty()) return;
+  std::ostringstream out;
+  out << "policy '" << policy_ << "': unknown option";
+  if (pending_.size() > 1) out << 's';
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    out << (i == 0 ? " " : ", ") << pending_[i].first;
+  }
+  throw SmrError(out.str());
+}
+
+void AllocatorRegistry::register_policy(const std::string& name,
+                                        std::vector<std::string> aliases,
+                                        Factory factory) {
+  const std::string canonical = to_lower(name);
+  aliases.insert(aliases.begin(), canonical);
+  for (const std::string& alias : aliases) {
+    const std::string key = to_lower(alias);
+    const auto [it, inserted] = entries_.emplace(key, Entry{canonical, factory});
+    if (!inserted) {
+      throw SmrError("allocator '" + key + "' registered twice");
+    }
+  }
+}
+
+std::unique_ptr<mapreduce::AllocationPolicy> AllocatorRegistry::create(
+    const PolicySpec& spec, const PolicyContext& context) const {
+  const auto it = entries_.find(to_lower(spec.name));
+  if (it == entries_.end()) {
+    std::ostringstream out;
+    out << "unknown policy '" << spec.name << "' (known:";
+    for (const std::string& name : catalogue()) out << ' ' << name;
+    out << ')';
+    throw SmrError(out.str());
+  }
+  return it->second.factory(spec, context);
+}
+
+bool AllocatorRegistry::known(const std::string& name) const {
+  return entries_.count(to_lower(name)) != 0;
+}
+
+std::vector<std::string> AllocatorRegistry::catalogue() const {
+  std::vector<std::string> names;
+  for (const auto& [key, entry] : entries_) {
+    if (key == entry.canonical) names.push_back(key);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+AllocatorRegistry& AllocatorRegistry::instance() {
+  static AllocatorRegistry registry = [] {
+    AllocatorRegistry r;
+    r.register_policy(
+        "hadoopv1", {"static"},
+        [](const PolicySpec& spec, const PolicyContext&) {
+          PolicyOptions options(spec);
+          options.finish();
+          return std::make_unique<mapreduce::StaticSlotPolicy>();
+        });
+    r.register_policy(
+        "yarn", {},
+        [](const PolicySpec& spec, const PolicyContext& context) {
+          PolicyOptions options(spec);
+          options.finish();
+          const yarn::YarnConfig config = context.yarn.value_or(
+              yarn::YarnConfig::equivalent_slots(context.initial_map_slots,
+                                                 context.initial_reduce_slots));
+          return std::make_unique<yarn::CapacityPolicy>(config);
+        });
+    r.register_policy(
+        "smapreduce", {"smr"},
+        [](const PolicySpec& spec, const PolicyContext& context) {
+          PolicyOptions options(spec);
+          options.finish();
+          if (context.slot_manager.per_node_targets &&
+              !context.node_speeds.empty()) {
+            return std::make_unique<core::SmrSlotPolicy>(context.slot_manager,
+                                                         context.node_speeds);
+          }
+          return std::make_unique<core::SmrSlotPolicy>(context.slot_manager);
+        });
+    r.register_policy(
+        "karma", {},
+        [](const PolicySpec& spec, const PolicyContext&) {
+          PolicyOptions options(spec);
+          KarmaConfig config;
+          config.init_credits =
+              options.get_double("init_credits", config.init_credits);
+          config.donate_rate =
+              options.get_double("donate_rate", config.donate_rate);
+          config.borrow_rate =
+              options.get_double("borrow_rate", config.borrow_rate);
+          config.decay = options.get_double("decay", config.decay);
+          options.finish();
+          return std::make_unique<KarmaAllocator>(config);
+        });
+    r.register_policy(
+        "gamecapacity", {"game"},
+        [](const PolicySpec& spec, const PolicyContext&) {
+          PolicyOptions options(spec);
+          GameCapacityConfig config;
+          config.max_iterations =
+              options.get_int("max_iterations", config.max_iterations);
+          config.tolerance = options.get_double("tolerance", config.tolerance);
+          config.deadline_weight =
+              options.get_double("deadline_weight", config.deadline_weight);
+          config.urgency_scale =
+              options.get_double("urgency_scale", config.urgency_scale);
+          config.min_share = options.get_int("min_share", config.min_share);
+          options.finish();
+          return std::make_unique<GameCapacityAllocator>(config);
+        });
+    r.register_policy(
+        "hybridjobdriven", {"hybrid"},
+        [](const PolicySpec& spec, const PolicyContext&) {
+          PolicyOptions options(spec);
+          HybridJobDrivenConfig config;
+          config.max_factor =
+              options.get_double("max_factor", config.max_factor);
+          options.finish();
+          return std::make_unique<HybridJobDrivenAllocator>(config);
+        });
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace smr::alloc

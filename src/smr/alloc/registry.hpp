@@ -1,0 +1,120 @@
+// Pluggable allocator arena: construct any AllocationPolicy by name.
+//
+// A PolicySpec is the parsed form of the uniform CLI syntax
+//
+//     --policy=<name>[:key=value,key=value,...]
+//
+// (e.g. `--policy=karma:init_credits=50,decay=0.99`).  The registry maps
+// names (plus aliases) to factories; each factory consumes its options
+// through PolicyOptions, which rejects unknown keys so a typo'd option is
+// an error rather than a silently applied default.  The built-in policies
+// — hadoopv1, yarn, smapreduce, karma, gamecapacity, hybridjobdriven —
+// register themselves on first use; tests may register extras.
+//
+// Construction is parameterised by a PolicyContext (cluster size, initial
+// slot targets, per-node speeds, the SMR/YARN sub-configs) rather than the
+// driver's ExperimentConfig, so the alloc layer never depends on driver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smr/core/slot_manager_config.hpp"
+#include "smr/mapreduce/policy.hpp"
+#include "smr/yarn/resources.hpp"
+
+namespace smr::alloc {
+
+/// Parsed `--policy=<name>[:k=v,...]` value.  `name` is lowercased;
+/// options keep declaration order (reports echo them back verbatim).
+struct PolicySpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  bool empty() const { return name.empty(); }
+  /// Canonical round-trip form: `name` or `name:k=v,...`.
+  std::string to_string() const;
+};
+
+/// Parse the CLI syntax.  Throws SmrError on malformed input (empty name,
+/// option without '=', empty key).
+PolicySpec parse_policy_spec(const std::string& text);
+
+/// Typed option accessor with unknown-key detection.  Each get_* consumes
+/// its key; finish() throws SmrError listing any keys never asked for.
+class PolicyOptions {
+ public:
+  explicit PolicyOptions(const PolicySpec& spec);
+
+  double get_double(const std::string& key, double fallback);
+  int get_int(const std::string& key, int fallback);
+  bool get_bool(const std::string& key, bool fallback);
+  std::string get_string(const std::string& key, std::string fallback);
+
+  /// Throws SmrError if any provided option was never consumed.
+  void finish() const;
+
+ private:
+  std::optional<std::string> take(const std::string& key);
+
+  std::string policy_;
+  std::vector<std::pair<std::string, std::string>> pending_;
+};
+
+/// Everything a factory may need to build a policy, independent of the
+/// driver layer.
+struct PolicyContext {
+  int nodes = 0;
+  int initial_map_slots = 3;
+  int initial_reduce_slots = 2;
+  /// Per-node CPU speeds (empty = homogeneous); consumed by smapreduce
+  /// when slot_manager.per_node_targets is set.
+  std::vector<double> node_speeds;
+  core::SlotManagerConfig slot_manager;
+  std::optional<yarn::YarnConfig> yarn;
+};
+
+class AllocatorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<mapreduce::AllocationPolicy>(
+      const PolicySpec&, const PolicyContext&)>;
+
+  /// The process-wide registry, with the built-ins pre-registered.
+  static AllocatorRegistry& instance();
+
+  /// Register `factory` under `name` (lowercase) and each alias.  Throws
+  /// SmrError on duplicates.
+  void register_policy(const std::string& name,
+                       std::vector<std::string> aliases, Factory factory);
+
+  /// Construct the policy named by `spec`.  Throws SmrError on unknown
+  /// names and (via PolicyOptions) unknown option keys.
+  std::unique_ptr<mapreduce::AllocationPolicy> create(
+      const PolicySpec& spec, const PolicyContext& context) const;
+
+  bool known(const std::string& name) const;
+
+  /// Canonical policy names (aliases excluded), sorted.
+  std::vector<std::string> catalogue() const;
+
+ private:
+  AllocatorRegistry() = default;
+
+  struct Entry {
+    std::string canonical;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;  // keyed by name and every alias
+};
+
+/// Parse a semicolon-separated list of policy specs (`a;b:k=v;c`) — the
+/// multi-policy CLI syntax (`,` separates options inside one spec, so it
+/// cannot separate specs).
+std::vector<PolicySpec> parse_policy_list(const std::string& text);
+
+}  // namespace smr::alloc

@@ -53,11 +53,9 @@ class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
   void on_period(std::span<mapreduce::TaskTracker> trackers,
                  const mapreduce::ClusterStats& stats) override;
 
-  /// Attach a decision audit log (must outlive the policy).  Every
-  /// on_period with an active job then appends one structured record:
-  /// rates seen, gate state, action taken and a human-readable reason.
-  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
-  const obs::DecisionLog* decision_log() const override { return decision_log_; }
+  // `set_decision_log` / `decision_log` are inherited from
+  // AllocationPolicy; every on_period with an active job appends one
+  // structured record: rates seen, gate state, action and reason.
 
   // --- Introspection (tests, benches, the slot timeline) ----------------
   const SlotManagerConfig& config() const { return config_; }
@@ -107,7 +105,6 @@ class SmrSlotPolicy final : public mapreduce::AllocationPolicy {
   SimTime first_reduce_running_time_ = kTimeNever;
   std::optional<double> last_f_;
   int decisions_ = 0;
-  obs::DecisionLog* decision_log_ = nullptr;
 };
 
 }  // namespace smr::core

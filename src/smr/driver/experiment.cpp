@@ -2,8 +2,7 @@
 
 #include <cctype>
 
-#include "smr/core/slot_policy.hpp"
-#include "smr/yarn/capacity_policy.hpp"
+#include "smr/alloc/registry.hpp"
 
 namespace smr::driver {
 
@@ -72,31 +71,36 @@ ExperimentConfig ExperimentConfig::paper_default(EngineKind engine) {
   return config;
 }
 
-std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig& config) {
-  switch (config.engine) {
-    case EngineKind::kHadoopV1:
-      return std::make_unique<mapreduce::StaticSlotPolicy>();
-    case EngineKind::kYarn: {
-      const yarn::YarnConfig yarn_config =
-          config.yarn.value_or(yarn::YarnConfig::equivalent_slots(
-              config.runtime.initial_map_slots, config.runtime.initial_reduce_slots));
-      return std::make_unique<yarn::CapacityPolicy>(yarn_config);
-    }
-    case EngineKind::kSMapReduce: {
-      if (config.slot_manager.per_node_targets) {
-        std::vector<double> speeds;
-        speeds.reserve(config.runtime.cluster.workers.size());
-        for (const auto& node : config.runtime.cluster.workers) {
-          speeds.push_back(node.cpu_speed);
-        }
-        return std::make_unique<core::SmrSlotPolicy>(config.slot_manager,
-                                                     std::move(speeds));
-      }
-      return std::make_unique<core::SmrSlotPolicy>(config.slot_manager);
+alloc::PolicyContext policy_context(const ExperimentConfig& config) {
+  alloc::PolicyContext context;
+  context.nodes = config.runtime.cluster.worker_count();
+  context.initial_map_slots = config.runtime.initial_map_slots;
+  context.initial_reduce_slots = config.runtime.initial_reduce_slots;
+  context.slot_manager = config.slot_manager;
+  context.yarn = config.yarn;
+  if (config.slot_manager.per_node_targets) {
+    context.node_speeds.reserve(config.runtime.cluster.workers.size());
+    for (const auto& node : config.runtime.cluster.workers) {
+      context.node_speeds.push_back(node.cpu_speed);
     }
   }
-  SMR_CHECK_MSG(false, "unknown engine kind");
-  return nullptr;
+  return context;
+}
+
+std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig& config) {
+  alloc::PolicySpec spec = config.policy;
+  if (spec.empty()) {
+    // Legacy enum path: route through the registry under the engine name,
+    // which constructs the exact same objects the old switch did.
+    spec.name = engine_name(config.engine);
+  }
+  return alloc::AllocatorRegistry::instance().create(spec,
+                                                     policy_context(config));
+}
+
+std::string policy_label(const ExperimentConfig& config) {
+  if (config.policy.empty()) return engine_name(config.engine);
+  return make_policy(config)->name();
 }
 
 metrics::RunResult run_trial(const ExperimentConfig& config,

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "smr/alloc/registry.hpp"
 #include "smr/common/thread_pool.hpp"
 #include "smr/core/slot_manager_config.hpp"
 #include "smr/mapreduce/runtime.hpp"
@@ -38,6 +39,14 @@ struct JobSubmission {
 
 struct ExperimentConfig {
   EngineKind engine = EngineKind::kHadoopV1;
+
+  /// Registry-backed policy selection (`--policy=<name>[:k=v,...]`).
+  /// When non-empty it overrides `engine`: make_policy() builds this spec
+  /// through alloc::AllocatorRegistry instead of the engine enum.  The
+  /// legacy engines remain reachable both ways ("hadoopv1", "yarn",
+  /// "smapreduce" are registered names).
+  alloc::PolicySpec policy;
+
   mapreduce::RuntimeConfig runtime;
 
   /// SMapReduce slot-manager configuration (engine == kSMapReduce).
@@ -60,8 +69,19 @@ struct ExperimentConfig {
   static ExperimentConfig paper_default(EngineKind engine);
 };
 
-/// Build the allocation policy for `config`.
+/// Build the allocation policy for `config`: `config.policy` through the
+/// allocator registry when set, the `config.engine` enum otherwise (both
+/// paths construct identical objects for the three legacy engines).
 std::unique_ptr<mapreduce::AllocationPolicy> make_policy(const ExperimentConfig& config);
+
+/// The registry construction context for `config` (cluster size, initial
+/// targets, node speeds, SMR/YARN sub-configs).
+alloc::PolicyContext policy_context(const ExperimentConfig& config);
+
+/// Display label of the allocator `config` selects: the constructed
+/// policy's name() ("Karma", "GameCapacity", ...), == engine_name(engine)
+/// when no spec is set.  Reports and sweep CSVs use this.
+std::string policy_label(const ExperimentConfig& config);
 
 /// Build the job scheduler for `config`.
 std::unique_ptr<mapreduce::JobScheduler> make_scheduler(const ExperimentConfig& config);

@@ -29,7 +29,8 @@ std::optional<SweepDimension> sweep_dimension_from_name(const std::string& name)
 void SweepConfig::validate() const {
   spec.validate();
   SMR_CHECK_MSG(!values.empty(), "sweep needs at least one value");
-  SMR_CHECK_MSG(!engines.empty(), "sweep needs at least one engine");
+  SMR_CHECK_MSG(!engines.empty() || !policies.empty(),
+                "sweep needs at least one engine or policy");
   for (double value : values) {
     switch (dimension) {
       case SweepDimension::kMapSlots:
@@ -52,9 +53,13 @@ void SweepConfig::validate() const {
 namespace {
 
 SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine,
-                   ThreadPool& pool) {
+                   const alloc::PolicySpec* policy, ThreadPool& pool) {
   ExperimentConfig experiment = config.base;
-  experiment.engine = engine;
+  if (policy != nullptr) {
+    experiment.policy = *policy;
+  } else {
+    experiment.engine = engine;
+  }
   mapreduce::JobSpec spec = config.spec;
   switch (config.dimension) {
     case SweepDimension::kMapSlots:
@@ -76,6 +81,7 @@ SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine,
   SweepCell cell;
   cell.value = value;
   cell.engine = engine;
+  cell.label = policy_label(experiment);
   metrics::RunResult run = run_experiment(experiment, {JobSubmission{spec, 0.0}}, pool);
   cell.job = run.jobs[0];
   cell.engine_events = run.engine_events;
@@ -88,16 +94,30 @@ SweepCell run_cell(const SweepConfig& config, double value, EngineKind engine,
 
 SweepResult run_sweep(const SweepConfig& config, ThreadPool& pool) {
   config.validate();
+  // Surface bad policy specs (unknown name, typo'd option) on the caller
+  // thread before fanning out: an exception thrown inside a pool task
+  // never propagates, it would wedge the sweep instead of failing it.
+  for (const alloc::PolicySpec& spec : config.policies) {
+    ExperimentConfig probe = config.base;
+    probe.policy = spec;
+    make_policy(probe);
+  }
   SweepResult result;
   result.dimension = config.dimension;
-  const std::size_t engines = config.engines.size();
-  result.cells.resize(config.values.size() * engines);
+  const std::size_t columns = config.columns();
+  result.cells.resize(config.values.size() * columns);
   // Cells fan out on the pool, and each cell's trials fan out again on the
   // same pool; TaskGroup's help-wait makes the nesting deadlock-free.
   parallel_for(pool, 0, result.cells.size(), [&](std::size_t i) {
-    const double value = config.values[i / engines];
-    const EngineKind engine = config.engines[i % engines];
-    result.cells[i] = run_cell(config, value, engine, pool);
+    const double value = config.values[i / columns];
+    const std::size_t column = i % columns;
+    if (config.policies.empty()) {
+      result.cells[i] =
+          run_cell(config, value, config.engines[column], nullptr, pool);
+    } else {
+      result.cells[i] = run_cell(config, value, config.base.engine,
+                                 &config.policies[column], pool);
+    }
   });
   return result;
 }
@@ -132,7 +152,9 @@ void SweepResult::write_csv(std::ostream& out) const {
       << ",engine,completed,failed,map_time_s,reduce_time_s,total_time_s,"
          "throughput_bytes_s\n";
   for (const auto& cell : cells) {
-    out << cell.value << ',' << engine_name(cell.engine) << ','
+    out << cell.value << ','
+        << (cell.label.empty() ? engine_name(cell.engine) : cell.label.c_str())
+        << ','
         << (cell.job.finished() ? 1 : 0) << ',' << (cell.job.failed ? 1 : 0)
         << ',';
     if (cell.job.finished()) {

@@ -30,6 +30,15 @@ struct SweepConfig {
   SweepDimension dimension = SweepDimension::kMapSlots;
   std::vector<double> values;
   std::vector<EngineKind> engines = all_engines();
+  /// Registry policy specs (`--policies=a;b:k=v;c`).  When non-empty they
+  /// replace `engines` as the sweep's column set: each cell runs the spec
+  /// through the allocator registry instead of the engine enum.
+  std::vector<alloc::PolicySpec> policies;
+
+  /// Number of columns in the sweep grid (policies when set, else engines).
+  std::size_t columns() const {
+    return policies.empty() ? engines.size() : policies.size();
+  }
 
   void validate() const;
 };
@@ -37,6 +46,9 @@ struct SweepConfig {
 struct SweepCell {
   double value = 0.0;
   EngineKind engine = EngineKind::kHadoopV1;
+  /// Display label of the cell's allocator: the policy name when the sweep
+  /// runs registry specs, engine_name(engine) otherwise.
+  std::string label;
   metrics::JobResult job;
   /// Engine/solver work done by this cell's trials (perf instrumentation,
   /// summed over trials; not part of the CSV output).

@@ -109,6 +109,12 @@ struct JobSpec {
   /// descriptive, carried through to per-job results and serve reports.
   std::string slo_class;
 
+  /// Owning tenant ("" = default tenant).  The serving layer stamps it
+  /// from the arrival trace; multi-tenant allocators (Karma, GameCapacity)
+  /// group jobs by it and the fairness layer accounts slot-seconds per
+  /// tenant.  Purely descriptive for single-tenant runs.
+  std::string tenant;
+
   /// Completion deadline in seconds after submission (kTimeNever = none).
   /// The serving layer derives it from per-class SLO multipliers; the
   /// runtime stamps the absolute deadline on the Job at submission, which

@@ -14,6 +14,7 @@
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "smr/common/types.hpp"
@@ -40,6 +41,28 @@ struct NodeStats {
   double cum_map_input = 0.0;    // map input bytes processed on this node
   double cum_map_output = 0.0;   // map output bytes completed on this node
   double cum_shuffled_in = 0.0;  // bytes fetched by reducers on this node
+  /// Input bytes of still-pending map tasks with a replica on this node.
+  /// Filled only for policies returning wants_placement_stats() — walking
+  /// every pending split's replica set is too expensive to do by default.
+  double local_pending_input = 0.0;
+};
+
+/// Per-job census for multi-tenant allocators (Karma, GameCapacity).
+/// Filled only for policies returning wants_job_stats().
+struct JobStats {
+  JobId job = kInvalidJob;
+  std::string tenant;  // JobSpec::tenant ("" = default tenant)
+  SimTime submit_time = 0.0;
+  /// Absolute deadline (kTimeNever = none) for utility weighting.
+  SimTime deadline = kTimeNever;
+  int pending_maps = 0;
+  int running_maps = 0;
+  int pending_reduces = 0;
+  int running_reduces = 0;
+  /// Outstanding work: tasks not yet finished (pending + running).
+  int demand() const {
+    return pending_maps + running_maps + pending_reduces + running_reduces;
+  }
 };
 
 /// Cluster-wide statistics snapshot offered to policies.  Rates are *not*
@@ -76,6 +99,10 @@ struct ClusterStats {
 
   /// One entry per worker node, indexed by NodeId.
   std::vector<NodeStats> per_node;
+
+  /// One entry per active job, in submission order.  Filled only for
+  /// policies returning wants_job_stats().
+  std::vector<JobStats> job_stats;
 };
 
 class AllocationPolicy {
@@ -98,14 +125,48 @@ class AllocationPolicy {
   /// Periodic on_period() snapshots are unaffected.
   virtual bool wants_heartbeat_stats() const { return true; }
 
+  /// Whether the policy reads ClusterStats::job_stats.  Multi-tenant
+  /// allocators return true; the default skips the per-job census.
+  virtual bool wants_job_stats() const { return false; }
+
+  /// Whether the policy reads NodeStats::local_pending_input (pending-split
+  /// replica placement).  Locality-driven allocators return true; the
+  /// default skips the replica walk.
+  virtual bool wants_placement_stats() const { return false; }
+
   /// Called every policy period with all trackers (the slot manager thread
   /// in the paper's job tracker, Section IV-A).
   virtual void on_period(std::span<TaskTracker> /*trackers*/, const ClusterStats& /*stats*/) {}
 
-  /// The policy's decision audit log, if it keeps one (the slot manager
-  /// does when a log is attached).  The runtime mirrors new records into
-  /// the trace as POLICY_DECISION events.
-  virtual const obs::DecisionLog* decision_log() const { return nullptr; }
+  /// Attach a decision audit log (must outlive the policy).  Every
+  /// allocator that takes periodic decisions appends structured records,
+  /// which the CLIs export as decisions.csv.
+  virtual void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+
+  /// The policy's decision audit log, if one is attached.  The runtime
+  /// mirrors new records into the trace as POLICY_DECISION events.
+  virtual const obs::DecisionLog* decision_log() const { return decision_log_; }
+
+  /// Optional per-job concurrency caps, indexed by JobId (entries past the
+  /// end, or -1, mean unlimited).  The runtime skips assignment to a job
+  /// whose in-flight task count has reached its cap — this is how tenant-
+  /// level allocators (Karma, GameCapacity) apportion the shared slot pool
+  /// without touching tracker targets.  The cap binds each phase
+  /// separately (in-flight maps for map assignment, in-flight reduces for
+  /// reduce assignment): map and reduce slots are distinct pools, and a
+  /// combined count would deadlock once early-launched reduces sitting in
+  /// shuffle hold the whole cap against the maps they are waiting for.
+  /// Speculative relaunches of already assigned tasks are not capped.
+  virtual const std::vector<int>* job_task_caps() const { return nullptr; }
+
+  /// Per-tenant credit balances for credit-based allocators (Karma);
+  /// sorted by tenant name.  Empty for every other policy.
+  virtual std::vector<std::pair<std::string, double>> credit_balances() const {
+    return {};
+  }
+
+ protected:
+  obs::DecisionLog* decision_log_ = nullptr;
 };
 
 /// HadoopV1: the initial slot configuration, never changed at runtime.

@@ -330,17 +330,21 @@ void Runtime::snapshot_into(ClusterStats& stats) const {
   // path reuses one scratch instance instead of reallocating per beat.
   auto active_jobs = std::move(stats.active_jobs);
   auto per_node = std::move(stats.per_node);
+  auto job_stats = std::move(stats.job_stats);
   active_jobs.clear();
   per_node.clear();
+  job_stats.clear();
   stats = ClusterStats{};
   stats.active_jobs = std::move(active_jobs);
   stats.per_node = std::move(per_node);
+  stats.job_stats = std::move(job_stats);
   stats.now = engine_.now();
   stats.nodes = config_.cluster.worker_count();
   stats.cum_map_input = cum_map_input_;
   stats.cum_map_output = cum_map_output_;
   stats.cum_shuffled = cum_shuffled_;
 
+  const bool want_jobs = policy_->wants_job_stats();
   const Job* front = nullptr;
   for (const std::size_t j : active_jobs_now(stats.now)) {
     const Job& job = jobs_[j];
@@ -355,6 +359,18 @@ void Runtime::snapshot_into(ClusterStats& stats) const {
     stats.pending_reduces += job.reduces_pending();
     stats.total_reduces += static_cast<int>(job.reduces.size());
     stats.running_reduces += job.reduces_assigned - job.reduces_finished;
+    if (want_jobs) {
+      JobStats js;
+      js.job = job.id;
+      js.tenant = job.spec.tenant;
+      js.submit_time = job.submit_time;
+      js.deadline = job.deadline;
+      js.pending_maps = job.maps_pending();
+      js.running_maps = job.maps_assigned - job.maps_finished;
+      js.pending_reduces = job.reduces_pending();
+      js.running_reduces = job.reduces_assigned - job.reduces_finished;
+      stats.job_stats.push_back(std::move(js));
+    }
   }
   if (front != nullptr) {
     stats.front_job_map_fraction = front->map_completion_fraction();
@@ -372,6 +388,27 @@ void Runtime::snapshot_into(ClusterStats& stats) const {
     node.cum_map_output = node_map_output_[n];
     node.cum_shuffled_in = node_shuffled_in_[n];
     stats.per_node.push_back(node);
+  }
+  if (policy_->wants_placement_stats()) {
+    // Pending-split placement: input bytes of unassigned map tasks credited
+    // to every node holding a replica of their split.  One pass over the
+    // pending maps, so the cost scales with outstanding work, not nodes ×
+    // tasks; only locality-driven policies (wants_placement_stats) pay it.
+    for (const std::size_t j : active_jobs_now(stats.now)) {
+      const Job& job = jobs_[j];
+      if (job.maps_pending() == 0) continue;
+      const auto& file = dfs_.file(job.input_file);
+      const double split = static_cast<double>(job.spec.split_size);
+      for (const auto& task : job.maps) {
+        if (task.node != kInvalidNode) continue;
+        const auto& block =
+            file.blocks[static_cast<std::size_t>(task.split_index)];
+        for (const NodeId replica : block.replicas) {
+          stats.per_node[static_cast<std::size_t>(replica)]
+              .local_pending_input += split;
+        }
+      }
+    }
   }
 }
 
@@ -1617,6 +1654,39 @@ void Runtime::trace_slot_targets(int prev_map_total, int prev_reduce_total) {
   }
 }
 
+bool Runtime::job_at_cap(const Job& job, bool for_map) const {
+  const std::vector<int>* caps = policy_->job_task_caps();
+  if (caps == nullptr) return false;
+  const auto idx = static_cast<std::size_t>(job.id);
+  if (idx >= caps->size()) return false;
+  const int cap = (*caps)[idx];
+  if (cap < 0) return false;
+  // Per-phase count: see AllocationPolicy::job_task_caps — a combined
+  // count deadlocks once waiting reduces hold the cap against their maps.
+  const int in_flight = for_map ? job.maps_assigned - job.maps_finished
+                                : job.reduces_assigned - job.reduces_finished;
+  return in_flight >= cap;
+}
+
+std::vector<JobStats> Runtime::job_census() const {
+  std::vector<JobStats> census;
+  const SimTime now = engine_.now();
+  for (const std::size_t j : active_jobs_now(now)) {
+    const Job& job = jobs_[j];
+    JobStats js;
+    js.job = job.id;
+    js.tenant = job.spec.tenant;
+    js.submit_time = job.submit_time;
+    js.deadline = job.deadline;
+    js.pending_maps = job.maps_pending();
+    js.running_maps = job.maps_assigned - job.maps_finished;
+    js.pending_reduces = job.reduces_pending();
+    js.running_reduces = job.reduces_assigned - job.reduces_finished;
+    census.push_back(std::move(js));
+  }
+  return census;
+}
+
 void Runtime::assign_tasks(TaskTracker& tracker) {
   while (tracker.free_map_slots() > 0 && assign_one_map(tracker)) {
   }
@@ -1630,6 +1700,7 @@ bool Runtime::assign_one_map(TaskTracker& tracker) {
        scheduler_->job_order(jobs_, active_jobs_now(now), /*for_map=*/true)) {
     Job& job = jobs_[job_index];
     if (job.maps_pending() == 0) continue;
+    if (job_at_cap(job, /*for_map=*/true)) continue;
     const auto& file = dfs_.file(job.input_file);
     MapTask* chosen = nullptr;
     // Node-local preference (the FIFO scheduler's locality pass).
@@ -1820,6 +1891,7 @@ bool Runtime::assign_one_reduce(TaskTracker& tracker) {
        scheduler_->job_order(jobs_, active_jobs_now(now), /*for_map=*/false)) {
     Job& job = jobs_[job_index];
     if (job.reduces_pending() == 0) continue;
+    if (job_at_cap(job, /*for_map=*/false)) continue;
     if (!job.maps.empty() &&
         job.map_completion_fraction() < config_.reduce_slowstart) {
       continue;

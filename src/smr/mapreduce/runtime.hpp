@@ -269,6 +269,18 @@ class Runtime {
   /// before submitting deferred jobs.
   bool stopped() const { return stopping_; }
 
+  /// Cluster-total live slot targets (map + reduce) over alive,
+  /// non-blacklisted trackers — the capacity the fairness layer accounts
+  /// tenant usage against.
+  int live_slot_capacity() const {
+    return total_map_target() + total_reduce_target();
+  }
+
+  /// Per-job census of the active jobs (tenant, pending/running tasks),
+  /// independent of the policy's wants_job_stats() gate.  The serving
+  /// layer's fairness sampler reads this every policy period.
+  std::vector<JobStats> job_census() const;
+
   /// Aggregated incremental max-min solver statistics over every per-node
   /// compute model plus the network model (perf instrumentation).
   cluster::MaxMinSolver::Stats solver_stats() const;
@@ -396,6 +408,9 @@ class Runtime {
   void release_reduce_shadow_slot(std::int32_t slot);
   bool assign_one_map(TaskTracker& tracker);
   bool assign_one_reduce(TaskTracker& tracker);
+  /// True when the policy caps this job's in-flight task count and the cap
+  /// is reached (see AllocationPolicy::job_task_caps).
+  bool job_at_cap(const Job& job, bool for_map) const;
   /// `attempt_id` is the tracker-list entry of the finishing attempt (the
   /// task's own id, or the shadow's id after a speculative win).
   void complete_map(Job& job, MapTask& task, TaskId attempt_id);

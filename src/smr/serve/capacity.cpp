@@ -51,27 +51,51 @@ bool point_sustainable(const CapacityConfig& config, const ServeReport& report) 
 
 }  // namespace
 
-CapacityCurve sweep_capacity(const CapacityConfig& config,
-                             driver::EngineKind engine) {
+CapacityCurve sweep_policy(const CapacityConfig& config,
+                           const alloc::PolicySpec& spec) {
   config.validate();
   CapacityCurve curve;
-  curve.engine = driver::engine_name(engine);
+  {
+    driver::ExperimentConfig probe = config.base.experiment;
+    probe.policy = spec;
+    curve.engine = driver::policy_label(probe);
+  }
   curve.points.reserve(config.rates.size());
 
   for (double rate : config.rates) {
     ServeConfig serve = config.base;
-    serve.experiment.engine = engine;
+    serve.experiment.policy = spec;
     serve.tenants = scale_tenants(serve.tenants, rate);
 
     CapacityPoint point;
     point.jobs_per_hour = rate;
     ServeSession session(serve);
+    alloc::FairnessTracker fairness;
+    session.set_fairness(&fairness);
     point.report = session.run();
+    point.fairness = fairness.report();
     point.sustainable = point_sustainable(config, point.report);
     if (point.sustainable) curve.knee_jobs_per_hour = rate;
     curve.points.push_back(std::move(point));
   }
   return curve;
+}
+
+CapacityCurve sweep_capacity(const CapacityConfig& config,
+                             driver::EngineKind engine) {
+  alloc::PolicySpec spec;
+  spec.name = driver::engine_name(engine);
+  return sweep_policy(config, spec);
+}
+
+std::vector<CapacityCurve> sweep_policies(
+    const CapacityConfig& config, const std::vector<alloc::PolicySpec>& specs) {
+  std::vector<CapacityCurve> curves;
+  curves.reserve(specs.size());
+  for (const alloc::PolicySpec& spec : specs) {
+    curves.push_back(sweep_policy(config, spec));
+  }
+  return curves;
 }
 
 std::vector<CapacityCurve> sweep_engines(
@@ -108,7 +132,11 @@ void write_capacity_json(const CapacityConfig& config,
       const CapacityPoint& point = curve.points[p];
       out << "{\"jobs_per_hour\":" << point.jobs_per_hour
           << ",\"sustainable\":" << (point.sustainable ? "true" : "false")
-          << ",\"report\":";
+          << ",\"fairness\":{\"jain\":" << point.fairness.jain
+          << ",\"max_envy\":" << point.fairness.max_envy
+          << ",\"utilitarian_welfare\":" << point.fairness.utilitarian_welfare
+          << ",\"nash_welfare\":" << point.fairness.nash_welfare
+          << "},\"report\":";
       point.report.write_json(out);
       out << '}';
     }

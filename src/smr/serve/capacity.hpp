@@ -41,6 +41,9 @@ struct CapacityPoint {
   double jobs_per_hour = 0.0;
   bool sustainable = false;
   ServeReport report;
+  /// Fairness accounting over the point's measurement window (sampled
+  /// every policy period; see alloc::FairnessTracker).
+  alloc::FairnessReport fairness;
 };
 
 struct CapacityCurve {
@@ -54,14 +57,25 @@ struct CapacityCurve {
 std::vector<TenantConfig> scale_tenants(std::vector<TenantConfig> tenants,
                                         double jobs_per_hour);
 
+/// Sweep one registry policy over the rate grid (curve.engine takes the
+/// policy's display name).  Deterministic in base.seed; every point runs
+/// with a FairnessTracker attached.
+CapacityCurve sweep_policy(const CapacityConfig& config,
+                           const alloc::PolicySpec& spec);
+
 /// Sweep one engine over the rate grid.  Deterministic in base.seed.
+/// Routes through sweep_policy() under the engine's registry name.
 CapacityCurve sweep_capacity(const CapacityConfig& config,
                              driver::EngineKind engine);
+
+/// Sweep several registry policies (`--policies=a;b;c`).
+std::vector<CapacityCurve> sweep_policies(
+    const CapacityConfig& config, const std::vector<alloc::PolicySpec>& specs);
 
 /// Sweep several engines and emit the rate-vs-p99 JSON report:
 /// {"p99_bound_s":...,"rates":[...],"curves":[{"engine":...,
 ///  "knee_jobs_per_hour":...,"points":[{"jobs_per_hour":...,
-///  "sustainable":...,"report":{...}}]}]}.
+///  "sustainable":...,"fairness":{...},"report":{...}}]}]}.
 std::vector<CapacityCurve> sweep_engines(
     const CapacityConfig& config, const std::vector<driver::EngineKind>& engines);
 

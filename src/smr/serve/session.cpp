@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <utility>
 
 #include "smr/common/error.hpp"
@@ -78,6 +79,8 @@ ServeReport ServeSession::execute(ArrivalTrace trace,
   runtime_->set_metrics(metrics_);
   if (trace_log_ != nullptr) runtime_->set_trace(trace_log_);
   if (spans_ != nullptr) runtime_->set_spans(spans_);
+  if (decisions_ != nullptr) runtime_->policy().set_decision_log(decisions_);
+  if (pool_ != nullptr) runtime_->set_thread_pool(pool_);
   runtime_->set_job_finished_callback(
       [this](const mapreduce::Job& job) { on_job_finished(job); });
 
@@ -94,6 +97,10 @@ ServeReport ServeSession::execute(ArrivalTrace trace,
     arrivals_closed_ = true;
     maybe_close();
   });
+  if (fairness_ != nullptr) {
+    fairness_->set_policy(driver::policy_label(config_.experiment));
+    engine.schedule_at(config_.warmup, [this] { sample_fairness(); });
+  }
 
   result_ = runtime_->run();
 
@@ -107,7 +114,7 @@ ServeReport ServeSession::execute(ArrivalTrace trace,
 
   ServeReport report;
   tracker_->fill(report);
-  report.engine = driver::engine_name(config_.experiment.engine);
+  report.engine = driver::policy_label(config_.experiment);
   report.scheduler = driver::scheduler_name(config_.experiment.scheduler);
   report.admission = admission_policy_name(config_.admission.policy);
   report.offered_jobs_per_hour =
@@ -159,6 +166,7 @@ void ServeSession::submit_arrival(std::size_t index) {
   const SimTime now = runtime_->engine().now();
 
   mapreduce::JobSpec spec = arrival.job.spec;
+  spec.tenant = trace_.tenants[static_cast<std::size_t>(arrival.tenant)];
   if (spec.relative_deadline != kTimeNever) {
     // Keep the absolute deadline anchored to the *arrival* instant: time
     // spent in the deferred queue eats into the job's budget.
@@ -242,6 +250,35 @@ void ServeSession::process_departure() {
       .append(runtime_->engine().now(),
               static_cast<double>(admission_.in_system()));
   maybe_close();
+}
+
+void ServeSession::sample_fairness() {
+  if (runtime_->stopped()) return;
+  const SimTime now = runtime_->engine().now();
+
+  // Aggregate the active-job census into per-tenant usage and demand.
+  // Keyed by tenant name so the sample order is deterministic.
+  std::map<std::string, alloc::TenantUsageSample> by_tenant;
+  for (const mapreduce::JobStats& job : runtime_->job_census()) {
+    alloc::TenantUsageSample& sample = by_tenant[job.tenant];
+    sample.tenant = job.tenant;
+    sample.running += job.running_maps + job.running_reduces;
+    sample.demand += job.demand();
+  }
+  std::vector<alloc::TenantUsageSample> tenants;
+  tenants.reserve(by_tenant.size());
+  for (auto& [name, sample] : by_tenant) tenants.push_back(std::move(sample));
+
+  fairness_->record(now, runtime_->live_slot_capacity(), tenants,
+                    runtime_->policy().credit_balances());
+
+  // Re-arm until the closing sample at the horizon has been taken; the
+  // tracker integrates left-Riemann, so that final sample flushes the
+  // last interval of the measurement window.
+  if (now >= config_.horizon) return;
+  const SimTime period = std::max(config_.experiment.runtime.policy_period, 1.0);
+  runtime_->engine().schedule_at(std::min(now + period, config_.horizon),
+                                 [this] { sample_fairness(); });
 }
 
 void ServeSession::maybe_close() {

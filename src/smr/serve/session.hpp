@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "smr/alloc/fairness.hpp"
 #include "smr/driver/experiment.hpp"
 #include "smr/obs/metrics_registry.hpp"
 #include "smr/serve/admission.hpp"
@@ -29,6 +30,7 @@ class TraceLog;
 }
 
 namespace smr::obs {
+class DecisionLog;
 class SpanLog;
 }
 
@@ -91,6 +93,23 @@ class ServeSession {
   /// Attach a span log (optional; forwarded to the runtime).
   void set_spans(obs::SpanLog* spans) { spans_ = spans; }
 
+  /// Attach a decision audit log (optional; must outlive the run; call
+  /// before run()/replay()).  Forwarded to the allocation policy through
+  /// the virtual AllocationPolicy::set_decision_log hook, so *every*
+  /// allocator's periodic decisions land in it.
+  void set_decisions(obs::DecisionLog* decisions) { decisions_ = decisions; }
+
+  /// Attach a fairness tracker (optional; must outlive the run; call
+  /// before run()/replay()).  The session then samples per-tenant usage,
+  /// demand, live capacity and credit balances every policy period across
+  /// the measurement window [warmup, horizon).  Purely observational.
+  void set_fairness(alloc::FairnessTracker* fairness) { fairness_ = fairness; }
+
+  /// Thread pool for the runtime's sharded tick (optional; must outlive
+  /// the run; call before run()/replay()).  Pool size never changes
+  /// results.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Burn-rate alerts fired during the run, in time order.  Valid after
   /// run()/replay() returned.
   const std::vector<BurnAlert>& burn_alerts() const;
@@ -121,10 +140,17 @@ class ServeSession {
   void maybe_close();
   double utilization_from_slots() const;
 
+  /// Schedules the next fairness sample (self-rescheduling engine event
+  /// starting at warmup, every policy period, until the horizon).
+  void sample_fairness();
+
   ServeConfig config_;
   ArrivalTrace trace_;
   metrics::TraceLog* trace_log_ = nullptr;
   obs::SpanLog* spans_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
+  alloc::FairnessTracker* fairness_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   std::unique_ptr<mapreduce::Runtime> runtime_;
   std::unique_ptr<SloTracker> tracker_;
   std::unique_ptr<BurnRateTracker> burn_;

@@ -1,0 +1,134 @@
+// FairnessTracker math: left-Riemann integration, entitlement splitting,
+// Jain/envy/welfare condensation and the JSON serialisation shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "smr/alloc/fairness.hpp"
+
+namespace smr::alloc {
+namespace {
+
+std::vector<TenantUsageSample> samples(
+    std::initializer_list<TenantUsageSample> list) {
+  return list;
+}
+
+TEST(Fairness, SingleSatisfiedTenantIsPerfectlyFair) {
+  FairnessTracker tracker;
+  tracker.record(0.0, 10.0, samples({{"a", 4.0, 4.0}}), {});
+  tracker.record(10.0, 10.0, samples({{"a", 4.0, 4.0}}), {});
+  const FairnessReport report = tracker.report();
+  EXPECT_DOUBLE_EQ(report.duration, 10.0);
+  EXPECT_DOUBLE_EQ(report.capacity_slot_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(report.jain, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_envy, 0.0);
+  EXPECT_DOUBLE_EQ(report.utilitarian_welfare, 1.0);
+  EXPECT_DOUBLE_EQ(report.nash_welfare, 1.0);
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.tenants[0].used_slot_seconds, 40.0);
+  EXPECT_DOUBLE_EQ(report.tenants[0].entitlement_slot_seconds, 100.0);
+}
+
+TEST(Fairness, SkewedAllocationMatchesHandComputedIndices) {
+  // Capacity 10 over [0, 10]; tenant a runs 8 of its 8 demanded slots,
+  // tenant b runs 2 of 6.  Entitlements split capacity equally (50 each).
+  //   a: used 80, claim min(80, 50) = 50 -> x = 1 (clamped), envy 0, sat 1
+  //   b: used 20, claim 50 -> x = 0.4, envy (50-20)/50 = 0.6, sat 1/3
+  FairnessTracker tracker;
+  tracker.set_policy("TestPolicy");
+  tracker.record(0.0, 10.0, samples({{"a", 8.0, 8.0}, {"b", 2.0, 6.0}}), {});
+  tracker.record(10.0, 10.0, samples({{"a", 8.0, 8.0}, {"b", 2.0, 6.0}}), {});
+  const FairnessReport report = tracker.report();
+
+  EXPECT_EQ(report.policy, "TestPolicy");
+  ASSERT_EQ(report.tenants.size(), 2u);
+  const TenantFairness& a = report.tenants[0];
+  const TenantFairness& b = report.tenants[1];
+  EXPECT_DOUBLE_EQ(a.normalized_allocation, 1.0);
+  EXPECT_DOUBLE_EQ(a.envy, 0.0);
+  EXPECT_DOUBLE_EQ(b.normalized_allocation, 0.4);
+  EXPECT_DOUBLE_EQ(b.envy, 0.6);
+  EXPECT_NEAR(b.satisfaction, 1.0 / 3.0, 1e-12);
+
+  // Jain over {1.0, 0.4}: 1.96 / (2 * 1.16).
+  EXPECT_NEAR(report.jain, 1.96 / 2.32, 1e-12);
+  EXPECT_DOUBLE_EQ(report.max_envy, 0.6);
+  EXPECT_NEAR(report.utilitarian_welfare, (1.0 + 1.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(report.nash_welfare, std::sqrt(1.0 / 3.0), 1e-12);
+}
+
+TEST(Fairness, LeftRiemannIgnoresTheClosingSampleRates) {
+  // The last sample only closes the final interval; its rates are never
+  // integrated, so a run's integrals do not depend on the stopping state.
+  FairnessTracker tracker;
+  tracker.record(0.0, 10.0, samples({{"a", 5.0, 5.0}}), {});
+  tracker.record(10.0, 10.0, samples({{"a", 999.0, 999.0}}), {});
+  const FairnessReport report = tracker.report();
+  EXPECT_DOUBLE_EQ(report.tenants.at(0).used_slot_seconds, 50.0);
+}
+
+TEST(Fairness, IdleTenantIsExcludedFromTheIndices) {
+  FairnessTracker tracker;
+  tracker.record(0.0, 10.0, samples({{"busy", 5.0, 5.0}, {"idle", 0.0, 0.0}}), {});
+  tracker.record(10.0, 10.0, samples({{"busy", 5.0, 5.0}, {"idle", 0.0, 0.0}}), {});
+  const FairnessReport report = tracker.report();
+  // The idle tenant demanded nothing: fairness indices ignore it and the
+  // busy tenant's entitlement is the whole capacity.
+  EXPECT_DOUBLE_EQ(report.jain, 1.0);
+  ASSERT_EQ(report.tenants.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.tenants[0].entitlement_slot_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(report.tenants[1].entitlement_slot_seconds, 0.0);
+}
+
+TEST(Fairness, CreditSeriesAreRecordedPerTenant) {
+  FairnessTracker tracker;
+  tracker.record(0.0, 4.0, samples({{"a", 1.0, 1.0}}), {{"a", 100.0}});
+  tracker.record(6.0, 4.0, samples({{"a", 1.0, 1.0}}), {{"a", 97.0}});
+  const FairnessReport report = tracker.report();
+  ASSERT_EQ(report.credit_series.size(), 1u);
+  EXPECT_EQ(report.credit_series[0].first, "a");
+  ASSERT_EQ(report.credit_series[0].second.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.credit_series[0].second[1].second, 97.0);
+  EXPECT_DOUBLE_EQ(report.tenants.at(0).final_credits, 97.0);
+  EXPECT_TRUE(report.tenants.at(0).has_credits);
+}
+
+TEST(Fairness, JsonSerialisationHasTheExpectedShape) {
+  FairnessTracker tracker;
+  tracker.set_policy("Karma");
+  tracker.record(0.0, 4.0, samples({{"a", 2.0, 3.0}}), {{"a", 100.0}});
+  tracker.record(5.0, 4.0, samples({{"a", 2.0, 3.0}}), {{"a", 99.0}});
+
+  std::ostringstream single;
+  write_fairness_json(tracker.report(), single);
+  EXPECT_NE(single.str().find("\"policy\":\"Karma\""), std::string::npos);
+  EXPECT_NE(single.str().find("\"jain\":"), std::string::npos);
+  EXPECT_NE(single.str().find("\"credit_trajectories\":{\"a\":["), std::string::npos);
+  EXPECT_EQ(single.str().back(), '\n');
+  // Fixed precision — no scientific notation anywhere.
+  EXPECT_EQ(single.str().find('e' + std::string("+")), std::string::npos);
+
+  std::ostringstream multi;
+  write_fairness_json(std::vector<FairnessReport>{tracker.report(),
+                                                  tracker.report()},
+                      multi);
+  EXPECT_NE(multi.str().find("{\"tool\":\"smr_serve\",\"reports\":["),
+            std::string::npos);
+}
+
+TEST(Fairness, TrajectoryThinningKeepsTheFinalPoint) {
+  FairnessTracker tracker;
+  for (int i = 0; i <= 500; ++i) {
+    tracker.record(static_cast<double>(i), 4.0, samples({{"a", 1.0, 1.0}}),
+                   {{"a", 1000.0 - i}});
+  }
+  std::ostringstream out;
+  write_fairness_json(tracker.report(), out, /*max_trajectory_points=*/10);
+  // The last recorded balance must survive thinning.
+  EXPECT_NE(out.str().find("[500.000000,500.000000]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smr::alloc

@@ -1,0 +1,98 @@
+// GameCapacityAllocator: equilibrium convergence under contention,
+// termination on a tiny iteration budget, and the no-scarcity degenerate
+// case (caps lifted, single-job runs untouched).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "smr/alloc/game_capacity.hpp"
+#include "smr/alloc/registry.hpp"
+#include "smr/driver/experiment.hpp"
+#include "smr/mapreduce/runtime.hpp"
+#include "smr/workload/puma.hpp"
+
+namespace smr::alloc {
+namespace {
+
+struct GameRun {
+  metrics::RunResult result;
+  const GameCapacityAllocator* game = nullptr;
+  std::unique_ptr<mapreduce::Runtime> runtime;
+};
+
+/// Four simultaneous terasorts on 4 nodes: Σ demand far exceeds the 20-slot
+/// pool, so every early period is a contended equilibrium.
+GameRun run_contended(GameCapacityConfig config) {
+  driver::ExperimentConfig base =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kHadoopV1);
+  base.runtime.cluster = cluster::ClusterSpec::paper_testbed(4);
+
+  auto game = std::make_unique<GameCapacityAllocator>(config);
+  GameRun run;
+  run.game = game.get();
+  run.runtime = std::make_unique<mapreduce::Runtime>(
+      base.runtime, std::move(game), driver::make_scheduler(base));
+  for (int j = 0; j < 4; ++j) {
+    mapreduce::JobSpec spec =
+        workload::make_puma_job(workload::Puma::kTerasort, 2 * kGiB);
+    spec.reduce_tasks = 8;
+    run.runtime->submit(spec, 0.0);
+  }
+  run.result = run.runtime->run();
+  return run;
+}
+
+TEST(GameCapacity, ConvergesUnderContention) {
+  GameCapacityConfig config;
+  const GameRun run = run_contended(config);
+  ASSERT_TRUE(run.result.completed);
+  EXPECT_GT(run.game->equilibria_computed(), 0);
+  EXPECT_LE(run.game->last_iterations(), config.max_iterations);
+  // The default budget (64 bisections for a 1e-6 relative tolerance) must
+  // actually reach the clearing tolerance, not run out of iterations.
+  EXPECT_TRUE(run.game->last_converged());
+  EXPECT_GT(run.game->last_price(), 0.0);
+}
+
+TEST(GameCapacity, TerminatesOnTinyIterationBudget) {
+  // Starving the bisection must still yield a feasible allocation and a
+  // finished batch — the budget bounds work, it never wedges the run.
+  GameCapacityConfig config;
+  config.max_iterations = 2;
+  const GameRun run = run_contended(config);
+  ASSERT_TRUE(run.result.completed);
+  EXPECT_GT(run.game->equilibria_computed(), 0);
+  EXPECT_LE(run.game->last_iterations(), 2);
+}
+
+TEST(GameCapacity, DeadlineWeightAcceptsUrgentJobs) {
+  GameCapacityConfig config;
+  config.deadline_weight = 2.0;
+  const GameRun run = run_contended(config);
+  ASSERT_TRUE(run.result.completed);
+  EXPECT_GT(run.game->equilibria_computed(), 0);
+}
+
+TEST(GameCapacity, NoScarcityLeavesSingleJobUntouched) {
+  // A small grep's demand fits inside the 20-slot pool, so the game is
+  // degenerate: no equilibrium is solved and the run matches HadoopV1
+  // exactly.
+  driver::ExperimentConfig config =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kHadoopV1);
+  config.runtime.cluster = cluster::ClusterSpec::paper_testbed(4);
+  config.trials = 1;
+  mapreduce::JobSpec spec = workload::make_puma_job(workload::Puma::kGrep, kGiB);
+  spec.reduce_tasks = 4;
+  const std::vector<driver::JobSubmission> jobs = {{spec, 0.0}};
+
+  const metrics::RunResult hadoop = driver::run_experiment(config, jobs);
+  config.policy = parse_policy_spec("gamecapacity");
+  const metrics::RunResult game = driver::run_experiment(config, jobs);
+  EXPECT_EQ(hadoop.makespan, game.makespan);
+  EXPECT_EQ(hadoop.engine_events, game.engine_events);
+}
+
+}  // namespace
+}  // namespace smr::alloc

@@ -16,11 +16,14 @@
 //   report.json      smr_serve --report-out
 //   alerts.jsonl     smr_serve --alerts-out
 //   shards.json      smr_sim/smr_serve --shards-out
+//   fairness.json    smr_serve --fairness-out (single run, sweep or frontier)
 //
 // `summary` prints one digest per artifact.  `diff` compares the shared
 // artifacts and exits 2 when the candidate regresses past the thresholds:
 // aggregate critical-path growth, per-segment growth (e.g. the retry
-// segment after cranking --task-fail-rate), or new SLO burn alerts.
+// segment after cranking --task-fail-rate), new SLO burn alerts, or
+// fairness erosion (a Jain-index or welfare *drop*, or envy growth —
+// fairness metrics regress downward, unlike the time-based ones).
 // Identical dirs always diff clean (regressions require strict growth),
 // so `smr_inspect diff run run` is a cheap self-check.
 #include <cmath>
@@ -81,6 +84,10 @@ struct RunData {
   std::optional<JsonValue> report;
   std::size_t alerts = 0;
   double max_burn = 0.0;
+
+  // fairness.json: one entry per report ({"reports":[...]} is flattened,
+  // a bare single-run report becomes one entry)
+  std::vector<JsonValue> fairness;
 
   // shards.json (sharded-engine window stats; empty when absent or when
   // the run used --shards=1 implicitly)
@@ -193,6 +200,22 @@ bool load_run(const std::string& dir, RunData& run, std::string& error) {
     }
   }
 
+  if (const auto text = slurp(dir + "/fairness.json")) {
+    const auto doc = parse_json(*text, &error);
+    if (!doc) {
+      error = dir + "/fairness.json: " + error;
+      return false;
+    }
+    run.any = true;
+    if (const JsonValue* reports = doc->find("reports"); reports != nullptr) {
+      for (const JsonValue& report : reports->as_array()) {
+        run.fairness.push_back(report);
+      }
+    } else {
+      run.fairness.push_back(*doc);
+    }
+  }
+
   if (const auto text = slurp(dir + "/shards.json")) {
     const auto doc = parse_json(*text, &error);
     if (!doc) {
@@ -219,7 +242,7 @@ bool load_run(const std::string& dir, RunData& run, std::string& error) {
   if (!run.any) {
     error = dir + ": no artifacts found (expected metrics.jsonl, "
                   "spans.jsonl, critpath.json, decisions.csv, report.json, "
-                  "alerts.jsonl or shards.json)";
+                  "alerts.jsonl, fairness.json or shards.json)";
     return false;
   }
   return true;
@@ -294,6 +317,20 @@ int summarize(const RunData& run) {
                     latency->number_or("p95", 0.0),
                     latency->number_or("p99", 0.0));
       }
+    }
+  }
+
+  if (!run.fairness.empty()) {
+    std::printf("\nfairness.json: %zu report(s)\n", run.fairness.size());
+    for (const JsonValue& report : run.fairness) {
+      const JsonValue* tenants = report.find("tenants");
+      std::printf(
+          "  %-28s jain=%.3f envy=%.3f util=%.3f nash=%.3f tenants=%zu\n",
+          report.string_or("policy", "?").c_str(),
+          report.number_or("jain", 0.0), report.number_or("max_envy", 0.0),
+          report.number_or("utilitarian_welfare", 0.0),
+          report.number_or("nash_welfare", 0.0),
+          tenants != nullptr ? tenants->as_array().size() : 0);
     }
   }
 
@@ -436,6 +473,59 @@ int diff(const RunData& base, const RunData& cand, const FlagSet& flags) {
     }
   }
 
+  // Fairness reports matched by policy label.  These metrics regress in
+  // the opposite direction from the time-based ones: a Jain-index or
+  // welfare *drop* is the failure, and envy regresses by *growing*.
+  if (!base.fairness.empty() && !cand.fairness.empty()) {
+    const double jain_drop = flags.get_double("jain-drop");
+    const double envy_growth = flags.get_double("envy-growth");
+    const double welfare_drop = flags.get_double("welfare-drop");
+    std::map<std::string, const JsonValue*> base_reports;
+    for (const JsonValue& report : base.fairness) {
+      base_reports[report.string_or("policy", "")] = &report;
+    }
+    for (const JsonValue& report : cand.fairness) {
+      const std::string policy = report.string_or("policy", "");
+      const auto found = base_reports.find(policy);
+      if (found == base_reports.end()) continue;
+      const JsonValue& baseline = *found->second;
+      const std::string prefix =
+          "fairness[" + (policy.empty() ? "?" : policy) + "].";
+
+      DiffLine jain;
+      jain.what = prefix + "jain";
+      jain.base = baseline.number_or("jain", 0.0);
+      jain.cand = report.number_or("jain", 0.0);
+      jain.regression = jain.base - jain.cand > jain_drop;
+      if (jain.regression) jain.note = "fairness drop";
+      lines.push_back(jain);
+
+      DiffLine envy;
+      envy.what = prefix + "max_envy";
+      envy.base = baseline.number_or("max_envy", 0.0);
+      envy.cand = report.number_or("max_envy", 0.0);
+      envy.regression = envy.cand - envy.base > envy_growth;
+      if (envy.regression) envy.note = "envy growth";
+      lines.push_back(envy);
+
+      DiffLine nash;
+      nash.what = prefix + "nash_welfare";
+      nash.base = baseline.number_or("nash_welfare", 0.0);
+      nash.cand = report.number_or("nash_welfare", 0.0);
+      nash.regression = nash.base - nash.cand > welfare_drop;
+      if (nash.regression) nash.note = "welfare drop";
+      lines.push_back(nash);
+
+      DiffLine util;
+      util.what = prefix + "utilitarian_welfare";
+      util.base = baseline.number_or("utilitarian_welfare", 0.0);
+      util.cand = report.number_or("utilitarian_welfare", 0.0);
+      util.regression = util.base - util.cand > welfare_drop;
+      if (util.regression) util.note = "welfare drop";
+      lines.push_back(util);
+    }
+  }
+
   {
     DiffLine alerts;
     alerts.what = "alerts.count";
@@ -454,7 +544,7 @@ int diff(const RunData& base, const RunData& cand, const FlagSet& flags) {
     const double delta = line.cand - line.base;
     const char* marker =
         line.regression ? "REGRESSION" : line.note.c_str();
-    std::printf("%-28s %12.1f %12.1f %+9.1f  %s\n", line.what.c_str(),
+    std::printf("%-28s %12.3f %12.3f %+9.3f  %s\n", line.what.c_str(),
                 line.base, line.cand, delta, marker);
     any_regression = any_regression || line.regression;
   }
@@ -492,6 +582,14 @@ int main(int argc, char** argv) {
   flags.define_double("stall-floor", 0.5,
                       "diff: absolute barrier-stall growth (s) below which "
                       "the change is ignored (wall-clock noise guard)");
+  flags.define_double("jain-drop", 0.02,
+                      "diff: tolerated absolute drop of a fairness report's "
+                      "Jain index");
+  flags.define_double("envy-growth", 0.05,
+                      "diff: tolerated absolute growth of max tenant envy");
+  flags.define_double("welfare-drop", 0.05,
+                      "diff: tolerated absolute drop of utilitarian/Nash "
+                      "welfare");
   flags.define_bool("help", false, "print this help");
 
   if (!flags.parse(argc, argv)) {

@@ -2,7 +2,7 @@
 //
 //   smr_perfbench                 # full suite: fig3 + sweep + bigcluster
 //   smr_perfbench --smoke         # seconds-long CI smoke subset
-//   smr_perfbench --out=BENCH_8.json
+//   smr_perfbench --out=BENCH_9.json
 //   smr_perfbench --bigcluster-nodes=10000 --shards=16   # 16-core target
 //
 // Each entry runs real simulations through the driver and reports
@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "smr/alloc/registry.hpp"
 #include "smr/cluster/node.hpp"
 #include "smr/common/flags.hpp"
 #include "smr/common/thread_pool.hpp"
@@ -149,6 +150,70 @@ std::vector<BenchResult> run_span_overhead(bool smoke) {
   return results;
 }
 
+/// Allocator-registry overhead: the same terasort run four ways.  The
+/// alloc_enum/alloc_registry pair builds the SMapReduce policy from the
+/// engine enum and from the `--policy=smapreduce` registry path — both must
+/// produce the same makespan or the registry wiring changed behaviour.  The
+/// alloc_hadoopv1/alloc_karma pair checks the Karma identity: with a single
+/// tenant the credit caps never bind, so Karma must reproduce HadoopV1's
+/// makespan exactly while the wall-clock delta shows the bookkeeping cost.
+std::vector<BenchResult> run_alloc_overhead(bool smoke) {
+  const mapreduce::JobSpec spec = workload::make_puma_job(
+      workload::Puma::kTerasort, (smoke ? 4 : 30) * kGiB);
+  const int reps = smoke ? 1 : 3;
+
+  auto run_one = [&](const driver::ExperimentConfig& config, const char* name,
+                     double& makespan) {
+    BenchResult result;
+    result.name = name;
+    obs::Stopwatch stopwatch;
+    for (int rep = 0; rep < reps; ++rep) {
+      mapreduce::Runtime runtime(config.runtime, driver::make_policy(config),
+                                 driver::make_scheduler(config));
+      runtime.submit(spec, 0.0);
+      const metrics::RunResult run = runtime.run();
+      makespan = run.makespan;
+      result.events += run.engine_events;
+      result.solver_calls += run.solver_calls;
+      result.solver_full_solves += run.solver_full_solves;
+    }
+    result.wall_seconds = stopwatch.seconds();
+    return result;
+  };
+
+  std::vector<BenchResult> results;
+  driver::ExperimentConfig config =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kSMapReduce);
+  double enum_makespan = 0.0;
+  double registry_makespan = 0.0;
+  results.push_back(run_one(config, "alloc_enum", enum_makespan));
+  config.policy = alloc::parse_policy_spec("smapreduce");
+  results.push_back(run_one(config, "alloc_registry", registry_makespan));
+  if (enum_makespan != registry_makespan) {
+    std::fprintf(stderr,
+                 "smr_perfbench: registry-built policy diverged from the "
+                 "enum-built one (makespan %f != %f)\n",
+                 enum_makespan, registry_makespan);
+    std::exit(1);
+  }
+
+  driver::ExperimentConfig base =
+      driver::ExperimentConfig::paper_default(driver::EngineKind::kHadoopV1);
+  double hadoop_makespan = 0.0;
+  double karma_makespan = 0.0;
+  results.push_back(run_one(base, "alloc_hadoopv1", hadoop_makespan));
+  base.policy = alloc::parse_policy_spec("karma");
+  results.push_back(run_one(base, "alloc_karma", karma_makespan));
+  if (hadoop_makespan != karma_makespan) {
+    std::fprintf(stderr,
+                 "smr_perfbench: Karma broke the single-tenant identity "
+                 "(makespan %f != HadoopV1's %f)\n",
+                 karma_makespan, hadoop_makespan);
+    std::exit(1);
+  }
+  return results;
+}
+
 /// The sharded-engine benchmark: a terasort batch on a large cluster, run
 /// once serially and once with --shards=N on the default pool.  Both runs
 /// must agree on makespan (sharding is byte-identical); the wall-clock
@@ -228,7 +293,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
 int main(int argc, char** argv) {
   FlagSet flags("Time the simulator's figure workloads and report engine/solver rates.");
   flags.define_bool("smoke", false, "run the seconds-long CI subset");
-  flags.define_string("out", "BENCH_8.json", "JSON-lines output path ('' to skip)");
+  flags.define_string("out", "BENCH_9.json", "JSON-lines output path ('' to skip)");
   flags.define_int("shards", 8,
                    "shard count for the sharded bigcluster entry");
   flags.define_int("bigcluster-nodes", 2000,
@@ -254,6 +319,7 @@ int main(int argc, char** argv) {
   results.push_back(run_fig3(smoke));
   results.push_back(run_sweep_bench(smoke));
   for (BenchResult& r : run_span_overhead(smoke)) results.push_back(std::move(r));
+  for (BenchResult& r : run_alloc_overhead(smoke)) results.push_back(std::move(r));
   for (BenchResult& r : run_bigcluster(smoke, bigcluster_nodes, shards)) {
     results.push_back(std::move(r));
   }

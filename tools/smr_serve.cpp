@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "smr/alloc/frontier.hpp"
 #include "smr/common/error.hpp"
 #include "smr/common/flags.hpp"
 #include "smr/driver/experiment.hpp"
 #include "smr/metrics/trace.hpp"
+#include "smr/obs/decision_log.hpp"
 #include "smr/obs/metrics_registry.hpp"
 #include "smr/serve/capacity.hpp"
 #include "smr/serve/session.hpp"
@@ -80,6 +82,12 @@ int main(int argc, char** argv) {
                       "hadoopv1 | yarn | smapreduce (single run)");
   flags.define_string("engines", "",
                       "comma list for --sweep (default: all three)");
+  flags.define_string("policy", "",
+                      "registry allocation policy '<name>[:k=v,...]' "
+                      "(e.g. karma:init_credits=50); overrides --engine");
+  flags.define_string("policies", "",
+                      "semicolon list of policy specs for --sweep/--frontier "
+                      "(e.g. 'smapreduce;karma:decay=0.99;gamecapacity')");
   flags.define_string("scheduler", "deadline",
                       "job scheduler: fifo | fair | deadline");
   flags.define_int("nodes", 16, "worker nodes");
@@ -149,6 +157,18 @@ int main(int argc, char** argv) {
                       "sweep: max tolerated shed fraction");
   flags.define_string("capacity-out", "",
                       "write the sweep's rate-vs-p99 JSON report here");
+  flags.define_string("decisions-out", "",
+                      "write the allocation policy's decision audit log as "
+                      "CSV (single run only)");
+  flags.define_string("fairness-out", "",
+                      "write the fairness report JSON (Jain index, envy, "
+                      "welfare, credit trajectories)");
+  flags.define_bool("frontier", false,
+                    "run the fairness-vs-goodput frontier: every policy in "
+                    "--policies through the built-in adversarial tenant "
+                    "mixes at --rate jobs/hour");
+  flags.define_string("frontier-out", "",
+                      "write the frontier CSV here (--frontier)");
   flags.define_bool("help", false, "print this help");
 
   if (!flags.parse(argc, argv)) {
@@ -178,6 +198,14 @@ int main(int argc, char** argv) {
   config.experiment.runtime.initial_reduce_slots =
       static_cast<int>(flags.get_int("reduce-slots"));
   config.experiment.scheduler = *scheduler;
+  if (const std::string spec = flags.get_string("policy"); !spec.empty()) {
+    try {
+      config.experiment.policy = alloc::parse_policy_spec(spec);
+      driver::make_policy(config.experiment);  // validate name + options now
+    } catch (const SmrError& e) {
+      return fail(e.what());
+    }
+  }
   config.horizon = flags.get_double("horizon");
   config.warmup = flags.get_double("warmup");
   config.drain_limit = flags.get_double("drain-limit");
@@ -241,6 +269,49 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (flags.get_bool("frontier")) {
+      alloc::FrontierConfig frontier;
+      frontier.experiment = config.experiment;
+      frontier.offered_jobs_per_hour = flags.get_double("rate");
+      frontier.horizon = config.horizon;
+      frontier.warmup = config.warmup;
+      frontier.drain_limit = config.drain_limit;
+      frontier.admission = config.admission;
+      frontier.seed = config.seed;
+
+      const std::string list = flags.get_string("policies");
+      const std::vector<alloc::PolicySpec> specs = alloc::parse_policy_list(
+          list.empty() ? "hadoopv1;smapreduce;karma;gamecapacity;hybridjobdriven"
+                       : list);
+
+      const alloc::FrontierResult result = alloc::run_frontier(frontier, specs);
+      std::printf("fairness-vs-goodput frontier (%.1f jobs/h offered):\n",
+                  frontier.offered_jobs_per_hour);
+      for (const auto& point : result.points) {
+        std::printf(
+            "  %-16s %-18s goodput=%6.1f/h p99=%8.1fs jain=%.3f "
+            "envy=%.3f nash=%.3f\n",
+            point.policy.c_str(), point.mix.c_str(), point.goodput_per_hour,
+            point.p99_latency_s, point.jain, point.max_envy,
+            point.nash_welfare);
+      }
+      if (const std::string path = flags.get_string("frontier-out");
+          !path.empty()) {
+        std::ofstream out(path);
+        if (!out) return fail("cannot write " + path);
+        alloc::write_frontier_csv(result, out);
+        std::printf("frontier CSV written to %s\n", path.c_str());
+      }
+      if (const std::string path = flags.get_string("fairness-out");
+          !path.empty()) {
+        std::ofstream out(path);
+        if (!out) return fail("cannot write " + path);
+        alloc::write_fairness_json(result.reports, out);
+        std::printf("fairness report written to %s\n", path.c_str());
+      }
+      return 0;
+    }
+
     if (const std::string sweep = flags.get_string("sweep"); !sweep.empty()) {
       serve::CapacityConfig capacity;
       capacity.base = config;
@@ -250,18 +321,23 @@ int main(int argc, char** argv) {
       capacity.p99_bound_s = flags.get_double("p99-bound");
       capacity.max_shed_fraction = flags.get_double("max-shed-fraction");
 
-      std::vector<driver::EngineKind> engines;
-      if (const std::string list = flags.get_string("engines"); !list.empty()) {
-        for (const std::string& name : split_list(list)) {
-          const auto kind = driver::engine_from_name(name);
-          if (!kind) return fail("unknown engine '" + name + "'");
-          engines.push_back(*kind);
-        }
+      std::vector<serve::CapacityCurve> curves;
+      if (const std::string list = flags.get_string("policies"); !list.empty()) {
+        curves = serve::sweep_policies(capacity, alloc::parse_policy_list(list));
       } else {
-        engines = driver::all_engines();
+        std::vector<driver::EngineKind> engines;
+        if (const std::string names = flags.get_string("engines");
+            !names.empty()) {
+          for (const std::string& name : split_list(names)) {
+            const auto kind = driver::engine_from_name(name);
+            if (!kind) return fail("unknown engine '" + name + "'");
+            engines.push_back(*kind);
+          }
+        } else {
+          engines = driver::all_engines();
+        }
+        curves = serve::sweep_engines(capacity, engines);
       }
-
-      const auto curves = serve::sweep_engines(capacity, engines);
       std::printf("capacity sweep: p99 bound %.0fs, shed bound %.2f\n",
                   capacity.p99_bound_s, capacity.max_shed_fraction);
       for (const auto& curve : curves) {
@@ -280,6 +356,23 @@ int main(int argc, char** argv) {
         if (!out) return fail("cannot write " + path);
         serve::write_capacity_json(capacity, curves, out);
         std::printf("capacity report written to %s\n", path.c_str());
+      }
+      if (const std::string path = flags.get_string("fairness-out");
+          !path.empty()) {
+        std::vector<alloc::FairnessReport> reports;
+        for (const auto& curve : curves) {
+          for (const auto& point : curve.points) {
+            alloc::FairnessReport labelled = point.fairness;
+            char rate[32];
+            std::snprintf(rate, sizeof(rate), "@%.6g", point.jobs_per_hour);
+            labelled.policy = curve.engine + rate;
+            reports.push_back(std::move(labelled));
+          }
+        }
+        std::ofstream out(path);
+        if (!out) return fail("cannot write " + path);
+        alloc::write_fairness_json(reports, out);
+        std::printf("fairness report written to %s\n", path.c_str());
       }
       return 0;
     }
@@ -302,8 +395,16 @@ int main(int argc, char** argv) {
 
     obs::MetricsRegistry registry;
     metrics::TraceLog trace_log;
+    obs::DecisionLog decisions;
+    alloc::FairnessTracker fairness;
     serve::ServeSession session(config);
     if (!flags.get_string("trace-out").empty()) session.set_trace(&trace_log);
+    if (!flags.get_string("decisions-out").empty()) {
+      session.set_decisions(&decisions);
+    }
+    if (!flags.get_string("fairness-out").empty()) {
+      session.set_fairness(&fairness);
+    }
     const serve::ServeReport report = session.replay(std::move(trace), &registry);
     print_report(report);
     if (const std::size_t alerts = session.burn_alerts().size(); alerts > 0) {
@@ -328,6 +429,22 @@ int main(int argc, char** argv) {
       trace_log.write_chrome_trace(out);
       std::printf("chrome trace (%zu events) written to %s\n", trace_log.size(),
                   path.c_str());
+    }
+    if (const std::string path = flags.get_string("decisions-out");
+        !path.empty()) {
+      std::ofstream out(path);
+      if (!out) return fail("cannot write " + path);
+      obs::write_decisions_csv(decisions, out);
+      std::printf("decision log (%zu decisions) written to %s\n",
+                  decisions.size(), path.c_str());
+    }
+    if (const std::string path = flags.get_string("fairness-out");
+        !path.empty()) {
+      std::ofstream out(path);
+      if (!out) return fail("cannot write " + path);
+      alloc::write_fairness_json(fairness.report(), out);
+      std::printf("fairness report (%d samples) written to %s\n",
+                  fairness.samples(), path.c_str());
     }
     if (const std::string path = flags.get_string("alerts-out"); !path.empty()) {
       std::ofstream out(path);

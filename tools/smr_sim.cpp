@@ -15,8 +15,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "smr/alloc/registry.hpp"
 #include "smr/common/flags.hpp"
-#include "smr/core/slot_policy.hpp"
 #include "smr/driver/experiment.hpp"
 #include "smr/metrics/reporter.hpp"
 #include "smr/metrics/trace.hpp"
@@ -97,6 +97,10 @@ bool parse_failures(const std::string& spec, double default_at,
 int main(int argc, char** argv) {
   FlagSet flags("Simulate MapReduce jobs under HadoopV1, YARN or SMapReduce.");
   flags.define_string("engine", "smapreduce", "hadoopv1 | yarn | smapreduce");
+  flags.define_string("policy", "",
+                      "registry allocation policy '<name>[:k=v,...]' "
+                      "(e.g. karma:init_credits=50,decay=0.99); overrides "
+                      "--engine; 'list' prints the catalogue");
   flags.define_string("benchmark", "histogram-ratings",
                       "PUMA benchmark (ignored with --synthetic)");
   flags.define_int("input-gib", 30, "input size per job in GiB");
@@ -155,8 +159,8 @@ int main(int argc, char** argv) {
                       "histograms, engine self-profile) from 1 instrumented "
                       "trial");
   flags.define_string("decisions-out", "",
-                      "write the slot manager's decision audit log as CSV "
-                      "(smapreduce engine only)");
+                      "write the allocation policy's decision audit log as "
+                      "CSV (any engine/policy)");
   flags.define_string("spans-out", "",
                       "write the causal span tree (run/job/phase/attempt) "
                       "as JSON lines; also nests the spans into --trace-out");
@@ -185,6 +189,20 @@ int main(int argc, char** argv) {
   if (!scheduler) return fail("unknown scheduler '" + flags.get_string("scheduler") + "'");
 
   driver::ExperimentConfig config = driver::ExperimentConfig::paper_default(*engine);
+  if (const std::string spec = flags.get_string("policy"); !spec.empty()) {
+    if (spec == "list") {
+      for (const auto& name : alloc::AllocatorRegistry::instance().catalogue()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    try {
+      config.policy = alloc::parse_policy_spec(spec);
+      driver::make_policy(config);  // surface unknown names/options now
+    } catch (const SmrError& e) {
+      return fail(e.what());
+    }
+  }
   const int nodes = static_cast<int>(flags.get_int("nodes"));
   config.runtime.cluster = flags.get_bool("heterogeneous")
                                ? cluster::ClusterSpec::heterogeneous(
@@ -272,14 +290,9 @@ int main(int argc, char** argv) {
 
     mapreduce::RuntimeConfig runtime_config = config.runtime;
     auto policy = driver::make_policy(config);
-    if (auto* smr_policy = dynamic_cast<core::SmrSlotPolicy*>(policy.get())) {
-      smr_policy->set_decision_log(&decisions);
-    } else if (!decisions_path.empty()) {
-      std::fprintf(stderr,
-                   "smr_sim: --decisions-out: engine '%s' has no slot "
-                   "manager; the decision log will be empty\n",
-                   driver::engine_name(*engine));
-    }
+    // Every allocator inherits the decision-log hook from the base class;
+    // policies without periodic decisions simply leave the log empty.
+    policy->set_decision_log(&decisions);
     mapreduce::Runtime runtime(runtime_config, std::move(policy),
                                driver::make_scheduler(config));
     if (!trace_path.empty()) runtime.set_trace(&trace);
@@ -359,7 +372,8 @@ int main(int argc, char** argv) {
   const metrics::RunResult result = driver::run_experiment(config, submissions);
 
   std::printf("engine=%s scheduler=%s nodes=%d slots=%d+%d trials=%d\n\n",
-              driver::engine_name(*engine), driver::scheduler_name(*scheduler),
+              driver::policy_label(config).c_str(),
+              driver::scheduler_name(*scheduler),
               nodes, config.runtime.initial_map_slots,
               config.runtime.initial_reduce_slots, config.trials);
   metrics::job_summary_table(result).write(std::cout);

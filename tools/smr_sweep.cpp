@@ -11,6 +11,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "smr/common/error.hpp"
 #include "smr/common/flags.hpp"
 #include "smr/driver/sweep.hpp"
 #include "smr/metrics/reporter.hpp"
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
   flags.define_int("input-gib", 30, "input size (unless sweeping input-gib)");
   flags.define_string("engines", "all",
                       "comma-separated engines, or 'all'");
+  flags.define_string("policies", "",
+                      "semicolon list of registry policy specs "
+                      "('smapreduce;karma:decay=0.99;...'); replaces "
+                      "--engines as the sweep columns");
   flags.define_int("trials", 2, "trials per cell");
   flags.define_int("seed", 1, "base seed (unless sweeping seed)");
   flags.define_string("csv", "", "also write the table to this CSV path");
@@ -86,7 +91,15 @@ int main(int argc, char** argv) {
   config.base.trials = static_cast<int>(flags.get_int("trials"));
   config.base.runtime.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  if (const std::string engines = flags.get_string("engines"); engines != "all") {
+  if (const std::string policies = flags.get_string("policies");
+      !policies.empty()) {
+    try {
+      config.policies = alloc::parse_policy_list(policies);
+    } catch (const SmrError& e) {
+      return fail(e.what());
+    }
+  } else if (const std::string engines = flags.get_string("engines");
+             engines != "all") {
     config.engines.clear();
     std::stringstream stream(engines);
     std::string field;
@@ -98,19 +111,26 @@ int main(int argc, char** argv) {
     if (config.engines.empty()) return fail("empty --engines list");
   }
 
-  const driver::SweepResult result = driver::run_sweep(config);
+  driver::SweepResult result;
+  try {
+    result = driver::run_sweep(config);
+  } catch (const SmrError& e) {
+    return fail(e.what());
+  }
 
-  // Human-readable table: one row per value, one column per engine.
+  // Human-readable table: one row per value, one column per allocator.
+  const std::size_t columns = config.columns();
   metrics::TextTable table([&] {
     std::vector<std::string> headers{flags.get_string("dimension")};
-    for (auto engine : config.engines) headers.emplace_back(driver::engine_name(engine));
+    for (std::size_t c = 0; c < columns; ++c) {
+      headers.push_back(result.cells[c].label);
+    }
     return headers;
   }());
-  const std::size_t engines = config.engines.size();
   for (std::size_t v = 0; v < config.values.size(); ++v) {
     std::vector<std::string> row{metrics::format_fixed(config.values[v], 0)};
-    for (std::size_t e = 0; e < engines; ++e) {
-      const auto& cell = result.cells[v * engines + e];
+    for (std::size_t e = 0; e < columns; ++e) {
+      const auto& cell = result.cells[v * columns + e];
       row.push_back(cell.job.finished()
                         ? metrics::format_fixed(cell.job.total_time()) + "s"
                         : "(unfinished)");
